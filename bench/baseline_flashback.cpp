@@ -1,0 +1,149 @@
+// Head-to-head with the closest prior side channel (paper §V): CoS
+// silence intervals vs Flashback-style high-power tones, both riding on
+// the same 1024-byte data stream at the same measured SNR.
+//
+// Reported per scheme: side-channel bit rate, data PRR, side-channel bit
+// accuracy, and the extra transmit energy spent (units of data-symbol
+// energy per delivered control bit) — the axis on which CoS wins by
+// construction: a silence costs zero energy (it *saves* energy).
+#include <cstdio>
+
+#include "baselines/flashback.h"
+#include "bench_util.h"
+#include "core/cos_link.h"
+#include "sim/link.h"
+
+using namespace silence;
+
+namespace {
+
+struct SchemeResult {
+  double side_kbps = 0.0;
+  double data_prr = 0.0;
+  double bit_accuracy = 0.0;
+  double energy_per_bit = 0.0;  // extra TX energy per delivered bit
+};
+
+constexpr int kPackets = 60;
+
+SchemeResult run_cos(double snr_db) {
+  SchemeResult result;
+  std::size_t bits_sent = 0, bits_ok = 0;
+  int data_ok = 0;
+  double airtime_s = 0.0;
+  for (int p = 0; p < kPackets; ++p) {
+    const auto seed = static_cast<std::uint64_t>(p) + 1;
+    Rng rng(seed * 37);
+    MultipathProfile profile;
+    FadingChannel channel(profile, seed);
+    const double nv = noise_var_for_measured_snr(channel, snr_db);
+    const Mcs& mcs = select_mcs_by_snr(snr_db);
+
+    // Detectable subcarriers for this realization (genie form of the
+    // EVM-feedback + detectability selection).
+    const Mcs& sel_mcs = mcs;
+    DetectorConfig detector;
+    detector.modulation = sel_mcs.modulation;
+    const auto response = channel.frequency_response();
+    std::vector<int> selected;
+    for (int sc = 0; sc < kNumDataSubcarriers && selected.size() < 8; ++sc) {
+      if (subcarrier_detectable(detector, freq_noise_var(nv), response,
+                                sc)) {
+        selected.push_back(sc);
+      }
+    }
+    if (selected.empty()) selected = {10, 16, 22, 28};
+
+    CosTxConfig txc;
+    txc.mcs = &mcs;
+    txc.control_subcarriers = selected;
+    const Bytes psdu = make_test_psdu(1024, rng);
+    const Bits control = rng.bits(200);
+    const CosTxPacket tx = cos_transmit(psdu, control, txc);
+    const CxVec received = channel.transmit(tx.samples, nv, rng);
+    CosRxConfig rxc;
+    rxc.control_subcarriers = txc.control_subcarriers;
+    const CosRxPacket rx = cos_receive(received, rxc);
+
+    data_ok += rx.data_ok;
+    bits_sent += tx.plan.bits_sent;
+    for (std::size_t i = 0;
+         i < tx.plan.bits_sent && i < rx.control_bits.size() &&
+         rx.control_bits[i] == control[i];
+         ++i) {
+      ++bits_ok;
+    }
+    airtime_s += tx.frame.airtime_sec();
+  }
+  result.data_prr = static_cast<double>(data_ok) / kPackets;
+  result.bit_accuracy =
+      bits_sent ? static_cast<double>(bits_ok) / bits_sent : 0.0;
+  result.side_kbps = bits_sent / airtime_s / 1000.0;
+  result.energy_per_bit = 0.0;  // silences cost nothing (they save energy)
+  return result;
+}
+
+SchemeResult run_flashback(double snr_db) {
+  SchemeResult result;
+  std::size_t bits_sent = 0, bits_ok = 0;
+  int data_ok = 0;
+  double airtime_s = 0.0, energy = 0.0;
+  for (int p = 0; p < kPackets; ++p) {
+    const auto seed = static_cast<std::uint64_t>(p) + 1;
+    Rng rng(seed * 37);
+    MultipathProfile profile;
+    FadingChannel channel(profile, seed);
+    const double nv = noise_var_for_measured_snr(channel, snr_db);
+
+    FlashbackConfig config;
+    config.mcs = &select_mcs_by_snr(snr_db);
+    const Bytes psdu = make_test_psdu(1024, rng);
+    const Bits message = rng.bits(200);
+    const FlashbackTxPacket tx = flashback_transmit(psdu, message, config);
+    const CxVec received = channel.transmit(tx.samples, nv, rng);
+    const FlashbackRxPacket rx = flashback_receive(received, config);
+
+    data_ok += rx.data_ok;
+    bits_sent += tx.bits_sent;
+    for (std::size_t i = 0;
+         i < tx.bits_sent && i < rx.message_bits.size() &&
+         rx.message_bits[i] == message[i];
+         ++i) {
+      ++bits_ok;
+    }
+    airtime_s += tx.frame.airtime_sec();
+    energy += tx.flash_energy;
+  }
+  result.data_prr = static_cast<double>(data_ok) / kPackets;
+  result.bit_accuracy =
+      bits_sent ? static_cast<double>(bits_ok) / bits_sent : 0.0;
+  result.side_kbps = bits_sent / airtime_s / 1000.0;
+  result.energy_per_bit = bits_ok ? energy / static_cast<double>(bits_ok)
+                                  : 0.0;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Baseline", "CoS vs Flashback-style tone side channel");
+  std::printf("%8s %12s | %10s %9s %9s %12s\n", "snr_dB", "scheme",
+              "side_kbps", "data_PRR", "bit_acc", "energy/bit");
+  for (double snr : {10.0, 14.0, 18.0, 22.0}) {
+    const SchemeResult cos_result = run_cos(snr);
+    const SchemeResult fb_result = run_flashback(snr);
+    std::printf("%8.0f %12s | %10.1f %9.2f %9.3f %12.1f\n", snr, "CoS",
+                cos_result.side_kbps, cos_result.data_prr,
+                cos_result.bit_accuracy, cos_result.energy_per_bit);
+    std::printf("%8s %12s | %10.1f %9.2f %9.3f %12.1f\n", "",
+                "Flashback", fb_result.side_kbps, fb_result.data_prr,
+                fb_result.bit_accuracy, fb_result.energy_per_bit);
+  }
+  std::printf(
+      "\nenergy/bit is in units of one data symbol's transmit energy.\n"
+      "Flashback pays ~13 data-symbol energies per delivered bit (64x\n"
+      "tones, 5 bits each); CoS's silences are free — they even save the\n"
+      "energy of the erased symbols.\n");
+  return 0;
+}

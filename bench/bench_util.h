@@ -1,0 +1,15 @@
+// Shared helpers for the figure-reproduction benches.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace silence::bench {
+
+inline void print_header(const char* figure, const char* description) {
+  std::printf("=============================================================\n");
+  std::printf("%s: %s\n", figure, description);
+  std::printf("=============================================================\n");
+}
+
+}  // namespace silence::bench

@@ -1,0 +1,73 @@
+// Reproduces paper Fig. 3: decoder-input BER versus measured SNR at
+// 24 Mbps, split into the actual BER and the redundant BER (the extra
+// error rate the channel code could still absorb, defined relative to the
+// BER at the rate's minimum required SNR of 12 dB).
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "channel/fading.h"
+#include "common/crc32.h"
+#include "common/rng.h"
+#include "phy/receiver.h"
+#include "phy/transmitter.h"
+#include "sim/stats.h"
+
+using namespace silence;
+
+namespace {
+
+// Decoder-input BER: hard-decision errors on the transmitted coded stream
+// before Viterbi decoding, averaged over packets and positions.
+double decoder_input_ber(double measured_snr_db, int packets) {
+  const Mcs& mcs = mcs_for_rate(24);
+  ErrorStats stats;
+  for (int p = 0; p < packets; ++p) {
+    Rng rng(static_cast<std::uint64_t>(p) * 977 + 11);
+    MultipathProfile profile;
+    FadingChannel channel(profile, static_cast<std::uint64_t>(p) + 1);
+    const double nv = noise_var_for_measured_snr(channel, measured_snr_db);
+
+    Bytes psdu = rng.bytes(1020);
+    append_fcs(psdu);
+    const TxFrame frame = build_frame(psdu, mcs);
+    const CxVec received =
+        channel.transmit(frame_to_samples(frame), nv, rng);
+    const FrontEndResult fe = receiver_front_end(received);
+    if (!fe.signal) continue;
+    const DecodeResult decode =
+        decode_data_symbols(fe, mcs, static_cast<int>(psdu.size()));
+    stats.bits += frame.coded_bits.size();
+    stats.bit_errors +=
+        hamming_distance(decode.decoder_input_hard, frame.coded_bits);
+  }
+  return stats.ber();
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Fig. 3", "decoder-input BER vs measured SNR at 24 Mbps (16QAM 1/2)");
+
+  const int packets = 60;
+  // Reference: the BER the code is provisioned for, at the minimum
+  // required SNR of the 24 Mbps rate.
+  const double reference_ber = decoder_input_ber(12.0, packets);
+  std::printf("reference decoder-input BER at 12.0 dB: %.5f\n\n",
+              reference_ber);
+  std::printf("%12s %12s %14s\n", "measured_dB", "actual_BER",
+              "redundant_BER");
+
+  for (double snr = 12.0; snr <= 17.3; snr += 0.5) {
+    const double ber = decoder_input_ber(snr, packets);
+    const double redundant = reference_ber - ber;
+    std::printf("%12.1f %12.5f %14.5f\n", snr, ber,
+                redundant < 0.0 ? 0.0 : redundant);
+  }
+  std::printf(
+      "\nPaper shape: actual BER falls from ~0.02 toward 0 as the\n"
+      "measured SNR rises from 12 dB; the redundant BER (the code's\n"
+      "unused correction capability) grows correspondingly.\n");
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Reproduces paper Fig. 5: per-subcarrier EVM of a 20 MHz 802.11a channel
+// under frequency-selective fading at three receiver positions (A, B, C).
+//
+// Positions are multipath realizations; EVM is computed exactly as the
+// receiver does it — post-CRC, by re-mapping decoded bits — using a fixed
+// known packet, matching the paper's measurement method.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "channel/fading.h"
+#include "common/crc32.h"
+#include "common/rng.h"
+#include "core/cos_link.h"
+#include "sim/stats.h"
+
+using namespace silence;
+
+namespace {
+
+SubcarrierEvm measure_position(std::uint64_t position_seed) {
+  const Mcs& mcs = mcs_for_rate(24);
+  // Office links with a dominant line-of-sight component: frequency
+  // selectivity is pronounced but the notches stay moderate, matching
+  // the 0..20% EVM range of the paper's Fig. 5.
+  MultipathProfile profile;
+  profile.rician_k_linear = 10.0;
+  profile.decay_taps = 1.5;
+  FadingChannel channel(profile, position_seed);
+  const double nv = noise_var_for_measured_snr(channel, 22.0);
+
+  // Accumulate EVM over several packets of the fixed test payload.
+  std::array<double, kNumDataSubcarriers> sum{};
+  int count = 0;
+  for (int p = 0; p < 20; ++p) {
+    Rng rng(1234);  // fixed packet known to both ends
+    Bytes psdu = rng.bytes(1020);
+    append_fcs(psdu);
+    Rng noise(static_cast<std::uint64_t>(p) * 31 + position_seed);
+    const TxFrame frame = build_frame(psdu, mcs);
+    const CxVec received =
+        channel.transmit(frame_to_samples(frame), nv, noise);
+    const FrontEndResult fe = receiver_front_end(received);
+    if (!fe.signal) continue;
+    const DecodeResult decode =
+        decode_data_symbols(fe, mcs, static_cast<int>(psdu.size()));
+    if (!decode.crc_ok) continue;
+    const auto ideal = reconstruct_ideal_grid(decode, mcs);
+    const auto evm =
+        per_subcarrier_evm(decode.eq_data, ideal, mcs.modulation);
+    for (int j = 0; j < kNumDataSubcarriers; ++j) {
+      sum[static_cast<std::size_t>(j)] += evm[static_cast<std::size_t>(j)];
+    }
+    ++count;
+  }
+  SubcarrierEvm result{};
+  for (int j = 0; j < kNumDataSubcarriers; ++j) {
+    result[static_cast<std::size_t>(j)] =
+        count ? sum[static_cast<std::size_t>(j)] / count : 0.0;
+  }
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Fig. 5", "per-subcarrier EVM(%) at three positions (A, B, C)");
+
+  const SubcarrierEvm a = measure_position(101);
+  const SubcarrierEvm b = measure_position(202);
+  const SubcarrierEvm c = measure_position(303);
+
+  std::printf("%10s %10s %10s %10s\n", "subcarrier", "pos_A", "pos_B",
+              "pos_C");
+  double max_a = 0.0, min_a = 1e9;
+  for (int j = 0; j < kNumDataSubcarriers; ++j) {
+    const auto idx = static_cast<std::size_t>(j);
+    std::printf("%10d %10.2f %10.2f %10.2f\n", j + 1, 100.0 * a[idx],
+                100.0 * b[idx], 100.0 * c[idx]);
+    max_a = std::max(max_a, 100.0 * a[idx]);
+    min_a = std::min(min_a, 100.0 * a[idx]);
+  }
+  std::printf(
+      "\nposition A EVM spread: min %.2f%%, max %.2f%%, spread %.2f%%\n",
+      min_a, max_a, max_a - min_a);
+  std::printf(
+      "Paper shape: EVM differs strongly across subcarriers (up to ~13%%\n"
+      "for a single link) and the three positions show distinct fading\n"
+      "patterns.\n");
+  return 0;
+}

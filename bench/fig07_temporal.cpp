@@ -1,0 +1,121 @@
+// Reproduces paper Fig. 7: temporal selectivity of subcarriers in the
+// indoor mobile (walking-speed) scenario.
+//   (a) per-subcarrier EVM snapshots separated by tau = 0..40 ms;
+//   (b) CDF of the normalized EVM change (nabla-EVM) for each tau.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "channel/fading.h"
+#include "common/crc32.h"
+#include "common/rng.h"
+#include "core/cos_link.h"
+#include "sim/stats.h"
+
+using namespace silence;
+
+namespace {
+
+// The paper's measured channels keep an essentially static frequency
+// response over tens of ms (its Fig. 7 observation); model that as
+// frozen ray geometry with a small scattered residue.
+MultipathProfile mobile_profile() {
+  MultipathProfile profile;
+  profile.doppler_hz = 15.0;        // ~3.4 mph at 5 GHz-ish
+  profile.k_all_taps_linear = 1000;  // static rays dominate every tap
+  return profile;
+}
+
+// One EVM snapshot of the current channel state, averaged over several
+// packets of the fixed known payload (the paper measures over repeated
+// transmissions of one fixed packet).
+SubcarrierEvm snapshot(const FadingChannel& channel, double nv,
+                       std::uint64_t noise_seed) {
+  const Mcs& mcs = mcs_for_rate(24);
+  Rng packet_rng(1234);
+  Bytes psdu = packet_rng.bytes(1020);
+  append_fcs(psdu);
+  const TxFrame frame = build_frame(psdu, mcs);
+  const CxVec tx = frame_to_samples(frame);
+
+  SubcarrierEvm sum{};
+  int count = 0;
+  for (int p = 0; p < 24; ++p) {
+    Rng noise(noise_seed * 131 + static_cast<std::uint64_t>(p));
+    const CxVec received = channel.transmit(tx, nv, noise);
+    const FrontEndResult fe = receiver_front_end(received);
+    if (!fe.signal) continue;
+    const DecodeResult decode =
+        decode_data_symbols(fe, mcs, static_cast<int>(psdu.size()));
+    if (!decode.crc_ok) continue;
+    const auto ideal = reconstruct_ideal_grid(decode, mcs);
+    const auto evm = per_subcarrier_evm(decode.eq_data, ideal, mcs.modulation);
+    for (int j = 0; j < kNumDataSubcarriers; ++j) {
+      sum[static_cast<std::size_t>(j)] += evm[static_cast<std::size_t>(j)];
+    }
+    ++count;
+  }
+  SubcarrierEvm out{};
+  if (count == 0) return out;
+  for (int j = 0; j < kNumDataSubcarriers; ++j) {
+    out[static_cast<std::size_t>(j)] =
+        sum[static_cast<std::size_t>(j)] / count;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Fig. 7", "temporal selectivity at walking speed (indoor mobile)");
+
+  const MultipathProfile profile = mobile_profile();
+  const std::vector<double> taus = {0.0, 10e-3, 20e-3, 30e-3, 40e-3};
+
+  // (a) EVM snapshots under increasing time gaps from one start state.
+  {
+    std::printf("(a) EVM(%%) per subcarrier for time gaps tau\n");
+    std::printf("%10s", "subcarrier");
+    for (double tau : taus) std::printf("  tau=%2.0fms", tau * 1e3);
+    std::printf("\n");
+    std::vector<SubcarrierEvm> snapshots;
+    for (std::size_t t = 0; t < taus.size(); ++t) {
+      FadingChannel channel(profile, 555);
+      channel.advance(taus[t]);
+      const double nv = noise_var_for_measured_snr(channel, 16.0);
+      snapshots.push_back(snapshot(channel, nv, 42));
+    }
+    for (int j = 0; j < kNumDataSubcarriers; ++j) {
+      std::printf("%10d", j + 1);
+      for (const auto& snap : snapshots) {
+        std::printf("%10.2f", 100.0 * snap[static_cast<std::size_t>(j)]);
+      }
+      std::printf("\n");
+    }
+  }
+
+  // (b) CDF of nabla-EVM over many trials per tau.
+  std::printf("\n(b) CDF of nabla-EVM\n");
+  std::printf("%10s %12s %12s %12s %12s\n", "tau_ms", "p50", "p90", "p99",
+              "mean");
+  for (std::size_t t = 1; t < taus.size(); ++t) {
+    std::vector<double> changes;
+    for (std::uint64_t trial = 0; trial < 80; ++trial) {
+      FadingChannel channel(profile, 1000 + trial);
+      const double nv = noise_var_for_measured_snr(channel, 16.0);
+      const SubcarrierEvm before = snapshot(channel, nv, trial * 2);
+      channel.advance(taus[t]);
+      const SubcarrierEvm after = snapshot(channel, nv, trial * 2 + 1);
+      changes.push_back(evm_change(before, after));
+    }
+    std::printf("%10.0f %12.4f %12.4f %12.4f %12.4f\n", taus[t] * 1e3,
+                quantile(changes, 0.5), quantile(changes, 0.9),
+                quantile(changes, 0.99), mean(changes));
+  }
+  std::printf(
+      "\nPaper shape: per-subcarrier EVM is stable across tens of ms; the\n"
+      "nabla-EVM CDFs for tau = 10..40 ms sit close together at small\n"
+      "values, so the current measurement predicts the next packets.\n");
+  return 0;
+}

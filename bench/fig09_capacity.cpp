@@ -1,0 +1,158 @@
+// Reproduces paper Fig. 9: the maximum number of silence symbols per
+// second (R_m) CoS can insert while keeping the packet reception rate at
+// the 99.3% target, as a function of the measured SNR. Also runs the
+// random-placement ablation (DESIGN.md §4.1): the same budget placed on
+// random subcarriers instead of the weakest ones.
+//
+// Method mirrors the paper's: 1024-byte packets sent back-to-back, data
+// rate chosen by the SNR-based adaptation, silence-insertion rate R
+// increased until the PRR target breaks; the largest passing R is R_m.
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+#include <vector>
+
+#include "bench_util.h"
+#include "channel/fading.h"
+#include "core/cos_link.h"
+#include "sim/link.h"
+#include "sim/stats.h"
+
+using namespace silence;
+
+namespace {
+
+constexpr int kPacketOctets = 1024;
+constexpr int kPacketsPerPoint = 150;
+constexpr int kMaxFailures = 1;  // 149/150 ~ the paper's 99.3% PRR target
+
+enum class Placement { kWeakest, kRandom };
+
+// Control subcarriers for one packet: the `count` weakest (by true
+// channel gain — the EVM feedback approximates this genie) or a random
+// subset of the same size.
+std::vector<int> pick_subcarriers(const FadingChannel& channel, int count,
+                                  Placement placement, Rng& rng) {
+  std::vector<int> order(kNumDataSubcarriers);
+  std::iota(order.begin(), order.end(), 0);
+  if (placement == Placement::kRandom) {
+    std::shuffle(order.begin(), order.end(), rng.engine());
+  } else {
+    const auto response = channel.frequency_response();
+    const auto bins = data_subcarrier_bins();
+    std::sort(order.begin(), order.end(), [&](int a, int b) {
+      return std::norm(response[static_cast<std::size_t>(
+                 bins[static_cast<std::size_t>(a)])]) <
+             std::norm(response[static_cast<std::size_t>(
+                 bins[static_cast<std::size_t>(b)])]);
+    });
+  }
+  order.resize(static_cast<std::size_t>(count));
+  return order;
+}
+
+// True when `silences_per_packet` sustains the PRR target at this
+// measured SNR. Each packet sees a fresh channel realization pinned to
+// the same NIC-measured SNR (the paper bins results by NIC SNR).
+bool prr_holds(double measured_snr_db, int silences_per_packet,
+               const Mcs& mcs, int num_symbols, Placement placement) {
+  const auto k = static_cast<std::size_t>(kDefaultBitsPerInterval);
+  const std::size_t control_bits_count =
+      silences_per_packet > 1
+          ? (static_cast<std::size_t>(silences_per_packet) - 1) * k
+          : 0;
+  // Enough control subcarriers to host the expected interval spread.
+  const int n_ctrl = std::clamp(
+      static_cast<int>(silences_per_packet * 8.5 / num_symbols) + 1, 4,
+      kNumDataSubcarriers);
+
+  int failures = 0;
+  for (int p = 0; p < kPacketsPerPoint; ++p) {
+    const auto seed = static_cast<std::uint64_t>(p) + 1;
+    Rng rng(seed * 7919 + static_cast<std::uint64_t>(placement == Placement::kRandom));
+    MultipathProfile profile;
+    FadingChannel channel(profile, seed);
+    const double nv = noise_var_for_measured_snr(channel, measured_snr_db);
+
+    CosTxConfig tx_config;
+    tx_config.mcs = &mcs;
+    tx_config.control_subcarriers =
+        pick_subcarriers(channel, n_ctrl, placement, rng);
+
+    const Bytes psdu = make_test_psdu(kPacketOctets, rng);
+    const Bits control = rng.bits(control_bits_count);
+    const CosTxPacket tx = cos_transmit(psdu, control, tx_config);
+    const CxVec received = channel.transmit(tx.samples, nv, rng);
+
+    CosRxConfig rx_config;
+    rx_config.control_subcarriers = tx_config.control_subcarriers;
+    const CosRxPacket rx = cos_receive(received, rx_config);
+    // The paper's PRR criterion concerns the DATA packet: R_m asks how
+    // many silences the channel code can absorb without destroying data
+    // (control detection accuracy is Fig. 10's separate experiment).
+    if (!rx.data_ok && ++failures > kMaxFailures) return false;
+  }
+  return true;
+}
+
+// Largest silence budget per packet meeting the PRR target.
+int find_max_budget(double measured_snr_db, const Mcs& mcs, int num_symbols,
+                    Placement placement) {
+  // Grid ceiling: average interval spread over all 48 subcarriers.
+  const int grid_cap =
+      static_cast<int>(num_symbols * kNumDataSubcarriers / 8.5);
+  int lo = 0, hi = grid_cap;
+  if (!prr_holds(measured_snr_db, 1, mcs, num_symbols, placement)) return 0;
+  while (lo < hi) {
+    const int mid = (lo + hi + 1) / 2;
+    if (prr_holds(measured_snr_db, mid, mcs, num_symbols, placement)) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  return lo;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Fig. 9",
+      "max silence symbols/sec (R_m) vs measured SNR, PRR target 99.3%");
+  std::printf("%12s %10s %14s %14s %14s\n", "measured_dB", "rate",
+              "Rm_weakest", "Rm_random", "ctrl_kbps");
+
+  for (double snr = 5.0; snr <= 25.0; snr += 1.0) {
+    const Mcs& mcs = select_mcs_by_snr(snr);
+    const int n_sym = symbols_for_psdu(kPacketOctets, mcs);
+    const double airtime = kPreambleDurationSec + kSignalDurationSec +
+                           n_sym * kSymbolDurationSec;
+
+    // Feasibility: right at a region floor even a CoS-free packet can
+    // miss the 99.3% PRR target; mark such points instead of implying
+    // CoS caused the failure.
+    if (!prr_holds(snr, 0, mcs, n_sym, Placement::kWeakest)) {
+      std::printf("%12.1f %7d Mbps %14s %14s %14s\n", snr,
+                  mcs.data_rate_mbps, "-", "-",
+                  "(PRR unmet w/o CoS)");
+      continue;
+    }
+    const int weak_budget =
+        find_max_budget(snr, mcs, n_sym, Placement::kWeakest);
+    const int random_budget =
+        find_max_budget(snr, mcs, n_sym, Placement::kRandom);
+    const double rm_weak = weak_budget / airtime;
+    const double rm_random = random_budget / airtime;
+    std::printf("%12.1f %7d Mbps %14.0f %14.0f %14.1f\n", snr,
+                mcs.data_rate_mbps, rm_weak, rm_random,
+                rm_weak * kDefaultBitsPerInterval / 1000.0);
+  }
+  std::printf(
+      "\nPaper shape: R_m climbs with SNR inside each rate region and\n"
+      "saturates at a redundancy bound; bounds shrink with modulation\n"
+      "order (QPSK > 16QAM > 64QAM at equal code rate) and code rate\n"
+      "(1/2 > 3/4 at equal modulation); weakest-subcarrier placement\n"
+      "sustains a higher R_m than random placement near region floors.\n");
+  return 0;
+}

@@ -1,0 +1,211 @@
+// Reproduces paper Fig. 10: accuracy of symbol-level energy detection.
+//   (a) relative FFT magnitudes of one OFDM symbol with control
+//       subcarriers [10..17], three of them silenced;
+//   (b) false positive/negative probability vs detection threshold at a
+//       measured SNR of 9.2 dB;
+//   (c) false probabilities vs SNR with the adaptive (pilot-aided)
+//       threshold, 1000 packets per point;
+//   (d) false negative probability vs SNR with strong pulse interference.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "channel/fading.h"
+#include "channel/interference.h"
+#include "core/cos_link.h"
+#include "phy/ofdm.h"
+#include "phy/preamble.h"
+#include "sim/link.h"
+
+using namespace silence;
+
+namespace {
+
+const std::vector<int> kControl = {9, 10, 11, 12, 13, 14, 15, 16};
+
+struct FalseRates {
+  double positive = 0.0;
+  double negative = 0.0;
+};
+
+// LOS-dominant office profile matching the paper's lab links (their
+// Fig. 5 EVM range implies no deep notches on the tested positions).
+MultipathProfile office_profile() {
+  MultipathProfile profile;
+  profile.rician_k_linear = 10.0;
+  profile.decay_taps = 1.5;
+  return profile;
+}
+
+// Counts detector false positives/negatives over `packets` CoS packets.
+// With `ground_truth_framing`, the known frame geometry is used even when
+// SIGNAL fails to decode (the paper knows its fixed packet layout), so
+// heavy interference does not bias the sample toward lightly-hit packets.
+FalseRates measure(double measured_snr_db, int packets,
+                   const DetectorConfig& detector,
+                   const PulseInterferer* interferer = nullptr,
+                   bool ground_truth_framing = false) {
+  std::size_t active = 0, silent = 0, false_pos = 0, false_neg = 0;
+  for (int p = 0; p < packets; ++p) {
+    const auto seed = static_cast<std::uint64_t>(p) + 1;
+    Rng rng(seed * 104729);
+    const MultipathProfile profile = office_profile();
+    FadingChannel channel(profile, seed);
+    const double nv = noise_var_for_measured_snr(channel, measured_snr_db);
+
+    CosTxConfig tx_config;
+    tx_config.mcs = &mcs_for_rate(12);
+    tx_config.control_subcarriers = kControl;
+    const Bytes psdu = make_test_psdu(256, rng);
+    const Bits control = rng.bits(60);
+    const CosTxPacket tx = cos_transmit(psdu, control, tx_config);
+
+    CxVec received = channel.transmit(tx.samples, nv, rng);
+    if (interferer != nullptr) interferer->apply(received, rng);
+
+    FrontEndResult fe = receiver_front_end(received);
+    if (ground_truth_framing) {
+      // Rebuild the per-symbol FFTs from the known frame geometry.
+      fe.channel = estimate_channel(
+          std::span(received).subspan(kStfSamples, kLtfSamples));
+      fe.data_bins.clear();
+      for (int s = 0; s < tx.frame.num_symbols(); ++s) {
+        const auto offset =
+            static_cast<std::size_t>(kPreambleSamples) +
+            static_cast<std::size_t>(kSymbolSamples) *
+                static_cast<std::size_t>(1 + s);
+        fe.data_bins.push_back(time_to_bins(
+            std::span(received).subspan(offset, kSymbolSamples)));
+      }
+      // A deployed receiver tracks its noise floor over many packets, so
+      // a sudden interferer does not move the detection threshold; use
+      // the long-term floor rather than this packet's pilot residuals
+      // (which the pulses contaminate).
+      fe.noise_var = freq_noise_var(nv);
+    } else if (!fe.signal) {
+      continue;
+    }
+    const SilenceMask detected = detect_silences(fe, kControl, detector);
+    // A SIGNAL mis-decode (possible at very low SNR) yields the wrong
+    // symbol count; skip such packets.
+    if (detected.size() != tx.plan.mask.size()) continue;
+    for (std::size_t s = 0; s < tx.plan.mask.size(); ++s) {
+      for (int sc : kControl) {
+        const auto idx = static_cast<std::size_t>(sc);
+        if (tx.plan.mask[s][idx]) {
+          ++silent;
+          if (!detected[s][idx]) ++false_neg;
+        } else {
+          ++active;
+          if (detected[s][idx]) ++false_pos;
+        }
+      }
+    }
+  }
+  FalseRates rates;
+  if (active) rates.positive = static_cast<double>(false_pos) / active;
+  if (silent) rates.negative = static_cast<double>(false_neg) / silent;
+  return rates;
+}
+
+void part_a() {
+  std::printf("(a) relative FFT magnitudes, control subcarriers [10..17]\n");
+  Rng rng(5);
+  MultipathProfile profile;
+  FadingChannel channel(profile, 77);
+  const double nv = noise_var_for_measured_snr(channel, 15.0);
+
+  CosTxConfig tx_config;
+  tx_config.mcs = &mcs_for_rate(12);
+  // Subcarriers 10, 11 and 17 silenced in the first symbol (paper's
+  // figure): interval "0101" = 5 between positions 1 and 7.
+  tx_config.control_subcarriers = {9, 10, 11, 12, 13, 14, 15, 16};
+  const Bytes psdu = make_test_psdu(256, rng);
+  const Bits control = {0, 0, 0, 0, 0, 1, 0, 1};  // intervals {0, 5}
+  const CosTxPacket tx = cos_transmit(psdu, control, tx_config);
+  const CxVec received = channel.transmit(tx.samples, nv, rng);
+  const FrontEndResult fe = receiver_front_end(received);
+  if (!fe.signal) {
+    std::printf("  (SIGNAL failed; rerun)\n");
+    return;
+  }
+  const auto energies = data_bin_energies(fe.data_bins.front());
+  const double peak = *std::max_element(energies.begin(), energies.end());
+  std::printf("%10s %12s %10s\n", "subcarrier", "rel_magn", "state");
+  for (int j = 0; j < kNumDataSubcarriers; ++j) {
+    const auto idx = static_cast<std::size_t>(j);
+    const bool silenced = tx.plan.mask[0][idx] != 0;
+    std::printf("%10d %12.3f %10s\n", j + 1,
+                std::sqrt(energies[idx] / peak),
+                silenced ? "silence" : "active");
+  }
+}
+
+void part_b() {
+  std::printf(
+      "\n(b) false probabilities vs detection threshold @ 9.2 dB measured\n");
+  std::printf("%16s %12s %12s\n", "threshold_dB", "false_pos", "false_neg");
+  // Thresholds swept relative to the unit-signal FFT scale; the noise
+  // floor at 9.2 dB sits at 10^-0.92 ~ -9.2 dB.
+  for (double thr_db = -30.0; thr_db <= 10.0; thr_db += 2.5) {
+    DetectorConfig detector;
+    detector.fixed_threshold = std::pow(10.0, thr_db / 10.0);
+    const FalseRates rates = measure(9.2, 150, detector);
+    std::printf("%16.1f %12.4f %12.4f\n", thr_db, rates.positive,
+                rates.negative);
+  }
+}
+
+void part_c() {
+  std::printf(
+      "\n(c) false probabilities vs SNR, adaptive pilot-aided threshold "
+      "(1000 packets per point)\n");
+  std::printf("%12s %12s %12s %12s %12s\n", "measured_dB", "false_pos",
+              "false_neg", "fp_midpoint", "fn_midpoint");
+  for (double snr : {3.2, 4.0, 6.0, 8.0, 10.0, 12.0, 14.0, 16.0, 18.0, 20.0}) {
+    DetectorConfig noise_margin;
+    noise_margin.mode = ThresholdMode::kNoiseMargin;
+    const FalseRates rates = measure(snr, 1000, noise_margin);
+    // This repo's per-subcarrier midpoint refinement, for comparison.
+    DetectorConfig midpoint_config;
+    midpoint_config.mode = ThresholdMode::kPerSubcarrierMidpoint;
+    const FalseRates midpoint = measure(snr, 1000, midpoint_config);
+    std::printf("%12.1f %12.4f %12.4f %12.4f %12.4f\n", snr, rates.positive,
+                rates.negative, midpoint.positive, midpoint.negative);
+  }
+}
+
+void part_d() {
+  std::printf("\n(d) false negative vs SNR with strong pulse interference\n");
+  std::printf("%12s %14s %14s\n", "measured_dB", "fn_interf", "fn_clean");
+  const PulseInterferer strong{.symbol_hit_probability = 0.6,
+                               .pulse_power = 1.0};
+  for (double snr : {3.2, 6.0, 10.0, 14.0, 18.0, 20.0}) {
+    const FalseRates with = measure(snr, 200, DetectorConfig{}, &strong,
+                                    /*ground_truth_framing=*/true);
+    const FalseRates without = measure(snr, 200, DetectorConfig{}, nullptr,
+                                       /*ground_truth_framing=*/true);
+    std::printf("%12.1f %14.4f %14.4f\n", snr, with.negative,
+                without.negative);
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Fig. 10", "silence-symbol detection accuracy");
+  part_a();
+  part_b();
+  part_c();
+  part_d();
+  std::printf(
+      "\nPaper shape: (a) silenced subcarriers are clearly discernible;\n"
+      "(b) high thresholds inflate false positives, low thresholds\n"
+      "inflate false negatives; (c) with the adaptive threshold the\n"
+      "false negative rate stays < 0.01 and the false positive rate only\n"
+      "rises at very low SNR (~0.14 at 3.2 dB); (d) strong interference\n"
+      "drives the false negative rate up dramatically.\n");
+  return 0;
+}

@@ -1,0 +1,120 @@
+// PHY throughput microbenchmarks (google-benchmark): the hot paths of the
+// simulator — FFT, Viterbi decoding, the full transmit and receive chains,
+// and the CoS additions (energy detection, silence planning).
+#include <benchmark/benchmark.h>
+
+#include "channel/fading.h"
+#include "common/crc32.h"
+#include "common/rng.h"
+#include "core/cos_link.h"
+#include "phy/convolutional.h"
+#include "phy/receiver.h"
+#include "phy/transmitter.h"
+#include "phy/viterbi.h"
+
+namespace silence {
+namespace {
+
+Bytes bench_psdu(std::size_t total) {
+  Rng rng(1);
+  Bytes psdu = rng.bytes(total - 4);
+  append_fcs(psdu);
+  return psdu;
+}
+
+void BM_Fft64(benchmark::State& state) {
+  Rng rng(2);
+  CxVec data(64);
+  for (auto& x : data) x = rng.complex_gaussian(1.0);
+  for (auto _ : state) {
+    CxVec copy = data;
+    fft_in_place(copy, false);
+    benchmark::DoNotOptimize(copy);
+  }
+}
+BENCHMARK(BM_Fft64);
+
+void BM_ViterbiDecode(benchmark::State& state) {
+  const auto bits = static_cast<std::size_t>(state.range(0));
+  Rng rng(3);
+  Bits info = rng.bits(bits);
+  info.insert(info.end(), 6, 0);
+  const Bits coded = convolutional_encode(info);
+  std::vector<double> llrs(coded.size());
+  for (std::size_t i = 0; i < coded.size(); ++i) {
+    llrs[i] = coded[i] ? -4.0 : 4.0;
+  }
+  const ViterbiDecoder decoder;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(decoder.decode(llrs));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(bits));
+}
+BENCHMARK(BM_ViterbiDecode)->Arg(1024)->Arg(8214);
+
+void BM_TransmitChain(benchmark::State& state) {
+  const Bytes psdu = bench_psdu(1024);
+  const Mcs& mcs = mcs_for_rate(24);
+  for (auto _ : state) {
+    const TxFrame frame = build_frame(psdu, mcs);
+    benchmark::DoNotOptimize(frame_to_samples(frame));
+  }
+}
+BENCHMARK(BM_TransmitChain);
+
+void BM_ReceiveChain(benchmark::State& state) {
+  const Bytes psdu = bench_psdu(1024);
+  const Mcs& mcs = mcs_for_rate(24);
+  const CxVec samples = frame_to_samples(build_frame(psdu, mcs));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(receive_packet(samples));
+  }
+}
+BENCHMARK(BM_ReceiveChain);
+
+void BM_CosTransmit(benchmark::State& state) {
+  const Bytes psdu = bench_psdu(1024);
+  Rng rng(4);
+  const Bits control = rng.bits(96);
+  CosTxConfig config;
+  config.mcs = &mcs_for_rate(24);
+  config.control_subcarriers = {10, 11, 12, 13, 14, 15, 16, 17};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cos_transmit(psdu, control, config));
+  }
+}
+BENCHMARK(BM_CosTransmit);
+
+void BM_CosReceive(benchmark::State& state) {
+  const Bytes psdu = bench_psdu(1024);
+  Rng rng(5);
+  const Bits control = rng.bits(96);
+  CosTxConfig tx_config;
+  tx_config.mcs = &mcs_for_rate(24);
+  tx_config.control_subcarriers = {10, 11, 12, 13, 14, 15, 16, 17};
+  const CosTxPacket tx = cos_transmit(psdu, control, tx_config);
+  CosRxConfig rx_config;
+  rx_config.control_subcarriers = tx_config.control_subcarriers;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cos_receive(tx.samples, rx_config));
+  }
+}
+BENCHMARK(BM_CosReceive);
+
+void BM_FadingChannelTransmit(benchmark::State& state) {
+  const Bytes psdu = bench_psdu(1024);
+  const CxVec samples = frame_to_samples(build_frame(psdu, mcs_for_rate(24)));
+  MultipathProfile profile;
+  FadingChannel channel(profile, 6);
+  Rng rng(7);
+  const double nv = noise_var_for_snr_db(15.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(channel.transmit(samples, nv, rng));
+  }
+}
+BENCHMARK(BM_FadingChannelTransmit);
+
+}  // namespace
+}  // namespace silence
+
+BENCHMARK_MAIN();

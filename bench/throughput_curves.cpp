@@ -1,0 +1,88 @@
+// The paper's headline promise: "the transmission of free control
+// messages does not harm the original data throughput". This bench
+// sweeps measured SNR and compares data goodput with no CoS, with CoS at
+// the calibrated control-rate table, and with CoS deliberately overdriven
+// to 4x the table rate (showing why the rate controller matters).
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/control_rate.h"
+#include "mac/timing.h"
+#include "sim/session.h"
+
+using namespace silence;
+
+namespace {
+
+struct Goodput {
+  double prr = 0.0;
+  double mbps = 0.0;
+  double control_kbps = 0.0;
+};
+
+constexpr int kPacketsPerPoint = 40;
+
+Goodput run_point(double measured_snr_db, int control_rate_multiplier) {
+  Goodput result;
+  int ok = 0;
+  double airtime_s = 0.0;
+  std::size_t control_bits = 0;
+  for (std::uint64_t seed = 1; seed <= kPacketsPerPoint; ++seed) {
+    LinkConfig lc;
+    lc.snr_db = measured_snr_db;
+    lc.snr_is_measured = true;
+    lc.channel_seed = seed;
+    lc.noise_seed = seed * 41;
+    Link link(lc);
+
+    SessionConfig config;
+    if (control_rate_multiplier == 0) {
+      config.control_rate_override = 0;
+    } else if (control_rate_multiplier > 1) {
+      config.control_rate_override =
+          control_rate_multiplier * select_control_rate(measured_snr_db);
+    }
+    CosSession session(link, config);
+    Rng rng(seed * 97);
+    const Bytes psdu = make_test_psdu(1024, rng);
+    // Bootstrap the subcarrier selection, then measure one packet.
+    session.send_packet(psdu, rng.bits(16));
+    const PacketReport report = session.send_packet(psdu, rng.bits(4000));
+    ok += report.data_ok;
+    airtime_s += 1e-6 * (kSifsUs + kDifsUs) +
+                 (16e-6 + 4e-6) +  // preamble + SIGNAL
+                 symbols_for_psdu(psdu.size(), *report.mcs) * 4e-6;
+    if (report.data_ok) {
+      control_bits += report.control_bits_correct;
+    }
+  }
+  result.prr = static_cast<double>(ok) / kPacketsPerPoint;
+  result.mbps = ok * 1024.0 * 8.0 / (airtime_s * 1e6);
+  result.control_kbps = control_bits / airtime_s / 1000.0;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Throughput", "data goodput with and without CoS vs measured SNR");
+  std::printf("%8s %6s | %8s %8s | %8s %8s %10s | %8s %8s\n", "snr_dB",
+              "rate", "plainPRR", "plainMbps", "cosPRR", "cosMbps",
+              "ctrl_kbps", "4x_PRR", "4x_Mbps");
+  for (double snr = 6.0; snr <= 26.0; snr += 2.0) {
+    const Goodput plain = run_point(snr, 0);
+    const Goodput cos_run = run_point(snr, 1);
+    const Goodput overdriven = run_point(snr, 4);
+    std::printf("%8.0f %6d | %8.2f %8.2f | %8.2f %8.2f %10.1f | %8.2f %8.2f\n",
+                snr, select_mcs_by_snr(snr).data_rate_mbps, plain.prr,
+                plain.mbps, cos_run.prr, cos_run.mbps, cos_run.control_kbps,
+                overdriven.prr, overdriven.mbps);
+  }
+  std::printf(
+      "\nReading: at the calibrated control rate, CoS goodput tracks the\n"
+      "no-CoS baseline while delivering the control stream on the side;\n"
+      "overdriving the silence rate beyond the table eats into PRR —\n"
+      "exactly the trade the paper's rate controller exists to manage.\n");
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Access coordination via free control messages — the paper's first
+// motivating application.
+//
+// An AP streams data to a station while, for free, broadcasting its
+// queue backlog and a next-TXOP (transmit-opportunity) grant inside each
+// data packet. Contending stations read the grants from the silence
+// intervals and defer without any explicit control frames, saving the
+// airtime those frames would have cost.
+//
+//   $ ./access_coordination
+#include <cstdio>
+#include <vector>
+
+#include "sim/session.h"
+
+using namespace silence;
+
+namespace {
+
+// Coordination message carried in each data packet: 4-bit station id
+// granted the next TXOP + 8-bit queue backlog.
+struct Grant {
+  int station_id;
+  int backlog;
+};
+
+Bits encode_grant(const Grant& grant) {
+  Bits bits = uint_to_bits(static_cast<std::uint64_t>(grant.station_id), 4);
+  const Bits backlog =
+      uint_to_bits(static_cast<std::uint64_t>(grant.backlog), 8);
+  bits.insert(bits.end(), backlog.begin(), backlog.end());
+  return bits;
+}
+
+Grant decode_grant(std::span<const std::uint8_t> bits) {
+  return Grant{
+      static_cast<int>(bits_to_uint(bits.first(4))),
+      static_cast<int>(bits_to_uint(bits.subspan(4, 8))),
+  };
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== access coordination over CoS ===\n");
+  LinkConfig link_config;
+  link_config.snr_db = 20.0;
+  link_config.channel_seed = 3;
+  Link link(link_config);
+  CosSession session(link, SessionConfig{});
+  Rng rng(11);
+
+  // Round-robin of 3 contending stations; backlog drains as TXOPs are
+  // granted.
+  std::vector<int> backlog = {25, 14, 40};
+  int granted_airtime_frames = 0;
+  double saved_airtime_us = 0.0;
+  const int packets = 12;
+
+  for (int p = 0; p < packets; ++p) {
+    // Pick the station with the deepest queue (the AP's scheduler).
+    int next = 0;
+    for (int s = 1; s < 3; ++s) {
+      if (backlog[static_cast<std::size_t>(s)] >
+          backlog[static_cast<std::size_t>(next)]) {
+        next = s;
+      }
+    }
+    const Grant grant{next, backlog[static_cast<std::size_t>(next)]};
+
+    const Bytes psdu = make_test_psdu(1024, rng);
+    const PacketReport report =
+        session.send_packet(psdu, encode_grant(grant));
+
+    if (report.data_ok && report.control_ok &&
+        report.control_bits_sent >= 12) {
+      const Grant decoded =
+          decode_grant(std::span(report.rx.control_bits).first(12));
+      std::printf(
+          "pkt %2d @%2d Mbps: grant TXOP -> station %d (backlog %3d) "
+          "[control delivered, %zu silences]\n",
+          p, report.mcs->data_rate_mbps, decoded.station_id,
+          decoded.backlog, report.silences_sent);
+      backlog[static_cast<std::size_t>(decoded.station_id)] =
+          std::max(0, backlog[static_cast<std::size_t>(decoded.station_id)] - 8);
+      ++granted_airtime_frames;
+      // An explicit CF-Poll-style control frame at 6 Mbps would have cost
+      // preamble + SIGNAL + ~3 OFDM symbols ~ 32 us of airtime.
+      saved_airtime_us += 32.0;
+    } else {
+      std::printf("pkt %2d: control lost; stations fall back to CSMA\n", p);
+    }
+  }
+
+  std::printf(
+      "\n%d/%d coordination grants delivered for free; ~%.0f us of\n"
+      "control-frame airtime saved (vs explicit polling frames).\n",
+      granted_airtime_frames, packets, saved_airtime_us);
+  std::printf("remaining backlogs: %d %d %d\n", backlog[0], backlog[1],
+              backlog[2]);
+  return granted_airtime_frames > 0 ? 0 : 1;
+}

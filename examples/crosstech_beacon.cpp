@@ -1,0 +1,86 @@
+// Cross-technology CoS: a WiFi AP announces its presence and load to
+// narrowband (ZigBee-class) devices by blanking a block of subcarriers —
+// the narrowband device reads the message from nothing but its own RSSI,
+// while the WiFi data packet rides on unharmed.
+//
+//   $ ./crosstech_beacon
+#include <cstdio>
+#include <string>
+
+#include "core/cos_link.h"
+#include "sim/link.h"
+#include "xtech/narrowband.h"
+
+using namespace silence;
+
+int main() {
+  std::printf("=== cross-technology CoS beacon ===\n");
+  LinkConfig link_config;
+  link_config.snr_db = 16.0;
+  link_config.snr_is_measured = true;
+  link_config.channel_seed = 9;
+  Link link(link_config);
+
+  Rng rng(14);
+  // The beacon: 3-bit channel id + 6-bit duty-cycle hint for the
+  // coexisting network, repeated in every data packet.
+  const int wifi_channel = 6;
+  const int duty_percent = 42;
+  Bits beacon = uint_to_bits(static_cast<std::uint64_t>(wifi_channel), 3);
+  const Bits duty = uint_to_bits(static_cast<std::uint64_t>(duty_percent), 6);
+  beacon.insert(beacon.end(), duty.begin(), duty.end());
+
+  // Beacon-carrying packets go at a robust rate (like real beacons): the
+  // rate-1/2 code shrugs off the blanked block.
+  XtechTxConfig txc;
+  txc.mcs = &mcs_for_rate(12);
+
+  int heard = 0, wifi_ok = 0;
+  const int packets = 8;
+  for (int p = 0; p < packets; ++p) {
+    const Bytes psdu = make_test_psdu(1024, rng);
+    const XtechTxPacket tx = xtech_transmit(psdu, beacon, txc);
+    const CxVec received = link.send(tx.samples);
+    link.advance(tx.frame.airtime_sec() + 2e-3);
+
+    // The ZigBee-class listener: RSSI only, no OFDM.
+    NarrowbandObserver observer;
+    observer.block_start = txc.block_start;
+    observer.block_len = txc.block_len;
+    observer.bits_per_interval = txc.bits_per_interval;
+    const Bits heard_bits = observer.observe(received);
+    bool ok = heard_bits.size() >= beacon.size();
+    for (std::size_t i = 0; ok && i < beacon.size(); ++i) {
+      ok = heard_bits[i] == beacon[i];
+    }
+    if (ok) {
+      const int ch = static_cast<int>(
+          bits_to_uint(std::span(heard_bits).first(3)));
+      const int dc = static_cast<int>(
+          bits_to_uint(std::span(heard_bits).subspan(3, 6)));
+      std::printf(
+          "pkt %d: narrowband device heard beacon -> WiFi ch %d, duty "
+          "%d%%\n",
+          p, ch, dc);
+      ++heard;
+    } else {
+      std::printf("pkt %d: beacon missed\n", p);
+    }
+
+    // Meanwhile, the WiFi receiver decodes the data as usual, erasing
+    // the blanked block.
+    CosRxConfig rxc;
+    for (int j = 0; j < txc.block_len; ++j) {
+      rxc.control_subcarriers.push_back(txc.block_start + j);
+    }
+    wifi_ok += cos_receive(received, rxc).data_ok;
+  }
+
+  std::printf(
+      "\nbeacons heard by the narrowband device: %d/%d\n"
+      "WiFi data packets delivered:             %d/%d\n"
+      "(one transmission feeds both technologies; the beacon cost zero\n"
+      "airtime and zero energy)\n",
+      heard, packets, wifi_ok, packets);
+  return heard > 0 && wifi_ok > 0 ? 0 : 1;
+}

@@ -1,0 +1,109 @@
+// Load balancing via free control messages — another application the
+// paper's introduction motivates.
+//
+// Two APs serve ongoing traffic; each embeds its current load (associated
+// stations + channel utilization) into every data packet it transmits.
+// A station scanning for the best AP simply overhears data packets and
+// reads the load reports from the silence intervals — no beacon
+// modifications, no probe/response exchange, no extra airtime.
+//
+//   $ ./load_balancing
+#include <cstdio>
+#include <optional>
+
+#include "sim/session.h"
+
+using namespace silence;
+
+namespace {
+
+struct LoadReport {
+  int stations;     // 6 bits
+  int utilization;  // 7 bits, percent
+};
+
+Bits encode_load(const LoadReport& report) {
+  Bits bits = uint_to_bits(static_cast<std::uint64_t>(report.stations), 6);
+  const Bits util =
+      uint_to_bits(static_cast<std::uint64_t>(report.utilization), 7);
+  bits.insert(bits.end(), util.begin(), util.end());
+  while (bits.size() % 4 != 0) bits.push_back(0);  // pad to whole intervals
+  return bits;
+}
+
+std::optional<LoadReport> decode_load(std::span<const std::uint8_t> bits) {
+  if (bits.size() < 13) return std::nullopt;
+  LoadReport report{
+      static_cast<int>(bits_to_uint(bits.first(6))),
+      static_cast<int>(bits_to_uint(bits.subspan(6, 7))),
+  };
+  if (report.utilization > 100) return std::nullopt;
+  return report;
+}
+
+struct Ap {
+  const char* name;
+  LoadReport load;
+  Link link;
+  CosSession session;
+  Ap(const char* ap_name, LoadReport ap_load, const LinkConfig& config)
+      : name(ap_name), load(ap_load), link(config),
+        session(link, SessionConfig{}) {}
+};
+
+}  // namespace
+
+int main() {
+  std::printf("=== AP load balancing over CoS ===\n");
+
+  LinkConfig config_a;
+  config_a.snr_db = 19.0;
+  config_a.channel_seed = 8;
+  LinkConfig config_b;
+  config_b.snr_db = 17.0;
+  config_b.channel_seed = 9;
+
+  Ap ap_a("AP-A", {31, 85}, config_a);  // crowded
+  Ap ap_b("AP-B", {6, 20}, config_b);   // lightly loaded
+
+  Rng rng(21);
+  std::optional<LoadReport> heard_a, heard_b;
+
+  // The scanning station overhears a few data packets from each AP.
+  for (int p = 0; p < 5; ++p) {
+    for (Ap* ap : {&ap_a, &ap_b}) {
+      const Bytes psdu = make_test_psdu(1024, rng);
+      const PacketReport report =
+          ap->session.send_packet(psdu, encode_load(ap->load));
+      if (report.data_ok && report.control_ok) {
+        const auto decoded = decode_load(report.rx.control_bits);
+        if (decoded) {
+          std::printf(
+              "overheard %s data pkt @%2d Mbps: load = %d stations, "
+              "%d%% util (free side channel)\n",
+              ap->name, report.mcs->data_rate_mbps, decoded->stations,
+              decoded->utilization);
+          (ap == &ap_a ? heard_a : heard_b) = decoded;
+        }
+      }
+      // APs' loads drift as traffic comes and goes.
+      ap->load.utilization =
+          std::min(100, std::max(0, ap->load.utilization +
+                                        static_cast<int>(rng.uniform_int(0, 6)) -
+                                        3));
+    }
+  }
+
+  if (!heard_a || !heard_b) {
+    std::printf("\nscan incomplete; station keeps its association\n");
+    return 1;
+  }
+  const double score_a = heard_a->stations * 2.0 + heard_a->utilization;
+  const double score_b = heard_b->stations * 2.0 + heard_b->utilization;
+  std::printf(
+      "\nstation decision: join %s (load score %.0f vs %.0f) — chosen\n"
+      "from data overheard in passing, with zero probe traffic.\n",
+      score_a < score_b ? "AP-A" : "AP-B", std::min(score_a, score_b),
+      std::max(score_a, score_b));
+  return 0;
+}

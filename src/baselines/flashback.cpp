@@ -1,0 +1,133 @@
+#include "baselines/flashback.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "phy/ofdm.h"
+
+namespace silence {
+namespace {
+
+void check_config(const FlashbackConfig& config) {
+  if (config.mcs == nullptr) {
+    throw std::invalid_argument("flashback: no MCS configured");
+  }
+  if (config.bits_per_flash < 1 || config.bits_per_flash > 5) {
+    throw std::invalid_argument("flashback: bits_per_flash must be 1..5");
+  }
+  if (config.symbol_stride < 1) {
+    throw std::invalid_argument("flashback: stride must be >= 1");
+  }
+  if (config.flash_power <= 1.0) {
+    throw std::invalid_argument("flashback: flash power must exceed data");
+  }
+}
+
+}  // namespace
+
+std::vector<int> flashback_subcarriers(int bits_per_flash) {
+  const int count = 1 << bits_per_flash;
+  std::vector<int> subcarriers;
+  subcarriers.reserve(static_cast<std::size_t>(count));
+  // Spread the positions evenly across the 48 data subcarriers.
+  for (int i = 0; i < count; ++i) {
+    subcarriers.push_back(i * kNumDataSubcarriers / count);
+  }
+  return subcarriers;
+}
+
+FlashbackTxPacket flashback_transmit(
+    std::span<const std::uint8_t> psdu,
+    std::span<const std::uint8_t> message_bits,
+    const FlashbackConfig& config) {
+  check_config(config);
+  FlashbackTxPacket packet;
+  packet.frame = build_frame(psdu, *config.mcs, config.scrambler_seed);
+  packet.mask = empty_mask(packet.frame.num_symbols());
+
+  const auto positions = flashback_subcarriers(config.bits_per_flash);
+  const auto k = static_cast<std::size_t>(config.bits_per_flash);
+  const double amplitude = std::sqrt(config.flash_power);
+
+  // One flash per stride-th symbol while message bits remain.
+  std::size_t offset = 0;
+  for (int s = 0; s < packet.frame.num_symbols();
+       s += config.symbol_stride) {
+    if (offset + k > message_bits.size()) break;
+    const auto value = static_cast<std::size_t>(
+        bits_to_uint(message_bits.subspan(offset, k)));
+    const int subcarrier = positions[value];
+    // The flash rides ON TOP of the data symbol (additive tone).
+    packet.frame.data_grid[static_cast<std::size_t>(s)]
+                          [static_cast<std::size_t>(subcarrier)] +=
+        Cx{amplitude, 0.0};
+    packet.mask[static_cast<std::size_t>(s)]
+               [static_cast<std::size_t>(subcarrier)] = 1;
+    packet.flash_energy += config.flash_power;
+    ++packet.flash_count;
+    offset += k;
+  }
+  packet.bits_sent = offset;
+  packet.samples = frame_to_samples(packet.frame);
+  return packet;
+}
+
+FlashbackRxPacket flashback_receive(std::span<const Cx> samples,
+                                    const FlashbackConfig& config) {
+  check_config(config);
+  FlashbackRxPacket packet;
+  packet.fe = receiver_front_end(samples);
+  if (!packet.fe.signal) return packet;
+  const Mcs& mcs = *packet.fe.signal->mcs;
+
+  const auto positions = flashback_subcarriers(config.bits_per_flash);
+  const auto data_bins = data_subcarrier_bins();
+
+  // Flash detection: a flashed bin carries |H|^2 * flash_power on top of
+  // the data; flag the strongest candidate bin of a symbol when its
+  // energy rises far above the expected data level.
+  packet.detected_mask = empty_mask(
+      static_cast<int>(packet.fe.data_bins.size()));
+  for (std::size_t s = 0; s < packet.fe.data_bins.size(); ++s) {
+    int best = -1;
+    double best_ratio = 0.0;
+    for (std::size_t i = 0; i < positions.size(); ++i) {
+      const int sc = positions[i];
+      const auto bin = static_cast<std::size_t>(
+          data_bins[static_cast<std::size_t>(sc)]);
+      const double h2 = std::max(
+          std::norm(packet.fe.channel[bin]), 1e-12);
+      const double ratio = std::norm(packet.fe.data_bins[s][bin]) / h2;
+      if (ratio > best_ratio) {
+        best_ratio = ratio;
+        best = sc;
+      }
+    }
+    // Expected equalized energy of plain data ~ 1; a flash pushes it to
+    // ~flash_power. Threshold at the geometric middle.
+    if (best >= 0 && best_ratio > std::sqrt(config.flash_power) * 2.0) {
+      packet.detected_mask[s][static_cast<std::size_t>(best)] = 1;
+      // Decode the position back to bits.
+      for (std::size_t i = 0; i < positions.size(); ++i) {
+        if (positions[i] == best) {
+          const Bits bits = uint_to_bits(static_cast<std::uint64_t>(i),
+                                         config.bits_per_flash);
+          packet.message_bits.insert(packet.message_bits.end(),
+                                     bits.begin(), bits.end());
+          break;
+        }
+      }
+    }
+  }
+
+  // Data decode with detected flashes erased (EVD), as Flashback's
+  // receiver does for flashed positions.
+  const DecodeResult decode =
+      decode_data_symbols(packet.fe, mcs, packet.fe.signal->length_octets,
+                          &packet.detected_mask);
+  packet.data_ok = decode.crc_ok;
+  packet.psdu = decode.psdu;
+  return packet;
+}
+
+}  // namespace silence

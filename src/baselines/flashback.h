@@ -1,0 +1,72 @@
+// Flashback-style in-band side channel (Cidon et al., SIGCOMM 2012) —
+// the closest prior design the paper compares CoS against (§V).
+//
+// Instead of silencing symbols, Flashback *adds* short high-power tones
+// ("flashes") on top of ongoing OFDM data symbols. A flash's subcarrier
+// position encodes the message bits; the receiver detects flashes as
+// energy spikes well above the data level. The flashed data symbol is
+// corrupted, so — like CoS — the scheme leans on the channel code, and a
+// receiver may erase detected flash positions before decoding.
+//
+// The paper's critique, which the baseline lets us measure: each flash
+// costs extra transmit energy (flash power is tens of times the data
+// symbol power), while a CoS silence is free.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/silence_plan.h"
+#include "phy/receiver.h"
+#include "phy/transmitter.h"
+
+namespace silence {
+
+struct FlashbackConfig {
+  const Mcs* mcs = nullptr;
+  // Flash tone power relative to a unit-energy data symbol. The hJam/
+  // Flashback literature uses tens of dB; 64x (18 dB) per the paper.
+  double flash_power = 64.0;
+  // One flash at most every `symbol_stride` OFDM symbols (duty-cycle cap
+  // protecting the data stream).
+  int symbol_stride = 2;
+  // Flash positions use 2^bits_per_flash predetermined subcarriers.
+  int bits_per_flash = 5;
+  std::uint8_t scrambler_seed = 0x5D;
+};
+
+struct FlashbackTxPacket {
+  TxFrame frame;
+  CxVec samples;
+  std::size_t bits_sent = 0;
+  std::size_t flash_count = 0;
+  // Ground-truth flash positions: mask[symbol][subcarrier].
+  SilenceMask mask;
+  // Extra transmit energy spent on flashes (units of data-symbol energy).
+  double flash_energy = 0.0;
+};
+
+// Embeds `message_bits` as flashes over the data packet.
+FlashbackTxPacket flashback_transmit(std::span<const std::uint8_t> psdu,
+                                     std::span<const std::uint8_t> message_bits,
+                                     const FlashbackConfig& config);
+
+struct FlashbackRxPacket {
+  FrontEndResult fe;
+  bool data_ok = false;
+  Bytes psdu;
+  Bits message_bits;
+  SilenceMask detected_mask;  // detected flash positions
+};
+
+// Receives a Flashback burst: detects energy spikes, decodes the flash
+// positions into bits, erases flashed symbols, and decodes the data.
+FlashbackRxPacket flashback_receive(std::span<const Cx> samples,
+                                    const FlashbackConfig& config);
+
+// The subcarriers flash position bits map onto (2^bits_per_flash of the
+// 48, spread across the band).
+std::vector<int> flashback_subcarriers(int bits_per_flash);
+
+}  // namespace silence

@@ -1,0 +1,173 @@
+#include "channel/fading.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "common/db.h"
+
+namespace silence {
+
+// SNR conventions. The transmitter's IFFT carries unit-average-energy
+// constellation points, so after the receiver's unnormalized 64-point FFT
+// a data bin holds X[k]*H[k] with E[|X|^2] = 1, while time-domain AWGN of
+// per-sample variance s^2 appears with variance 64*s^2 per bin. The mean
+// subcarrier SNR through a unit-energy channel (sum |h_l|^2 = 1) is then
+// 1 / (64 * s^2).
+double noise_var_for_snr_db(double snr_db) {
+  return 1.0 / (kFftSize * db_to_linear(snr_db));
+}
+
+double freq_noise_var(double time_noise_var) {
+  return kFftSize * time_noise_var;
+}
+
+double noise_var_for_measured_snr(const FadingChannel& channel,
+                                  double measured_snr_db) {
+  // measured_snr_db(nv) is monotone decreasing in nv but not exactly
+  // linear in dB (the per-subcarrier clamp bends it), so bisect on the
+  // noise power in dB.
+  double lo_db = -80.0, hi_db = 80.0;  // nv = noise_var_for_snr_db(x)
+  for (int iter = 0; iter < 60; ++iter) {
+    const double mid_db = 0.5 * (lo_db + hi_db);
+    const double measured =
+        channel.measured_snr_db(noise_var_for_snr_db(mid_db));
+    if (measured > measured_snr_db) {
+      hi_db = mid_db;  // too little noise: push the mean SNR down
+    } else {
+      lo_db = mid_db;
+    }
+  }
+  return noise_var_for_snr_db(0.5 * (lo_db + hi_db));
+}
+
+FadingChannel::FadingChannel(const MultipathProfile& profile,
+                             std::uint64_t seed)
+    : profile_(profile), rng_(seed) {
+  if (profile_.num_taps < 1 || profile_.num_taps > kCpLength) {
+    throw std::invalid_argument(
+        "FadingChannel: num_taps must be in [1, CP length]");
+  }
+  const auto n = static_cast<std::size_t>(profile_.num_taps);
+
+  // Exponential PDP, normalized to unit total power; tap 0 additionally
+  // splits into a static LOS part and a scattered part per the K-factor.
+  std::vector<double> power(n);
+  double total = 0.0;
+  for (std::size_t l = 0; l < n; ++l) {
+    power[l] = std::exp(-static_cast<double>(l) / profile_.decay_taps);
+    total += power[l];
+  }
+  for (auto& p : power) p /= total;
+
+  los_.assign(n, Cx{0.0, 0.0});
+  scatter_.assign(n, Cx{0.0, 0.0});
+  scatter_var_.assign(n, 0.0);
+  const bool all_static = profile_.k_all_taps_linear > 0.0;
+  const double k0 = profile_.rician_k_linear;
+  for (std::size_t l = 0; l < n; ++l) {
+    const double k = all_static ? profile_.k_all_taps_linear
+                                : (l == 0 ? k0 : 0.0);
+    if (k > 0.0) {
+      const double los_power = power[l] * k / (k + 1.0);
+      scatter_var_[l] = power[l] / (k + 1.0);
+      const double phase = 2.0 * std::numbers::pi * rng_.uniform();
+      los_[l] = std::sqrt(los_power) * Cx{std::cos(phase), std::sin(phase)};
+    } else {
+      scatter_var_[l] = power[l];
+    }
+    scatter_[l] = rng_.complex_gaussian(scatter_var_[l]);
+  }
+  rebuild_taps();
+}
+
+void FadingChannel::rebuild_taps() {
+  taps_.resize(los_.size());
+  for (std::size_t l = 0; l < los_.size(); ++l) {
+    taps_[l] = los_[l] + scatter_[l];
+  }
+}
+
+void FadingChannel::advance(double seconds) {
+  if (seconds <= 0.0) return;
+  const double x =
+      2.0 * std::numbers::pi * profile_.doppler_hz * seconds;
+  // Jakes autocorrelation J0(x), clamped to [0, 1): beyond the first null
+  // the process is effectively decorrelated.
+  const double rho = std::max(0.0, std::cyl_bessel_j(0.0, x));
+  const double innovation = 1.0 - rho * rho;
+  for (std::size_t l = 0; l < scatter_.size(); ++l) {
+    scatter_[l] = rho * scatter_[l] +
+                  rng_.complex_gaussian(innovation * scatter_var_[l]);
+  }
+  rebuild_taps();
+}
+
+CxVec FadingChannel::apply_multipath(std::span<const Cx> samples) const {
+  CxVec out(samples.size(), Cx{0.0, 0.0});
+  for (std::size_t n = 0; n < samples.size(); ++n) {
+    Cx acc{0.0, 0.0};
+    const std::size_t max_l = std::min(taps_.size(), n + 1);
+    for (std::size_t l = 0; l < max_l; ++l) {
+      acc += taps_[l] * samples[n - l];
+    }
+    out[n] = acc;
+  }
+  return out;
+}
+
+CxVec FadingChannel::transmit(std::span<const Cx> samples, double noise_var,
+                              Rng& noise_rng) const {
+  CxVec out = apply_multipath(samples);
+  for (auto& x : out) x += noise_rng.complex_gaussian(noise_var);
+  return out;
+}
+
+std::array<Cx, kFftSize> FadingChannel::frequency_response() const {
+  std::array<Cx, kFftSize> response{};
+  for (int k = 0; k < kFftSize; ++k) {
+    Cx acc{0.0, 0.0};
+    for (std::size_t l = 0; l < taps_.size(); ++l) {
+      const double angle = -2.0 * std::numbers::pi * k *
+                           static_cast<double>(l) / kFftSize;
+      acc += taps_[l] * Cx{std::cos(angle), std::sin(angle)};
+    }
+    response[static_cast<std::size_t>(k)] = acc;
+  }
+  return response;
+}
+
+double FadingChannel::actual_snr_db(double noise_var) const {
+  const auto response = frequency_response();
+  const double n_freq = freq_noise_var(noise_var);
+  double sum = 0.0;
+  int count = 0;
+  for (int bin : data_subcarrier_bins()) {
+    sum += std::norm(response[static_cast<std::size_t>(bin)]) / n_freq;
+    ++count;
+  }
+  return linear_to_db(sum / count);
+}
+
+double FadingChannel::measured_snr_db(double noise_var) const {
+  // Harmonic mean of the per-subcarrier SNRs: an aggregate that a faded
+  // subcarrier drags down hard, modelling the paper's observation that
+  // "the measured SNR is dragged to a low value by those fading
+  // subcarriers". Deep notches are clamped at the noise floor (SNR 1):
+  // the NIC cannot report a subcarrier as *worse* than pure noise.
+  const auto response = frequency_response();
+  const double n_freq = freq_noise_var(noise_var);
+  double inverse_sum = 0.0;
+  int count = 0;
+  for (int bin : data_subcarrier_bins()) {
+    const double snr =
+        std::norm(response[static_cast<std::size_t>(bin)]) / n_freq;
+    // Notches contribute at most a -5 dB reading each: one dead bin
+    // drags the aggregate hard but cannot zero it out.
+    inverse_sum += 1.0 / std::max(snr, 0.3);
+    ++count;
+  }
+  return linear_to_db(count / inverse_sum);
+}
+
+}  // namespace silence

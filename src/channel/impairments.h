@@ -1,0 +1,48 @@
+// Radio hardware impairments.
+//
+// The paper's prototype runs on real Sora front ends whose residual
+// impairments — carrier frequency offset (CFO), oscillator phase noise,
+// and a transmit EVM floor — consume part of the channel-code redundancy
+// that an ideal simulator would hand to CoS. Modelling them (a) closes
+// the gap between this repo's absolute R_m numbers and the paper's and
+// (b) exercises the receiver's preamble-based CFO estimator (phy/sync.h).
+#pragma once
+
+#include <span>
+
+#include "common/rng.h"
+#include "dsp/fft.h"
+
+namespace silence {
+
+struct ImpairmentProfile {
+  // Carrier frequency offset in Hz (802.11a tolerates +-20 ppm at
+  // 5.8 GHz ~ +-116 kHz; typical residual after AGC is a few kHz).
+  double cfo_hz = 0.0;
+  // Wiener phase noise: standard deviation of the per-sample phase
+  // increment, radians. 0 disables.
+  double phase_noise_std = 0.0;
+  // Transmit EVM floor as a fraction (e.g. 0.03 = -30.5 dB): white
+  // Gaussian error added at the transmitter proportional to the signal's
+  // own mean power. 0 disables.
+  double tx_evm_floor = 0.0;
+};
+
+class RadioImpairments {
+ public:
+  RadioImpairments(const ImpairmentProfile& profile, std::uint64_t seed);
+
+  // Applies TX-side impairments (EVM floor), then the oscillator
+  // impairments (CFO rotation and phase-noise walk) to a burst.
+  // The oscillator state persists across calls (a continuous radio).
+  CxVec apply(std::span<const Cx> samples);
+
+  const ImpairmentProfile& profile() const { return profile_; }
+
+ private:
+  ImpairmentProfile profile_;
+  Rng rng_;
+  double phase_ = 0.0;  // accumulated oscillator phase
+};
+
+}  // namespace silence

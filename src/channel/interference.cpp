@@ -1,0 +1,20 @@
+#include "channel/interference.h"
+
+#include "phy/params.h"
+
+namespace silence {
+
+void PulseInterferer::apply(std::span<Cx> samples, Rng& rng) const {
+  for (std::size_t base = 0; base < samples.size();
+       base += static_cast<std::size_t>(kSymbolSamples)) {
+    if (rng.uniform() >= symbol_hit_probability) continue;
+    const std::size_t end =
+        std::min(base + static_cast<std::size_t>(kSymbolSamples),
+                 samples.size());
+    for (std::size_t n = base; n < end; ++n) {
+      samples[n] += rng.complex_gaussian(pulse_power);
+    }
+  }
+}
+
+}  // namespace silence

@@ -1,0 +1,25 @@
+// Pulse interference, modelling co-channel bursts (hidden nodes, ZigBee)
+// that the paper's Fig. 10(d) shows to be the main threat to silence-
+// symbol detection: a pulse landing on a silence symbol lifts its energy
+// above the detection threshold and causes a false negative.
+#pragma once
+
+#include <span>
+
+#include "common/rng.h"
+#include "dsp/fft.h"
+
+namespace silence {
+
+struct PulseInterferer {
+  // Probability that any given OFDM-symbol-length window is hit.
+  double symbol_hit_probability = 0.1;
+  // Per-sample interference power while a pulse is active. "Strong"
+  // interference in the paper's sense is well above the signal power.
+  double pulse_power = 1.0;
+
+  // Adds pulses in place over whole 80-sample symbol windows.
+  void apply(std::span<Cx> samples, Rng& rng) const;
+};
+
+}  // namespace silence

@@ -1,0 +1,36 @@
+// Bit-level utilities shared by the PHY and CoS layers.
+//
+// Throughout the code base a "bit vector" is a std::vector<uint8_t> whose
+// elements are each 0 or 1.  This wastes memory relative to a packed
+// representation but makes every PHY stage (scrambling, coding,
+// interleaving) trivially indexable, which is what matters for a simulator.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace silence {
+
+using Bits = std::vector<std::uint8_t>;
+using Bytes = std::vector<std::uint8_t>;
+
+// Unpacks bytes into bits, LSB of each byte first (802.11 bit ordering:
+// the first bit on air is bit 0 of the first octet).
+Bits bytes_to_bits(std::span<const std::uint8_t> bytes);
+
+// Packs bits (LSB-first per byte) into bytes. The bit count must be a
+// multiple of 8.
+Bytes bits_to_bytes(std::span<const std::uint8_t> bits);
+
+// Interprets up to 64 bits as an unsigned integer, MSB first.
+std::uint64_t bits_to_uint(std::span<const std::uint8_t> bits);
+
+// Produces `count` bits of `value`, MSB first.
+Bits uint_to_bits(std::uint64_t value, int count);
+
+// Number of positions at which the two equal-length bit spans differ.
+std::size_t hamming_distance(std::span<const std::uint8_t> a,
+                             std::span<const std::uint8_t> b);
+
+}  // namespace silence

@@ -1,0 +1,53 @@
+#include "common/crc32.h"
+
+#include <array>
+#include <vector>
+
+namespace silence {
+namespace {
+
+constexpr std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t n = 0; n < 256; ++n) {
+    std::uint32_t c = n;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1U) ? 0xEDB88320U ^ (c >> 1) : c >> 1;
+    }
+    table[n] = c;
+  }
+  return table;
+}
+
+constexpr auto kTable = make_table();
+
+}  // namespace
+
+std::uint32_t crc32(std::span<const std::uint8_t> data) {
+  std::uint32_t c = 0xFFFFFFFFU;
+  for (std::uint8_t byte : data) {
+    c = kTable[(c ^ byte) & 0xFFU] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFU;
+}
+
+void append_fcs(std::vector<std::uint8_t>& frame) {
+  const std::uint32_t fcs = crc32(frame);
+  for (int i = 0; i < 4; ++i) {
+    frame.push_back(static_cast<std::uint8_t>((fcs >> (8 * i)) & 0xFFU));
+  }
+}
+
+bool check_fcs(std::span<const std::uint8_t> frame) {
+  if (frame.size() < 4) return false;
+  const auto body = frame.first(frame.size() - 4);
+  const std::uint32_t fcs = crc32(body);
+  for (int i = 0; i < 4; ++i) {
+    if (frame[frame.size() - 4 + static_cast<std::size_t>(i)] !=
+        static_cast<std::uint8_t>((fcs >> (8 * i)) & 0xFFU)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace silence

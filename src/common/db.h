@@ -1,0 +1,14 @@
+// Decibel/linear conversion helpers used across the channel and PHY code.
+#pragma once
+
+#include <cmath>
+
+namespace silence {
+
+// Power ratio in dB -> linear power ratio.
+inline double db_to_linear(double db) { return std::pow(10.0, db / 10.0); }
+
+// Linear power ratio -> dB.
+inline double linear_to_db(double linear) { return 10.0 * std::log10(linear); }
+
+}  // namespace silence

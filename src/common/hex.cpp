@@ -1,0 +1,25 @@
+#include "common/hex.h"
+
+namespace silence {
+
+std::string to_hex(std::span<const std::uint8_t> data) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (std::uint8_t byte : data) {
+    out.push_back(kDigits[byte >> 4]);
+    out.push_back(kDigits[byte & 0xFU]);
+  }
+  return out;
+}
+
+std::string to_printable(std::span<const std::uint8_t> data) {
+  std::string out;
+  out.reserve(data.size());
+  for (std::uint8_t byte : data) {
+    out.push_back(byte >= 0x20 && byte < 0x7F ? static_cast<char>(byte) : '.');
+  }
+  return out;
+}
+
+}  // namespace silence

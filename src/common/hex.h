@@ -1,0 +1,16 @@
+// Hex/ASCII rendering helpers for examples and diagnostics.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace silence {
+
+// "deadbeef"-style lowercase hex string.
+std::string to_hex(std::span<const std::uint8_t> data);
+
+// Renders printable ASCII bytes verbatim and everything else as '.'.
+std::string to_printable(std::span<const std::uint8_t> data);
+
+}  // namespace silence

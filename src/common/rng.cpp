@@ -1,0 +1,24 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace silence {
+
+std::complex<double> Rng::complex_gaussian(double variance) {
+  const double sigma = std::sqrt(variance / 2.0);
+  return {sigma * gaussian(), sigma * gaussian()};
+}
+
+std::vector<std::uint8_t> Rng::bits(std::size_t count) {
+  std::vector<std::uint8_t> out(count);
+  for (auto& b : out) b = static_cast<std::uint8_t>(engine_() & 1U);
+  return out;
+}
+
+std::vector<std::uint8_t> Rng::bytes(std::size_t count) {
+  std::vector<std::uint8_t> out(count);
+  for (auto& b : out) b = static_cast<std::uint8_t>(engine_() & 0xFFU);
+  return out;
+}
+
+}  // namespace silence

@@ -1,0 +1,46 @@
+// Deterministic random number generation.
+//
+// Every stochastic component in the simulator draws from an explicitly
+// seeded Rng so that experiments and tests are reproducible bit-for-bit.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace silence {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  // Uniform in [0, 1).
+  double uniform() { return unit_(engine_); }
+
+  // Uniform integer in [lo, hi] inclusive.
+  std::uint64_t uniform_int(std::uint64_t lo, std::uint64_t hi) {
+    return std::uniform_int_distribution<std::uint64_t>(lo, hi)(engine_);
+  }
+
+  // Standard normal.
+  double gaussian() { return normal_(engine_); }
+
+  // Circularly-symmetric complex Gaussian with E[|x|^2] = variance.
+  std::complex<double> complex_gaussian(double variance);
+
+  // `count` random bits.
+  std::vector<std::uint8_t> bits(std::size_t count);
+
+  // `count` random bytes.
+  std::vector<std::uint8_t> bytes(std::size_t count);
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  std::uniform_real_distribution<double> unit_{0.0, 1.0};
+  std::normal_distribution<double> normal_{0.0, 1.0};
+};
+
+}  // namespace silence

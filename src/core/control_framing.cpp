@@ -1,0 +1,57 @@
+#include "core/control_framing.h"
+
+#include <stdexcept>
+
+namespace silence {
+
+std::uint8_t crc8(std::span<const std::uint8_t> data) {
+  std::uint8_t crc = 0;
+  for (std::uint8_t byte : data) {
+    crc ^= byte;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 0x80U) ? static_cast<std::uint8_t>((crc << 1) ^ 0x07U)
+                          : static_cast<std::uint8_t>(crc << 1);
+    }
+  }
+  return crc;
+}
+
+std::size_t control_frame_bits(std::size_t payload_octets) {
+  return kControlFrameOverheadBits + 8 * payload_octets;
+}
+
+Bits frame_control_message(std::span<const std::uint8_t> payload) {
+  if (payload.empty() || payload.size() > kMaxControlPayloadOctets) {
+    throw std::invalid_argument(
+        "frame_control_message: payload must be 1..63 octets");
+  }
+  Bits bits = uint_to_bits(payload.size(), 6);
+  for (std::uint8_t byte : payload) {
+    const Bits b = uint_to_bits(byte, 8);
+    bits.insert(bits.end(), b.begin(), b.end());
+  }
+  const Bits crc_bits = uint_to_bits(crc8(payload), 8);
+  bits.insert(bits.end(), crc_bits.begin(), crc_bits.end());
+  return bits;
+}
+
+std::optional<Bytes> parse_control_message(
+    std::span<const std::uint8_t> bits) {
+  if (bits.size() < kControlFrameOverheadBits + 8) return std::nullopt;
+  const auto length = static_cast<std::size_t>(
+      bits_to_uint(bits.first(6)));
+  if (length == 0 || length > kMaxControlPayloadOctets) return std::nullopt;
+  if (bits.size() < control_frame_bits(length)) return std::nullopt;
+
+  Bytes payload(length);
+  for (std::size_t i = 0; i < length; ++i) {
+    payload[i] = static_cast<std::uint8_t>(
+        bits_to_uint(bits.subspan(6 + 8 * i, 8)));
+  }
+  const auto received_crc = static_cast<std::uint8_t>(
+      bits_to_uint(bits.subspan(6 + 8 * length, 8)));
+  if (received_crc != crc8(payload)) return std::nullopt;
+  return payload;
+}
+
+}  // namespace silence

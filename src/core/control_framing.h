@@ -1,0 +1,42 @@
+// Integrity framing for control messages.
+//
+// The silence-interval stream has no built-in integrity: one detection
+// slip corrupts every later bit of that packet's message, and the
+// receiver cannot tell. Upper layers need to know *whether* the control
+// message arrived intact (the paper leaves this to the applications).
+// This framing gives them that for 17 bits of overhead:
+//
+//   [ 6-bit payload length in octets | payload octets | CRC-8 ]
+//
+// A receiver parses the decoded bit stream; on any mismatch it reports
+// "no message" rather than delivering garbage. Each data packet carries
+// at most one frame; retransmission policy is the caller's.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "common/bits.h"
+
+namespace silence {
+
+inline constexpr std::size_t kMaxControlPayloadOctets = 63;
+inline constexpr std::size_t kControlFrameOverheadBits = 6 + 8;
+
+// CRC-8 (polynomial 0x07, init 0) over a byte span.
+std::uint8_t crc8(std::span<const std::uint8_t> data);
+
+// Bits needed to carry a `payload_octets`-byte message.
+std::size_t control_frame_bits(std::size_t payload_octets);
+
+// Encodes a payload into the framed bit stream.
+Bits frame_control_message(std::span<const std::uint8_t> payload);
+
+// Parses the leading frame from a decoded control bit stream. Returns
+// the payload when the length is plausible and the CRC matches; nullopt
+// on truncation or corruption (bits beyond the frame are ignored).
+std::optional<Bytes> parse_control_message(
+    std::span<const std::uint8_t> bits);
+
+}  // namespace silence

@@ -1,0 +1,71 @@
+#include "core/control_rate.h"
+
+#include <array>
+#include <cmath>
+#include <stdexcept>
+
+namespace silence {
+namespace {
+
+// Calibrated with bench/fig09_capacity on the default indoor channel
+// model (see EXPERIMENTS.md); conservative within each rate region so the
+// PRR target holds across realizations. Shapes follow the paper's Fig. 9:
+// R_m climbs with SNR inside a rate region, saturates at a code-redundancy
+// bound, and the bounds shrink as modulation order / code rate grow.
+constexpr std::array<ControlRatePoint, 12> kDefaultTable = {{
+    {5.0, 30000},    // below QPSK 1/2 region: conservative floor
+    {7.1, 90000},    // QPSK 1/2
+    {8.3, 130000},
+    {9.0, 148000},   // QPSK 1/2 redundancy bound (paper's max)
+    {9.5, 60000},    // QPSK 3/4
+    {11.0, 90000},
+    {12.0, 55000},   // 16QAM 1/2
+    {14.0, 80000},
+    {15.5, 45000},   // 16QAM 3/4
+    {18.0, 60000},
+    {19.5, 40000},   // 64QAM 2/3
+    {21.7, 33000},   // 64QAM 3/4 (paper's min R_m)
+}};
+
+}  // namespace
+
+std::span<const ControlRatePoint> default_control_rate_table() {
+  return kDefaultTable;
+}
+
+int select_control_rate(double measured_snr_db,
+                        std::span<const ControlRatePoint> table) {
+  if (table.empty()) {
+    throw std::invalid_argument("select_control_rate: empty table");
+  }
+  int rate = table.front().rm;
+  for (const auto& point : table) {
+    if (measured_snr_db >= point.measured_snr_db) rate = point.rm;
+  }
+  return rate;
+}
+
+int lowest_control_rate(std::span<const ControlRatePoint> table) {
+  if (table.empty()) {
+    throw std::invalid_argument("lowest_control_rate: empty table");
+  }
+  int lowest = table.front().rm;
+  for (const auto& point : table) lowest = std::min(lowest, point.rm);
+  return lowest;
+}
+
+int silence_budget_for_packet(int rm, double airtime_sec) {
+  if (rm < 0 || airtime_sec <= 0.0) {
+    throw std::invalid_argument("silence_budget_for_packet: bad arguments");
+  }
+  return static_cast<int>(std::floor(rm * airtime_sec));
+}
+
+double control_bits_per_second(int rm, int bits_per_interval) {
+  // Each silence symbol beyond the start marker closes one interval of
+  // k bits; at steady state the marker cost vanishes per packet, so the
+  // paper simply reports k * R_m (e.g. 33,000 * 4 = 132 kbps).
+  return static_cast<double>(rm) * bits_per_interval;
+}
+
+}  // namespace silence

@@ -1,0 +1,46 @@
+// Adaptive rate selection for control messages (paper §III-F): a lookup
+// table maps the receiver's measured SNR to the maximum silence-symbol
+// rate R_m (silence symbols per second) that keeps the packet reception
+// rate at the target. The default table is the output of this repo's own
+// Fig. 9 calibration (bench/fig09_capacity); callers can install a table
+// measured under their own channel.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "phy/params.h"
+
+namespace silence {
+
+struct ControlRatePoint {
+  double measured_snr_db;
+  int rm;  // max silence symbols per second at this SNR
+};
+
+// The paper's PRR target for "does not destroy the data packet".
+inline constexpr double kTargetPrr = 0.993;
+
+// Built-in calibration table (ascending SNR).
+std::span<const ControlRatePoint> default_control_rate_table();
+
+// R_m for a measured SNR: the table entry with the largest SNR not above
+// `measured_snr_db`. Below the table, returns the lowest rate — the
+// paper's fallback when no feedback arrives.
+int select_control_rate(double measured_snr_db,
+                        std::span<const ControlRatePoint> table =
+                            default_control_rate_table());
+
+// Lowest table rate (used after a lost feedback).
+int lowest_control_rate(std::span<const ControlRatePoint> table =
+                            default_control_rate_table());
+
+// Converts a silence-symbol rate to a per-packet silence budget given the
+// packet's airtime (frame-aggregated transmissions: packets back-to-back).
+int silence_budget_for_packet(int rm, double airtime_sec);
+
+// Control-message bit rate achieved by `rm` silence symbols per second
+// with k bits per interval (each interval costs one silence symbol).
+double control_bits_per_second(int rm, int bits_per_interval);
+
+}  // namespace silence

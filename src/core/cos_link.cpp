@@ -1,0 +1,93 @@
+#include "core/cos_link.h"
+
+#include <stdexcept>
+
+#include "core/interval_code.h"
+
+namespace silence {
+
+CosTxPacket cos_transmit(std::span<const std::uint8_t> psdu,
+                         std::span<const std::uint8_t> control_bits,
+                         const CosTxConfig& config) {
+  if (config.mcs == nullptr) {
+    throw std::invalid_argument("cos_transmit: no MCS configured");
+  }
+  CosTxPacket packet;
+  packet.frame = build_frame(psdu, *config.mcs, config.scrambler_seed);
+  if (!config.control_subcarriers.empty() && !control_bits.empty()) {
+    packet.plan =
+        plan_silences(control_bits, packet.frame.num_symbols(),
+                      config.control_subcarriers, config.bits_per_interval);
+    apply_silences(packet.frame.data_grid, packet.plan.mask);
+  } else {
+    packet.plan.mask = empty_mask(packet.frame.num_symbols());
+  }
+  packet.samples = frame_to_samples(packet.frame);
+  return packet;
+}
+
+std::vector<CxVec> reconstruct_ideal_grid(const DecodeResult& decode,
+                                          const Mcs& mcs) {
+  if (!decode.crc_ok) {
+    throw std::invalid_argument("reconstruct_ideal_grid: CRC must pass");
+  }
+  const TxFrame frame =
+      build_frame(decode.psdu, mcs, decode.scrambler_seed);
+  return frame.data_grid;
+}
+
+CosRxPacket cos_receive(std::span<const Cx> samples,
+                        const CosRxConfig& config,
+                        std::optional<Modulation> next_mod) {
+  CosRxPacket packet;
+  packet.fe = receiver_front_end(samples);
+  if (!packet.fe.signal) return packet;
+  const Mcs& mcs = *packet.fe.signal->mcs;
+
+  // Energy detection locates silence symbols before demodulation
+  // (paper Eq. 7: all silence symbols are marked first). The detector
+  // needs the packet's modulation (known from SIGNAL) for its
+  // per-subcarrier thresholds.
+  DetectorConfig detector = config.detector;
+  detector.modulation = mcs.modulation;
+  packet.detected_mask =
+      detect_silences(packet.fe, config.control_subcarriers, detector);
+
+  // Control message: intervals between detected silences.
+  const std::vector<int> intervals =
+      mask_to_intervals(packet.detected_mask, config.control_subcarriers);
+  packet.control_bits =
+      intervals_to_bits_tolerant(intervals, config.bits_per_interval);
+
+  // Data decode with EVD over the detected mask.
+  packet.decode =
+      decode_data_symbols(packet.fe, mcs, packet.fe.signal->length_octets,
+                          &packet.detected_mask);
+  packet.data_ok = packet.decode.crc_ok;
+  packet.psdu = packet.decode.psdu;
+
+  if (packet.data_ok) {
+    const std::vector<CxVec> ideal =
+        reconstruct_ideal_grid(packet.decode, mcs);
+    packet.evm = per_subcarrier_evm(packet.decode.eq_data, ideal,
+                                    mcs.modulation, &packet.detected_mask);
+    packet.evm_valid = true;
+    // Next-packet selection: weak subcarriers, but only those on which
+    // the detector can still tell silence from the next modulation's
+    // weakest active symbol.
+    const Modulation next = next_mod.value_or(mcs.modulation);
+    DetectorConfig next_detector = config.detector;
+    next_detector.modulation = next;
+    std::vector<std::uint8_t> detectable(kNumDataSubcarriers, 0);
+    for (int sc = 0; sc < kNumDataSubcarriers; ++sc) {
+      detectable[static_cast<std::size_t>(sc)] = subcarrier_detectable(
+          next_detector, packet.fe.noise_var, packet.fe.channel, sc);
+    }
+    packet.next_control_subcarriers = select_control_subcarriers(
+        packet.evm, next, config.min_feedback_subcarriers,
+        kNumDataSubcarriers, detectable);
+  }
+  return packet;
+}
+
+}  // namespace silence

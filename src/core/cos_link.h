@@ -1,0 +1,87 @@
+// The CoS link layer: ties the 802.11a PHY chains to the CoS components.
+//
+// Transmit side (paper Fig. 8, "power controller"): build the standard
+// frame, plan silence placement for the control message on the agreed
+// control subcarriers, zero those grid points, emit samples.
+//
+// Receive side ("energy detector" + EVD): run the PHY front end, detect
+// silences on the control subcarriers, decode the control message from
+// the silence intervals, decode the data with the detected silences as
+// erasures, and — when the CRC passes — compute per-subcarrier EVM and
+// the control-subcarrier selection to feed back for the next packet.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/energy_detector.h"
+#include "core/evm.h"
+#include "core/interval_code.h"
+#include "core/silence_plan.h"
+#include "core/subcarrier_selection.h"
+#include "phy/receiver.h"
+#include "phy/transmitter.h"
+
+namespace silence {
+
+struct CosTxConfig {
+  const Mcs* mcs = nullptr;
+  // Logical data-subcarrier indices (0..47) agreed via feedback, in
+  // logical numbering order.
+  std::vector<int> control_subcarriers;
+  int bits_per_interval = kDefaultBitsPerInterval;
+  std::uint8_t scrambler_seed = 0x5D;
+};
+
+struct CosTxPacket {
+  TxFrame frame;     // grid already has silences applied
+  SilencePlan plan;  // ground truth placement
+  CxVec samples;     // full burst
+};
+
+// Builds and modulates a data packet with `control_bits` embedded as
+// silence intervals. The control message is truncated to what fits the
+// control grid; `plan.bits_sent` reports the conveyed prefix.
+CosTxPacket cos_transmit(std::span<const std::uint8_t> psdu,
+                         std::span<const std::uint8_t> control_bits,
+                         const CosTxConfig& config);
+
+struct CosRxConfig {
+  std::vector<int> control_subcarriers;
+  int bits_per_interval = kDefaultBitsPerInterval;
+  DetectorConfig detector;
+  // Minimum control subcarriers to request for the next packet.
+  int min_feedback_subcarriers = 6;
+};
+
+struct CosRxPacket {
+  // PHY results.
+  FrontEndResult fe;
+  DecodeResult decode;
+  bool data_ok = false;
+  Bytes psdu;
+  // Control channel results.
+  SilenceMask detected_mask;
+  Bits control_bits;
+  // Post-CRC channel analysis (only when data_ok).
+  bool evm_valid = false;
+  SubcarrierEvm evm{};
+  std::vector<int> next_control_subcarriers;
+};
+
+// Receives a CoS burst. `next_mod` is the modulation expected for the
+// next packet (used for the EVM > D_m/2 selection rule); when omitted the
+// current packet's modulation is used.
+CosRxPacket cos_receive(std::span<const Cx> samples,
+                        const CosRxConfig& config,
+                        std::optional<Modulation> next_mod = std::nullopt);
+
+// Reconstructs the transmitted constellation grid from a successfully
+// decoded packet (re-mapping decoded bits through the transmit chain),
+// for EVM computation. Requires decode.crc_ok.
+std::vector<CxVec> reconstruct_ideal_grid(const DecodeResult& decode,
+                                          const Mcs& mcs);
+
+}  // namespace silence

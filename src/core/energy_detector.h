@@ -1,0 +1,74 @@
+// Symbol-level energy detection of silence symbols (paper §III-B/C).
+//
+// The receiver inspects the raw (unequalized) FFT magnitude of each
+// control subcarrier: a silence symbol carries only noise, so its energy
+// sits near the noise floor, while an active symbol also carries
+// |H_k|^2 * |X|^2. The threshold sits above the pilot-aided noise-floor
+// estimate; a threshold that is too high mistakes deep-faded active
+// symbols for silences (false positives), one that is too low misses
+// silences whose noise happens to spike (false negatives).
+//
+// Two threshold policies are provided:
+//  * kNoiseMargin — one global threshold = margin * noise floor, the
+//    paper's baseline scheme (used by the Fig. 10 sweeps);
+//  * kPerSubcarrierMidpoint — the paper's "dynamic adjustment ... to
+//    distinguish subcarrier with only noise from subcarrier with deep
+//    fading signal": per subcarrier, the threshold moves to the geometric
+//    midpoint between the noise floor and the weakest active symbol the
+//    channel estimate predicts (|H_k|^2 times the modulation's inner-
+//    point energy), never dropping below the noise-margin floor when the
+//    subcarrier is strong.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "phy/params.h"
+#include "phy/receiver.h"
+
+namespace silence {
+
+enum class ThresholdMode { kNoiseMargin, kPerSubcarrierMidpoint };
+
+struct DetectorConfig {
+  ThresholdMode mode = ThresholdMode::kNoiseMargin;
+  // Noise-floor multiple used by kNoiseMargin and as the floor of the
+  // midpoint policy. A silence symbol's bin energy is exponential with
+  // mean eta, so margin m gives a miss probability of e^-m; 7x keeps it
+  // under 1e-3 while leaving headroom for active symbols on detectable
+  // subcarriers.
+  double threshold_margin = 7.0;
+  // When >= 0, overrides everything with an absolute frequency-domain
+  // energy (used by the Fig. 10b threshold sweep).
+  double fixed_threshold = -1.0;
+  // Modulation of the data symbols (sets the inner-point energy for the
+  // midpoint policy).
+  Modulation modulation = Modulation::kQpsk;
+};
+
+// Effective energy threshold for logical data subcarrier `subcarrier`.
+double detection_threshold(const DetectorConfig& config,
+                           double noise_var_freq,
+                           const std::array<Cx, kFftSize>& channel,
+                           int subcarrier);
+
+// Scans every data symbol of the front end and flags control-subcarrier
+// positions whose bin energy falls below the threshold. Non-control
+// subcarriers are never flagged.
+SilenceMask detect_silences(const FrontEndResult& fe,
+                            std::span<const int> control_subcarriers,
+                            const DetectorConfig& config = {});
+
+// True when silence-vs-active discrimination is reliable on a subcarrier:
+// the weakest active symbol clears the detection threshold with headroom.
+// CoS must not select undetectable subcarriers as control subcarriers.
+bool subcarrier_detectable(const DetectorConfig& config,
+                           double noise_var_freq,
+                           const std::array<Cx, kFftSize>& channel,
+                           int subcarrier);
+
+// Raw per-subcarrier bin energies |Y_k|^2 of one data symbol, logical
+// data-subcarrier order (for diagnostics and the Fig. 10a snapshot).
+std::vector<double> data_bin_energies(std::span<const Cx> bins64);
+
+}  // namespace silence

@@ -1,0 +1,63 @@
+#include "core/evm.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "phy/modulation.h"
+
+namespace silence {
+
+SubcarrierEvm per_subcarrier_evm(std::span<const CxVec> received,
+                                 std::span<const CxVec> ideal,
+                                 Modulation mod,
+                                 const SilenceMask* exclude) {
+  if (received.size() != ideal.size()) {
+    throw std::invalid_argument("per_subcarrier_evm: symbol count mismatch");
+  }
+  if (exclude != nullptr && exclude->size() != received.size()) {
+    throw std::invalid_argument("per_subcarrier_evm: mask size mismatch");
+  }
+  // Mean constellation energy (1/M sum |s_m|^2); 1.0 for the normalized
+  // 802.11a constellations but computed anyway for generality.
+  double mean_energy = 0.0;
+  const auto points = constellation(mod);
+  for (const Cx& p : points) mean_energy += std::norm(p);
+  mean_energy /= static_cast<double>(points.size());
+
+  SubcarrierEvm evm{};
+  std::array<double, kNumDataSubcarriers> error_sum{};
+  std::array<int, kNumDataSubcarriers> count{};
+  for (std::size_t s = 0; s < received.size(); ++s) {
+    if (received[s].size() != static_cast<std::size_t>(kNumDataSubcarriers) ||
+        ideal[s].size() != static_cast<std::size_t>(kNumDataSubcarriers)) {
+      throw std::invalid_argument("per_subcarrier_evm: need 48 points");
+    }
+    for (int j = 0; j < kNumDataSubcarriers; ++j) {
+      const auto idx = static_cast<std::size_t>(j);
+      if (exclude != nullptr && (*exclude)[s][idx]) continue;
+      error_sum[idx] += std::norm(received[s][idx] - ideal[s][idx]);
+      ++count[idx];
+    }
+  }
+  for (int j = 0; j < kNumDataSubcarriers; ++j) {
+    const auto idx = static_cast<std::size_t>(j);
+    if (count[idx] == 0) continue;
+    evm[idx] = std::sqrt(error_sum[idx] / count[idx] / mean_energy);
+  }
+  return evm;
+}
+
+double evm_change(const SubcarrierEvm& at_t, const SubcarrierEvm& at_t_tau) {
+  double diff = 0.0;
+  double ref = 0.0;
+  for (int j = 0; j < kNumDataSubcarriers; ++j) {
+    const auto idx = static_cast<std::size_t>(j);
+    const double d = at_t[idx] - at_t_tau[idx];
+    diff += d * d;
+    ref += at_t_tau[idx] * at_t_tau[idx];
+  }
+  if (ref <= 0.0) return 0.0;
+  return std::sqrt(diff) / std::sqrt(ref);
+}
+
+}  // namespace silence

@@ -1,0 +1,34 @@
+// Per-subcarrier error vector magnitude (paper Eq. 1) and the temporal
+// selectivity metric nabla-EVM (paper Eq. 2).
+//
+// EVM is computed after a packet passes CRC: the decoded bits are
+// re-mapped to reconstruct the ideal constellation points, then each data
+// subcarrier's RMS error vector is normalized by the constellation's mean
+// energy. Silence symbols are excluded (paper §III-D).
+#pragma once
+
+#include <array>
+#include <span>
+#include <vector>
+
+#include "dsp/fft.h"
+#include "phy/params.h"
+#include "phy/receiver.h"
+
+namespace silence {
+
+using SubcarrierEvm = std::array<double, kNumDataSubcarriers>;
+
+// EVM per data subcarrier. `received` and `ideal` are per-symbol vectors
+// of 48 points; `exclude` (optional) marks positions to skip (silences).
+// Subcarriers with no usable symbols get EVM = 0.
+SubcarrierEvm per_subcarrier_evm(std::span<const CxVec> received,
+                                 std::span<const CxVec> ideal,
+                                 Modulation mod,
+                                 const SilenceMask* exclude = nullptr);
+
+// nabla-EVM(tau) between two EVM snapshots (paper Eq. 2):
+// ||D(t) - D(t+tau)|| / ||D(t+tau)||.
+double evm_change(const SubcarrierEvm& at_t, const SubcarrierEvm& at_t_tau);
+
+}  // namespace silence

@@ -1,0 +1,57 @@
+#include "core/feedback_transport.h"
+
+#include "core/subcarrier_selection.h"
+#include "phy/ofdm.h"
+#include "phy/params.h"
+
+namespace silence {
+namespace {
+
+// Filler for active positions of a feedback symbol: full-power BPSK ones,
+// so every non-silenced subcarrier is maximally detectable.
+CxVec feedback_symbol_points(std::span<const std::uint8_t> silence_row) {
+  CxVec points(kNumDataSubcarriers, Cx{1.0, 0.0});
+  for (int sc = 0; sc < kNumDataSubcarriers; ++sc) {
+    if (silence_row[static_cast<std::size_t>(sc)]) {
+      points[static_cast<std::size_t>(sc)] = Cx{0.0, 0.0};
+    }
+  }
+  return points;
+}
+
+}  // namespace
+
+void append_selection_feedback(CxVec& samples, std::span<const int> selection,
+                               int next_pilot_index) {
+  const auto [row1, row2] = encode_selection_vector_robust(selection);
+  for (int i = 0; i < kFeedbackSymbols; ++i) {
+    const CxVec points = feedback_symbol_points(i == 0 ? row1 : row2);
+    const CxVec bins =
+        assemble_frequency_bins(points, next_pilot_index + i);
+    const CxVec time = bins_to_time(bins);
+    samples.insert(samples.end(), time.begin(), time.end());
+  }
+}
+
+std::optional<std::vector<int>> decode_selection_feedback(
+    const FrontEndResult& fe, const DetectorConfig& config) {
+  if (fe.trailer_bins.size() < static_cast<std::size_t>(kFeedbackSymbols)) {
+    return std::nullopt;
+  }
+  // Reuse the silence detector over the trailer symbols.
+  FrontEndResult trailer_fe;
+  trailer_fe.channel = fe.channel;
+  trailer_fe.noise_var = fe.noise_var;
+  trailer_fe.data_bins.assign(fe.trailer_bins.begin(),
+                              fe.trailer_bins.begin() + kFeedbackSymbols);
+  std::vector<int> all(kNumDataSubcarriers);
+  for (int sc = 0; sc < kNumDataSubcarriers; ++sc) {
+    all[static_cast<std::size_t>(sc)] = sc;
+  }
+  DetectorConfig detector = config;
+  detector.modulation = Modulation::kBpsk;
+  const SilenceMask detected = detect_silences(trailer_fe, all, detector);
+  return decode_selection_vector_robust(detected[0], detected[1]);
+}
+
+}  // namespace silence

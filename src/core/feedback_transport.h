@@ -1,0 +1,36 @@
+// Transport of the subcarrier-selection feedback vector V on the ACK
+// (paper §III-D): the selection rides as silence patterns in dedicated
+// OFDM symbols appended after the ACK's data field, so the vector costs
+// two trailer symbols (8 us) and never damages the ACK payload.
+//
+// The two symbols carry complement-coded patterns (see
+// subcarrier_selection.h): a subcarrier is selected iff it reads silent
+// in the first trailer symbol and active in the second, which makes the
+// transport immune to reverse-link fades.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/energy_detector.h"
+#include "dsp/fft.h"
+#include "phy/receiver.h"
+
+namespace silence {
+
+inline constexpr int kFeedbackSymbols = 2;
+
+// Appends the two feedback symbols to a modulated burst. `next_pilot_index`
+// is the pilot sequence index after the burst's last data symbol (number
+// of data symbols + 1, since SIGNAL uses index 0).
+void append_selection_feedback(CxVec& samples, std::span<const int> selection,
+                               int next_pilot_index);
+
+// Recovers the selection from the burst's trailer symbols; nullopt when
+// fewer than two trailer symbols arrived. `config.modulation` should be
+// kBpsk — the filler content of the feedback symbols.
+std::optional<std::vector<int>> decode_selection_feedback(
+    const FrontEndResult& fe, const DetectorConfig& config = {});
+
+}  // namespace silence

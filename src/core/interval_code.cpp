@@ -1,0 +1,88 @@
+#include "core/interval_code.h"
+
+#include <stdexcept>
+
+namespace silence {
+namespace {
+
+void check_k(int bits_per_interval) {
+  if (bits_per_interval < 1 || bits_per_interval > 8) {
+    throw std::invalid_argument("interval code: k must be in [1, 8]");
+  }
+}
+
+}  // namespace
+
+std::vector<int> bits_to_intervals(std::span<const std::uint8_t> bits,
+                                   int bits_per_interval) {
+  check_k(bits_per_interval);
+  const auto k = static_cast<std::size_t>(bits_per_interval);
+  if (bits.size() % k != 0) {
+    throw std::invalid_argument(
+        "bits_to_intervals: bit count not a multiple of k");
+  }
+  std::vector<int> intervals;
+  intervals.reserve(bits.size() / k);
+  for (std::size_t i = 0; i < bits.size(); i += k) {
+    intervals.push_back(
+        static_cast<int>(bits_to_uint(bits.subspan(i, k))));
+  }
+  return intervals;
+}
+
+Bits intervals_to_bits(std::span<const int> intervals,
+                       int bits_per_interval) {
+  check_k(bits_per_interval);
+  const int max_value = (1 << bits_per_interval) - 1;
+  Bits bits;
+  bits.reserve(intervals.size() * static_cast<std::size_t>(bits_per_interval));
+  for (int interval : intervals) {
+    if (interval < 0 || interval > max_value) {
+      throw std::invalid_argument("intervals_to_bits: interval out of range");
+    }
+    const Bits group =
+        uint_to_bits(static_cast<std::uint64_t>(interval), bits_per_interval);
+    bits.insert(bits.end(), group.begin(), group.end());
+  }
+  return bits;
+}
+
+Bits intervals_to_bits_tolerant(std::span<const int> intervals,
+                                int bits_per_interval) {
+  check_k(bits_per_interval);
+  const int max_value = (1 << bits_per_interval) - 1;
+  std::size_t valid = 0;
+  while (valid < intervals.size() && intervals[valid] >= 0 &&
+         intervals[valid] <= max_value) {
+    ++valid;
+  }
+  return intervals_to_bits(intervals.first(valid), bits_per_interval);
+}
+
+std::size_t grid_positions_needed(std::span<const int> intervals) {
+  std::size_t positions = 1;  // the start silence symbol
+  for (int interval : intervals) {
+    positions += static_cast<std::size_t>(interval) + 1;
+  }
+  return positions;
+}
+
+std::size_t silence_count_for_intervals(std::size_t n_intervals) {
+  return n_intervals + 1;
+}
+
+std::size_t intervals_that_fit(std::span<const int> intervals,
+                               std::size_t grid_size) {
+  if (grid_size == 0) return 0;
+  std::size_t used = 1;
+  std::size_t count = 0;
+  for (int interval : intervals) {
+    const std::size_t need = static_cast<std::size_t>(interval) + 1;
+    if (used + need > grid_size) break;
+    used += need;
+    ++count;
+  }
+  return count;
+}
+
+}  // namespace silence

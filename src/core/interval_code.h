@@ -1,0 +1,47 @@
+// CoS interval modulation: control bits are conveyed by the lengths of the
+// gaps between silence symbols (paper §II-A). Each gap of `interval`
+// normal symbols encodes k bits with value == interval (k = 4 by default,
+// so intervals range over [0, 15]); the first silence symbol marks the
+// start of the message.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/bits.h"
+
+namespace silence {
+
+inline constexpr int kDefaultBitsPerInterval = 4;
+
+// Encodes `bits` into interval values. `bits.size()` must be a multiple
+// of `bits_per_interval` (callers pad; control messages are short).
+std::vector<int> bits_to_intervals(std::span<const std::uint8_t> bits,
+                                   int bits_per_interval = kDefaultBitsPerInterval);
+
+// Decodes interval values back to bits. Throws on intervals outside
+// [0, 2^k - 1].
+Bits intervals_to_bits(std::span<const int> intervals,
+                       int bits_per_interval = kDefaultBitsPerInterval);
+
+// Tolerant decode for the receive path: a missed silence symbol merges
+// two gaps into one oversized interval, after which the remaining stream
+// is unreliable — decoding stops at the first out-of-range interval.
+Bits intervals_to_bits_tolerant(std::span<const int> intervals,
+                                int bits_per_interval = kDefaultBitsPerInterval);
+
+// Grid positions consumed by a message of these intervals: one start
+// silence plus, per interval, `interval` normal symbols and the closing
+// silence.
+std::size_t grid_positions_needed(std::span<const int> intervals);
+
+// Silence symbols used by a message of `n` intervals (n + 1).
+std::size_t silence_count_for_intervals(std::size_t n_intervals);
+
+// The largest whole number of intervals from `intervals` that fits into
+// `grid_size` positions (message truncation under a small control grid).
+std::size_t intervals_that_fit(std::span<const int> intervals,
+                               std::size_t grid_size);
+
+}  // namespace silence

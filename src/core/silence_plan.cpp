@@ -1,0 +1,112 @@
+#include "core/silence_plan.h"
+
+#include <stdexcept>
+
+#include "core/interval_code.h"
+#include "phy/params.h"
+
+namespace silence {
+namespace {
+
+void check_subcarriers(std::span<const int> control_subcarriers) {
+  if (control_subcarriers.empty()) {
+    throw std::invalid_argument("silence plan: no control subcarriers");
+  }
+  for (int sc : control_subcarriers) {
+    if (sc < 0 || sc >= kNumDataSubcarriers) {
+      throw std::invalid_argument("silence plan: subcarrier out of range");
+    }
+  }
+}
+
+}  // namespace
+
+SilenceMask empty_mask(int num_symbols) {
+  return SilenceMask(
+      static_cast<std::size_t>(num_symbols),
+      std::vector<std::uint8_t>(kNumDataSubcarriers, 0));
+}
+
+SilencePlan plan_silences(std::span<const std::uint8_t> control_bits,
+                          int num_symbols,
+                          std::span<const int> control_subcarriers,
+                          int bits_per_interval) {
+  check_subcarriers(control_subcarriers);
+  SilencePlan plan;
+  plan.mask = empty_mask(num_symbols);
+  if (num_symbols <= 0) return plan;
+
+  // Pad the message to a whole number of intervals with zero bits.
+  Bits padded(control_bits.begin(), control_bits.end());
+  while (padded.size() % static_cast<std::size_t>(bits_per_interval) != 0) {
+    padded.push_back(0);
+  }
+  std::vector<int> all_intervals =
+      bits_to_intervals(padded, bits_per_interval);
+
+  const std::size_t grid_size =
+      static_cast<std::size_t>(num_symbols) * control_subcarriers.size();
+  const std::size_t fit = intervals_that_fit(all_intervals, grid_size);
+  all_intervals.resize(fit);
+  plan.intervals = all_intervals;
+  plan.bits_sent = std::min(
+      control_bits.size(),
+      fit * static_cast<std::size_t>(bits_per_interval));
+  if (fit == 0 && grid_size == 0) return plan;
+
+  // Walk the grid slot-major, dropping silences at the start and after
+  // each interval's worth of normal symbols.
+  const auto n_ctrl = control_subcarriers.size();
+  const auto place = [&](std::size_t position) {
+    const std::size_t symbol = position / n_ctrl;
+    const auto sc = static_cast<std::size_t>(
+        control_subcarriers[position % n_ctrl]);
+    plan.mask[symbol][sc] = 1;
+    ++plan.silence_count;
+  };
+
+  std::size_t position = 0;
+  place(position);
+  for (int interval : plan.intervals) {
+    position += static_cast<std::size_t>(interval) + 1;
+    place(position);
+  }
+  return plan;
+}
+
+void apply_silences(std::vector<CxVec>& grid, const SilenceMask& mask) {
+  if (grid.size() != mask.size()) {
+    throw std::invalid_argument("apply_silences: mask/grid size mismatch");
+  }
+  for (std::size_t s = 0; s < grid.size(); ++s) {
+    for (std::size_t c = 0; c < grid[s].size(); ++c) {
+      if (mask[s][c]) grid[s][c] = Cx{0.0, 0.0};
+    }
+  }
+}
+
+std::vector<int> mask_to_intervals(const SilenceMask& mask,
+                                   std::span<const int> control_subcarriers) {
+  if (control_subcarriers.empty()) return {};  // no control channel
+  check_subcarriers(control_subcarriers);
+  const auto n_ctrl = control_subcarriers.size();
+  std::vector<std::size_t> silence_positions;
+  for (std::size_t s = 0; s < mask.size(); ++s) {
+    for (std::size_t c = 0; c < n_ctrl; ++c) {
+      const auto sc = static_cast<std::size_t>(control_subcarriers[c]);
+      if (mask[s][sc]) {
+        silence_positions.push_back(s * n_ctrl + c);
+      }
+    }
+  }
+  std::vector<int> intervals;
+  if (silence_positions.size() < 2) return intervals;
+  intervals.reserve(silence_positions.size() - 1);
+  for (std::size_t i = 1; i < silence_positions.size(); ++i) {
+    intervals.push_back(static_cast<int>(
+        silence_positions[i] - silence_positions[i - 1] - 1));
+  }
+  return intervals;
+}
+
+}  // namespace silence

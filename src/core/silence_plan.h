@@ -1,0 +1,48 @@
+// Placement of silence symbols on the (OFDM symbol x control subcarrier)
+// grid. The grid is traversed slot-major: all control subcarriers of
+// symbol i come before those of symbol i+1, with subcarriers visited in
+// the logical order given by the control-subcarrier set (paper Fig. 1a).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/bits.h"
+#include "phy/receiver.h"
+
+namespace silence {
+
+struct SilencePlan {
+  // Interval values actually encoded (message may be truncated to fit).
+  std::vector<int> intervals;
+  // Control bits actually conveyed.
+  std::size_t bits_sent = 0;
+  // Silence symbols placed.
+  std::size_t silence_count = 0;
+  // Mask over the full 48-subcarrier grid: mask[symbol][subcarrier].
+  SilenceMask mask;
+};
+
+// Plans silence placement for `control_bits` over `num_symbols` OFDM
+// symbols using `control_subcarriers` (logical data-subcarrier indices,
+// 0..47, in their logical numbering order). Truncates the message to what
+// fits. `bits_per_interval` is the paper's k.
+SilencePlan plan_silences(std::span<const std::uint8_t> control_bits,
+                          int num_symbols,
+                          std::span<const int> control_subcarriers,
+                          int bits_per_interval = 4);
+
+// Applies a plan to a transmit grid: zeroes the planned points.
+// `grid[symbol][subcarrier]` are the constellation points of the frame.
+void apply_silences(std::vector<CxVec>& grid, const SilenceMask& mask);
+
+// Recovers interval values from a detected mask, walking the control grid
+// in the same traversal order. Returns the gaps between consecutive
+// detected silences (the first silence is the start marker).
+std::vector<int> mask_to_intervals(const SilenceMask& mask,
+                                   std::span<const int> control_subcarriers);
+
+// Convenience: an empty all-normal mask for `num_symbols` symbols.
+SilenceMask empty_mask(int num_symbols);
+
+}  // namespace silence

@@ -1,0 +1,101 @@
+#include "core/subcarrier_selection.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "phy/modulation.h"
+
+namespace silence {
+
+std::vector<int> select_control_subcarriers(
+    const SubcarrierEvm& evm, Modulation mod, int min_count, int max_count,
+    std::span<const std::uint8_t> detectable) {
+  if (min_count < 0 || max_count < min_count ||
+      max_count > kNumDataSubcarriers) {
+    throw std::invalid_argument("select_control_subcarriers: bad counts");
+  }
+  if (!detectable.empty() &&
+      detectable.size() != static_cast<std::size_t>(kNumDataSubcarriers)) {
+    throw std::invalid_argument(
+        "select_control_subcarriers: detectable mask must have 48 entries");
+  }
+  std::vector<int> order(kNumDataSubcarriers);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&evm](int a, int b) {
+    return evm[static_cast<std::size_t>(a)] > evm[static_cast<std::size_t>(b)];
+  });
+
+  const double half_dm = min_constellation_distance(mod) / 2.0;
+  std::vector<int> selected;
+  for (int sc : order) {
+    if (!detectable.empty() && !detectable[static_cast<std::size_t>(sc)]) {
+      continue;
+    }
+    const bool predicted_erroneous =
+        evm[static_cast<std::size_t>(sc)] > half_dm;
+    const bool still_topping_up =
+        static_cast<int>(selected.size()) < min_count;
+    if (!predicted_erroneous && !still_topping_up) break;
+    if (static_cast<int>(selected.size()) >= max_count) break;
+    selected.push_back(sc);
+  }
+  // Canonical ascending order: the feedback vector conveys only the SET
+  // of selected subcarriers, so both ends must derive the same logical
+  // numbering from it.
+  std::sort(selected.begin(), selected.end());
+  return selected;
+}
+
+std::vector<std::uint8_t> encode_selection_vector(
+    std::span<const int> selected) {
+  std::vector<std::uint8_t> row(kNumDataSubcarriers, 0);
+  for (int sc : selected) {
+    if (sc < 0 || sc >= kNumDataSubcarriers) {
+      throw std::invalid_argument("encode_selection_vector: bad subcarrier");
+    }
+    row[static_cast<std::size_t>(sc)] = 1;
+  }
+  return row;
+}
+
+std::vector<int> decode_selection_vector(
+    std::span<const std::uint8_t> mask_row) {
+  if (mask_row.size() != static_cast<std::size_t>(kNumDataSubcarriers)) {
+    throw std::invalid_argument("decode_selection_vector: need 48 entries");
+  }
+  std::vector<int> selected;
+  for (int sc = 0; sc < kNumDataSubcarriers; ++sc) {
+    if (mask_row[static_cast<std::size_t>(sc)]) selected.push_back(sc);
+  }
+  return selected;
+}
+
+std::pair<std::vector<std::uint8_t>, std::vector<std::uint8_t>>
+encode_selection_vector_robust(std::span<const int> selected) {
+  auto row1 = encode_selection_vector(selected);
+  std::vector<std::uint8_t> row2(row1.size());
+  for (std::size_t sc = 0; sc < row1.size(); ++sc) {
+    row2[sc] = static_cast<std::uint8_t>(row1[sc] ^ 1U);
+  }
+  return {std::move(row1), std::move(row2)};
+}
+
+std::vector<int> decode_selection_vector_robust(
+    std::span<const std::uint8_t> row1, std::span<const std::uint8_t> row2) {
+  if (row1.size() != static_cast<std::size_t>(kNumDataSubcarriers) ||
+      row2.size() != row1.size()) {
+    throw std::invalid_argument(
+        "decode_selection_vector_robust: need two 48-entry rows");
+  }
+  std::vector<int> selected;
+  for (int sc = 0; sc < kNumDataSubcarriers; ++sc) {
+    const auto idx = static_cast<std::size_t>(sc);
+    // Selected = (silent, active). (silent, silent) is a fade, (active,
+    // silent) a noise artefact; both are discarded.
+    if (row1[idx] && !row2[idx]) selected.push_back(sc);
+  }
+  return selected;
+}
+
+}  // namespace silence

@@ -1,0 +1,67 @@
+// Control-subcarrier selection and its feedback encoding (paper §III-D).
+//
+// The receiver predicts which data subcarriers will produce erroneous
+// symbols in the next packet by comparing each subcarrier's EVM with half
+// the minimum constellation distance D_m of the next packet's modulation;
+// those subcarriers become control subcarriers, so silence symbols land
+// where fading would have corrupted the data anyway. The selection is
+// fed back as a one-OFDM-symbol bit vector where a silence on subcarrier
+// j means "j is selected".
+#pragma once
+
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "core/evm.h"
+#include "phy/params.h"
+
+namespace silence {
+
+// Subcarriers with EVM > D_m/2 for `mod` (weakest first when choosing).
+// When fewer than `min_count` qualify, the next-weakest subcarriers top
+// the set up; the result never exceeds `max_count` and is returned in
+// ascending subcarrier order — the canonical numbering both ends derive
+// from the feedback vector, which conveys only the set.
+//
+// `detectable` (optional, 48 entries) restricts the candidates to
+// subcarriers on which the energy detector can still discriminate
+// silence from active symbols (see subcarrier_detectable()); without the
+// restriction, the selection happily picks subcarriers so faded that
+// every active symbol reads as silence.
+std::vector<int> select_control_subcarriers(
+    const SubcarrierEvm& evm, Modulation mod, int min_count,
+    int max_count = kNumDataSubcarriers,
+    std::span<const std::uint8_t> detectable = {});
+
+// --- Feedback bit-vector codec ----------------------------------------
+// One OFDM symbol conveys the 48-entry selection vector V: selected
+// subcarriers are silenced in that symbol.
+
+// Produces the mask row (48 entries) for the feedback symbol.
+std::vector<std::uint8_t> encode_selection_vector(
+    std::span<const int> selected);
+
+// Recovers the selected subcarrier list (ascending) from a detected
+// feedback mask row.
+std::vector<int> decode_selection_vector(
+    std::span<const std::uint8_t> mask_row);
+
+// --- Robust (complement-coded) variant ---------------------------------
+// One-symbol feedback is vulnerable to deep fades on the *reverse* link:
+// a faded active subcarrier reads as silence and a spurious subcarrier
+// enters the set, desynchronizing the two ends. The robust variant uses
+// two OFDM symbols, the second carrying the complement pattern: a
+// subcarrier counts as selected only when it reads silent in symbol 1
+// AND active in symbol 2. A fade hits both symbols identically and
+// produces the invalid (silent, silent) pattern, which is discarded.
+
+// Mask rows for the two feedback symbols.
+std::pair<std::vector<std::uint8_t>, std::vector<std::uint8_t>>
+encode_selection_vector_robust(std::span<const int> selected);
+
+// Decodes the two detected rows; fade-corrupted entries drop out.
+std::vector<int> decode_selection_vector_robust(
+    std::span<const std::uint8_t> row1, std::span<const std::uint8_t> row2);
+
+}  // namespace silence

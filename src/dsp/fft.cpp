@@ -1,0 +1,68 @@
+#include "dsp/fft.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace silence {
+namespace {
+
+bool is_power_of_two(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+}  // namespace
+
+void fft_in_place(std::span<Cx> data, bool inverse) {
+  const std::size_t n = data.size();
+  if (!is_power_of_two(n)) {
+    throw std::invalid_argument("fft: size must be a power of two");
+  }
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+
+  const double sign = inverse ? 1.0 : -1.0;
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle = sign * 2.0 * std::numbers::pi / static_cast<double>(len);
+    const Cx wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      Cx w(1.0, 0.0);
+      for (std::size_t j = 0; j < len / 2; ++j) {
+        const Cx u = data[i + j];
+        const Cx v = data[i + j + len / 2] * w;
+        data[i + j] = u + v;
+        data[i + j + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+
+  if (inverse) {
+    const double scale = 1.0 / static_cast<double>(n);
+    for (auto& x : data) x *= scale;
+  }
+}
+
+CxVec fft(std::span<const Cx> data) {
+  CxVec out(data.begin(), data.end());
+  fft_in_place(out, /*inverse=*/false);
+  return out;
+}
+
+CxVec ifft(std::span<const Cx> data) {
+  CxVec out(data.begin(), data.end());
+  fft_in_place(out, /*inverse=*/true);
+  return out;
+}
+
+double energy(std::span<const Cx> data) {
+  double sum = 0.0;
+  for (const Cx& x : data) sum += std::norm(x);
+  return sum;
+}
+
+}  // namespace silence

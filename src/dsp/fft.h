@@ -1,0 +1,28 @@
+// Radix-2 iterative FFT used for OFDM modulation/demodulation.
+//
+// 802.11a works on 64-point transforms; the implementation supports any
+// power-of-two size so tests can exercise it generically.
+#pragma once
+
+#include <complex>
+#include <span>
+#include <vector>
+
+namespace silence {
+
+using Cx = std::complex<double>;
+using CxVec = std::vector<Cx>;
+
+// In-place decimation-in-time FFT. `data.size()` must be a power of two.
+// `inverse` selects the inverse transform, which applies the 1/N scaling
+// (so ifft(fft(x)) == x).
+void fft_in_place(std::span<Cx> data, bool inverse);
+
+// Out-of-place conveniences.
+CxVec fft(std::span<const Cx> data);
+CxVec ifft(std::span<const Cx> data);
+
+// Total energy sum |x|^2 of a vector.
+double energy(std::span<const Cx> data);
+
+}  // namespace silence

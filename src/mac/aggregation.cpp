@@ -1,0 +1,61 @@
+#include "mac/aggregation.h"
+
+#include <stdexcept>
+
+namespace silence {
+
+Bytes aggregate_mpdus(std::span<const Bytes> mpdus) {
+  if (mpdus.empty()) {
+    throw std::invalid_argument("aggregate_mpdus: no subframes");
+  }
+  Bytes psdu;
+  for (const Bytes& mpdu : mpdus) {
+    if (mpdu.empty() || mpdu.size() > 0xFFFF) {
+      throw std::invalid_argument("aggregate_mpdus: bad MPDU size");
+    }
+    const auto len = static_cast<std::uint16_t>(mpdu.size());
+    psdu.push_back(static_cast<std::uint8_t>(len & 0xFFU));
+    psdu.push_back(static_cast<std::uint8_t>(len >> 8));
+    psdu.push_back(static_cast<std::uint8_t>(~len & 0xFFU));
+    psdu.push_back(static_cast<std::uint8_t>((~len >> 8) & 0xFFU));
+    psdu.insert(psdu.end(), mpdu.begin(), mpdu.end());
+    if (psdu.size() > kMaxAggregateOctets) {
+      throw std::invalid_argument("aggregate_mpdus: aggregate too large");
+    }
+  }
+  return psdu;
+}
+
+std::vector<DeaggregatedMpdu> deaggregate_mpdus(
+    std::span<const std::uint8_t> psdu) {
+  std::vector<DeaggregatedMpdu> out;
+  std::size_t offset = 0;
+  while (offset + kDelimiterOctets <= psdu.size()) {
+    const auto len = static_cast<std::uint16_t>(
+        psdu[offset] | (psdu[offset + 1] << 8));
+    const auto complement = static_cast<std::uint16_t>(
+        psdu[offset + 2] | (psdu[offset + 3] << 8));
+    const bool delimiter_ok =
+        static_cast<std::uint16_t>(~len) == complement && len > 0;
+    if (!delimiter_ok || offset + kDelimiterOctets + len > psdu.size()) {
+      // Lost sync: everything after a corrupt delimiter is unreachable.
+      break;
+    }
+    DeaggregatedMpdu sub;
+    sub.delimiter_ok = true;
+    sub.mpdu.assign(psdu.begin() + static_cast<std::ptrdiff_t>(
+                                       offset + kDelimiterOctets),
+                    psdu.begin() + static_cast<std::ptrdiff_t>(
+                                       offset + kDelimiterOctets + len));
+    out.push_back(std::move(sub));
+    offset += kDelimiterOctets + len;
+  }
+  return out;
+}
+
+std::size_t max_mpdus_per_aggregate(std::size_t mpdu_octets) {
+  if (mpdu_octets == 0) return 0;
+  return kMaxAggregateOctets / (kDelimiterOctets + mpdu_octets);
+}
+
+}  // namespace silence

@@ -1,0 +1,41 @@
+// A-MPDU-style frame aggregation (the paper's measurement method notes
+// "the frame aggregation scheme is adopted"): several MPDUs share one
+// PPDU, each delimited and independently CRC-protected so a symbol error
+// burst only costs the touched subframes (block-ACK semantics). Longer
+// PPDUs also mean a larger CoS control grid per transmission.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/bits.h"
+
+namespace silence {
+
+// Delimiter: 2-byte length + 2-byte length complement (a cheap integrity
+// check in the spirit of the A-MPDU delimiter CRC).
+inline constexpr std::size_t kDelimiterOctets = 4;
+
+// Maximum PSDU the PHY accepts (SIGNAL length field is 12 bits).
+inline constexpr std::size_t kMaxAggregateOctets = 4095;
+
+// Aggregates MPDUs (each already FCS-protected) into one PSDU. Throws if
+// the total exceeds kMaxAggregateOctets or any MPDU is empty/oversized.
+Bytes aggregate_mpdus(std::span<const Bytes> mpdus);
+
+struct DeaggregatedMpdu {
+  Bytes mpdu;
+  bool delimiter_ok = false;  // length/complement matched
+};
+
+// Splits an aggregate back into subframes. Scans forward; a corrupt
+// delimiter ends the scan (remaining subframes are lost), matching real
+// A-MPDU behaviour.
+std::vector<DeaggregatedMpdu> deaggregate_mpdus(
+    std::span<const std::uint8_t> psdu);
+
+// How many MPDUs of `mpdu_octets` fit into one aggregate.
+std::size_t max_mpdus_per_aggregate(std::size_t mpdu_octets);
+
+}  // namespace silence

@@ -1,0 +1,34 @@
+#include "mac/backoff.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "mac/timing.h"
+
+namespace silence {
+
+void Backoff::restart(Rng& rng) {
+  counter_ = static_cast<int>(
+      rng.uniform_int(0, static_cast<std::uint64_t>(window_)));
+}
+
+void Backoff::on_success(Rng& rng) {
+  window_ = kCwMin;
+  retries_ = 0;
+  restart(rng);
+}
+
+void Backoff::on_collision(Rng& rng) {
+  window_ = std::min(2 * window_ + 1, kCwMax);
+  ++retries_;
+  restart(rng);
+}
+
+void Backoff::consume(int slots) {
+  if (slots < 0 || slots > counter_) {
+    throw std::invalid_argument("Backoff::consume: bad slot count");
+  }
+  counter_ -= slots;
+}
+
+}  // namespace silence

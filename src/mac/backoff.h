@@ -1,0 +1,32 @@
+// DCF binary-exponential backoff state machine.
+#pragma once
+
+#include "common/rng.h"
+
+namespace silence {
+
+class Backoff {
+ public:
+  // Draws a fresh counter from the current contention window.
+  void restart(Rng& rng);
+
+  // Successful exchange: reset the window to CWmin and redraw.
+  void on_success(Rng& rng);
+
+  // Collision/failure: double the window (capped) and redraw.
+  void on_collision(Rng& rng);
+
+  // Consumes `slots` idle slots; the caller guarantees slots <= counter().
+  void consume(int slots);
+
+  int counter() const { return counter_; }
+  int window() const { return window_; }
+  int retries() const { return retries_; }
+
+ private:
+  int window_ = 15;  // kCwMin; kept literal to avoid a timing.h cycle
+  int counter_ = 0;
+  int retries_ = 0;
+};
+
+}  // namespace silence

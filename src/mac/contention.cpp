@@ -1,0 +1,108 @@
+#include "mac/contention.h"
+
+#include <limits>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "mac/backoff.h"
+#include "mac/timing.h"
+#include "phy/receiver.h"
+#include "sim/link.h"
+
+namespace silence {
+
+ContentionResult run_dcf_contention(const ContentionConfig& config) {
+  if (config.num_stations < 1) {
+    throw std::invalid_argument("run_dcf_contention: need >= 1 station");
+  }
+  Rng rng(config.seed);
+
+  struct Station {
+    Backoff backoff;
+    std::unique_ptr<Link> link;
+    std::uint16_t seq = 0;
+  };
+  std::vector<Station> stations(
+      static_cast<std::size_t>(config.num_stations));
+  for (std::size_t i = 0; i < stations.size(); ++i) {
+    LinkConfig link_config;
+    link_config.snr_db = config.measured_snr_db;
+    link_config.snr_is_measured = true;
+    link_config.channel_seed = config.seed * 131 + i;
+    link_config.noise_seed = config.seed * 197 + i;
+    stations[i].link = std::make_unique<Link>(link_config);
+    stations[i].backoff.restart(rng);
+  }
+
+  ContentionResult result;
+  double now_us = 0.0;
+
+  while (now_us < config.duration_us) {
+    // Idle period: DIFS, then the smallest backoff counter many slots.
+    int min_counter = std::numeric_limits<int>::max();
+    for (const Station& s : stations) {
+      min_counter = std::min(min_counter, s.backoff.counter());
+    }
+    const double idle = kDifsUs + min_counter * kSlotUs;
+    now_us += idle;
+    result.airtime.idle_us += idle;
+
+    std::vector<std::size_t> winners;
+    for (std::size_t i = 0; i < stations.size(); ++i) {
+      stations[i].backoff.consume(min_counter);
+      if (stations[i].backoff.counter() == 0) winners.push_back(i);
+    }
+
+    const Mcs& mcs = select_mcs_by_snr(config.measured_snr_db);
+    const double data_us =
+        psdu_airtime_us(config.payload_octets + kMacOverheadOctets, mcs);
+
+    ++result.attempts;
+    if (winners.size() == 1) {
+      Station& tx = stations[winners.front()];
+      bool delivered = true;
+      if (config.run_phy) {
+        MacFrame frame;
+        frame.type = FrameType::kData;
+        frame.src = static_cast<std::uint8_t>(winners.front() + 1);
+        frame.dst = 0;  // the AP
+        frame.seq = tx.seq++;
+        frame.payload = rng.bytes(config.payload_octets);
+        const Bytes psdu = serialize_frame(frame);
+        const CxVec samples =
+            frame_to_samples(build_frame(psdu, mcs));
+        const RxPacket packet = receive_packet(tx.link->send(samples));
+        delivered = packet.ok && parse_frame(packet.psdu).has_value();
+        tx.link->advance(1e-6 * (data_us + kSifsUs + ack_airtime_us()));
+      }
+      now_us += data_us + kSifsUs + ack_airtime_us();
+      result.airtime.data_us += data_us;
+      result.airtime.ack_us += ack_airtime_us();
+      result.airtime.idle_us += kSifsUs;
+      if (delivered) {
+        ++result.successes;
+        result.payload_bits += 8 * config.payload_octets;
+        tx.backoff.on_success(rng);
+      } else {
+        ++result.phy_losses;
+        tx.backoff.on_collision(rng);  // treated as a failed exchange
+      }
+    } else {
+      // Collision: the medium is busy for one data airtime, then every
+      // collider times out waiting for its ACK.
+      ++result.collisions;
+      const double busy = data_us + kSifsUs + ack_airtime_us();
+      now_us += busy;
+      result.airtime.collision_us += busy;
+      for (std::size_t i : winners) {
+        stations[i].backoff.on_collision(rng);
+      }
+    }
+  }
+
+  result.elapsed_us = now_us;
+  return result;
+}
+
+}  // namespace silence

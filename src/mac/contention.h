@@ -1,0 +1,55 @@
+// Slotted DCF contention simulation: N saturated stations share the
+// medium with binary-exponential backoff; single winners deliver their
+// frame through the real PHY + fading channel, overlapping winners
+// collide. Used as the baseline the coordination experiments compare
+// against, and as a substrate test of the MAC pieces.
+#pragma once
+
+#include <cstdint>
+
+#include "mac/frame.h"
+#include "phy/params.h"
+
+namespace silence {
+
+struct ContentionConfig {
+  int num_stations = 5;
+  std::size_t payload_octets = 1024;
+  double duration_us = 200e3;
+  double measured_snr_db = 18.0;  // per-station link quality
+  std::uint64_t seed = 1;
+  // Deliver single-winner frames through the full PHY chain (slower but
+  // faithful); when false, single winners always succeed.
+  bool run_phy = true;
+};
+
+struct AirtimeBreakdown {
+  double data_us = 0.0;
+  double ack_us = 0.0;
+  double control_us = 0.0;  // polls/beacons (none under plain DCF)
+  double idle_us = 0.0;     // backoff slots + DIFS/SIFS gaps
+  double collision_us = 0.0;
+
+  double total_us() const {
+    return data_us + ack_us + control_us + idle_us + collision_us;
+  }
+};
+
+struct ContentionResult {
+  std::size_t attempts = 0;
+  std::size_t successes = 0;
+  std::size_t collisions = 0;   // collision events (>= 2 winners)
+  std::size_t phy_losses = 0;   // single winner, channel killed it
+  std::size_t payload_bits = 0;
+  AirtimeBreakdown airtime;
+  double elapsed_us = 0.0;
+
+  double throughput_mbps() const {
+    return elapsed_us > 0.0 ? static_cast<double>(payload_bits) / elapsed_us
+                            : 0.0;
+  }
+};
+
+ContentionResult run_dcf_contention(const ContentionConfig& config);
+
+}  // namespace silence

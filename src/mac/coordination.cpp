@@ -1,0 +1,170 @@
+#include "mac/coordination.h"
+
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "core/cos_link.h"
+#include "mac/timing.h"
+#include "phy/receiver.h"
+#include "sim/session.h"
+
+namespace silence {
+namespace {
+
+// The grant message the AP embeds (or polls with): 4-bit station id plus
+// 8-bit backlog hint, padded to whole k=4 intervals.
+Bits encode_grant(int station_id, int backlog) {
+  Bits bits = uint_to_bits(static_cast<std::uint64_t>(station_id), 4);
+  const Bits extra = uint_to_bits(
+      static_cast<std::uint64_t>(std::min(backlog, 255)), 8);
+  bits.insert(bits.end(), extra.begin(), extra.end());
+  return bits;
+}
+
+std::optional<int> decode_grant(const Bits& bits, int num_stations) {
+  if (bits.size() < 12) return std::nullopt;
+  const int id = static_cast<int>(bits_to_uint(std::span(bits).first(4)));
+  if (id < 0 || id >= num_stations) return std::nullopt;
+  return id;
+}
+
+struct StationState {
+  std::unique_ptr<Link> downlink;   // AP -> station (CoS rides here)
+  std::unique_ptr<Link> uplink;     // station -> AP
+  std::unique_ptr<CosSession> cos;  // AP's CoS sender toward this station
+};
+
+}  // namespace
+
+CoordinationResult run_coordination(const CoordinationConfig& config) {
+  if (config.num_stations < 1) {
+    throw std::invalid_argument("run_coordination: need >= 1 station");
+  }
+  if (config.mode == CoordinationMode::kDcfContention) {
+    // No coordination: AP + stations contend; map the result onto the
+    // coordination report (the AP's share is "downlink", the rest
+    // "uplink").
+    ContentionConfig contention;
+    contention.num_stations = config.num_stations + 1;
+    contention.payload_octets = config.downlink_octets;
+    contention.duration_us = config.duration_us;
+    contention.measured_snr_db = config.measured_snr_db;
+    contention.seed = config.seed;
+    const ContentionResult dcf = run_dcf_contention(contention);
+    CoordinationResult result;
+    result.airtime = dcf.airtime;
+    result.elapsed_us = dcf.elapsed_us;
+    // Winners are uniform across contenders; attribute 1/(N+1) of the
+    // delivered bits to the AP.
+    result.downlink_bits =
+        dcf.payload_bits / static_cast<std::size_t>(config.num_stations + 1);
+    result.uplink_bits = dcf.payload_bits - result.downlink_bits;
+    return result;
+  }
+
+  Rng rng(config.seed);
+  std::vector<StationState> stations(
+      static_cast<std::size_t>(config.num_stations));
+  for (std::size_t i = 0; i < stations.size(); ++i) {
+    LinkConfig down;
+    down.snr_db = config.measured_snr_db;
+    down.snr_is_measured = true;
+    down.channel_seed = config.seed * 211 + i;
+    down.noise_seed = config.seed * 223 + i;
+    stations[i].downlink = std::make_unique<Link>(down);
+    LinkConfig up = down;
+    up.channel_seed = config.seed * 227 + i;  // independent uplink fading
+    up.noise_seed = config.seed * 229 + i;
+    stations[i].uplink = std::make_unique<Link>(up);
+    SessionConfig session_config;
+    stations[i].cos = std::make_unique<CosSession>(*stations[i].downlink,
+                                                   session_config);
+  }
+
+  CoordinationResult result;
+  double now_us = 0.0;
+  int round_robin = 0;
+  const Mcs& mcs = select_mcs_by_snr(config.measured_snr_db);
+  const double down_us =
+      psdu_airtime_us(config.downlink_octets + kMacOverheadOctets, mcs);
+  const double up_us =
+      psdu_airtime_us(config.uplink_octets + kMacOverheadOctets, mcs);
+
+  while (now_us < config.duration_us) {
+    const int grantee = round_robin;
+    round_robin = (round_robin + 1) % config.num_stations;
+    StationState& station =
+        stations[static_cast<std::size_t>(grantee)];
+
+    // --- downlink data frame (carries the CoS grant in kCosGrant) ---
+    now_us += kDifsUs;
+    result.airtime.idle_us += kDifsUs;
+
+    MacFrame down_frame;
+    down_frame.type = FrameType::kData;
+    down_frame.src = 0;
+    down_frame.dst = static_cast<std::uint8_t>(grantee + 1);
+    down_frame.payload = rng.bytes(config.downlink_octets);
+    const Bytes down_psdu = serialize_frame(down_frame);
+
+    bool downlink_ok = false;
+    bool grant_delivered = false;
+    ++result.grants_issued;
+
+    if (config.mode == CoordinationMode::kCosGrant) {
+      const Bits grant = encode_grant(grantee, config.num_stations);
+      const PacketReport report = station.cos->send_packet(down_psdu, grant);
+      downlink_ok = report.data_ok;
+      grant_delivered =
+          report.data_ok && report.control_ok && report.control_bits_sent >= 12 &&
+          decode_grant(report.rx.control_bits, config.num_stations) == grantee;
+    } else {
+      const CxVec samples = frame_to_samples(build_frame(down_psdu, mcs));
+      const RxPacket packet =
+          receive_packet(station.downlink->send(samples));
+      station.downlink->advance(1e-6 * down_us);
+      downlink_ok = packet.ok;
+    }
+    now_us += down_us + kSifsUs + ack_airtime_us();
+    result.airtime.data_us += down_us;
+    result.airtime.ack_us += ack_airtime_us();
+    result.airtime.idle_us += kSifsUs;
+    if (downlink_ok) result.downlink_bits += 8 * config.downlink_octets;
+
+    // --- coordination step ---
+    if (config.mode == CoordinationMode::kExplicitPoll) {
+      // An explicit poll frame buys the grant with airtime.
+      now_us += kSifsUs + poll_airtime_us();
+      result.airtime.idle_us += kSifsUs;
+      result.airtime.control_us += poll_airtime_us();
+      grant_delivered = downlink_ok;  // poll assumed robust (basic rate)
+    }
+
+    // --- granted uplink ---
+    if (grant_delivered) {
+      MacFrame up_frame;
+      up_frame.type = FrameType::kData;
+      up_frame.src = static_cast<std::uint8_t>(grantee + 1);
+      up_frame.dst = 0;
+      up_frame.payload = rng.bytes(config.uplink_octets);
+      const Bytes up_psdu = serialize_frame(up_frame);
+      const CxVec samples = frame_to_samples(build_frame(up_psdu, mcs));
+      const RxPacket packet = receive_packet(station.uplink->send(samples));
+      station.uplink->advance(1e-6 * up_us);
+
+      now_us += kSifsUs + up_us + kSifsUs + ack_airtime_us();
+      result.airtime.idle_us += 2.0 * kSifsUs;
+      result.airtime.data_us += up_us;
+      result.airtime.ack_us += ack_airtime_us();
+      if (packet.ok) result.uplink_bits += 8 * config.uplink_octets;
+    } else {
+      ++result.grants_lost;
+    }
+  }
+
+  result.elapsed_us = now_us;
+  return result;
+}
+
+}  // namespace silence

@@ -1,0 +1,40 @@
+#include "mac/frame.h"
+
+#include "common/crc32.h"
+
+namespace silence {
+
+Bytes serialize_frame(const MacFrame& frame) {
+  Bytes psdu;
+  psdu.reserve(kMacOverheadOctets + frame.payload.size());
+  psdu.push_back(static_cast<std::uint8_t>(frame.type));
+  psdu.push_back(frame.src);
+  psdu.push_back(frame.dst);
+  psdu.push_back(static_cast<std::uint8_t>(frame.seq & 0xFFU));
+  psdu.push_back(static_cast<std::uint8_t>(frame.seq >> 8));
+  psdu.push_back(static_cast<std::uint8_t>(frame.queue_len & 0xFFU));
+  psdu.push_back(static_cast<std::uint8_t>(frame.queue_len >> 8));
+  psdu.push_back(0);  // reserved
+  psdu.insert(psdu.end(), frame.payload.begin(), frame.payload.end());
+  append_fcs(psdu);
+  return psdu;
+}
+
+std::optional<MacFrame> parse_frame(std::span<const std::uint8_t> psdu) {
+  if (psdu.size() < kMacOverheadOctets || !check_fcs(psdu)) {
+    return std::nullopt;
+  }
+  if (psdu[0] > static_cast<std::uint8_t>(FrameType::kBeacon)) {
+    return std::nullopt;
+  }
+  MacFrame frame;
+  frame.type = static_cast<FrameType>(psdu[0]);
+  frame.src = psdu[1];
+  frame.dst = psdu[2];
+  frame.seq = static_cast<std::uint16_t>(psdu[3] | (psdu[4] << 8));
+  frame.queue_len = static_cast<std::uint16_t>(psdu[5] | (psdu[6] << 8));
+  frame.payload.assign(psdu.begin() + kMacHeaderOctets, psdu.end() - 4);
+  return frame;
+}
+
+}  // namespace silence

@@ -1,0 +1,42 @@
+// Minimal 802.11-flavoured MAC framing for the coordination experiments:
+// a compact header (type, addresses, sequence, duration, piggybacked
+// queue length) followed by the payload, FCS-protected as a PSDU.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "common/bits.h"
+
+namespace silence {
+
+enum class FrameType : std::uint8_t {
+  kData = 0,
+  kAck = 1,
+  kPoll = 2,    // explicit CF-POLL-style control frame (baseline)
+  kBeacon = 3,
+};
+
+struct MacFrame {
+  FrameType type = FrameType::kData;
+  std::uint8_t src = 0;
+  std::uint8_t dst = 0;
+  std::uint16_t seq = 0;
+  // Explicit piggyback field used by the baseline design; the CoS design
+  // moves this information into silence intervals instead.
+  std::uint16_t queue_len = 0;
+  Bytes payload;
+};
+
+inline constexpr std::size_t kMacHeaderOctets = 8;
+inline constexpr std::size_t kMacOverheadOctets =
+    kMacHeaderOctets + 4;  // header + FCS
+
+// Serializes to a PSDU (header + payload + FCS).
+Bytes serialize_frame(const MacFrame& frame);
+
+// Parses a PSDU; nullopt when the FCS fails or the PSDU is too short.
+std::optional<MacFrame> parse_frame(std::span<const std::uint8_t> psdu);
+
+}  // namespace silence

@@ -1,0 +1,36 @@
+// 802.11a MAC timing constants and airtime arithmetic.
+#pragma once
+
+#include <cstddef>
+
+#include "phy/params.h"
+#include "phy/transmitter.h"
+
+namespace silence {
+
+inline constexpr double kSifsUs = 16.0;
+inline constexpr double kSlotUs = 9.0;
+inline constexpr double kDifsUs = kSifsUs + 2.0 * kSlotUs;  // 34 us
+inline constexpr int kCwMin = 15;
+inline constexpr int kCwMax = 1023;
+inline constexpr int kRetryLimit = 7;
+
+// Airtime of a PSDU of `octets` at `mcs`, in microseconds (preamble +
+// SIGNAL + data symbols).
+inline double psdu_airtime_us(std::size_t octets, const Mcs& mcs) {
+  return 1e6 * (kPreambleDurationSec + kSignalDurationSec) +
+         symbols_for_psdu(octets, mcs) * kSymbolDurationSec * 1e6;
+}
+
+// ACK frames go at the basic rate, 14 octets (here: MAC overhead + 2).
+inline double ack_airtime_us() {
+  return psdu_airtime_us(14, mcs_for_rate(6));
+}
+
+// Explicit poll frames (the baseline's coordination cost), 20 octets at
+// the basic rate.
+inline double poll_airtime_us() {
+  return psdu_airtime_us(20, mcs_for_rate(6));
+}
+
+}  // namespace silence

@@ -1,0 +1,41 @@
+#include "phy/convolutional.h"
+
+#include <bit>
+
+namespace silence {
+namespace {
+
+// 7-bit window: bit 6 = current input d[n], bit 0 = oldest bit d[n-6].
+inline std::uint8_t parity7(std::uint8_t window, std::uint8_t generator) {
+  return static_cast<std::uint8_t>(
+      std::popcount(static_cast<unsigned>(window & generator)) & 1);
+}
+
+}  // namespace
+
+std::uint8_t conv_output(int state, int input_bit) {
+  const auto window = static_cast<std::uint8_t>(
+      ((input_bit & 1) << 6) | (state & (kNumStates - 1)));
+  const std::uint8_t a = parity7(window, kGeneratorA);
+  const std::uint8_t b = parity7(window, kGeneratorB);
+  return static_cast<std::uint8_t>(a | (b << 1));
+}
+
+int conv_next_state(int state, int input_bit) {
+  return ((input_bit & 1) << 5) | ((state & (kNumStates - 1)) >> 1);
+}
+
+Bits convolutional_encode(std::span<const std::uint8_t> bits) {
+  Bits out;
+  out.reserve(bits.size() * 2);
+  int state = 0;
+  for (std::uint8_t bit : bits) {
+    const std::uint8_t ab = conv_output(state, bit);
+    out.push_back(static_cast<std::uint8_t>(ab & 1U));
+    out.push_back(static_cast<std::uint8_t>((ab >> 1) & 1U));
+    state = conv_next_state(state, bit);
+  }
+  return out;
+}
+
+}  // namespace silence

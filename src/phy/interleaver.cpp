@@ -1,0 +1,82 @@
+#include "phy/interleaver.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace silence {
+
+std::vector<int> interleaver_permutation(int n_cbps, int n_bpsc) {
+  if (n_cbps <= 0 || n_cbps % 16 != 0) {
+    throw std::invalid_argument("interleaver: n_cbps must be a multiple of 16");
+  }
+  const int s = std::max(n_bpsc / 2, 1);
+  std::vector<int> perm(static_cast<std::size_t>(n_cbps));
+  for (int k = 0; k < n_cbps; ++k) {
+    // First permutation: adjacent coded bits -> nonadjacent subcarriers.
+    const int i = (n_cbps / 16) * (k % 16) + k / 16;
+    // Second permutation: alternate mapping onto less/more significant
+    // constellation bits.
+    const int j = s * (i / s) + (i + n_cbps - (16 * i) / n_cbps) % s;
+    perm[static_cast<std::size_t>(k)] = j;
+  }
+  return perm;
+}
+
+Bits interleave_symbol(std::span<const std::uint8_t> bits, const Mcs& mcs) {
+  if (bits.size() != static_cast<std::size_t>(mcs.n_cbps)) {
+    throw std::invalid_argument("interleave_symbol: wrong bit count");
+  }
+  const auto perm = interleaver_permutation(mcs.n_cbps, mcs.n_bpsc);
+  Bits out(bits.size());
+  for (std::size_t k = 0; k < bits.size(); ++k) {
+    out[static_cast<std::size_t>(perm[k])] = bits[k];
+  }
+  return out;
+}
+
+std::vector<double> deinterleave_symbol_llrs(std::span<const double> llrs,
+                                             const Mcs& mcs) {
+  if (llrs.size() != static_cast<std::size_t>(mcs.n_cbps)) {
+    throw std::invalid_argument("deinterleave_symbol_llrs: wrong count");
+  }
+  const auto perm = interleaver_permutation(mcs.n_cbps, mcs.n_bpsc);
+  std::vector<double> out(llrs.size());
+  for (std::size_t k = 0; k < llrs.size(); ++k) {
+    out[k] = llrs[static_cast<std::size_t>(perm[k])];
+  }
+  return out;
+}
+
+Bits interleave(std::span<const std::uint8_t> bits, const Mcs& mcs) {
+  const auto n = static_cast<std::size_t>(mcs.n_cbps);
+  if (bits.size() % n != 0) {
+    throw std::invalid_argument("interleave: not a whole number of symbols");
+  }
+  const auto perm = interleaver_permutation(mcs.n_cbps, mcs.n_bpsc);
+  Bits out(bits.size());
+  for (std::size_t base = 0; base < bits.size(); base += n) {
+    for (std::size_t k = 0; k < n; ++k) {
+      out[base + static_cast<std::size_t>(perm[k])] = bits[base + k];
+    }
+  }
+  return out;
+}
+
+std::vector<double> deinterleave_llrs(std::span<const double> llrs,
+                                      const Mcs& mcs) {
+  const auto n = static_cast<std::size_t>(mcs.n_cbps);
+  if (llrs.size() % n != 0) {
+    throw std::invalid_argument(
+        "deinterleave_llrs: not a whole number of symbols");
+  }
+  const auto perm = interleaver_permutation(mcs.n_cbps, mcs.n_bpsc);
+  std::vector<double> out(llrs.size());
+  for (std::size_t base = 0; base < llrs.size(); base += n) {
+    for (std::size_t k = 0; k < n; ++k) {
+      out[base + k] = llrs[base + static_cast<std::size_t>(perm[k])];
+    }
+  }
+  return out;
+}
+
+}  // namespace silence

@@ -1,0 +1,51 @@
+// 802.11a constellation mapping (Gray-coded BPSK/QPSK/16QAM/64QAM with the
+// standard normalization factors) and max-log LLR demodulation.
+//
+// LLR sign convention: positive LLR means "bit 0 more likely"
+// (lambda = log P(b=0|y) - log P(b=1|y)), matching the paper's Eq. (8).
+#pragma once
+
+#include <complex>
+#include <span>
+#include <vector>
+
+#include "common/bits.h"
+#include "dsp/fft.h"
+#include "phy/params.h"
+
+namespace silence {
+
+// Maps n_bpsc bits to one constellation point (unit average energy).
+Cx map_symbol(std::span<const std::uint8_t> bits, Modulation mod);
+
+// Maps a bit stream (length a multiple of n_bpsc) to symbols.
+CxVec map_bits(std::span<const std::uint8_t> bits, Modulation mod);
+
+// Max-log LLRs for the n_bpsc bits of a received point `y` whose noise
+// variance (per complex dimension pair, E[|n|^2]) is `noise_var`.
+// Appends n_bpsc values to `out`.
+void demod_llrs(Cx y, Modulation mod, double noise_var,
+                std::vector<double>& out);
+
+// Nearest constellation point (hard decision).
+Cx hard_decision(Cx y, Modulation mod);
+
+// Bits of the nearest constellation point.
+Bits hard_decision_bits(Cx y, Modulation mod);
+
+// All M constellation points of a modulation.
+std::span<const Cx> constellation(Modulation mod);
+
+// Minimum distance D_m between two constellation points (normalized
+// constellation). CoS selects control subcarriers where EVM > D_m / 2.
+double min_constellation_distance(Modulation mod);
+
+// Per-modulation scaling factor K_mod (1, 1/sqrt2, 1/sqrt10, 1/sqrt42).
+double modulation_scale(Modulation mod);
+
+// Smallest |x|^2 over the constellation (the inner points): 1 for
+// BPSK/QPSK, 0.2 for 16QAM, 2/42 for 64QAM. Energy detection of silence
+// symbols must discriminate against *this* energy, not the average.
+double min_symbol_energy(Modulation mod);
+
+}  // namespace silence

@@ -1,0 +1,73 @@
+#include "phy/ofdm.h"
+
+#include <stdexcept>
+
+#include "phy/pilots.h"
+
+namespace silence {
+
+CxVec assemble_frequency_bins(std::span<const Cx> data48, int symbol_index) {
+  if (data48.size() != static_cast<std::size_t>(kNumDataSubcarriers)) {
+    throw std::invalid_argument("assemble_frequency_bins: need 48 points");
+  }
+  CxVec bins(kFftSize, Cx{0.0, 0.0});
+  const auto data_bins = data_subcarrier_bins();
+  for (int i = 0; i < kNumDataSubcarriers; ++i) {
+    bins[static_cast<std::size_t>(data_bins[static_cast<std::size_t>(i)])] =
+        data48[static_cast<std::size_t>(i)];
+  }
+  const auto pilots = pilot_values(symbol_index);
+  const auto pilot_bins = pilot_subcarrier_bins();
+  for (int i = 0; i < kNumPilotSubcarriers; ++i) {
+    bins[static_cast<std::size_t>(pilot_bins[static_cast<std::size_t>(i)])] =
+        pilots[static_cast<std::size_t>(i)];
+  }
+  return bins;
+}
+
+CxVec bins_to_time(std::span<const Cx> bins64) {
+  if (bins64.size() != static_cast<std::size_t>(kFftSize)) {
+    throw std::invalid_argument("bins_to_time: need 64 bins");
+  }
+  const CxVec body = ifft(bins64);
+  CxVec samples;
+  samples.reserve(kSymbolSamples);
+  samples.insert(samples.end(), body.end() - kCpLength, body.end());
+  samples.insert(samples.end(), body.begin(), body.end());
+  return samples;
+}
+
+CxVec time_to_bins(std::span<const Cx> samples80) {
+  if (samples80.size() != static_cast<std::size_t>(kSymbolSamples)) {
+    throw std::invalid_argument("time_to_bins: need 80 samples");
+  }
+  return fft(samples80.subspan(kCpLength));
+}
+
+CxVec extract_data_points(std::span<const Cx> bins64) {
+  if (bins64.size() != static_cast<std::size_t>(kFftSize)) {
+    throw std::invalid_argument("extract_data_points: need 64 bins");
+  }
+  CxVec out(kNumDataSubcarriers);
+  const auto data_bins = data_subcarrier_bins();
+  for (int i = 0; i < kNumDataSubcarriers; ++i) {
+    out[static_cast<std::size_t>(i)] =
+        bins64[static_cast<std::size_t>(data_bins[static_cast<std::size_t>(i)])];
+  }
+  return out;
+}
+
+std::array<Cx, 4> extract_pilot_points(std::span<const Cx> bins64) {
+  if (bins64.size() != static_cast<std::size_t>(kFftSize)) {
+    throw std::invalid_argument("extract_pilot_points: need 64 bins");
+  }
+  std::array<Cx, 4> out;
+  const auto pilot_bins = pilot_subcarrier_bins();
+  for (int i = 0; i < kNumPilotSubcarriers; ++i) {
+    out[static_cast<std::size_t>(i)] =
+        bins64[static_cast<std::size_t>(pilot_bins[static_cast<std::size_t>(i)])];
+  }
+  return out;
+}
+
+}  // namespace silence

@@ -1,0 +1,30 @@
+// OFDM symbol assembly/disassembly: data + pilot subcarrier mapping,
+// IFFT + cyclic prefix on the way out, CP strip + FFT on the way in.
+#pragma once
+
+#include <array>
+#include <span>
+#include <vector>
+
+#include "dsp/fft.h"
+#include "phy/params.h"
+
+namespace silence {
+
+// Places 48 data points and the 4 pilots for `symbol_index` onto the
+// 64-bin frequency grid (guard bins zero).
+CxVec assemble_frequency_bins(std::span<const Cx> data48, int symbol_index);
+
+// Frequency bins -> 80 time samples (IFFT + 16-sample cyclic prefix).
+CxVec bins_to_time(std::span<const Cx> bins64);
+
+// 80 time samples -> 64 frequency bins (CP strip + FFT).
+CxVec time_to_bins(std::span<const Cx> samples80);
+
+// Extracts the 48 data points (logical order) from 64 frequency bins.
+CxVec extract_data_points(std::span<const Cx> bins64);
+
+// Extracts the 4 pilot points (logical order: bins -21,-7,+7,+21).
+std::array<Cx, 4> extract_pilot_points(std::span<const Cx> bins64);
+
+}  // namespace silence

@@ -1,0 +1,74 @@
+// IEEE 802.11a PHY parameters: OFDM dimensions, modulation/coding sets,
+// per-rate bit counts, and the subcarrier layout of the 64-point transform.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace silence {
+
+// --- OFDM dimensions (802.11a, 20 MHz) -------------------------------------
+inline constexpr int kFftSize = 64;
+inline constexpr int kCpLength = 16;           // cyclic prefix samples
+inline constexpr int kSymbolSamples = kFftSize + kCpLength;  // 80 @ 20 MHz
+inline constexpr int kNumDataSubcarriers = 48;
+inline constexpr int kNumPilotSubcarriers = 4;
+inline constexpr double kSampleRateHz = 20e6;
+inline constexpr double kSymbolDurationSec =
+    kSymbolSamples / kSampleRateHz;            // 4 us
+inline constexpr double kPreambleDurationSec = 16e-6;  // STF + LTF
+inline constexpr double kSignalDurationSec = 4e-6;     // SIGNAL symbol
+
+enum class Modulation : std::uint8_t { kBpsk, kQpsk, kQam16, kQam64 };
+
+enum class CodeRate : std::uint8_t { kRate1of2, kRate2of3, kRate3of4 };
+
+// Bits carried per subcarrier for a modulation (N_BPSC).
+int bits_per_symbol(Modulation mod);
+
+// Numerator/denominator of a code rate.
+int code_rate_numerator(CodeRate rate);
+int code_rate_denominator(CodeRate rate);
+
+std::string_view to_string(Modulation mod);
+std::string_view to_string(CodeRate rate);
+
+// --- Rate set ---------------------------------------------------------------
+struct Mcs {
+  Modulation modulation;
+  CodeRate code_rate;
+  int data_rate_mbps;       // headline PHY rate
+  int n_bpsc;               // coded bits per subcarrier
+  int n_cbps;               // coded bits per OFDM symbol
+  int n_dbps;               // data bits per OFDM symbol
+  double min_required_snr_db;  // rate-adaptation threshold (see DESIGN.md)
+};
+
+// All eight 802.11a rates, ascending.
+std::span<const Mcs> all_mcs();
+
+// The MCS for a headline rate in Mbps; throws for unknown rates.
+const Mcs& mcs_for_rate(int mbps);
+
+// The MCS for a (modulation, code rate) pair; throws for invalid combos.
+const Mcs& mcs_for(Modulation mod, CodeRate rate);
+
+// Highest-rate MCS whose min_required_snr_db <= measured_snr_db
+// (SNR-based rate adaptation as in Holland et al.). Falls back to the
+// lowest rate when the SNR is below every threshold.
+const Mcs& select_mcs_by_snr(double measured_snr_db);
+
+// --- Subcarrier layout -------------------------------------------------------
+// Logical data subcarrier index (0..47) -> FFT bin (0..63).
+// Data occupies bins +-{1..6, 8..20, 22..26}; pilots sit at +-7 and +-21.
+std::span<const int> data_subcarrier_bins();
+
+// Pilot FFT bins in ascending logical order {-21, -7, +7, +21} mod 64.
+std::span<const int> pilot_subcarrier_bins();
+
+// True when `bin` (0..63) carries data.
+bool is_data_bin(int bin);
+
+}  // namespace silence

@@ -1,0 +1,27 @@
+#include "phy/pilots.h"
+
+#include "phy/scrambler.h"
+
+namespace silence {
+namespace {
+
+const Bits& polarity_sequence() {
+  // All-ones seed generates the standard 127-bit sequence; p_n = 1 - 2*s_n.
+  static const Bits seq = Scrambler::sequence(0x7F, 127);
+  return seq;
+}
+
+}  // namespace
+
+double pilot_polarity(int symbol_index) {
+  const auto& seq = polarity_sequence();
+  const auto n = static_cast<std::size_t>(symbol_index % 127);
+  return seq[n] ? -1.0 : 1.0;
+}
+
+std::array<Cx, 4> pilot_values(int symbol_index) {
+  const double p = pilot_polarity(symbol_index);
+  return {Cx{p, 0.0}, Cx{p, 0.0}, Cx{p, 0.0}, Cx{-p, 0.0}};
+}
+
+}  // namespace silence

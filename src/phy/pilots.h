@@ -1,0 +1,21 @@
+// 802.11a pilot subcarriers: four BPSK pilots at bins +-7 and +-21 whose
+// polarity follows the length-127 scrambler sequence. CoS additionally
+// uses the pilots for its pilot-aided noise-floor estimation (paper
+// Eq. 5-6), so the receiver must know the exact transmitted pilot values.
+#pragma once
+
+#include <array>
+
+#include "dsp/fft.h"
+
+namespace silence {
+
+// Pilot polarity p_n for OFDM symbol n (n = 0 is the SIGNAL symbol,
+// data symbols start at n = 1). Values are +1 or -1, period 127.
+double pilot_polarity(int symbol_index);
+
+// The four pilot values {bin -21, -7, +7, +21} for OFDM symbol n.
+// Base pattern is {1, 1, 1, -1} scaled by p_n.
+std::array<Cx, 4> pilot_values(int symbol_index);
+
+}  // namespace silence

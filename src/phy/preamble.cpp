@@ -1,0 +1,123 @@
+#include "phy/preamble.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "phy/ofdm.h"
+#include "phy/pilots.h"
+
+namespace silence {
+namespace {
+
+// L_{-26..26} from 802.11a 17.3.3 (53 entries including DC = 0).
+constexpr std::array<int, 53> kLtfSeq = {
+    1, 1,  -1, -1, 1,  1,  -1, 1,  -1, 1,  1,  1,  1,  1, 1, -1, -1, 1,
+    1, -1, 1,  -1, 1,  1,  1,  1,  0,  1,  -1, -1, 1,  1, -1, 1,  -1, 1,
+    -1, -1, -1, -1, -1, 1,  1,  -1, -1, 1,  -1, 1,  -1, 1, 1,  1,  1};
+
+// S_{-26..26} pattern from 802.11a 17.3.3: nonzero entries are
+// +-(1+j) * sqrt(13/6) on every fourth bin.
+constexpr std::array<int, 53> kStfPattern = {
+    0, 0, 1, 0, 0, 0, -1, 0, 0, 0, 1, 0, 0, 0, -1, 0, 0, 0, -1, 0, 0, 0, 1,
+    0, 0, 0, 0, 0, 0, 0, -1, 0, 0, 0, -1, 0, 0, 0, 1, 0, 0, 0, 1, 0, 0, 0,
+    1, 0, 0, 0, 1, 0, 0};
+
+CxVec sequence_to_bins(const std::array<int, 53>& seq, Cx unit) {
+  CxVec bins(kFftSize, Cx{0.0, 0.0});
+  for (int k = -26; k <= 26; ++k) {
+    const int v = seq[static_cast<std::size_t>(k + 26)];
+    if (v == 0) continue;
+    const int bin = k >= 0 ? k : k + kFftSize;
+    bins[static_cast<std::size_t>(bin)] = static_cast<double>(v) * unit;
+  }
+  return bins;
+}
+
+}  // namespace
+
+const CxVec& ltf_frequency_bins() {
+  static const CxVec bins = sequence_to_bins(kLtfSeq, Cx{1.0, 0.0});
+  return bins;
+}
+
+const CxVec& stf_frequency_bins() {
+  static const CxVec bins =
+      sequence_to_bins(kStfPattern, std::sqrt(13.0 / 6.0) * Cx{1.0, 1.0});
+  return bins;
+}
+
+CxVec build_preamble() {
+  CxVec preamble;
+  preamble.reserve(kPreambleSamples);
+
+  // STF: the 64-sample IFFT is periodic with period 16; ten short symbols
+  // are 160 samples of that periodic waveform.
+  const CxVec stf_body = ifft(stf_frequency_bins());
+  for (int n = 0; n < kStfSamples; ++n) {
+    preamble.push_back(stf_body[static_cast<std::size_t>(n % kFftSize)]);
+  }
+
+  // LTF: 32-sample guard (tail of the long symbol) + two long symbols.
+  const CxVec ltf_body = ifft(ltf_frequency_bins());
+  for (int n = kFftSize - 32; n < kFftSize; ++n) {
+    preamble.push_back(ltf_body[static_cast<std::size_t>(n)]);
+  }
+  for (int rep = 0; rep < 2; ++rep) {
+    preamble.insert(preamble.end(), ltf_body.begin(), ltf_body.end());
+  }
+  return preamble;
+}
+
+std::array<Cx, kFftSize> estimate_channel(std::span<const Cx> ltf_samples) {
+  if (ltf_samples.size() != static_cast<std::size_t>(kLtfSamples)) {
+    throw std::invalid_argument("estimate_channel: need 160 LTF samples");
+  }
+  const CxVec first = fft(ltf_samples.subspan(32, kFftSize));
+  const CxVec second = fft(ltf_samples.subspan(32 + kFftSize, kFftSize));
+  const CxVec& known = ltf_frequency_bins();
+
+  std::array<Cx, kFftSize> channel{};
+  for (int k = 0; k < kFftSize; ++k) {
+    const auto idx = static_cast<std::size_t>(k);
+    if (std::norm(known[idx]) < 1e-12) continue;  // guard/DC: no estimate
+    channel[idx] = 0.5 * (first[idx] + second[idx]) / known[idx];
+  }
+  return channel;
+}
+
+double pilot_noise_estimate(std::span<const Cx> bins64,
+                            const std::array<Cx, kFftSize>& channel,
+                            int symbol_index) {
+  const auto pilots = extract_pilot_points(bins64);
+  const auto sent = pilot_values(symbol_index);
+  const auto pilot_bins = pilot_subcarrier_bins();
+
+  // Remove the common phase rotation first (residual CFO and phase noise
+  // rotate the whole symbol; the data decoder removes it the same way),
+  // otherwise late symbols of a long packet would read as "noisy".
+  Cx rotation{0.0, 0.0};
+  std::array<Cx, kNumPilotSubcarriers> expected;
+  for (int i = 0; i < kNumPilotSubcarriers; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    expected[idx] = channel[static_cast<std::size_t>(pilot_bins[idx])] *
+                    sent[idx];
+    rotation += pilots[idx] * std::conj(expected[idx]);
+  }
+  const Cx derotate = std::abs(rotation) > 1e-12
+                          ? std::conj(rotation) / std::abs(rotation)
+                          : Cx{1.0, 0.0};
+
+  double sum = 0.0;
+  for (int i = 0; i < kNumPilotSubcarriers; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    sum += std::norm(pilots[idx] * derotate - expected[idx]);
+  }
+  // Debias: the residual carries the pilot's own noise (variance eta)
+  // plus LTF channel-estimate error (eta/2 after two-symbol averaging),
+  // minus the one real degree of freedom absorbed by the phase fit
+  // (1/8 of the four pilots' eight real noise dimensions):
+  // 1.5 * (1 - 1/8) = 1.3125.
+  return sum / kNumPilotSubcarriers / 1.3125;
+}
+
+}  // namespace silence

@@ -1,0 +1,46 @@
+// 802.11a PLCP preamble: short training field (STF) and long training
+// field (LTF), plus the receiver-side estimators that depend on them:
+//  - per-bin channel estimate from the two long training symbols, and
+//  - pilot-aided noise-floor estimation (paper Eq. 5-6), which CoS uses to
+//    set the silence-symbol energy-detection threshold.
+#pragma once
+
+#include <array>
+#include <span>
+
+#include "dsp/fft.h"
+#include "phy/params.h"
+
+namespace silence {
+
+inline constexpr int kStfSamples = 160;  // 10 short symbols, 8 us
+inline constexpr int kLtfSamples = 160;  // 2x CP/2 + 2 long symbols, 8 us
+inline constexpr int kPreambleSamples = kStfSamples + kLtfSamples;
+
+// The LTF frequency-domain sequence L_k on bins -26..26 (52 occupied bins,
+// DC zero), placed onto the 64-bin grid.
+const CxVec& ltf_frequency_bins();
+
+// The STF frequency-domain sequence on the 64-bin grid.
+const CxVec& stf_frequency_bins();
+
+// Time-domain preamble: 160 STF samples followed by 160 LTF samples
+// (32-sample guard + two 64-sample long symbols).
+CxVec build_preamble();
+
+// Channel estimate from the received 160-sample LTF: averages the FFTs of
+// the two long symbols and divides by the known sequence. Bins that carry
+// no LTF energy (guards, DC) are zero.
+std::array<Cx, kFftSize> estimate_channel(std::span<const Cx> ltf_samples);
+
+// Frequency-domain noise variance estimated from the pilot residuals of
+// one received OFDM symbol: n_i = y_i - H_i * x_i on each pilot bin
+// (paper Eq. 6). The raw residual also carries the LTF channel-estimate
+// error (variance eta/2), so the estimator debiases by 1.5x; the result
+// is an unbiased estimate of the per-bin noise power E[|n|^2], averaged
+// over the four pilots.
+double pilot_noise_estimate(std::span<const Cx> bins64,
+                            const std::array<Cx, kFftSize>& channel,
+                            int symbol_index);
+
+}  // namespace silence

@@ -1,0 +1,73 @@
+#include "phy/puncture.h"
+
+#include <array>
+#include <stdexcept>
+
+namespace silence {
+namespace {
+
+// Keep-masks over the mother stream [A1,B1,A2,B2,A3,B3] per 802.11a 17.3.5.6.
+constexpr std::array<std::uint8_t, 4> kPattern2of3 = {1, 1, 1, 0};
+constexpr std::array<std::uint8_t, 6> kPattern3of4 = {1, 1, 1, 0, 0, 1};
+
+std::span<const std::uint8_t> pattern_for(CodeRate rate) {
+  switch (rate) {
+    case CodeRate::kRate1of2: return {};
+    case CodeRate::kRate2of3: return kPattern2of3;
+    case CodeRate::kRate3of4: return kPattern3of4;
+  }
+  return {};
+}
+
+}  // namespace
+
+Bits puncture(std::span<const std::uint8_t> coded, CodeRate rate) {
+  const auto pattern = pattern_for(rate);
+  if (pattern.empty()) return Bits(coded.begin(), coded.end());
+  Bits out;
+  out.reserve(coded.size());
+  for (std::size_t i = 0; i < coded.size(); ++i) {
+    if (pattern[i % pattern.size()]) out.push_back(coded[i]);
+  }
+  return out;
+}
+
+Llrs depuncture_llrs(std::span<const double> llrs, CodeRate rate,
+                     std::size_t mother_bits) {
+  const auto pattern = pattern_for(rate);
+  if (pattern.empty()) {
+    if (llrs.size() != mother_bits) {
+      throw std::invalid_argument("depuncture_llrs: length mismatch");
+    }
+    return Llrs(llrs.begin(), llrs.end());
+  }
+  Llrs out;
+  out.reserve(mother_bits);
+  std::size_t in = 0;
+  for (std::size_t pos = 0; pos < mother_bits; ++pos) {
+    if (pattern[pos % pattern.size()]) {
+      if (in >= llrs.size()) {
+        throw std::invalid_argument("depuncture_llrs: too few soft values");
+      }
+      out.push_back(llrs[in++]);
+    } else {
+      out.push_back(0.0);  // punctured position: total erasure
+    }
+  }
+  if (in != llrs.size()) {
+    throw std::invalid_argument("depuncture_llrs: too many soft values");
+  }
+  return out;
+}
+
+std::size_t punctured_length(std::size_t mother_bits, CodeRate rate) {
+  const auto pattern = pattern_for(rate);
+  if (pattern.empty()) return mother_bits;
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < mother_bits; ++i) {
+    if (pattern[i % pattern.size()]) ++kept;
+  }
+  return kept;
+}
+
+}  // namespace silence

@@ -1,0 +1,33 @@
+// 802.11a puncturing of the rate-1/2 mother code to rates 2/3 and 3/4.
+//
+// Soft values removed by the puncturer are re-inserted as zero-LLR
+// erasures before Viterbi decoding (depuncture_llrs) — the same mechanism
+// erasure Viterbi decoding (EVD) uses for silence symbols.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/bits.h"
+#include "phy/params.h"
+
+namespace silence {
+
+using Llrs = std::vector<double>;
+
+// Removes coded bits according to the standard pattern for `rate`.
+// Rate 1/2 passes through. Input length must be a multiple of the pattern
+// period (callers pad via OFDM symbol granularity, which always satisfies
+// this).
+Bits puncture(std::span<const std::uint8_t> coded, CodeRate rate);
+
+// Re-inserts zero LLRs at punctured positions, restoring the mother-code
+// stream of exactly `mother_bits` soft values (2*N for N information
+// bits). Throws if `llrs` does not hold exactly the surviving positions.
+Llrs depuncture_llrs(std::span<const double> llrs, CodeRate rate,
+                     std::size_t mother_bits);
+
+// Number of punctured-stream bits produced from `mother_bits` coded bits.
+std::size_t punctured_length(std::size_t mother_bits, CodeRate rate);
+
+}  // namespace silence

@@ -1,0 +1,247 @@
+#include "phy/receiver.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/crc32.h"
+#include "phy/convolutional.h"
+#include "phy/interleaver.h"
+#include "phy/modulation.h"
+#include "phy/ofdm.h"
+#include "phy/pilots.h"
+#include "phy/preamble.h"
+#include "phy/puncture.h"
+#include "phy/scrambler.h"
+#include "phy/sync.h"
+#include "phy/transmitter.h"
+#include "phy/viterbi.h"
+
+namespace silence {
+namespace {
+
+constexpr int kServiceBits = 16;
+constexpr double kMinChannelPower = 1e-9;
+
+const ViterbiDecoder& shared_decoder() {
+  static const ViterbiDecoder decoder;
+  return decoder;
+}
+
+std::optional<SignalField> decode_signal(
+    std::span<const Cx> signal_samples,
+    const std::array<Cx, kFftSize>& channel, double noise_var) {
+  const CxVec bins = time_to_bins(signal_samples);
+  const CxVec points = equalize_data_points(bins, channel);
+
+  const Mcs& bpsk = mcs_for_rate(6);
+  std::vector<double> llrs;
+  llrs.reserve(48);
+  const auto data_bins = data_subcarrier_bins();
+  for (int i = 0; i < kNumDataSubcarriers; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    const Cx h = channel[static_cast<std::size_t>(data_bins[idx])];
+    const double h2 = std::max(std::norm(h), kMinChannelPower);
+    demod_llrs(points[idx], Modulation::kBpsk, noise_var / h2, llrs);
+  }
+  const auto deint = deinterleave_symbol_llrs(llrs, bpsk);
+  const Bits bits = shared_decoder().decode(deint);
+  return parse_signal_bits(std::span(bits).first(24));
+}
+
+}  // namespace
+
+CxVec equalize_data_points(std::span<const Cx> bins64,
+                           const std::array<Cx, kFftSize>& channel) {
+  CxVec points = extract_data_points(bins64);
+  const auto data_bins = data_subcarrier_bins();
+  for (int i = 0; i < kNumDataSubcarriers; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    const Cx h = channel[static_cast<std::size_t>(data_bins[idx])];
+    if (std::norm(h) < kMinChannelPower) {
+      points[idx] = Cx{0.0, 0.0};
+    } else {
+      points[idx] /= h;
+    }
+  }
+  return points;
+}
+
+FrontEndResult receiver_front_end(std::span<const Cx> raw_samples) {
+  FrontEndResult fe;
+  if (raw_samples.size() <
+      static_cast<std::size_t>(kPreambleSamples + kSymbolSamples)) {
+    return fe;
+  }
+  fe.preamble_ok = true;
+
+  // Carrier synchronization: coarse CFO from the STF periodicity, then a
+  // fine pass on the (coarse-corrected) LTF. On an offset-free input the
+  // estimates are noise-level and the correction is a no-op.
+  CxVec corrected(raw_samples.begin(), raw_samples.end());
+  const double coarse =
+      estimate_cfo_coarse(std::span(corrected).first(kStfSamples));
+  correct_cfo(corrected, coarse);
+  const double fine = estimate_cfo_fine(
+      std::span(corrected).subspan(kStfSamples, kLtfSamples));
+  correct_cfo(corrected, fine);
+  fe.cfo_hz = coarse + fine;
+  const std::span<const Cx> samples(corrected);
+
+  fe.channel = estimate_channel(samples.subspan(kStfSamples, kLtfSamples));
+
+  // First-pass noise estimate from the SIGNAL symbol's pilots, refined
+  // below by averaging over the data symbols.
+  const auto signal_samples =
+      samples.subspan(kPreambleSamples, kSymbolSamples);
+  const CxVec signal_bins = time_to_bins(signal_samples);
+  double noise_sum = pilot_noise_estimate(signal_bins, fe.channel, 0);
+  int noise_count = 1;
+  fe.noise_var = noise_sum;
+
+  fe.signal = decode_signal(signal_samples, fe.channel, fe.noise_var);
+  if (!fe.signal) return fe;
+
+  const int n_sym =
+      symbols_for_psdu(static_cast<std::size_t>(fe.signal->length_octets),
+                       *fe.signal->mcs);
+  const std::size_t needed =
+      static_cast<std::size_t>(kPreambleSamples) +
+      static_cast<std::size_t>(kSymbolSamples) *
+          static_cast<std::size_t>(1 + n_sym);
+  if (samples.size() < needed) {
+    fe.signal.reset();
+    return fe;
+  }
+
+  fe.data_bins.reserve(static_cast<std::size_t>(n_sym));
+  for (int s = 0; s < n_sym; ++s) {
+    const auto offset = static_cast<std::size_t>(kPreambleSamples) +
+                        static_cast<std::size_t>(kSymbolSamples) *
+                            static_cast<std::size_t>(1 + s);
+    fe.data_bins.push_back(
+        time_to_bins(samples.subspan(offset, kSymbolSamples)));
+    noise_sum += pilot_noise_estimate(fe.data_bins.back(), fe.channel, s + 1);
+    ++noise_count;
+  }
+  fe.noise_var = noise_sum / noise_count;
+
+  // Any whole symbols after the data field are trailer symbols.
+  for (std::size_t offset = needed;
+       offset + static_cast<std::size_t>(kSymbolSamples) <= samples.size();
+       offset += static_cast<std::size_t>(kSymbolSamples)) {
+    fe.trailer_bins.push_back(
+        time_to_bins(samples.subspan(offset, kSymbolSamples)));
+  }
+  return fe;
+}
+
+DecodeResult decode_data_symbols(const FrontEndResult& fe, const Mcs& mcs,
+                                 int length_octets,
+                                 const SilenceMask* silence) {
+  DecodeResult result;
+  const int n_sym = static_cast<int>(fe.data_bins.size());
+  if (n_sym == 0) return result;
+  if (silence != nullptr &&
+      silence->size() != static_cast<std::size_t>(n_sym)) {
+    throw std::invalid_argument("decode_data_symbols: mask size mismatch");
+  }
+
+  const auto data_bins = data_subcarrier_bins();
+  std::vector<double> llrs;
+  llrs.reserve(static_cast<std::size_t>(n_sym) *
+               static_cast<std::size_t>(mcs.n_cbps));
+  result.eq_data.reserve(static_cast<std::size_t>(n_sym));
+
+  for (int s = 0; s < n_sym; ++s) {
+    const auto sym = static_cast<std::size_t>(s);
+    CxVec points = equalize_data_points(fe.data_bins[sym], fe.channel);
+
+    // Common phase error tracking: residual CFO and phase noise rotate
+    // every subcarrier of a symbol by the same angle; the four known
+    // pilots reveal it (standard 802.11a receiver practice).
+    const auto rx_pilots = extract_pilot_points(fe.data_bins[sym]);
+    const auto tx_pilots = pilot_values(s + 1);
+    const auto pilot_bins = pilot_subcarrier_bins();
+    Cx rotation{0.0, 0.0};
+    for (int i = 0; i < kNumPilotSubcarriers; ++i) {
+      const auto idx = static_cast<std::size_t>(i);
+      const Cx expected =
+          fe.channel[static_cast<std::size_t>(pilot_bins[idx])] *
+          tx_pilots[idx];
+      rotation += rx_pilots[idx] * std::conj(expected);
+    }
+    if (std::abs(rotation) > 1e-12) {
+      const Cx derotate = std::conj(rotation) / std::abs(rotation);
+      for (Cx& p : points) p *= derotate;
+    }
+
+    for (int i = 0; i < kNumDataSubcarriers; ++i) {
+      const auto idx = static_cast<std::size_t>(i);
+      const bool erased =
+          silence != nullptr && (*silence)[sym][idx] != 0;
+      if (erased) {
+        // EVD: every constellation bit of a silence symbol is an erasure
+        // (paper Eq. 7, the e_k = 0 branch).
+        for (int b = 0; b < mcs.n_bpsc; ++b) llrs.push_back(0.0);
+        continue;
+      }
+      const Cx h = fe.channel[static_cast<std::size_t>(data_bins[idx])];
+      const double h2 = std::max(std::norm(h), kMinChannelPower);
+      demod_llrs(points[idx], mcs.modulation, fe.noise_var / h2, llrs);
+    }
+    result.eq_data.push_back(std::move(points));
+  }
+
+  const std::vector<double> deint = deinterleave_llrs(llrs, mcs);
+  result.decoder_input_hard.reserve(deint.size());
+  for (double v : deint) {
+    result.decoder_input_hard.push_back(v < 0.0 ? 1 : 0);
+  }
+
+  const auto info_bits = static_cast<std::size_t>(n_sym) *
+                         static_cast<std::size_t>(mcs.n_dbps);
+  // The DATA field's pad bits are scrambled and therefore nonzero, so the
+  // encoder does NOT finish in the all-zero state (only the tail bits are
+  // re-zeroed, and padding follows them). Trace back from the best state.
+  const Llrs mother = depuncture_llrs(deint, mcs.code_rate, info_bits * 2);
+  const Bits scrambled = shared_decoder().decode(mother, /*terminated=*/false);
+
+  // Descramble: the transmitter's 7-bit seed is recoverable from the first
+  // 7 SERVICE bits, which are zero before scrambling.
+  std::uint8_t seed = 0;
+  try {
+    seed = Scrambler::recover_seed(std::span(scrambled).first(7));
+  } catch (const std::runtime_error&) {
+    return result;  // hopelessly corrupt
+  }
+  Scrambler descrambler(seed);
+  result.scrambler_seed = seed;
+  result.info_bits = descrambler.apply(scrambled);
+
+  const std::size_t psdu_bits = 8 * static_cast<std::size_t>(length_octets);
+  if (result.info_bits.size() < kServiceBits + psdu_bits) return result;
+  result.psdu = bits_to_bytes(
+      std::span(result.info_bits).subspan(kServiceBits, psdu_bits));
+  result.crc_ok = check_fcs(result.psdu);
+  return result;
+}
+
+RxPacket receive_packet_unaligned(std::span<const Cx> samples) {
+  const auto start = detect_frame_start(samples);
+  if (!start) return {};
+  return receive_packet(samples.subspan(*start));
+}
+
+RxPacket receive_packet(std::span<const Cx> samples) {
+  RxPacket packet;
+  const FrontEndResult fe = receiver_front_end(samples);
+  packet.signal = fe.signal;
+  if (!fe.signal) return packet;
+  DecodeResult decode =
+      decode_data_symbols(fe, *fe.signal->mcs, fe.signal->length_octets);
+  packet.psdu = std::move(decode.psdu);
+  packet.ok = decode.crc_ok;
+  return packet;
+}
+
+}  // namespace silence

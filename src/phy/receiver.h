@@ -1,0 +1,82 @@
+// 802.11a receive chain, split into a front end (channel/noise estimation,
+// SIGNAL decode, per-symbol FFT) and a data decoder, so that the CoS
+// energy detector can inspect raw frequency bins and mark silence symbols
+// between the two stages.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/bits.h"
+#include "dsp/fft.h"
+#include "phy/params.h"
+#include "phy/signal_field.h"
+
+namespace silence {
+
+// silence_mask[symbol][subcarrier] != 0 marks a detected silence symbol
+// whose constellation bits must be treated as erasures (EVD).
+using SilenceMask = std::vector<std::vector<std::uint8_t>>;
+
+struct FrontEndResult {
+  bool preamble_ok = false;
+  std::optional<SignalField> signal;
+  std::array<Cx, kFftSize> channel{};  // LTF-based estimate
+  double noise_var = 0.0;  // per-bin frequency-domain noise, pilot-aided
+  double cfo_hz = 0.0;     // preamble-estimated and corrected CFO
+  std::vector<CxVec> data_bins;  // raw 64-bin FFT output per data symbol
+  // Whole OFDM symbols following the data field (e.g. CoS feedback
+  // symbols appended to an ACK). Not part of the PSDU decode.
+  std::vector<CxVec> trailer_bins;
+};
+
+// Runs preamble processing and SIGNAL decoding over a frame-aligned burst.
+// When SIGNAL parses, all data-symbol FFTs and the pilot-aided noise
+// estimate are populated.
+FrontEndResult receiver_front_end(std::span<const Cx> samples);
+
+struct DecodeResult {
+  bool crc_ok = false;
+  Bytes psdu;
+  // Equalized data constellation points per symbol (48 each), for EVM
+  // computation and symbol-error analysis.
+  std::vector<CxVec> eq_data;
+  // Hard decisions of the coded stream in pre-interleave (deinterleaved)
+  // order, one per transmitted coded bit; silence-masked symbols still
+  // contribute their (meaningless) hard bits here, callers that measure
+  // decoder-input BER should skip masked positions.
+  Bits decoder_input_hard;
+  // Descrambled information bits (SERVICE + PSDU + tail + pad).
+  Bits info_bits;
+  // Scrambler seed recovered from the SERVICE field (0 when decoding
+  // failed before that point). Needed to reconstruct the transmitted
+  // constellation points for EVM computation.
+  std::uint8_t scrambler_seed = 0;
+};
+
+// Demodulates, deinterleaves, depunctures, Viterbi-decodes, descrambles
+// and CRC-checks the data symbols. `silence` may be null (plain 802.11a).
+DecodeResult decode_data_symbols(const FrontEndResult& fe, const Mcs& mcs,
+                                 int length_octets,
+                                 const SilenceMask* silence = nullptr);
+
+// Convenience: full receive of a plain (non-CoS) burst.
+struct RxPacket {
+  bool ok = false;  // preamble + SIGNAL + CRC all good
+  std::optional<SignalField> signal;
+  Bytes psdu;
+};
+RxPacket receive_packet(std::span<const Cx> samples);
+
+// Like receive_packet(), but the frame may start anywhere in `samples`
+// (preceded by noise/idle): runs STF/LTF timing acquisition first.
+RxPacket receive_packet_unaligned(std::span<const Cx> samples);
+
+// Equalizes one raw 64-bin symbol to the 48 logical data points.
+// Bins with a near-zero channel estimate equalize to 0.
+CxVec equalize_data_points(std::span<const Cx> bins64,
+                           const std::array<Cx, kFftSize>& channel);
+
+}  // namespace silence

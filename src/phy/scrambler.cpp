@@ -1,0 +1,54 @@
+#include "phy/scrambler.h"
+
+#include <stdexcept>
+
+namespace silence {
+
+Scrambler::Scrambler(std::uint8_t seed) : state_(seed & 0x7FU) {
+  if (state_ == 0) {
+    throw std::invalid_argument("Scrambler: seed must be non-zero");
+  }
+}
+
+std::uint8_t Scrambler::next() {
+  // state_ bit k holds x^(k+1); feedback is x^7 XOR x^4.
+  const std::uint8_t out =
+      static_cast<std::uint8_t>(((state_ >> 6) ^ (state_ >> 3)) & 1U);
+  state_ = static_cast<std::uint8_t>(((state_ << 1) | out) & 0x7FU);
+  return out;
+}
+
+Bits Scrambler::apply(std::span<const std::uint8_t> bits) {
+  Bits out(bits.size());
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    out[i] = static_cast<std::uint8_t>((bits[i] ^ next()) & 1U);
+  }
+  return out;
+}
+
+Bits Scrambler::sequence(std::uint8_t seed, std::size_t length) {
+  Scrambler s(seed);
+  Bits out(length);
+  for (auto& b : out) b = s.next();
+  return out;
+}
+
+std::uint8_t Scrambler::recover_seed(std::span<const std::uint8_t> first7) {
+  if (first7.size() < 7) {
+    throw std::invalid_argument("recover_seed: need 7 bits");
+  }
+  for (std::uint8_t seed = 1; seed < 128; ++seed) {
+    Scrambler s(seed);
+    bool match = true;
+    for (int i = 0; i < 7; ++i) {
+      if (s.next() != (first7[static_cast<std::size_t>(i)] & 1U)) {
+        match = false;
+        break;
+      }
+    }
+    if (match) return seed;
+  }
+  throw std::runtime_error("recover_seed: no state matches (corrupt input)");
+}
+
+}  // namespace silence

@@ -1,0 +1,81 @@
+#include "phy/signal_field.h"
+
+#include <stdexcept>
+
+namespace silence {
+namespace {
+
+// RATE codes from 802.11a Table 80, transmitted bit order R1..R4.
+int rate_code(int mbps) {
+  switch (mbps) {
+    case 6: return 0b1101;
+    case 9: return 0b1111;
+    case 12: return 0b0101;
+    case 18: return 0b0111;
+    case 24: return 0b1001;
+    case 36: return 0b1011;
+    case 48: return 0b0001;
+    case 54: return 0b0011;
+  }
+  throw std::invalid_argument("rate_code: unknown rate");
+}
+
+std::optional<int> rate_from_code(int code) {
+  for (const Mcs& mcs : all_mcs()) {
+    if (rate_code(mcs.data_rate_mbps) == code) return mcs.data_rate_mbps;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+Bits encode_signal_bits(const Mcs& mcs, int length_octets) {
+  if (length_octets < 1 || length_octets > 4095) {
+    throw std::invalid_argument("encode_signal_bits: bad length");
+  }
+  Bits bits(24, 0);
+  const int code = rate_code(mcs.data_rate_mbps);
+  // RATE: R1 first on air = MSB of the code as written above.
+  for (int i = 0; i < 4; ++i) {
+    bits[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>((code >> (3 - i)) & 1);
+  }
+  // bits[4] reserved = 0. LENGTH: LSB first (bit 5 = length bit 0).
+  for (int i = 0; i < 12; ++i) {
+    bits[static_cast<std::size_t>(5 + i)] =
+        static_cast<std::uint8_t>((length_octets >> i) & 1);
+  }
+  // Even parity over bits 0..16.
+  std::uint8_t parity = 0;
+  for (int i = 0; i < 17; ++i) parity ^= bits[static_cast<std::size_t>(i)];
+  bits[17] = parity;
+  // bits 18..23 tail zeros.
+  return bits;
+}
+
+std::optional<SignalField> parse_signal_bits(
+    std::span<const std::uint8_t> bits24) {
+  if (bits24.size() != 24) {
+    throw std::invalid_argument("parse_signal_bits: need 24 bits");
+  }
+  std::uint8_t parity = 0;
+  for (int i = 0; i < 18; ++i) parity ^= bits24[static_cast<std::size_t>(i)] & 1U;
+  if (parity != 0) return std::nullopt;
+  if (bits24[4] & 1U) return std::nullopt;  // reserved bit must be zero
+
+  int code = 0;
+  for (int i = 0; i < 4; ++i) {
+    code = (code << 1) | (bits24[static_cast<std::size_t>(i)] & 1);
+  }
+  const auto mbps = rate_from_code(code);
+  if (!mbps) return std::nullopt;
+
+  int length = 0;
+  for (int i = 0; i < 12; ++i) {
+    length |= (bits24[static_cast<std::size_t>(5 + i)] & 1) << i;
+  }
+  if (length == 0) return std::nullopt;
+  return SignalField{&mcs_for_rate(*mbps), length};
+}
+
+}  // namespace silence

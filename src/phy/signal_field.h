@@ -1,0 +1,26 @@
+// 802.11a SIGNAL field: a single BPSK rate-1/2 OFDM symbol carrying
+// RATE(4) | reserved(1) | LENGTH(12) | parity(1) | tail(6).
+#pragma once
+
+#include <optional>
+#include <span>
+
+#include "common/bits.h"
+#include "phy/params.h"
+
+namespace silence {
+
+struct SignalField {
+  const Mcs* mcs = nullptr;
+  int length_octets = 0;  // PSDU length
+};
+
+// The 24 SIGNAL bits for a rate/length combination.
+Bits encode_signal_bits(const Mcs& mcs, int length_octets);
+
+// Parses 24 decoded SIGNAL bits; nullopt when the parity fails, the rate
+// code is unknown, or a reserved bit is set.
+std::optional<SignalField> parse_signal_bits(
+    std::span<const std::uint8_t> bits24);
+
+}  // namespace silence

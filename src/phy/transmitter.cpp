@@ -1,0 +1,106 @@
+#include "phy/transmitter.h"
+
+#include <stdexcept>
+
+#include "phy/convolutional.h"
+#include "phy/interleaver.h"
+#include "phy/modulation.h"
+#include "phy/ofdm.h"
+#include "phy/preamble.h"
+#include "phy/puncture.h"
+#include "phy/scrambler.h"
+#include "phy/signal_field.h"
+
+namespace silence {
+
+namespace {
+constexpr int kServiceBits = 16;
+constexpr int kTailBits = 6;
+}  // namespace
+
+double TxFrame::airtime_sec() const {
+  return kPreambleDurationSec + kSignalDurationSec +
+         num_symbols() * kSymbolDurationSec;
+}
+
+int symbols_for_psdu(std::size_t psdu_octets, const Mcs& mcs) {
+  const std::size_t payload_bits = kServiceBits + 8 * psdu_octets + kTailBits;
+  return static_cast<int>(
+      (payload_bits + static_cast<std::size_t>(mcs.n_dbps) - 1) /
+      static_cast<std::size_t>(mcs.n_dbps));
+}
+
+TxFrame build_frame(std::span<const std::uint8_t> psdu, const Mcs& mcs,
+                    std::uint8_t scrambler_seed) {
+  if (psdu.empty() || psdu.size() > 4095) {
+    throw std::invalid_argument("build_frame: PSDU must be 1..4095 octets");
+  }
+
+  TxFrame frame;
+  frame.mcs = &mcs;
+  frame.scrambler_seed = scrambler_seed;
+  frame.psdu_octets = psdu.size();
+
+  const int n_sym = symbols_for_psdu(psdu.size(), mcs);
+  const auto total_bits =
+      static_cast<std::size_t>(n_sym) * static_cast<std::size_t>(mcs.n_dbps);
+
+  // SERVICE (16 zero bits: 7 scrambler-init + 9 reserved) + PSDU + tail +
+  // pad, then scramble everything and re-zero the tail so the encoder
+  // terminates in state 0 (802.11a 17.3.5.2).
+  Bits plain(total_bits, 0);
+  const Bits psdu_bits = bytes_to_bits(psdu);
+  std::copy(psdu_bits.begin(), psdu_bits.end(),
+            plain.begin() + kServiceBits);
+
+  Scrambler scrambler(scrambler_seed);
+  frame.data_bits = scrambler.apply(plain);
+  const std::size_t tail_at = kServiceBits + psdu_bits.size();
+  for (int i = 0; i < kTailBits; ++i) frame.data_bits[tail_at + static_cast<std::size_t>(i)] = 0;
+
+  const Bits mother = convolutional_encode(frame.data_bits);
+  frame.coded_bits = puncture(mother, mcs.code_rate);
+
+  const Bits interleaved = interleave(frame.coded_bits, mcs);
+  const CxVec points = map_bits(interleaved, mcs.modulation);
+
+  frame.data_grid.reserve(static_cast<std::size_t>(n_sym));
+  for (int s = 0; s < n_sym; ++s) {
+    const auto begin =
+        points.begin() + static_cast<std::ptrdiff_t>(s) * kNumDataSubcarriers;
+    frame.data_grid.emplace_back(begin, begin + kNumDataSubcarriers);
+  }
+  return frame;
+}
+
+CxVec frame_to_samples(const TxFrame& frame) {
+  if (frame.mcs == nullptr) {
+    throw std::invalid_argument("frame_to_samples: empty frame");
+  }
+  CxVec samples = build_preamble();
+  samples.reserve(static_cast<std::size_t>(kPreambleSamples) +
+                  static_cast<std::size_t>(kSymbolSamples) *
+                      (1 + frame.data_grid.size()));
+
+  // SIGNAL symbol (BPSK, rate 1/2, not scrambled), pilot index 0.
+  const Mcs& bpsk = mcs_for_rate(6);
+  const Bits signal_bits =
+      encode_signal_bits(*frame.mcs, static_cast<int>(frame.psdu_octets));
+  const Bits signal_coded = convolutional_encode(signal_bits);
+  const Bits signal_inter = interleave(signal_coded, bpsk);
+  const CxVec signal_points = map_bits(signal_inter, Modulation::kBpsk);
+  const CxVec signal_bins = assemble_frequency_bins(signal_points, 0);
+  const CxVec signal_time = bins_to_time(signal_bins);
+  samples.insert(samples.end(), signal_time.begin(), signal_time.end());
+
+  // Data symbols: pilot indices 1..n.
+  for (int s = 0; s < frame.num_symbols(); ++s) {
+    const CxVec bins = assemble_frequency_bins(
+        frame.data_grid[static_cast<std::size_t>(s)], s + 1);
+    const CxVec time = bins_to_time(bins);
+    samples.insert(samples.end(), time.begin(), time.end());
+  }
+  return samples;
+}
+
+}  // namespace silence

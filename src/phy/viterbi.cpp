@@ -1,0 +1,82 @@
+#include "phy/viterbi.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "phy/convolutional.h"
+
+namespace silence {
+
+ViterbiDecoder::ViterbiDecoder()
+    : output_table_(static_cast<std::size_t>(kNumStates) * 2) {
+  for (int state = 0; state < kNumStates; ++state) {
+    for (int input = 0; input < 2; ++input) {
+      output_table_[static_cast<std::size_t>(state) * 2 +
+                    static_cast<std::size_t>(input)] =
+          conv_output(state, input);
+    }
+  }
+}
+
+Bits ViterbiDecoder::decode(std::span<const double> llrs,
+                            bool terminated) const {
+  if (llrs.size() % 2 != 0) {
+    throw std::invalid_argument("viterbi: need an even number of LLRs");
+  }
+  const std::size_t steps = llrs.size() / 2;
+  if (steps == 0) return {};
+
+  // A finite "minus infinity": large enough to dominate, small enough
+  // that adding branch metrics never overflows.
+  constexpr double kFloor = -1e18;
+  std::vector<double> metric(kNumStates, kFloor);
+  std::vector<double> next_metric(kNumStates);
+  metric[0] = 0.0;  // encoder starts zeroed
+
+  // Per step and next-state, one bit selecting which of the two
+  // predecessors survives; the input bit is implied by the state index
+  // (next = (input << 5) | (state >> 1)).
+  std::vector<std::uint8_t> survivor_lsb(steps * kNumStates);
+
+  for (std::size_t t = 0; t < steps; ++t) {
+    // Branch affinity for coded pair (a, b): +llr/2 for bit 0, -llr/2
+    // for bit 1; an erased (zero) LLR is neutral, implementing EVD.
+    const double half_a = 0.5 * llrs[2 * t];
+    const double half_b = 0.5 * llrs[2 * t + 1];
+    const double bm[4] = {half_a + half_b, -half_a + half_b,
+                          half_a - half_b, -half_a - half_b};
+    std::uint8_t* survivors = &survivor_lsb[t * kNumStates];
+    for (int next = 0; next < kNumStates; ++next) {
+      const int input = next >> 5;
+      const int base = (next & 31) * 2;
+      const double m0 =
+          metric[static_cast<std::size_t>(base)] +
+          bm[output_table_[static_cast<std::size_t>(base) * 2 +
+                           static_cast<std::size_t>(input)]];
+      const double m1 =
+          metric[static_cast<std::size_t>(base) + 1] +
+          bm[output_table_[(static_cast<std::size_t>(base) + 1) * 2 +
+                           static_cast<std::size_t>(input)]];
+      const bool pick1 = m1 > m0;
+      next_metric[static_cast<std::size_t>(next)] = pick1 ? m1 : m0;
+      survivors[next] = static_cast<std::uint8_t>(pick1);
+    }
+    metric.swap(next_metric);
+  }
+
+  int state = 0;
+  if (!terminated) {
+    state = static_cast<int>(std::distance(
+        metric.begin(), std::max_element(metric.begin(), metric.end())));
+  }
+
+  Bits bits(steps);
+  for (std::size_t t = steps; t-- > 0;) {
+    bits[t] = static_cast<std::uint8_t>(state >> 5);
+    state = ((state & 31) << 1) |
+            survivor_lsb[t * kNumStates + static_cast<std::size_t>(state)];
+  }
+  return bits;
+}
+
+}  // namespace silence

@@ -1,0 +1,34 @@
+// Soft-decision Viterbi decoder for the 802.11a K=7 convolutional code.
+//
+// The decoder consumes one LLR per mother-code bit (positive = bit 0
+// likely). Erasures — punctured positions and CoS silence symbols — carry
+// LLR = 0 and therefore contribute nothing to any path metric, which is
+// exactly the erasure Viterbi decoding (EVD) of the paper's Eq. (7): the
+// trellis itself is the standard one, only the bit metrics change.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/bits.h"
+
+namespace silence {
+
+class ViterbiDecoder {
+ public:
+  ViterbiDecoder();
+
+  // Decodes `llrs` (2 values per information bit, mother-code order
+  // [A0,B0,A1,B1,...]) into llrs.size()/2 information bits.
+  //
+  // With `terminated` set, the encoder is assumed to have been flushed to
+  // the all-zero state by tail bits (802.11a always does this) and
+  // traceback starts at state 0; otherwise it starts at the best state.
+  Bits decode(std::span<const double> llrs, bool terminated = true) const;
+
+ private:
+  // out_[state][input] = 2 coded bits (A in bit 0, B in bit 1).
+  std::vector<std::uint8_t> output_table_;
+};
+
+}  // namespace silence

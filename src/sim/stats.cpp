@@ -1,0 +1,46 @@
+#include "sim/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace silence {
+
+ErrorStats& ErrorStats::operator+=(const ErrorStats& other) {
+  bits += other.bits;
+  bit_errors += other.bit_errors;
+  symbols += other.symbols;
+  symbol_errors += other.symbol_errors;
+  packets += other.packets;
+  packets_ok += other.packets_ok;
+  return *this;
+}
+
+std::vector<double> empirical_cdf(std::span<const double> samples) {
+  std::vector<double> sorted(samples.begin(), samples.end());
+  std::sort(sorted.begin(), sorted.end());
+  return sorted;
+}
+
+double quantile(std::span<const double> samples, double q) {
+  if (samples.empty()) {
+    throw std::invalid_argument("quantile: empty sample set");
+  }
+  if (q < 0.0 || q > 1.0) {
+    throw std::invalid_argument("quantile: q outside [0, 1]");
+  }
+  std::vector<double> sorted(samples.begin(), samples.end());
+  std::sort(sorted.begin(), sorted.end());
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(sorted.size())));
+  return sorted[rank == 0 ? 0 : rank - 1];
+}
+
+double mean(std::span<const double> samples) {
+  if (samples.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : samples) sum += v;
+  return sum / static_cast<double>(samples.size());
+}
+
+}  // namespace silence

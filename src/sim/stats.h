@@ -1,0 +1,39 @@
+// Aggregation helpers for the experiment harnesses: error counters,
+// empirical CDFs, and simple summaries.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace silence {
+
+struct ErrorStats {
+  std::size_t bits = 0;
+  std::size_t bit_errors = 0;
+  std::size_t symbols = 0;
+  std::size_t symbol_errors = 0;
+  std::size_t packets = 0;
+  std::size_t packets_ok = 0;
+
+  double ber() const { return bits ? static_cast<double>(bit_errors) / bits : 0.0; }
+  double ser() const {
+    return symbols ? static_cast<double>(symbol_errors) / symbols : 0.0;
+  }
+  double prr() const {
+    return packets ? static_cast<double>(packets_ok) / packets : 0.0;
+  }
+
+  ErrorStats& operator+=(const ErrorStats& other);
+};
+
+// Empirical CDF: returns sorted copies of the samples; the CDF value of
+// result[i] is (i + 1) / result.size().
+std::vector<double> empirical_cdf(std::span<const double> samples);
+
+// The q-quantile (0 <= q <= 1) of the samples (nearest-rank).
+double quantile(std::span<const double> samples, double q);
+
+double mean(std::span<const double> samples);
+
+}  // namespace silence

@@ -1,0 +1,183 @@
+#include "xtech/narrowband.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "core/interval_code.h"
+
+namespace silence {
+namespace {
+
+void check_block(int block_start, int block_len) {
+  if (block_len < 2 || block_start < 0 ||
+      block_start + block_len > kNumDataSubcarriers) {
+    throw std::invalid_argument("xtech: bad subcarrier block");
+  }
+}
+
+// Signed frequency index (-26..26) of a logical data subcarrier.
+double signed_index(int logical) {
+  const int bin = data_subcarrier_bins()[static_cast<std::size_t>(logical)];
+  return bin < kFftSize / 2 ? bin : bin - kFftSize;
+}
+
+}  // namespace
+
+XtechTxPacket xtech_transmit(std::span<const std::uint8_t> psdu,
+                             std::span<const std::uint8_t> message_bits,
+                             const XtechTxConfig& config) {
+  if (config.mcs == nullptr) {
+    throw std::invalid_argument("xtech_transmit: no MCS configured");
+  }
+  check_block(config.block_start, config.block_len);
+
+  XtechTxPacket packet;
+  packet.frame = build_frame(psdu, *config.mcs, config.scrambler_seed);
+  packet.mask = empty_mask(packet.frame.num_symbols());
+
+  // Message -> symbol intervals, truncated to the packet length.
+  Bits padded(message_bits.begin(), message_bits.end());
+  while (padded.size() %
+             static_cast<std::size_t>(config.bits_per_interval) !=
+         0) {
+    padded.push_back(0);
+  }
+  std::vector<int> intervals =
+      bits_to_intervals(padded, config.bits_per_interval);
+  const std::size_t fit = intervals_that_fit(
+      intervals, static_cast<std::size_t>(packet.frame.num_symbols()));
+  intervals.resize(fit);
+  packet.bits_sent =
+      std::min(message_bits.size(),
+               fit * static_cast<std::size_t>(config.bits_per_interval));
+
+  // Blank the block for the marker symbol and after each interval.
+  int symbol = 0;
+  const auto blank = [&](int s) {
+    for (int j = 0; j < config.block_len; ++j) {
+      const auto sc = static_cast<std::size_t>(config.block_start + j);
+      packet.frame.data_grid[static_cast<std::size_t>(s)][sc] =
+          Cx{0.0, 0.0};
+      packet.mask[static_cast<std::size_t>(s)][sc] = 1;
+    }
+    packet.dip_symbols.push_back(s);
+    ++packet.dip_count;
+  };
+  blank(symbol);
+  for (int interval : intervals) {
+    symbol += interval + 1;
+    blank(symbol);
+  }
+
+  packet.samples = frame_to_samples(packet.frame);
+  return packet;
+}
+
+std::vector<double> NarrowbandObserver::energy_trace(
+    std::span<const Cx> samples) const {
+  check_block(block_start, block_len);
+  // Shift the block's center to DC, then a moving-average lowpass whose
+  // bandwidth roughly matches a narrowband radio's channel filter.
+  const double center =
+      (signed_index(block_start) + signed_index(block_start + block_len - 1)) /
+      2.0;
+  const double step = -2.0 * std::numbers::pi * center / kFftSize;
+
+  // Two cascaded moving averages (a triangular FIR): the squared
+  // sidelobes give the ~25 dB of stopband a narrowband radio's channel
+  // filter would, so out-of-block subcarriers don't mask the dips.
+  constexpr std::size_t kFilterLen = 16;
+  std::vector<double> trace(samples.size(), 0.0);
+  CxVec shifted(samples.size());
+  for (std::size_t n = 0; n < samples.size(); ++n) {
+    const double phase = step * static_cast<double>(n);
+    shifted[n] = samples[n] * Cx{std::cos(phase), std::sin(phase)};
+  }
+  CxVec stage1(samples.size());
+  Cx acc{0.0, 0.0};
+  for (std::size_t n = 0; n < samples.size(); ++n) {
+    acc += shifted[n];
+    if (n >= kFilterLen) acc -= shifted[n - kFilterLen];
+    stage1[n] = acc / static_cast<double>(kFilterLen);
+  }
+  acc = Cx{0.0, 0.0};
+  for (std::size_t n = 0; n < samples.size(); ++n) {
+    acc += stage1[n];
+    if (n >= kFilterLen) acc -= stage1[n - kFilterLen];
+    trace[n] = std::norm(acc / static_cast<double>(kFilterLen));
+  }
+  return trace;
+}
+
+Bits NarrowbandObserver::observe(std::span<const Cx> samples) const {
+  const std::vector<double> raw = energy_trace(samples);
+  if (raw.size() < 3 * kSymbolSamples) return {};
+
+  // Smooth over half a symbol to suppress constellation fluctuations.
+  constexpr std::size_t kSmooth = 40;
+  std::vector<double> smooth(raw.size(), 0.0);
+  double acc = 0.0;
+  for (std::size_t n = 0; n < raw.size(); ++n) {
+    acc += raw[n];
+    if (n >= kSmooth) acc -= raw[n - kSmooth];
+    smooth[n] = acc / kSmooth;
+  }
+
+  // Signal level: a high quantile of the trace (the occupied symbols).
+  std::vector<double> sorted = smooth;
+  std::sort(sorted.begin(), sorted.end());
+  const double high = sorted[sorted.size() * 3 / 4];
+  if (high <= 0.0) return {};
+  const double threshold = high * 0.25;  // dips sit >= 6 dB down
+
+  // Signal extent: first/last sample above threshold.
+  std::size_t begin = 0, end = smooth.size();
+  while (begin < smooth.size() && smooth[begin] < threshold) ++begin;
+  while (end > begin && smooth[end - 1] < threshold) --end;
+  if (begin >= end) return {};
+
+  // Dips: low runs of at least half a symbol strictly inside the burst.
+  // Consecutive blanked symbols (interval value 0) merge into one long
+  // run, so a run of ~m symbol durations yields m dips a symbol apart.
+  std::vector<double> dip_positions;  // in units of OFDM symbols
+  std::size_t run_start = 0;
+  bool in_run = false;
+  const auto flush_run = [&](std::size_t run_end) {
+    const std::size_t len = run_end - run_start;
+    if (len < kSymbolSamples / 2) return;
+    const int count = std::max(
+        1, static_cast<int>(std::lround(static_cast<double>(len) /
+                                        kSymbolSamples)));
+    const double first_center =
+        (static_cast<double>(run_start) +
+         0.5 * (static_cast<double>(len) -
+                (count - 1) * static_cast<double>(kSymbolSamples))) /
+        kSymbolSamples;
+    for (int m = 0; m < count; ++m) {
+      dip_positions.push_back(first_center + m);
+    }
+  };
+  for (std::size_t n = begin; n < end; ++n) {
+    const bool low = smooth[n] < threshold;
+    if (low && !in_run) {
+      in_run = true;
+      run_start = n;
+    } else if (!low && in_run) {
+      in_run = false;
+      flush_run(n);
+    }
+  }
+
+  if (dip_positions.size() < 2) return {};
+  std::vector<int> intervals;
+  intervals.reserve(dip_positions.size() - 1);
+  for (std::size_t i = 1; i < dip_positions.size(); ++i) {
+    const double symbols = dip_positions[i] - dip_positions[i - 1];
+    intervals.push_back(static_cast<int>(std::lround(symbols)) - 1);
+  }
+  return intervals_to_bits_tolerant(intervals, bits_per_interval);
+}
+
+}  // namespace silence

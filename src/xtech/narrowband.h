@@ -1,0 +1,66 @@
+// Cross-technology CoS: silence patterns readable by a narrowband
+// energy sensor (the FreeBee/Esense line of work the paper's related-
+// work section cites).
+//
+// A ZigBee-class device cannot decode OFDM, but it can measure RSSI in
+// its own ~2 MHz band. When the WiFi sender silences a contiguous BLOCK
+// of subcarriers covering that band for a whole OFDM symbol, the
+// narrowband device sees a clean energy dip — no WiFi receiver chain
+// required. Messages use the same interval modulation as in-band CoS,
+// with intervals counted in OFDM symbols.
+//
+// The cost side mirrors CoS: the blanked symbols are erasures the WiFi
+// receiver's EVD absorbs, so the WiFi data packet still decodes.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "core/silence_plan.h"
+#include "phy/receiver.h"
+#include "phy/transmitter.h"
+
+namespace silence {
+
+struct XtechTxConfig {
+  const Mcs* mcs = nullptr;
+  // First logical data subcarrier of the blanked block and its width.
+  // 8 subcarriers = 2.5 MHz, about a ZigBee channel.
+  int block_start = 20;
+  int block_len = 8;
+  int bits_per_interval = 3;  // intervals in symbols are short; k small
+  std::uint8_t scrambler_seed = 0x5D;
+};
+
+struct XtechTxPacket {
+  TxFrame frame;
+  CxVec samples;
+  std::size_t bits_sent = 0;
+  std::size_t dip_count = 0;   // fully-blanked marker symbols
+  SilenceMask mask;            // ground truth (for the WiFi receiver)
+  std::vector<int> dip_symbols;  // indices of blanked OFDM symbols
+};
+
+// Embeds `message_bits` as whole-symbol block dips.
+XtechTxPacket xtech_transmit(std::span<const std::uint8_t> psdu,
+                             std::span<const std::uint8_t> message_bits,
+                             const XtechTxConfig& config);
+
+// --- The narrowband observer -------------------------------------------
+// Sees only raw samples; knows nothing about OFDM except the nominal
+// symbol duration. Demodulates dips from its in-band RSSI trace.
+struct NarrowbandObserver {
+  int block_start = 20;
+  int block_len = 8;
+  int bits_per_interval = 3;
+
+  // In-band energy trace, one value per sample (frequency-shifted moving
+  // average over `block_len` subcarriers' worth of bandwidth).
+  std::vector<double> energy_trace(std::span<const Cx> samples) const;
+
+  // Decodes the message: finds dips in the energy trace, converts dip
+  // spacing to symbol-interval values, applies the interval codec.
+  Bits observe(std::span<const Cx> samples) const;
+};
+
+}  // namespace silence

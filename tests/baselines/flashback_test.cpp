@@ -1,0 +1,125 @@
+#include "baselines/flashback.h"
+
+#include <gtest/gtest.h>
+
+#include "channel/fading.h"
+#include "common/crc32.h"
+#include "common/rng.h"
+
+namespace silence {
+namespace {
+
+FlashbackConfig config_for(int mbps) {
+  FlashbackConfig config;
+  config.mcs = &mcs_for_rate(mbps);
+  return config;
+}
+
+Bytes test_psdu(Rng& rng, std::size_t total) {
+  Bytes psdu = rng.bytes(total - 4);
+  append_fcs(psdu);
+  return psdu;
+}
+
+TEST(Flashback, SubcarrierMapProperties) {
+  for (int bits = 1; bits <= 5; ++bits) {
+    const auto subcarriers = flashback_subcarriers(bits);
+    EXPECT_EQ(subcarriers.size(), std::size_t{1} << bits);
+    for (std::size_t i = 1; i < subcarriers.size(); ++i) {
+      EXPECT_GT(subcarriers[i], subcarriers[i - 1]);
+      EXPECT_LT(subcarriers[i], kNumDataSubcarriers);
+    }
+  }
+}
+
+TEST(Flashback, ConfigValidation) {
+  Rng rng(1);
+  const Bytes psdu = test_psdu(rng, 100);
+  FlashbackConfig config;  // mcs null
+  EXPECT_THROW(flashback_transmit(psdu, {}, config), std::invalid_argument);
+  config = config_for(24);
+  config.bits_per_flash = 6;
+  EXPECT_THROW(flashback_transmit(psdu, {}, config), std::invalid_argument);
+  config = config_for(24);
+  config.flash_power = 0.5;
+  EXPECT_THROW(flashback_transmit(psdu, {}, config), std::invalid_argument);
+}
+
+TEST(Flashback, CleanChannelRoundTrip) {
+  Rng rng(2);
+  const Bytes psdu = test_psdu(rng, 600);
+  const FlashbackConfig config = config_for(24);
+  const Bits message = rng.bits(80);
+  const FlashbackTxPacket tx = flashback_transmit(psdu, message, config);
+  EXPECT_EQ(tx.bits_sent, 80u);
+  EXPECT_EQ(tx.flash_count, 16u);  // 80 bits / 5 per flash
+
+  const FlashbackRxPacket rx = flashback_receive(tx.samples, config);
+  ASSERT_TRUE(rx.data_ok);
+  EXPECT_EQ(rx.psdu, psdu);
+  ASSERT_GE(rx.message_bits.size(), tx.bits_sent);
+  for (std::size_t i = 0; i < tx.bits_sent; ++i) {
+    EXPECT_EQ(rx.message_bits[i], message[i]) << "bit " << i;
+  }
+}
+
+TEST(Flashback, FlashEnergyAccounting) {
+  Rng rng(3);
+  const Bytes psdu = test_psdu(rng, 600);
+  FlashbackConfig config = config_for(24);
+  config.flash_power = 64.0;
+  const Bits message = rng.bits(50);
+  const FlashbackTxPacket tx = flashback_transmit(psdu, message, config);
+  EXPECT_EQ(tx.flash_count, 10u);
+  EXPECT_DOUBLE_EQ(tx.flash_energy, 10 * 64.0);
+}
+
+TEST(Flashback, SurvivesNoisyFadedChannel) {
+  int data_ok = 0, message_ok = 0;
+  const int trials = 20;
+  for (int t = 0; t < trials; ++t) {
+    Rng rng(static_cast<std::uint64_t>(t) + 50);
+    MultipathProfile profile;
+    FadingChannel channel(profile, static_cast<std::uint64_t>(t) + 1);
+    const double nv = noise_var_for_measured_snr(channel, 16.0);
+    const Bytes psdu = test_psdu(rng, 1024);
+    const FlashbackConfig config = config_for(24);
+    const Bits message = rng.bits(100);
+    const FlashbackTxPacket tx = flashback_transmit(psdu, message, config);
+    const CxVec received = channel.transmit(tx.samples, nv, rng);
+    const FlashbackRxPacket rx = flashback_receive(received, config);
+    data_ok += rx.data_ok;
+    bool prefix = rx.message_bits.size() >= tx.bits_sent;
+    for (std::size_t i = 0; prefix && i < tx.bits_sent; ++i) {
+      prefix = rx.message_bits[i] == message[i];
+    }
+    message_ok += prefix;
+  }
+  EXPECT_GE(data_ok, trials - 3);
+  EXPECT_GE(message_ok, trials * 6 / 10);
+}
+
+TEST(Flashback, MessageTruncatedByPacketLength) {
+  Rng rng(4);
+  const Bytes psdu = test_psdu(rng, 100);  // short packet, few symbols
+  const FlashbackConfig config = config_for(24);
+  const Bits message = rng.bits(1000);
+  const FlashbackTxPacket tx = flashback_transmit(psdu, message, config);
+  EXPECT_LT(tx.bits_sent, 1000u);
+  EXPECT_EQ(tx.bits_sent % 5, 0u);
+}
+
+TEST(Flashback, StrideLimitsFlashCount) {
+  Rng rng(5);
+  const Bytes psdu = test_psdu(rng, 600);
+  FlashbackConfig config = config_for(24);
+  config.symbol_stride = 4;
+  const Bits message = rng.bits(500);
+  const FlashbackTxPacket tx = flashback_transmit(psdu, message, config);
+  const int symbols = tx.frame.num_symbols();
+  EXPECT_LE(tx.flash_count,
+            static_cast<std::size_t>((symbols + 3) / 4));
+}
+
+}  // namespace
+}  // namespace silence

@@ -1,0 +1,191 @@
+#include "channel/fading.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "common/db.h"
+#include "common/rng.h"
+
+namespace silence {
+namespace {
+
+TEST(Fading, NoiseVarConvention) {
+  // At 0 dB mean subcarrier SNR through a unit channel, the per-bin
+  // frequency-domain noise power equals the per-bin signal power (1).
+  const double nv = noise_var_for_snr_db(0.0);
+  EXPECT_DOUBLE_EQ(freq_noise_var(nv), 1.0);
+  EXPECT_DOUBLE_EQ(freq_noise_var(noise_var_for_snr_db(10.0)), 0.1);
+}
+
+TEST(Fading, TapCountValidation) {
+  MultipathProfile profile;
+  profile.num_taps = 0;
+  EXPECT_THROW(FadingChannel(profile, 1), std::invalid_argument);
+  profile.num_taps = kCpLength + 1;
+  EXPECT_THROW(FadingChannel(profile, 1), std::invalid_argument);
+}
+
+TEST(Fading, AverageTapEnergyIsUnity) {
+  MultipathProfile profile;
+  double total = 0.0;
+  const int realizations = 2000;
+  for (int seed = 0; seed < realizations; ++seed) {
+    FadingChannel channel(profile, static_cast<std::uint64_t>(seed));
+    for (const Cx& tap : channel.taps()) total += std::norm(tap);
+  }
+  EXPECT_NEAR(total / realizations, 1.0, 0.05);
+}
+
+TEST(Fading, DeterministicForSeed) {
+  MultipathProfile profile;
+  FadingChannel a(profile, 42), b(profile, 42);
+  ASSERT_EQ(a.taps().size(), b.taps().size());
+  for (std::size_t l = 0; l < a.taps().size(); ++l) {
+    EXPECT_EQ(a.taps()[l], b.taps()[l]);
+  }
+}
+
+TEST(Fading, DifferentSeedsDifferentRealizations) {
+  MultipathProfile profile;
+  FadingChannel a(profile, 1), b(profile, 2);
+  double diff = 0.0;
+  for (std::size_t l = 0; l < a.taps().size(); ++l) {
+    diff += std::abs(a.taps()[l] - b.taps()[l]);
+  }
+  EXPECT_GT(diff, 1e-3);
+}
+
+TEST(Fading, FrequencyResponseMatchesTapDft) {
+  MultipathProfile profile;
+  FadingChannel channel(profile, 7);
+  const auto response = channel.frequency_response();
+  // Parseval over the 64 bins: sum |H_k|^2 = 64 * sum |h_l|^2.
+  double lhs = 0.0;
+  for (const Cx& h : response) lhs += std::norm(h);
+  double rhs = 0.0;
+  for (const Cx& tap : channel.taps()) rhs += std::norm(tap);
+  EXPECT_NEAR(lhs, 64.0 * rhs, 1e-9);
+}
+
+TEST(Fading, FrequencySelectivityExists) {
+  // Multipath must create meaningfully different per-subcarrier gains —
+  // the phenomenon CoS exploits (paper Fig. 5).
+  MultipathProfile profile;
+  FadingChannel channel(profile, 11);
+  const auto response = channel.frequency_response();
+  double min_gain = 1e9, max_gain = 0.0;
+  for (int bin : data_subcarrier_bins()) {
+    const double g = std::norm(response[static_cast<std::size_t>(bin)]);
+    min_gain = std::min(min_gain, g);
+    max_gain = std::max(max_gain, g);
+  }
+  EXPECT_GT(max_gain / min_gain, 2.0);
+}
+
+TEST(Fading, MeasuredSnrBelowActualSnr) {
+  // Geometric mean <= arithmetic mean: the NIC-style estimate is dragged
+  // down by faded subcarriers (paper Fig. 2).
+  MultipathProfile profile;
+  for (int seed = 0; seed < 20; ++seed) {
+    FadingChannel channel(profile, static_cast<std::uint64_t>(seed));
+    const double nv = noise_var_for_snr_db(15.0);
+    EXPECT_LE(channel.measured_snr_db(nv), channel.actual_snr_db(nv) + 1e-9)
+        << "seed " << seed;
+  }
+}
+
+TEST(Fading, MeasuredSnrPinningIsExact) {
+  MultipathProfile profile;
+  FadingChannel channel(profile, 3);
+  for (double target : {5.0, 12.0, 20.0, 25.0}) {
+    const double nv = noise_var_for_measured_snr(channel, target);
+    EXPECT_NEAR(channel.measured_snr_db(nv), target, 1e-9);
+  }
+}
+
+TEST(Fading, MultipathConvolutionImpulse) {
+  MultipathProfile profile;
+  FadingChannel channel(profile, 5);
+  CxVec impulse(32, Cx{0.0, 0.0});
+  impulse[0] = Cx{1.0, 0.0};
+  const CxVec out = channel.apply_multipath(impulse);
+  const auto taps = channel.taps();
+  for (std::size_t l = 0; l < taps.size(); ++l) {
+    EXPECT_NEAR(std::abs(out[l] - taps[l]), 0.0, 1e-12);
+  }
+  for (std::size_t n = taps.size(); n < 32; ++n) {
+    EXPECT_NEAR(std::abs(out[n]), 0.0, 1e-12);
+  }
+}
+
+TEST(Fading, TransmitAddsCalibratedNoise) {
+  MultipathProfile profile;
+  profile.num_taps = 1;
+  profile.rician_k_linear = 0.0;
+  FadingChannel channel(profile, 6);
+  Rng rng(8);
+  const CxVec zeros(20000, Cx{0.0, 0.0});
+  const double nv = 0.37;
+  const CxVec out = channel.transmit(zeros, nv, rng);
+  double measured = 0.0;
+  for (const Cx& x : out) measured += std::norm(x);
+  EXPECT_NEAR(measured / static_cast<double>(out.size()), nv, nv * 0.05);
+}
+
+TEST(Fading, AdvanceZeroOrNegativeIsNoop) {
+  MultipathProfile profile;
+  FadingChannel channel(profile, 9);
+  const CxVec before(channel.taps().begin(), channel.taps().end());
+  channel.advance(0.0);
+  channel.advance(-1.0);
+  for (std::size_t l = 0; l < before.size(); ++l) {
+    EXPECT_EQ(channel.taps()[l], before[l]);
+  }
+}
+
+TEST(Fading, SmallAdvanceChangesLittleLargeAdvanceDecorrelates) {
+  MultipathProfile profile;
+  profile.rician_k_linear = 0.0;  // pure Rayleigh for a clean comparison
+
+  const auto corr = [&profile](double dt) {
+    double num = 0.0, den = 0.0;
+    for (int seed = 0; seed < 400; ++seed) {
+      FadingChannel channel(profile, static_cast<std::uint64_t>(seed));
+      const CxVec before(channel.taps().begin(), channel.taps().end());
+      channel.advance(dt);
+      for (std::size_t l = 0; l < before.size(); ++l) {
+        num += (std::conj(before[l]) * channel.taps()[l]).real();
+        den += std::norm(before[l]);
+      }
+    }
+    return num / den;
+  };
+
+  const double short_corr = corr(1e-3);  // 1 ms at 15 Hz Doppler
+  const double long_corr = corr(30e-3);  // near the Jakes first null
+  EXPECT_GT(short_corr, 0.98);
+  EXPECT_LT(long_corr, 0.75);
+  EXPECT_GT(short_corr, long_corr);
+}
+
+TEST(Fading, ExponentialPowerDelayProfile) {
+  MultipathProfile profile;
+  profile.rician_k_linear = 0.0;
+  std::vector<double> power(static_cast<std::size_t>(profile.num_taps), 0.0);
+  const int realizations = 4000;
+  for (int seed = 0; seed < realizations; ++seed) {
+    FadingChannel channel(profile, static_cast<std::uint64_t>(seed));
+    for (std::size_t l = 0; l < power.size(); ++l) {
+      power[l] += std::norm(channel.taps()[l]);
+    }
+  }
+  for (std::size_t l = 1; l < power.size(); ++l) {
+    EXPECT_LT(power[l], power[l - 1]) << "PDP must decay at tap " << l;
+  }
+  // Decay constant: power[l+1]/power[l] = exp(-1/decay).
+  const double ratio = power[1] / power[0];
+  EXPECT_NEAR(ratio, std::exp(-1.0 / profile.decay_taps), 0.05);
+}
+
+}  // namespace
+}  // namespace silence

@@ -1,0 +1,63 @@
+#include "common/crc32.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace silence {
+namespace {
+
+TEST(Crc32, KnownVectorCheck) {
+  // zlib's crc32("123456789") == 0xCBF43926 — the standard check value.
+  const std::vector<std::uint8_t> data = {'1', '2', '3', '4', '5',
+                                          '6', '7', '8', '9'};
+  EXPECT_EQ(crc32(data), 0xCBF43926u);
+}
+
+TEST(Crc32, EmptyInput) {
+  EXPECT_EQ(crc32({}), 0x00000000u);
+}
+
+TEST(Crc32, SingleZeroByte) {
+  const std::vector<std::uint8_t> data = {0x00};
+  EXPECT_EQ(crc32(data), 0xD202EF8Du);
+}
+
+TEST(Crc32, AppendAndCheckFcs) {
+  Rng rng(9);
+  for (int trial = 0; trial < 25; ++trial) {
+    auto frame = rng.bytes(10 + static_cast<std::size_t>(trial) * 13);
+    append_fcs(frame);
+    EXPECT_TRUE(check_fcs(frame));
+  }
+}
+
+TEST(Crc32, CheckFcsDetectsSingleBitFlip) {
+  Rng rng(11);
+  auto frame = rng.bytes(64);
+  append_fcs(frame);
+  for (std::size_t byte = 0; byte < frame.size(); byte += 5) {
+    auto corrupted = frame;
+    corrupted[byte] ^= 0x10;
+    EXPECT_FALSE(check_fcs(corrupted)) << "flip in byte " << byte;
+  }
+}
+
+TEST(Crc32, CheckFcsRejectsShortFrames) {
+  const std::vector<std::uint8_t> tiny = {1, 2, 3};
+  EXPECT_FALSE(check_fcs(tiny));
+}
+
+TEST(Crc32, FcsIsLittleEndianTrailer) {
+  std::vector<std::uint8_t> frame = {'1', '2', '3', '4', '5',
+                                     '6', '7', '8', '9'};
+  append_fcs(frame);
+  ASSERT_EQ(frame.size(), 13u);
+  EXPECT_EQ(frame[9], 0x26);
+  EXPECT_EQ(frame[10], 0x39);
+  EXPECT_EQ(frame[11], 0xF4);
+  EXPECT_EQ(frame[12], 0xCB);
+}
+
+}  // namespace
+}  // namespace silence

@@ -1,0 +1,31 @@
+#include "common/hex.h"
+
+#include <gtest/gtest.h>
+
+namespace silence {
+namespace {
+
+TEST(Hex, ToHexBasic) {
+  const std::vector<std::uint8_t> data = {0xDE, 0xAD, 0xBE, 0xEF};
+  EXPECT_EQ(to_hex(data), "deadbeef");
+}
+
+TEST(Hex, ToHexEmpty) { EXPECT_EQ(to_hex({}), ""); }
+
+TEST(Hex, ToHexLeadingZeros) {
+  const std::vector<std::uint8_t> data = {0x00, 0x01, 0x0A};
+  EXPECT_EQ(to_hex(data), "00010a");
+}
+
+TEST(Hex, PrintableKeepsAscii) {
+  const std::vector<std::uint8_t> data = {'H', 'i', '!', ' ', '~'};
+  EXPECT_EQ(to_printable(data), "Hi! ~");
+}
+
+TEST(Hex, PrintableMasksControlAndHighBytes) {
+  const std::vector<std::uint8_t> data = {0x00, 'A', 0x1F, 0x7F, 0xFF, 'z'};
+  EXPECT_EQ(to_printable(data), ".A...z");
+}
+
+}  // namespace
+}  // namespace silence

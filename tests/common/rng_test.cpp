@@ -1,0 +1,89 @@
+#include "common/rng.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "dsp/fft.h"
+
+namespace silence {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.engine()() == b.engine()()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntRespectsBounds) {
+  Rng rng(6);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(3, 17);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 17u);
+  }
+}
+
+TEST(Rng, ComplexGaussianVariance) {
+  Rng rng(7);
+  const double target = 2.5;
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    sum += std::norm(rng.complex_gaussian(target));
+  }
+  EXPECT_NEAR(sum / n, target, 0.1);
+}
+
+TEST(Rng, ComplexGaussianZeroMean) {
+  Rng rng(8);
+  Cx sum{0, 0};
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.complex_gaussian(1.0);
+  EXPECT_NEAR(std::abs(sum) / n, 0.0, 0.02);
+}
+
+TEST(Rng, BitsAreBinaryAndBalanced) {
+  Rng rng(9);
+  const auto bits = rng.bits(10000);
+  std::size_t ones = 0;
+  for (auto b : bits) {
+    ASSERT_LE(b, 1);
+    ones += b;
+  }
+  EXPECT_NEAR(static_cast<double>(ones) / bits.size(), 0.5, 0.03);
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(10);
+  double sum = 0.0, sq = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.gaussian();
+    sum += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+}  // namespace
+}  // namespace silence

@@ -1,0 +1,70 @@
+#include "core/control_rate.h"
+
+#include <gtest/gtest.h>
+
+namespace silence {
+namespace {
+
+TEST(ControlRate, TableIsAscendingInSnr) {
+  const auto table = default_control_rate_table();
+  ASSERT_GE(table.size(), 2u);
+  for (std::size_t i = 1; i < table.size(); ++i) {
+    EXPECT_LT(table[i - 1].measured_snr_db, table[i].measured_snr_db);
+  }
+}
+
+TEST(ControlRate, PaperAnchors) {
+  // The paper reports max R_m = 148,000 in the QPSK 1/2 region and min
+  // R_m = 33,000 at 22.4 dB.
+  EXPECT_EQ(select_control_rate(9.2), 148000);
+  EXPECT_EQ(select_control_rate(22.4), 33000);
+}
+
+TEST(ControlRate, StepFunctionSemantics) {
+  const auto table = default_control_rate_table();
+  // Exactly at a table point selects that point's rate.
+  for (const auto& point : table) {
+    EXPECT_EQ(select_control_rate(point.measured_snr_db), point.rm);
+  }
+  // Below the table: the first entry's rate (the conservative floor).
+  EXPECT_EQ(select_control_rate(-10.0), table.front().rm);
+  // Above the table: the last entry's rate.
+  EXPECT_EQ(select_control_rate(100.0), table.back().rm);
+}
+
+TEST(ControlRate, LowestRateForFallback) {
+  const auto table = default_control_rate_table();
+  int expected = table.front().rm;
+  for (const auto& point : table) expected = std::min(expected, point.rm);
+  EXPECT_EQ(lowest_control_rate(), expected);
+}
+
+TEST(ControlRate, CustomTable) {
+  const std::vector<ControlRatePoint> table = {{5.0, 100}, {10.0, 200}};
+  EXPECT_EQ(select_control_rate(7.0, table), 100);
+  EXPECT_EQ(select_control_rate(12.0, table), 200);
+  EXPECT_EQ(lowest_control_rate(table), 100);
+  EXPECT_THROW(select_control_rate(5.0, {}), std::invalid_argument);
+  EXPECT_THROW(lowest_control_rate({}), std::invalid_argument);
+}
+
+TEST(ControlRate, SilenceBudget) {
+  // 33,000 silences/s over a ~708 us packet = 23 silences.
+  EXPECT_EQ(silence_budget_for_packet(33000, 708e-6), 23);
+  EXPECT_EQ(silence_budget_for_packet(0, 1e-3), 0);
+  EXPECT_THROW(silence_budget_for_packet(-1, 1e-3), std::invalid_argument);
+  EXPECT_THROW(silence_budget_for_packet(100, 0.0), std::invalid_argument);
+}
+
+TEST(ControlRate, BitRateMatchesPaperExample) {
+  // Paper §IV-B: R_m = 33,000 with k = 4 -> 132 kbps.
+  EXPECT_DOUBLE_EQ(control_bits_per_second(33000, 4), 132000.0);
+  EXPECT_DOUBLE_EQ(control_bits_per_second(148000, 4), 592000.0);
+}
+
+TEST(ControlRate, PrrTargetMatchesPaper) {
+  EXPECT_DOUBLE_EQ(kTargetPrr, 0.993);
+}
+
+}  // namespace
+}  // namespace silence

@@ -1,0 +1,224 @@
+#include "core/cos_link.h"
+
+#include <algorithm>
+#include <gtest/gtest.h>
+
+#include "channel/fading.h"
+#include "common/crc32.h"
+#include "common/rng.h"
+
+namespace silence {
+namespace {
+
+const std::vector<int> kControl = {10, 11, 12, 13, 14, 15, 16, 17};
+
+Bytes test_psdu(Rng& rng, std::size_t total) {
+  Bytes psdu = rng.bytes(total - 4);
+  append_fcs(psdu);
+  return psdu;
+}
+
+CosTxConfig tx_config(int mbps) {
+  CosTxConfig config;
+  config.mcs = &mcs_for_rate(mbps);
+  config.control_subcarriers = kControl;
+  return config;
+}
+
+CosRxConfig rx_config() {
+  CosRxConfig config;
+  config.control_subcarriers = kControl;
+  return config;
+}
+
+TEST(CosLink, CleanChannelDataAndControlBothDecode) {
+  Rng rng(1);
+  const Bytes psdu = test_psdu(rng, 300);
+  const Bits control = rng.bits(48);
+  const CosTxPacket tx = cos_transmit(psdu, control, tx_config(12));
+  EXPECT_EQ(tx.plan.bits_sent, 48u);
+
+  const CosRxPacket rx = cos_receive(tx.samples, rx_config());
+  ASSERT_TRUE(rx.data_ok);
+  EXPECT_EQ(rx.psdu, psdu);
+  ASSERT_GE(rx.control_bits.size(), 48u);
+  for (std::size_t i = 0; i < 48; ++i) {
+    EXPECT_EQ(rx.control_bits[i], control[i]);
+  }
+}
+
+class CosLinkAllRates : public ::testing::TestWithParam<int> {};
+
+TEST_P(CosLinkAllRates, AwgnAtComfortableSnr) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const Mcs& mcs = mcs_for_rate(GetParam());
+  const Bytes psdu = test_psdu(rng, 400);
+  const Bits control = rng.bits(32);
+  const CosTxPacket tx = cos_transmit(psdu, control, tx_config(GetParam()));
+
+  CxVec samples = tx.samples;
+  const double nv = noise_var_for_snr_db(mcs.min_required_snr_db + 10.0);
+  for (auto& x : samples) x += rng.complex_gaussian(nv);
+
+  const CosRxPacket rx = cos_receive(samples, rx_config());
+  ASSERT_TRUE(rx.data_ok) << "rate " << GetParam();
+  ASSERT_GE(rx.control_bits.size(), tx.plan.bits_sent);
+  for (std::size_t i = 0; i < tx.plan.bits_sent; ++i) {
+    EXPECT_EQ(rx.control_bits[i], control[i]) << "control bit " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, CosLinkAllRates,
+                         ::testing::Values(6, 9, 12, 18, 24, 36, 48, 54));
+
+TEST(CosLink, SilencesActuallyZeroTransmitGrid) {
+  Rng rng(2);
+  const Bytes psdu = test_psdu(rng, 200);
+  const Bits control = rng.bits(20);
+  const CosTxPacket tx = cos_transmit(psdu, control, tx_config(24));
+  std::size_t zeroed = 0;
+  for (std::size_t s = 0; s < tx.frame.data_grid.size(); ++s) {
+    for (int sc = 0; sc < kNumDataSubcarriers; ++sc) {
+      const auto idx = static_cast<std::size_t>(sc);
+      if (tx.plan.mask[s][idx]) {
+        EXPECT_EQ(tx.frame.data_grid[s][idx], (Cx{0.0, 0.0}));
+        ++zeroed;
+      } else {
+        EXPECT_NE(tx.frame.data_grid[s][idx], (Cx{0.0, 0.0}));
+      }
+    }
+  }
+  EXPECT_EQ(zeroed, tx.plan.silence_count);
+}
+
+TEST(CosLink, NoControlSubcarriersMeansPlainPacket) {
+  Rng rng(3);
+  const Bytes psdu = test_psdu(rng, 100);
+  CosTxConfig config;
+  config.mcs = &mcs_for_rate(12);
+  const Bits control = rng.bits(8);
+  const CosTxPacket tx = cos_transmit(psdu, control, config);
+  EXPECT_EQ(tx.plan.silence_count, 0u);
+  EXPECT_EQ(tx.plan.bits_sent, 0u);
+}
+
+TEST(CosLink, EmptyControlMessageMeansPlainPacket) {
+  Rng rng(4);
+  const Bytes psdu = test_psdu(rng, 100);
+  const CosTxPacket tx = cos_transmit(psdu, {}, tx_config(12));
+  EXPECT_EQ(tx.plan.silence_count, 0u);
+}
+
+TEST(CosLink, MissingMcsRejected) {
+  Rng rng(5);
+  const Bytes psdu = test_psdu(rng, 100);
+  CosTxConfig config;  // mcs left null
+  EXPECT_THROW(cos_transmit(psdu, {}, config), std::invalid_argument);
+}
+
+TEST(CosLink, EvmComputedAfterCrcPass) {
+  Rng rng(6);
+  const Bytes psdu = test_psdu(rng, 300);
+  const Bits control = rng.bits(24);
+  const CosTxPacket tx = cos_transmit(psdu, control, tx_config(24));
+
+  MultipathProfile profile;
+  FadingChannel channel(profile, 17);
+  Rng noise(7);
+  const double nv = noise_var_for_measured_snr(channel, 20.0);
+  const CxVec received = channel.transmit(tx.samples, nv, noise);
+
+  const CosRxPacket rx = cos_receive(received, rx_config());
+  ASSERT_TRUE(rx.data_ok);
+  ASSERT_TRUE(rx.evm_valid);
+  // Weak subcarriers must show larger EVM: compare against the channel.
+  const auto response = channel.frequency_response();
+  const auto bins = data_subcarrier_bins();
+  int strongest = 0, weakest = 0;
+  for (int j = 1; j < kNumDataSubcarriers; ++j) {
+    const double g = std::norm(response[static_cast<std::size_t>(
+        bins[static_cast<std::size_t>(j)])]);
+    if (g > std::norm(response[static_cast<std::size_t>(
+                bins[static_cast<std::size_t>(strongest)])])) {
+      strongest = j;
+    }
+    if (g < std::norm(response[static_cast<std::size_t>(
+                bins[static_cast<std::size_t>(weakest)])])) {
+      weakest = j;
+    }
+  }
+  EXPECT_GT(rx.evm[static_cast<std::size_t>(weakest)],
+            rx.evm[static_cast<std::size_t>(strongest)]);
+}
+
+TEST(CosLink, ReconstructIdealGridMatchesTransmitter) {
+  Rng rng(8);
+  const Bytes psdu = test_psdu(rng, 200);
+  const Mcs& mcs = mcs_for_rate(36);
+  const std::uint8_t seed = 0x11;
+  const TxFrame frame = build_frame(psdu, mcs, seed);
+  DecodeResult decode;
+  decode.crc_ok = true;
+  decode.psdu = psdu;
+  decode.scrambler_seed = seed;
+  const auto grid = reconstruct_ideal_grid(decode, mcs);
+  ASSERT_EQ(grid.size(), frame.data_grid.size());
+  for (std::size_t s = 0; s < grid.size(); ++s) {
+    for (int j = 0; j < kNumDataSubcarriers; ++j) {
+      EXPECT_EQ(grid[s][static_cast<std::size_t>(j)],
+                frame.data_grid[s][static_cast<std::size_t>(j)]);
+    }
+  }
+  DecodeResult bad;
+  bad.crc_ok = false;
+  EXPECT_THROW(reconstruct_ideal_grid(bad, mcs), std::invalid_argument);
+}
+
+TEST(CosLink, NextSelectionPrefersWeakSubcarriers) {
+  Rng rng(9);
+  const Bytes psdu = test_psdu(rng, 400);
+  const Bits control = rng.bits(16);
+  const CosTxPacket tx = cos_transmit(psdu, control, tx_config(24));
+
+  MultipathProfile profile;
+  FadingChannel channel(profile, 29);
+  Rng noise(10);
+  const double nv = noise_var_for_measured_snr(channel, 18.0);
+  const CxVec received = channel.transmit(tx.samples, nv, noise);
+
+  CosRxConfig config = rx_config();
+  config.min_feedback_subcarriers = 6;
+  const CosRxPacket rx = cos_receive(received, config);
+  ASSERT_TRUE(rx.data_ok);
+  ASSERT_GE(rx.next_control_subcarriers.size(), 6u);
+
+  // Every selected subcarrier must be detectable, and among detectable
+  // subcarriers the selection must prefer the weakest (highest EVM).
+  DetectorConfig detector;
+  detector.modulation = Modulation::kQam16;
+  double sel_sum = 0.0, rest_sum = 0.0;
+  int rest_count = 0;
+  for (int j = 0; j < kNumDataSubcarriers; ++j) {
+    const bool in_sel =
+        std::find(rx.next_control_subcarriers.begin(),
+                  rx.next_control_subcarriers.end(),
+                  j) != rx.next_control_subcarriers.end();
+    const bool detectable =
+        subcarrier_detectable(detector, rx.fe.noise_var, rx.fe.channel, j);
+    if (in_sel) {
+      EXPECT_TRUE(detectable) << "selected undetectable subcarrier " << j;
+      sel_sum += rx.evm[static_cast<std::size_t>(j)];
+    } else if (detectable) {
+      rest_sum += rx.evm[static_cast<std::size_t>(j)];
+      ++rest_count;
+    }
+  }
+  ASSERT_GT(rest_count, 0);
+  const double sel_mean =
+      sel_sum / static_cast<double>(rx.next_control_subcarriers.size());
+  const double rest_mean = rest_sum / rest_count;
+  EXPECT_GT(sel_mean, rest_mean);
+}
+
+}  // namespace
+}  // namespace silence

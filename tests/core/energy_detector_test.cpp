@@ -1,0 +1,196 @@
+#include "core/energy_detector.h"
+
+#include <gtest/gtest.h>
+
+#include "channel/fading.h"
+#include "common/crc32.h"
+#include "common/rng.h"
+#include "core/cos_link.h"
+#include "core/silence_plan.h"
+#include "phy/receiver.h"
+#include "phy/transmitter.h"
+
+namespace silence {
+namespace {
+
+const std::vector<int> kControl = {10, 11, 12, 13, 14, 15, 16, 17};
+
+Bytes test_psdu(Rng& rng, std::size_t total) {
+  Bytes psdu = rng.bytes(total - 4);
+  append_fcs(psdu);
+  return psdu;
+}
+
+// Transmits a CoS packet over AWGN at `snr_db` and returns the detected
+// mask plus the ground truth.
+struct DetectionRun {
+  SilenceMask truth;
+  SilenceMask detected;
+};
+
+DetectionRun run_detection(double snr_db, std::uint64_t seed,
+                           const DetectorConfig& config = {}) {
+  Rng rng(seed);
+  CosTxConfig tx_config;
+  tx_config.mcs = &mcs_for_rate(12);
+  tx_config.control_subcarriers = kControl;
+  const Bytes psdu = test_psdu(rng, 200);
+  const Bits control = rng.bits(40);
+  const CosTxPacket tx = cos_transmit(psdu, control, tx_config);
+
+  CxVec samples = tx.samples;
+  const double nv = noise_var_for_snr_db(snr_db);
+  for (auto& x : samples) x += rng.complex_gaussian(nv);
+
+  const FrontEndResult fe = receiver_front_end(samples);
+  DetectionRun run;
+  run.truth = tx.plan.mask;
+  if (fe.signal) run.detected = detect_silences(fe, kControl, config);
+  return run;
+}
+
+TEST(EnergyDetector, PerfectAtHighSnr) {
+  const DetectionRun run = run_detection(25.0, 1);
+  ASSERT_EQ(run.detected.size(), run.truth.size());
+  for (std::size_t s = 0; s < run.truth.size(); ++s) {
+    for (int sc : kControl) {
+      const auto idx = static_cast<std::size_t>(sc);
+      EXPECT_EQ(run.detected[s][idx], run.truth[s][idx])
+          << "symbol " << s << " subcarrier " << sc;
+    }
+  }
+}
+
+TEST(EnergyDetector, NonControlSubcarriersNeverFlagged) {
+  const DetectionRun run = run_detection(10.0, 2);
+  for (const auto& row : run.detected) {
+    for (int sc = 0; sc < kNumDataSubcarriers; ++sc) {
+      if (std::find(kControl.begin(), kControl.end(), sc) == kControl.end()) {
+        EXPECT_EQ(row[static_cast<std::size_t>(sc)], 0);
+      }
+    }
+  }
+}
+
+TEST(EnergyDetector, ThresholdModes) {
+  std::array<Cx, kFftSize> unit_channel{};
+  for (auto& h : unit_channel) h = Cx{1.0, 0.0};
+
+  DetectorConfig margin_mode;
+  margin_mode.mode = ThresholdMode::kNoiseMargin;
+  margin_mode.threshold_margin = 4.0;
+  EXPECT_DOUBLE_EQ(detection_threshold(margin_mode, 0.5, unit_channel, 0),
+                   2.0);
+
+  DetectorConfig fixed;
+  fixed.fixed_threshold = 0.123;
+  EXPECT_DOUBLE_EQ(detection_threshold(fixed, 0.5, unit_channel, 0), 0.123);
+
+  DetectorConfig bad;
+  bad.threshold_margin = 0.0;
+  EXPECT_THROW(detection_threshold(bad, 0.5, unit_channel, 0),
+               std::invalid_argument);
+}
+
+TEST(EnergyDetector, MidpointThresholdTracksChannelGain) {
+  std::array<Cx, kFftSize> channel{};
+  for (auto& h : channel) h = Cx{1.0, 0.0};
+  // Make logical subcarrier 0 (bin 38) deeply faded.
+  channel[38] = Cx{0.05, 0.0};
+
+  DetectorConfig config;
+  config.mode = ThresholdMode::kPerSubcarrierMidpoint;
+  config.modulation = Modulation::kQam16;
+  const double noise = 1e-3;
+  const double strong = detection_threshold(config, noise, channel, 1);
+  const double weak = detection_threshold(config, noise, channel, 0);
+  EXPECT_GT(strong, weak);
+  // Never below the noise floor itself.
+  EXPECT_GE(weak, noise);
+}
+
+TEST(EnergyDetector, DetectabilityRequiresHeadroom) {
+  std::array<Cx, kFftSize> channel{};
+  for (auto& h : channel) h = Cx{1.0, 0.0};
+  channel[38] = Cx{0.01, 0.0};  // logical subcarrier 0: dead
+
+  DetectorConfig config;
+  config.modulation = Modulation::kQpsk;
+  const double noise = 1e-3;
+  EXPECT_TRUE(subcarrier_detectable(config, noise, channel, 1));
+  EXPECT_FALSE(subcarrier_detectable(config, noise, channel, 0));
+  // 64QAM's inner points make detection harder at equal channel gain.
+  DetectorConfig qam64 = config;
+  qam64.modulation = Modulation::kQam64;
+  channel[39] = Cx{0.2, 0.0};  // logical subcarrier 1: -14 dB
+  EXPECT_TRUE(subcarrier_detectable(config, noise, channel, 1));
+  EXPECT_FALSE(subcarrier_detectable(qam64, noise, channel, 1));
+}
+
+TEST(EnergyDetector, HugeThresholdFlagsEverything) {
+  DetectorConfig config;
+  config.fixed_threshold = 1e9;
+  const DetectionRun run = run_detection(20.0, 3, config);
+  for (const auto& row : run.detected) {
+    for (int sc : kControl) {
+      EXPECT_EQ(row[static_cast<std::size_t>(sc)], 1);
+    }
+  }
+}
+
+TEST(EnergyDetector, ZeroThresholdFlagsNothing) {
+  DetectorConfig config;
+  config.fixed_threshold = 0.0;
+  const DetectionRun run = run_detection(20.0, 4, config);
+  for (const auto& row : run.detected) {
+    for (int sc : kControl) {
+      EXPECT_EQ(row[static_cast<std::size_t>(sc)], 0);
+    }
+  }
+}
+
+TEST(EnergyDetector, FalseRatesSmallInWorkingSnrRegion) {
+  // Paper Fig. 10(c): above ~10 dB both false probabilities are near 0.
+  std::size_t false_pos = 0, false_neg = 0, active = 0, silent = 0;
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    const DetectionRun run = run_detection(15.0, 100 + seed);
+    for (std::size_t s = 0; s < run.truth.size(); ++s) {
+      for (int sc : kControl) {
+        const auto idx = static_cast<std::size_t>(sc);
+        if (run.truth[s][idx]) {
+          ++silent;
+          if (!run.detected[s][idx]) ++false_neg;
+        } else {
+          ++active;
+          if (run.detected[s][idx]) ++false_pos;
+        }
+      }
+    }
+  }
+  ASSERT_GT(silent, 50u);
+  ASSERT_GT(active, 500u);
+  EXPECT_LT(static_cast<double>(false_neg) / silent, 0.01);
+  EXPECT_LT(static_cast<double>(false_pos) / active, 0.01);
+}
+
+TEST(EnergyDetector, DataBinEnergiesLayout) {
+  Rng rng(5);
+  CxVec bins(kFftSize, Cx{0.0, 0.0});
+  const auto data_bins = data_subcarrier_bins();
+  bins[static_cast<std::size_t>(data_bins[20])] = Cx{2.0, 0.0};
+  const auto energies = data_bin_energies(bins);
+  ASSERT_EQ(energies.size(), 48u);
+  EXPECT_DOUBLE_EQ(energies[20], 4.0);
+  EXPECT_DOUBLE_EQ(energies[0], 0.0);
+}
+
+TEST(EnergyDetector, SubcarrierRangeValidated) {
+  FrontEndResult fe;
+  fe.data_bins.emplace_back(kFftSize, Cx{0.0, 0.0});
+  fe.noise_var = 0.01;
+  const std::vector<int> bad = {48};
+  EXPECT_THROW(detect_silences(fe, bad, {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace silence

@@ -1,0 +1,139 @@
+#include "core/evm.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "phy/modulation.h"
+
+namespace silence {
+namespace {
+
+std::vector<CxVec> constant_grid(int symbols, Cx value) {
+  return std::vector<CxVec>(static_cast<std::size_t>(symbols),
+                            CxVec(kNumDataSubcarriers, value));
+}
+
+TEST(Evm, ZeroForPerfectReception) {
+  Rng rng(1);
+  std::vector<CxVec> ideal(5, CxVec(kNumDataSubcarriers));
+  for (auto& row : ideal) {
+    for (auto& p : row) {
+      p = constellation(Modulation::kQam16)[rng.uniform_int(0, 15)];
+    }
+  }
+  const auto evm = per_subcarrier_evm(ideal, ideal, Modulation::kQam16);
+  for (double v : evm) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(Evm, KnownOffsetGivesKnownEvm) {
+  // Every received point offset by 0.1: EVM = 0.1 / sqrt(mean energy) =
+  // 0.1 for unit-energy constellations.
+  const auto ideal = constant_grid(4, Cx{1.0, 0.0});
+  auto received = ideal;
+  for (auto& row : received) {
+    for (auto& p : row) p += Cx{0.1, 0.0};
+  }
+  const auto evm = per_subcarrier_evm(received, ideal, Modulation::kBpsk);
+  for (double v : evm) EXPECT_NEAR(v, 0.1, 1e-12);
+}
+
+TEST(Evm, PerSubcarrierIndependence) {
+  // Distort only subcarrier 7; all others must stay at zero EVM.
+  const auto ideal = constant_grid(10, Cx{1.0, 0.0});
+  auto received = ideal;
+  for (auto& row : received) row[7] += Cx{0.0, 0.3};
+  const auto evm = per_subcarrier_evm(received, ideal, Modulation::kBpsk);
+  for (int j = 0; j < kNumDataSubcarriers; ++j) {
+    if (j == 7) {
+      EXPECT_NEAR(evm[7], 0.3, 1e-12);
+    } else {
+      EXPECT_DOUBLE_EQ(evm[static_cast<std::size_t>(j)], 0.0);
+    }
+  }
+}
+
+TEST(Evm, RmsOverSymbols) {
+  // Alternating error magnitudes 0 and 0.2 -> RMS = 0.2/sqrt(2).
+  const auto ideal = constant_grid(2, Cx{1.0, 0.0});
+  auto received = ideal;
+  received[1][0] += Cx{0.2, 0.0};
+  const auto evm = per_subcarrier_evm(received, ideal, Modulation::kBpsk);
+  EXPECT_NEAR(evm[0], 0.2 / std::sqrt(2.0), 1e-12);
+}
+
+TEST(Evm, ExcludedSilencePositionsIgnored) {
+  const auto ideal = constant_grid(3, Cx{1.0, 0.0});
+  auto received = ideal;
+  // A silence symbol received as (0,0) would look like a huge error.
+  received[1][5] = Cx{0.0, 0.0};
+  SilenceMask mask(3, std::vector<std::uint8_t>(kNumDataSubcarriers, 0));
+  mask[1][5] = 1;
+  const auto evm =
+      per_subcarrier_evm(received, ideal, Modulation::kBpsk, &mask);
+  EXPECT_DOUBLE_EQ(evm[5], 0.0);
+  // Without the mask the same data shows a large EVM.
+  const auto no_mask = per_subcarrier_evm(received, ideal, Modulation::kBpsk);
+  EXPECT_GT(no_mask[5], 0.4);
+}
+
+TEST(Evm, AllSymbolsExcludedGivesZero) {
+  const auto ideal = constant_grid(2, Cx{1.0, 0.0});
+  SilenceMask mask(2, std::vector<std::uint8_t>(kNumDataSubcarriers, 1));
+  const auto evm = per_subcarrier_evm(ideal, ideal, Modulation::kBpsk, &mask);
+  for (double v : evm) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(Evm, ShapeValidation) {
+  const auto a = constant_grid(2, Cx{1.0, 0.0});
+  const auto b = constant_grid(3, Cx{1.0, 0.0});
+  EXPECT_THROW(per_subcarrier_evm(a, b, Modulation::kBpsk),
+               std::invalid_argument);
+  std::vector<CxVec> short_row(2, CxVec(47));
+  EXPECT_THROW(per_subcarrier_evm(short_row, short_row, Modulation::kBpsk),
+               std::invalid_argument);
+}
+
+
+TEST(Evm, MaskShapeValidated) {
+  const auto grid = constant_grid(3, Cx{1.0, 0.0});
+  SilenceMask wrong(2, std::vector<std::uint8_t>(kNumDataSubcarriers, 0));
+  EXPECT_THROW(per_subcarrier_evm(grid, grid, Modulation::kBpsk, &wrong),
+               std::invalid_argument);
+}
+
+TEST(EvmChange, ZeroForIdenticalSnapshots) {
+  SubcarrierEvm evm{};
+  for (int j = 0; j < kNumDataSubcarriers; ++j) {
+    evm[static_cast<std::size_t>(j)] = 0.01 * (j + 1);
+  }
+  EXPECT_DOUBLE_EQ(evm_change(evm, evm), 0.0);
+}
+
+TEST(EvmChange, MatchesHandComputedValue) {
+  SubcarrierEvm a{}, b{};
+  a[0] = 0.3;
+  b[0] = 0.4;
+  // ||a - b|| / ||b|| = 0.1 / 0.4.
+  EXPECT_NEAR(evm_change(a, b), 0.25, 1e-12);
+}
+
+TEST(EvmChange, ScaleInvarianceOfReference) {
+  Rng rng(2);
+  SubcarrierEvm a{}, b{};
+  for (int j = 0; j < kNumDataSubcarriers; ++j) {
+    a[static_cast<std::size_t>(j)] = rng.uniform() * 0.2;
+    b[static_cast<std::size_t>(j)] = a[static_cast<std::size_t>(j)] * 1.01;
+  }
+  // A uniform 1% change gives nabla-EVM close to 1%.
+  EXPECT_NEAR(evm_change(a, b), 0.01, 2e-3);
+}
+
+TEST(EvmChange, ZeroReferenceHandled) {
+  SubcarrierEvm a{}, zero{};
+  a[3] = 0.1;
+  EXPECT_DOUBLE_EQ(evm_change(a, zero), 0.0);
+}
+
+}  // namespace
+}  // namespace silence

@@ -1,0 +1,115 @@
+#include "core/feedback_transport.h"
+
+#include <gtest/gtest.h>
+
+#include "channel/fading.h"
+#include "common/crc32.h"
+#include "common/rng.h"
+#include "core/cos_link.h"
+#include "phy/transmitter.h"
+
+namespace silence {
+namespace {
+
+Bytes ack_psdu(Rng& rng) {
+  Bytes psdu = rng.bytes(10);
+  append_fcs(psdu);
+  return psdu;
+}
+
+CxVec burst_with_feedback(const std::vector<int>& selection, Rng& rng) {
+  const TxFrame frame = build_frame(ack_psdu(rng), mcs_for_rate(6));
+  CxVec samples = frame_to_samples(frame);
+  append_selection_feedback(samples, selection, frame.num_symbols() + 1);
+  return samples;
+}
+
+TEST(FeedbackTransport, CleanChannelRoundTrip) {
+  Rng rng(1);
+  const std::vector<int> selection = {0, 7, 19, 33, 47};
+  const CxVec samples = burst_with_feedback(selection, rng);
+  const FrontEndResult fe = receiver_front_end(samples);
+  ASSERT_TRUE(fe.signal.has_value());
+  ASSERT_EQ(fe.trailer_bins.size(), 2u);
+  const auto decoded = decode_selection_feedback(fe);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, selection);
+}
+
+TEST(FeedbackTransport, EmptySelectionRoundTrip) {
+  Rng rng(2);
+  const CxVec samples = burst_with_feedback({}, rng);
+  const FrontEndResult fe = receiver_front_end(samples);
+  const auto decoded = decode_selection_feedback(fe);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->empty());
+}
+
+TEST(FeedbackTransport, AddsExactlyTwoSymbols) {
+  Rng rng(3);
+  const TxFrame frame = build_frame(ack_psdu(rng), mcs_for_rate(6));
+  CxVec samples = frame_to_samples(frame);
+  const std::size_t before = samples.size();
+  append_selection_feedback(samples, std::vector<int>{1, 2, 3},
+                            frame.num_symbols() + 1);
+  EXPECT_EQ(samples.size(), before + 2u * kSymbolSamples);
+}
+
+TEST(FeedbackTransport, NoTrailerMeansNoDecode) {
+  Rng rng(4);
+  const CxVec samples = frame_to_samples(build_frame(ack_psdu(rng),
+                                                     mcs_for_rate(6)));
+  const FrontEndResult fe = receiver_front_end(samples);
+  EXPECT_FALSE(decode_selection_feedback(fe).has_value());
+}
+
+TEST(FeedbackTransport, SurvivesNoisyFadedChannel) {
+  int intact = 0;
+  const int trials = 25;
+  for (int t = 0; t < trials; ++t) {
+    Rng rng(static_cast<std::uint64_t>(t) + 100);
+    MultipathProfile profile;
+    FadingChannel channel(profile, static_cast<std::uint64_t>(t) + 1);
+    const double nv = noise_var_for_measured_snr(channel, 15.0);
+
+    // Pick a selection that is detectable on THIS channel (the real loop
+    // guarantees this via TDD reciprocity + the detectability filter).
+    const FrontEndResult probe = receiver_front_end(
+        channel.transmit(burst_with_feedback({}, rng), nv, rng));
+    if (!probe.signal) continue;
+    DetectorConfig detector;
+    detector.modulation = Modulation::kBpsk;
+    std::vector<int> selection;
+    for (int sc = 0; sc < kNumDataSubcarriers && selection.size() < 6; ++sc) {
+      if (subcarrier_detectable(detector, probe.noise_var, probe.channel,
+                                sc)) {
+        selection.push_back(sc);
+      }
+    }
+    if (selection.size() < 6) continue;
+
+    const CxVec received =
+        channel.transmit(burst_with_feedback(selection, rng), nv, rng);
+    const FrontEndResult fe = receiver_front_end(received);
+    if (!fe.signal) continue;
+    const auto decoded = decode_selection_feedback(fe);
+    if (decoded && *decoded == selection) ++intact;
+  }
+  EXPECT_GE(intact, trials * 8 / 10);
+}
+
+TEST(FeedbackTransport, AckPayloadUnaffectedByTrailer) {
+  Rng rng(5);
+  Bytes psdu = rng.bytes(10);
+  append_fcs(psdu);
+  const TxFrame frame = build_frame(psdu, mcs_for_rate(6));
+  CxVec samples = frame_to_samples(frame);
+  append_selection_feedback(samples, std::vector<int>{5, 6, 7, 8},
+                            frame.num_symbols() + 1);
+  const RxPacket packet = receive_packet(samples);
+  ASSERT_TRUE(packet.ok);
+  EXPECT_EQ(packet.psdu, psdu);
+}
+
+}  // namespace
+}  // namespace silence

@@ -1,0 +1,119 @@
+#include "core/interval_code.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace silence {
+namespace {
+
+TEST(IntervalCode, PaperExample) {
+  // Paper §II-A: "001001101000001110100111" -> {2, 6, 8? ...} — the two
+  // worked digits are "0010" -> 2 and "0110" -> 6, last group "0111" -> 7.
+  const Bits bits = {0, 0, 1, 0, 0, 1, 1, 0, 1, 0, 0, 0,
+                     0, 0, 1, 1, 1, 0, 1, 0, 0, 1, 1, 1};
+  const auto intervals = bits_to_intervals(bits, 4);
+  ASSERT_EQ(intervals.size(), 6u);
+  EXPECT_EQ(intervals[0], 2);
+  EXPECT_EQ(intervals[1], 6);
+  EXPECT_EQ(intervals[5], 7);
+}
+
+TEST(IntervalCode, RoundTripRandom) {
+  Rng rng(1);
+  for (int k = 1; k <= 8; ++k) {
+    const Bits bits = rng.bits(static_cast<std::size_t>(k) * 25);
+    const auto intervals = bits_to_intervals(bits, k);
+    EXPECT_EQ(intervals.size(), 25u);
+    EXPECT_EQ(intervals_to_bits(intervals, k), bits) << "k=" << k;
+  }
+}
+
+TEST(IntervalCode, IntervalRangeMatchesK) {
+  Rng rng(2);
+  for (int k = 1; k <= 8; ++k) {
+    const Bits bits = rng.bits(static_cast<std::size_t>(k) * 100);
+    for (int interval : bits_to_intervals(bits, k)) {
+      EXPECT_GE(interval, 0);
+      EXPECT_LE(interval, (1 << k) - 1);
+    }
+  }
+}
+
+TEST(IntervalCode, RejectsBadK) {
+  const Bits bits(8, 0);
+  EXPECT_THROW(bits_to_intervals(bits, 0), std::invalid_argument);
+  EXPECT_THROW(bits_to_intervals(bits, 9), std::invalid_argument);
+}
+
+TEST(IntervalCode, RejectsPartialGroup) {
+  const Bits bits(10, 0);
+  EXPECT_THROW(bits_to_intervals(bits, 4), std::invalid_argument);
+}
+
+TEST(IntervalCode, RejectsOutOfRangeInterval) {
+  const std::vector<int> intervals = {3, 16};
+  EXPECT_THROW(intervals_to_bits(intervals, 4), std::invalid_argument);
+  const std::vector<int> negative = {-1};
+  EXPECT_THROW(intervals_to_bits(negative, 4), std::invalid_argument);
+}
+
+TEST(IntervalCode, TolerantDecodeStopsAtBadInterval) {
+  const std::vector<int> intervals = {5, 3, 17, 2};  // 17 > 15: silence lost
+  const Bits decoded = intervals_to_bits_tolerant(intervals, 4);
+  // Only the first two intervals decode.
+  ASSERT_EQ(decoded.size(), 8u);
+  EXPECT_EQ(bits_to_uint(std::span(decoded).first(4)), 5u);
+  EXPECT_EQ(bits_to_uint(std::span(decoded).subspan(4, 4)), 3u);
+}
+
+TEST(IntervalCode, GridPositionsNeeded) {
+  // Start silence + per interval (gap + closing silence).
+  const std::vector<int> intervals = {2, 6, 8, 0, 14, 7};
+  EXPECT_EQ(grid_positions_needed(intervals),
+            1u + (2 + 1) + (6 + 1) + (8 + 1) + (0 + 1) + (14 + 1) + (7 + 1));
+}
+
+TEST(IntervalCode, SilenceCount) {
+  EXPECT_EQ(silence_count_for_intervals(0), 1u);
+  EXPECT_EQ(silence_count_for_intervals(6), 7u);
+}
+
+TEST(IntervalCode, IntervalsThatFit) {
+  const std::vector<int> intervals = {2, 6, 8};  // needs 1+3+7+9 = 20
+  EXPECT_EQ(intervals_that_fit(intervals, 20), 3u);
+  EXPECT_EQ(intervals_that_fit(intervals, 19), 2u);
+  EXPECT_EQ(intervals_that_fit(intervals, 11), 2u);
+  EXPECT_EQ(intervals_that_fit(intervals, 10), 1u);
+  EXPECT_EQ(intervals_that_fit(intervals, 4), 1u);
+  EXPECT_EQ(intervals_that_fit(intervals, 3), 0u);
+  EXPECT_EQ(intervals_that_fit(intervals, 0), 0u);
+}
+
+TEST(IntervalCode, ZeroIntervalMeansConsecutiveSilences) {
+  const Bits bits = {0, 0, 0, 0};  // one interval of value 0
+  const auto intervals = bits_to_intervals(bits, 4);
+  ASSERT_EQ(intervals.size(), 1u);
+  EXPECT_EQ(intervals[0], 0);
+  EXPECT_EQ(grid_positions_needed(intervals), 2u);  // two adjacent silences
+}
+
+class IntervalCodeKSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(IntervalCodeKSweep, CapacityPerSilenceGrowsWithK) {
+  // k bits ride on each interval; larger k = more bits per silence symbol
+  // but longer expected gaps. Verify the bits-per-position tradeoff math.
+  const int k = GetParam();
+  Rng rng(static_cast<std::uint64_t>(k));
+  const Bits bits = rng.bits(static_cast<std::size_t>(k) * 200);
+  const auto intervals = bits_to_intervals(bits, k);
+  const double mean_interval = ((1 << k) - 1) / 2.0;
+  const double positions = static_cast<double>(grid_positions_needed(intervals));
+  const double expected = 1.0 + 200.0 * (mean_interval + 1.0);
+  EXPECT_NEAR(positions, expected, expected * 0.15) << "k=" << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, IntervalCodeKSweep, ::testing::Values(2, 3, 4, 5, 6));
+
+}  // namespace
+}  // namespace silence

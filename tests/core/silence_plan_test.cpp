@@ -1,0 +1,157 @@
+#include "core/silence_plan.h"
+
+#include <algorithm>
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/interval_code.h"
+#include "phy/params.h"
+
+namespace silence {
+namespace {
+
+const std::vector<int> kSixSubcarriers = {10, 11, 12, 13, 14, 15};
+
+TEST(SilencePlan, PaperFigure1Layout) {
+  // Paper Fig. 1(a): 24 bits over 6 logical subcarriers; first silence at
+  // grid position 0, interval "0010" = 2 puts the next at position 3.
+  const Bits bits = {0, 0, 1, 0, 0, 1, 1, 0, 1, 0, 0, 0,
+                     0, 0, 1, 1, 1, 0, 1, 0, 0, 1, 1, 1};
+  const SilencePlan plan = plan_silences(bits, 12, kSixSubcarriers, 4);
+  EXPECT_EQ(plan.bits_sent, 24u);
+  EXPECT_EQ(plan.silence_count, 7u);  // 6 intervals + start marker
+  // Position 0 = (symbol 0, first control subcarrier).
+  EXPECT_EQ(plan.mask[0][10], 1);
+  // Interval 2: next silence at position 3 = (symbol 0, subcarrier idx 3).
+  EXPECT_EQ(plan.mask[0][13], 1);
+  // Interval 6: position 3 + 7 = 10 -> symbol 1, control index 4 (sc 14).
+  EXPECT_EQ(plan.mask[1][14], 1);
+}
+
+TEST(SilencePlan, MaskRoundTripThroughIntervals) {
+  Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Bits bits = rng.bits(40);
+    const SilencePlan plan = plan_silences(bits, 30, kSixSubcarriers, 4);
+    ASSERT_EQ(plan.bits_sent, 40u);
+    const auto intervals = mask_to_intervals(plan.mask, kSixSubcarriers);
+    const Bits decoded = intervals_to_bits(intervals, 4);
+    EXPECT_EQ(decoded, bits);
+  }
+}
+
+TEST(SilencePlan, TruncatesWhenGridTooSmall) {
+  Rng rng(4);
+  const Bits bits = rng.bits(400);  // far more than 2 symbols x 6 carriers
+  const SilencePlan plan = plan_silences(bits, 2, kSixSubcarriers, 4);
+  EXPECT_LT(plan.bits_sent, 400u);
+  EXPECT_EQ(plan.bits_sent % 4, 0u);
+  // Whatever fit must still decode correctly.
+  const auto intervals = mask_to_intervals(plan.mask, kSixSubcarriers);
+  const Bits decoded = intervals_to_bits(intervals, 4);
+  EXPECT_EQ(decoded.size(), plan.bits_sent);
+  for (std::size_t i = 0; i < decoded.size(); ++i) {
+    EXPECT_EQ(decoded[i], bits[i]);
+  }
+}
+
+TEST(SilencePlan, PadsPartialGroupWithZeros) {
+  const Bits bits = {1, 0, 1};  // 3 bits with k = 4 -> padded to "1010"
+  const SilencePlan plan = plan_silences(bits, 10, kSixSubcarriers, 4);
+  EXPECT_EQ(plan.bits_sent, 3u);
+  const auto intervals = mask_to_intervals(plan.mask, kSixSubcarriers);
+  ASSERT_EQ(intervals.size(), 1u);
+  EXPECT_EQ(intervals[0], 0b1010);
+}
+
+TEST(SilencePlan, EmptyMessageEmptyMask) {
+  const SilencePlan plan = plan_silences({}, 10, kSixSubcarriers, 4);
+  EXPECT_EQ(plan.bits_sent, 0u);
+  // A lone start marker would convey nothing; zero intervals fit, but the
+  // marker itself is still placed (silence_count == 1).
+  const auto intervals = mask_to_intervals(plan.mask, kSixSubcarriers);
+  EXPECT_TRUE(intervals.empty());
+}
+
+TEST(SilencePlan, OnlyControlSubcarriersTouched) {
+  Rng rng(5);
+  const Bits bits = rng.bits(60);
+  const SilencePlan plan = plan_silences(bits, 40, kSixSubcarriers, 4);
+  for (const auto& row : plan.mask) {
+    for (int sc = 0; sc < kNumDataSubcarriers; ++sc) {
+      if (std::find(kSixSubcarriers.begin(), kSixSubcarriers.end(), sc) ==
+          kSixSubcarriers.end()) {
+        EXPECT_EQ(row[static_cast<std::size_t>(sc)], 0);
+      }
+    }
+  }
+}
+
+TEST(SilencePlan, SilenceCountMatchesMask) {
+  Rng rng(6);
+  const Bits bits = rng.bits(80);
+  const SilencePlan plan = plan_silences(bits, 60, kSixSubcarriers, 4);
+  std::size_t mask_count = 0;
+  for (const auto& row : plan.mask) {
+    for (auto cell : row) mask_count += cell;
+  }
+  EXPECT_EQ(mask_count, plan.silence_count);
+  EXPECT_EQ(plan.silence_count, plan.intervals.size() + 1);
+}
+
+TEST(SilencePlan, ApplySilencesZeroesPlannedPoints) {
+  Rng rng(7);
+  const Bits bits = rng.bits(16);
+  const SilencePlan plan = plan_silences(bits, 8, kSixSubcarriers, 4);
+  std::vector<CxVec> grid(8, CxVec(kNumDataSubcarriers, Cx{1.0, 1.0}));
+  apply_silences(grid, plan.mask);
+  for (std::size_t s = 0; s < grid.size(); ++s) {
+    for (int sc = 0; sc < kNumDataSubcarriers; ++sc) {
+      const auto idx = static_cast<std::size_t>(sc);
+      if (plan.mask[s][idx]) {
+        EXPECT_EQ(grid[s][idx], (Cx{0.0, 0.0}));
+      } else {
+        EXPECT_EQ(grid[s][idx], (Cx{1.0, 1.0}));
+      }
+    }
+  }
+}
+
+TEST(SilencePlan, ApplySilencesValidatesShape) {
+  std::vector<CxVec> grid(3, CxVec(kNumDataSubcarriers));
+  const SilenceMask mask = empty_mask(4);
+  EXPECT_THROW(apply_silences(grid, mask), std::invalid_argument);
+}
+
+TEST(SilencePlan, RejectsBadSubcarriers) {
+  const Bits bits(8, 0);
+  const std::vector<int> none;
+  EXPECT_THROW(plan_silences(bits, 4, none, 4), std::invalid_argument);
+  const std::vector<int> bad = {3, 48};
+  EXPECT_THROW(plan_silences(bits, 4, bad, 4), std::invalid_argument);
+}
+
+TEST(SilencePlan, NonContiguousSubcarrierSetWorks) {
+  // Feedback-selected sets are arbitrary subsets; the logical numbering
+  // follows the list order.
+  Rng rng(8);
+  const std::vector<int> scattered = {2, 7, 19, 33, 41, 46};
+  const Bits bits = rng.bits(32);
+  const SilencePlan plan = plan_silences(bits, 20, scattered, 4);
+  EXPECT_EQ(plan.bits_sent, 32u);
+  const auto intervals = mask_to_intervals(plan.mask, scattered);
+  EXPECT_EQ(intervals_to_bits(intervals, 4), bits);
+}
+
+TEST(SilencePlan, DifferentKValues) {
+  Rng rng(9);
+  for (int k = 1; k <= 6; ++k) {
+    const Bits bits = rng.bits(static_cast<std::size_t>(k) * 8);
+    const SilencePlan plan = plan_silences(bits, 60, kSixSubcarriers, k);
+    const auto intervals = mask_to_intervals(plan.mask, kSixSubcarriers);
+    EXPECT_EQ(intervals_to_bits(intervals, k), bits) << "k=" << k;
+  }
+}
+
+}  // namespace
+}  // namespace silence

@@ -1,0 +1,101 @@
+#include "core/subcarrier_selection.h"
+
+#include <gtest/gtest.h>
+
+#include "phy/modulation.h"
+
+namespace silence {
+namespace {
+
+TEST(SubcarrierSelection, PicksEvmAboveHalfDm) {
+  SubcarrierEvm evm{};
+  const double half_dm = min_constellation_distance(Modulation::kQam16) / 2.0;
+  evm[5] = half_dm * 1.5;
+  evm[20] = half_dm * 2.0;
+  evm[33] = half_dm * 0.5;  // below threshold
+  const auto selected =
+      select_control_subcarriers(evm, Modulation::kQam16, 0);
+  ASSERT_EQ(selected.size(), 2u);
+  // Canonical ascending subcarrier order.
+  EXPECT_EQ(selected[0], 5);
+  EXPECT_EQ(selected[1], 20);
+}
+
+TEST(SubcarrierSelection, TopsUpToMinCount) {
+  SubcarrierEvm evm{};
+  for (int j = 0; j < kNumDataSubcarriers; ++j) {
+    evm[static_cast<std::size_t>(j)] = 0.001 * (j + 1);  // all tiny
+  }
+  const auto selected =
+      select_control_subcarriers(evm, Modulation::kQpsk, 6);
+  ASSERT_EQ(selected.size(), 6u);
+  // The six weakest (highest-EVM) subcarriers are 42..47, ascending.
+  EXPECT_EQ(selected[0], 42);
+  EXPECT_EQ(selected[5], 47);
+}
+
+TEST(SubcarrierSelection, MaxCountCaps) {
+  SubcarrierEvm evm{};
+  for (auto& v : evm) v = 10.0;  // everything "weak"
+  const auto selected =
+      select_control_subcarriers(evm, Modulation::kQam64, 0, 8);
+  EXPECT_EQ(selected.size(), 8u);
+}
+
+TEST(SubcarrierSelection, ThresholdDependsOnModulation) {
+  // An EVM of 0.2 predicts errors for 64QAM (D_m/2 = 0.154) but not for
+  // QPSK (D_m/2 = 0.707).
+  SubcarrierEvm evm{};
+  evm[10] = 0.2;
+  EXPECT_EQ(select_control_subcarriers(evm, Modulation::kQam64, 0).size(),
+            1u);
+  EXPECT_TRUE(select_control_subcarriers(evm, Modulation::kQpsk, 0).empty());
+}
+
+TEST(SubcarrierSelection, BadCountsRejected) {
+  SubcarrierEvm evm{};
+  EXPECT_THROW(select_control_subcarriers(evm, Modulation::kQpsk, -1),
+               std::invalid_argument);
+  EXPECT_THROW(select_control_subcarriers(evm, Modulation::kQpsk, 10, 5),
+               std::invalid_argument);
+  EXPECT_THROW(select_control_subcarriers(evm, Modulation::kQpsk, 0, 49),
+               std::invalid_argument);
+}
+
+TEST(FeedbackVector, EncodeDecodeRoundTrip) {
+  const std::vector<int> selected = {3, 17, 25, 40, 47};
+  const auto row = encode_selection_vector(selected);
+  ASSERT_EQ(row.size(), static_cast<std::size_t>(kNumDataSubcarriers));
+  EXPECT_EQ(decode_selection_vector(row), selected);
+}
+
+TEST(FeedbackVector, EmptySelection) {
+  const auto row = encode_selection_vector({});
+  EXPECT_TRUE(decode_selection_vector(row).empty());
+}
+
+TEST(FeedbackVector, FullSelection) {
+  std::vector<int> all;
+  for (int j = 0; j < kNumDataSubcarriers; ++j) all.push_back(j);
+  const auto row = encode_selection_vector(all);
+  EXPECT_EQ(decode_selection_vector(row), all);
+}
+
+TEST(FeedbackVector, Validation) {
+  EXPECT_THROW(encode_selection_vector(std::vector<int>{48}),
+               std::invalid_argument);
+  EXPECT_THROW(encode_selection_vector(std::vector<int>{-1}),
+               std::invalid_argument);
+  const std::vector<std::uint8_t> short_row(47, 0);
+  EXPECT_THROW(decode_selection_vector(short_row), std::invalid_argument);
+}
+
+TEST(FeedbackVector, OneOfdmSymbolSuffices) {
+  // The paper's claim: the selection vector feedback costs exactly one
+  // OFDM symbol (48 data subcarriers >= 48 vector entries).
+  static_assert(kNumDataSubcarriers == 48);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace silence

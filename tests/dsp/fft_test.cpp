@@ -1,0 +1,114 @@
+#include "dsp/fft.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+#include <numbers>
+
+#include "common/rng.h"
+
+namespace silence {
+namespace {
+
+TEST(Fft, RejectsNonPowerOfTwo) {
+  CxVec data(48, Cx{1.0, 0.0});
+  EXPECT_THROW(fft_in_place(data, false), std::invalid_argument);
+}
+
+TEST(Fft, ImpulseGivesFlatSpectrum) {
+  CxVec data(64, Cx{0.0, 0.0});
+  data[0] = Cx{1.0, 0.0};
+  const CxVec spectrum = fft(data);
+  for (const Cx& bin : spectrum) {
+    EXPECT_NEAR(bin.real(), 1.0, 1e-12);
+    EXPECT_NEAR(bin.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(Fft, DcGivesImpulseAtBinZero) {
+  CxVec data(64, Cx{1.0, 0.0});
+  const CxVec spectrum = fft(data);
+  EXPECT_NEAR(spectrum[0].real(), 64.0, 1e-9);
+  for (std::size_t k = 1; k < 64; ++k) {
+    EXPECT_NEAR(std::abs(spectrum[k]), 0.0, 1e-9);
+  }
+}
+
+TEST(Fft, SingleToneLandsOnItsBin) {
+  const int tone = 5;
+  CxVec data(64);
+  for (int n = 0; n < 64; ++n) {
+    const double angle = 2.0 * std::numbers::pi * tone * n / 64.0;
+    data[static_cast<std::size_t>(n)] = Cx{std::cos(angle), std::sin(angle)};
+  }
+  const CxVec spectrum = fft(data);
+  EXPECT_NEAR(std::abs(spectrum[tone]), 64.0, 1e-9);
+  for (int k = 0; k < 64; ++k) {
+    if (k == tone) continue;
+    EXPECT_NEAR(std::abs(spectrum[static_cast<std::size_t>(k)]), 0.0, 1e-8);
+  }
+}
+
+class FftRoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftRoundTrip, InverseRecoversInput) {
+  Rng rng(GetParam());
+  CxVec data(GetParam());
+  for (auto& x : data) x = rng.complex_gaussian(1.0);
+  const CxVec recovered = ifft(fft(data));
+  ASSERT_EQ(recovered.size(), data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_NEAR(std::abs(recovered[i] - data[i]), 0.0, 1e-10);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FftRoundTrip,
+                         ::testing::Values(2, 4, 8, 16, 32, 64, 128, 256,
+                                           1024));
+
+TEST(Fft, ParsevalHolds) {
+  Rng rng(3);
+  CxVec data(64);
+  for (auto& x : data) x = rng.complex_gaussian(1.0);
+  const CxVec spectrum = fft(data);
+  // Unnormalized forward transform: sum |X|^2 = N * sum |x|^2.
+  EXPECT_NEAR(energy(spectrum), 64.0 * energy(data), 1e-8);
+}
+
+TEST(Fft, LinearityHolds) {
+  Rng rng(4);
+  CxVec a(32), b(32), combo(32);
+  for (std::size_t i = 0; i < 32; ++i) {
+    a[i] = rng.complex_gaussian(1.0);
+    b[i] = rng.complex_gaussian(1.0);
+    combo[i] = 2.0 * a[i] + Cx{0.0, 3.0} * b[i];
+  }
+  const CxVec fa = fft(a), fb = fft(b), fc = fft(combo);
+  for (std::size_t k = 0; k < 32; ++k) {
+    const Cx expected = 2.0 * fa[k] + Cx{0.0, 3.0} * fb[k];
+    EXPECT_NEAR(std::abs(fc[k] - expected), 0.0, 1e-9);
+  }
+}
+
+TEST(Fft, EnergyHelper) {
+  const CxVec data = {Cx{3.0, 4.0}, Cx{0.0, 2.0}};
+  EXPECT_DOUBLE_EQ(energy(data), 25.0 + 4.0);
+}
+
+TEST(Fft, CircularShiftIsPhaseRamp) {
+  Rng rng(5);
+  CxVec data(64);
+  for (auto& x : data) x = rng.complex_gaussian(1.0);
+  CxVec shifted(64);
+  for (std::size_t n = 0; n < 64; ++n) shifted[n] = data[(n + 63) % 64];
+  const CxVec f0 = fft(data), f1 = fft(shifted);
+  for (int k = 0; k < 64; ++k) {
+    const double angle = -2.0 * std::numbers::pi * k / 64.0;
+    const Cx ramp{std::cos(angle), std::sin(angle)};
+    EXPECT_NEAR(std::abs(f1[static_cast<std::size_t>(k)] -
+                         f0[static_cast<std::size_t>(k)] * ramp),
+                0.0, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace silence

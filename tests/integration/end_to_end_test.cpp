@@ -1,0 +1,157 @@
+// Whole-system integration: data + control across rates, SNRs, and fading
+// realizations, exercising the same pipeline the paper's evaluation uses.
+//
+// Control-channel accounting convention: per-SYMBOL silence detection is
+// near-perfect (the paper's "close to 100%" claim, verified in
+// tests/core/energy_detector_test.cpp), but one detection error corrupts
+// the rest of that packet's interval stream, so per-PACKET perfection
+// degrades with message length. These tests therefore check data PRR
+// strictly and control delivery as a bit-accuracy ratio.
+#include <gtest/gtest.h>
+
+#include "sim/session.h"
+
+namespace silence {
+namespace {
+
+struct SweepPoint {
+  double measured_snr_db;
+  int min_rate_mbps;  // rate adaptation must pick at least this
+};
+
+class EndToEndSnrSweep : public ::testing::TestWithParam<SweepPoint> {};
+
+TEST_P(EndToEndSnrSweep, DataAndControlSurviveAcrossRealizations) {
+  const SweepPoint point = GetParam();
+  int data_ok = 0, control_ok = 0, packets = 0;
+  std::size_t bits_sent = 0, bits_correct = 0;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    LinkConfig link_config;
+    link_config.snr_db = point.measured_snr_db;
+    link_config.snr_is_measured = true;
+    link_config.channel_seed = seed;
+    link_config.noise_seed = seed * 17;
+    // Static receiver: rate assertions need the pinned SNR to hold for
+    // every packet (mobility has its own test).
+    link_config.profile.doppler_hz = 0.0;
+    Link link(link_config);
+    CosSession session(link, SessionConfig{});
+    Rng rng(seed);
+    const Bytes psdu = make_test_psdu(1024, rng);
+    for (int p = 0; p < 6; ++p) {
+      const Bits control = rng.bits(400);
+      const PacketReport report = session.send_packet(psdu, control);
+      if (report.data_ok) {
+        EXPECT_GE(report.mcs->data_rate_mbps, point.min_rate_mbps);
+      }
+      if (p == 0) continue;  // bootstrap packet: default subcarrier set
+      ++packets;
+      data_ok += report.data_ok;
+      control_ok += report.control_ok;
+      bits_sent += report.control_bits_sent;
+      bits_correct += report.control_bits_correct;
+    }
+  }
+  // Data: the control-rate table is calibrated for a 99.3% PRR target;
+  // across a small sample allow a couple of failures.
+  EXPECT_GE(data_ok, packets - 3) << "snr " << point.measured_snr_db;
+  // Control: most packets deliver every bit; the bit-accuracy ratio must
+  // stay high even counting partially-corrupted packets.
+  EXPECT_GE(control_ok, packets * 6 / 10) << "snr " << point.measured_snr_db;
+  ASSERT_GT(bits_sent, 0u);
+  EXPECT_GE(static_cast<double>(bits_correct) / bits_sent, 0.70)
+      << "snr " << point.measured_snr_db;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SnrPoints, EndToEndSnrSweep,
+    ::testing::Values(SweepPoint{12.0, 24}, SweepPoint{16.0, 36},
+                      SweepPoint{20.0, 48}, SweepPoint{24.0, 54}),
+    [](const ::testing::TestParamInfo<SweepPoint>& info) {
+      return "Snr" + std::to_string(static_cast<int>(info.param.measured_snr_db));
+    });
+
+TEST(EndToEnd, ThroughputNotSacrificed) {
+  // The paper's core promise: CoS does not harm data throughput. Compare
+  // PRR with and without control messages at identical channel/noise.
+  int plain_ok = 0, cos_ok = 0;
+  const int packets = 20;
+  for (int variant = 0; variant < 2; ++variant) {
+    for (std::uint64_t seed = 1; seed <= packets; ++seed) {
+      LinkConfig link_config;
+      link_config.snr_db = 18.0;
+      link_config.snr_is_measured = true;
+      link_config.channel_seed = seed;
+      link_config.noise_seed = seed * 31;
+      Link link(link_config);
+      CosSession session(link, SessionConfig{});
+      Rng rng(seed + 5000);
+      const Bytes psdu = make_test_psdu(1024, rng);
+      const Bits control = rng.bits(variant == 0 ? 0 : 400);
+      const PacketReport report = session.send_packet(psdu, control);
+      (variant == 0 ? plain_ok : cos_ok) += report.data_ok;
+    }
+  }
+  EXPECT_GE(cos_ok, plain_ok - 1);
+}
+
+TEST(EndToEnd, LongControlStreamAcrossManyPackets) {
+  // Stream 2,000 control bits through consecutive packets; the sender
+  // advances by the acknowledged correct prefix (an upper layer would
+  // learn this from control-message acknowledgements).
+  LinkConfig link_config;
+  link_config.snr_db = 20.0;
+  link_config.snr_is_measured = true;
+  link_config.channel_seed = 9;
+  Link link(link_config);
+  CosSession session(link, SessionConfig{});
+  Rng rng(77);
+  const Bits stream = rng.bits(2000);
+  const Bytes psdu = make_test_psdu(1024, rng);
+
+  std::size_t offset = 0;
+  int packets = 0;
+  while (offset < stream.size() && packets < 150) {
+    const std::span<const std::uint8_t> rest =
+        std::span(stream).subspan(offset);
+    const PacketReport report = session.send_packet(psdu, rest);
+    ++packets;
+    offset += report.control_bits_correct;
+  }
+  EXPECT_EQ(offset, stream.size()) << "after " << packets << " packets";
+  // The stream must flow at a useful rate, not byte-at-a-time.
+  EXPECT_LE(packets, 120);
+}
+
+TEST(EndToEnd, MobilityWithFeedbackTracksChannel) {
+  // Walking-speed mobility: the EVM feedback loop must keep control
+  // delivery useful while the channel drifts.
+  LinkConfig link_config;
+  link_config.snr_db = 20.0;
+  link_config.snr_is_measured = true;
+  link_config.channel_seed = 21;
+  link_config.profile.doppler_hz = 15.0;
+  Link link(link_config);
+  CosSession session(link, SessionConfig{});
+  Rng rng(88);
+  const Bytes psdu = make_test_psdu(1024, rng);
+  int data_ok = 0;
+  std::size_t bits_sent = 0, bits_correct = 0;
+  const int packets = 30;
+  for (int p = 0; p < packets; ++p) {
+    const Bits control = rng.bits(200);
+    const PacketReport report = session.send_packet(psdu, control);
+    data_ok += report.data_ok;
+    if (p > 0) {
+      bits_sent += report.control_bits_sent;
+      bits_correct += report.control_bits_correct;
+    }
+    link.advance(2e-3);  // inter-packet gap
+  }
+  EXPECT_GE(data_ok, packets - 3);
+  ASSERT_GT(bits_sent, 0u);
+  EXPECT_GE(static_cast<double>(bits_correct) / bits_sent, 0.70);
+}
+
+}  // namespace
+}  // namespace silence

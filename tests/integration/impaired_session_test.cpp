@@ -1,0 +1,82 @@
+// CoS under realistic hardware impairments and as a broadcast channel.
+#include <gtest/gtest.h>
+
+#include "sim/session.h"
+
+namespace silence {
+namespace {
+
+TEST(ImpairedSession, ControlFlowsThroughRealisticRadio) {
+  // Residual CFO + phase noise + a -30 dB TX EVM floor: the receiver's
+  // sync and CPE tracking must keep both data and control usable.
+  int data_ok = 0;
+  std::size_t bits_sent = 0, bits_correct = 0;
+  const int packets = 5;
+  int counted = 0;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    LinkConfig lc;
+    lc.snr_db = 16.0;
+    lc.snr_is_measured = true;
+    lc.channel_seed = seed;
+    lc.noise_seed = seed * 7;
+    lc.impairments = ImpairmentProfile{
+        .cfo_hz = 12e3, .phase_noise_std = 1e-3, .tx_evm_floor = 0.03};
+    Link link(lc);
+    CosSession session(link, SessionConfig{});
+    Rng rng(seed * 13);
+    const Bytes psdu = make_test_psdu(1024, rng);
+    for (int p = 0; p < packets; ++p) {
+      const Bits control = rng.bits(120);
+      const PacketReport report = session.send_packet(psdu, control);
+      data_ok += report.data_ok;
+      if (p == 0) continue;  // bootstrap
+      ++counted;
+      bits_sent += report.control_bits_sent;
+      bits_correct += report.control_bits_correct;
+    }
+  }
+  EXPECT_GE(data_ok, 8 * packets - 4);
+  ASSERT_GT(bits_sent, 0u);
+  EXPECT_GE(static_cast<double>(bits_correct) / bits_sent, 0.6);
+}
+
+TEST(ImpairedSession, ControlMessagesAreBroadcast) {
+  // One transmission, many receivers: every station that decodes the
+  // data packet can read the control message from its own channel —
+  // nothing in CoS is receiver-specific except the subcarrier set, which
+  // is broadcast knowledge.
+  Rng rng(99);
+  const Bytes psdu = make_test_psdu(1024, rng);
+  const Bits control = rng.bits(48);
+  const std::vector<int> subcarriers = {10, 11, 12, 13, 14, 15, 16, 17};
+
+  CosTxConfig txc;
+  txc.mcs = &mcs_for_rate(12);
+  txc.control_subcarriers = subcarriers;
+  const CosTxPacket tx = cos_transmit(psdu, control, txc);
+
+  int receivers_ok = 0;
+  const int receivers = 6;
+  for (std::uint64_t seed = 1; seed <= receivers; ++seed) {
+    LinkConfig lc;
+    lc.snr_db = 17.0;
+    lc.snr_is_measured = true;
+    lc.channel_seed = seed * 101;  // each receiver has its own channel
+    lc.noise_seed = seed * 103;
+    Link link(lc);
+    const CxVec received = link.send(tx.samples);
+
+    CosRxConfig rxc;
+    rxc.control_subcarriers = subcarriers;
+    const CosRxPacket rx = cos_receive(received, rxc);
+    bool ok = rx.data_ok && rx.control_bits.size() >= tx.plan.bits_sent;
+    for (std::size_t i = 0; ok && i < tx.plan.bits_sent; ++i) {
+      ok = rx.control_bits[i] == control[i];
+    }
+    receivers_ok += ok;
+  }
+  EXPECT_GE(receivers_ok, receivers - 2);
+}
+
+}  // namespace
+}  // namespace silence

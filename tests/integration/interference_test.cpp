@@ -1,0 +1,93 @@
+// Interference behaviour (paper Fig. 10d): strong pulse interference
+// raises the false-negative probability of silence detection; weak
+// interference behaves like noise.
+#include <gtest/gtest.h>
+
+#include "sim/session.h"
+
+namespace silence {
+namespace {
+
+struct InterferenceOutcome {
+  double false_negative_rate = 0.0;
+  int data_ok = 0;
+  int packets = 0;
+};
+
+InterferenceOutcome run(double pulse_power, double hit_probability) {
+  InterferenceOutcome outcome;
+  std::size_t silences = 0, missed = 0;
+  for (std::uint64_t seed = 1; seed <= 15; ++seed) {
+    LinkConfig link_config;
+    link_config.snr_db = 18.0;
+    link_config.channel_seed = seed;
+    link_config.noise_seed = seed * 13;
+    if (pulse_power > 0.0) {
+      link_config.interferer = PulseInterferer{
+          .symbol_hit_probability = hit_probability,
+          .pulse_power = pulse_power};
+    }
+    Link link(link_config);
+    Rng rng(seed + 400);
+    const Bytes psdu = make_test_psdu(1024, rng);
+    const Bits control = rng.bits(300);
+
+    CosTxConfig tx_config;
+    tx_config.mcs = &mcs_for_rate(24);
+    tx_config.control_subcarriers = {10, 11, 12, 13, 14, 15, 16, 17};
+    const CosTxPacket tx = cos_transmit(psdu, control, tx_config);
+    const CxVec received = link.send(tx.samples);
+
+    CosRxConfig rx_config;
+    rx_config.control_subcarriers = tx_config.control_subcarriers;
+    const CosRxPacket rx = cos_receive(received, rx_config);
+    ++outcome.packets;
+    outcome.data_ok += rx.data_ok;
+    // Under strong interference SIGNAL itself may fail; no mask then.
+    if (rx.detected_mask.size() != tx.plan.mask.size()) continue;
+    for (std::size_t s = 0; s < tx.plan.mask.size(); ++s) {
+      for (int sc : tx_config.control_subcarriers) {
+        const auto idx = static_cast<std::size_t>(sc);
+        if (tx.plan.mask[s][idx]) {
+          ++silences;
+          if (!rx.detected_mask[s][idx]) ++missed;
+        }
+      }
+    }
+  }
+  outcome.false_negative_rate =
+      silences ? static_cast<double>(missed) / static_cast<double>(silences)
+               : 0.0;
+  return outcome;
+}
+
+TEST(Interference, StrongPulsesCauseFalseNegatives) {
+  const InterferenceOutcome clean = run(0.0, 0.0);
+  // A pulse ~17 dB above the signal's per-sample power, hitting a third
+  // of the OFDM symbols ("strong interference" in the paper's Fig. 10d).
+  // Only packets whose SIGNAL still decodes are counted, which biases
+  // toward lightly-hit packets; the false-negative rate must still jump
+  // by more than an order of magnitude over the clean channel.
+  const InterferenceOutcome strong = run(1.0, 0.3);
+  EXPECT_LT(clean.false_negative_rate, 0.01);
+  EXPECT_GT(strong.false_negative_rate, 0.04);
+  EXPECT_GT(strong.false_negative_rate,
+            10.0 * std::max(clean.false_negative_rate, 1e-4));
+}
+
+TEST(Interference, WeakInterferenceBehavesLikeNoise) {
+  const InterferenceOutcome weak = run(1e-4, 0.3);
+  EXPECT_LT(weak.false_negative_rate, 0.02);
+  EXPECT_GE(weak.data_ok, weak.packets - 2);
+}
+
+TEST(Interference, StrongInterferenceAlsoKillsDataPackets) {
+  // The paper's argument for ignoring strong interference: when it is
+  // present, the data packet is lost anyway (so both data and control
+  // fail together, and MAC-level coordination has to handle it).
+  const InterferenceOutcome strong = run(1.0, 0.5);
+  EXPECT_LT(strong.data_ok, strong.packets / 2);
+}
+
+}  // namespace
+}  // namespace silence

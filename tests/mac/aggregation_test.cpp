@@ -1,0 +1,93 @@
+#include "mac/aggregation.h"
+
+#include <gtest/gtest.h>
+
+#include "common/crc32.h"
+#include "common/rng.h"
+#include "mac/frame.h"
+
+namespace silence {
+namespace {
+
+TEST(Aggregation, RoundTrip) {
+  Rng rng(1);
+  std::vector<Bytes> mpdus;
+  for (int i = 0; i < 5; ++i) {
+    mpdus.push_back(rng.bytes(100 + static_cast<std::size_t>(i) * 50));
+  }
+  const Bytes psdu = aggregate_mpdus(mpdus);
+  const auto out = deaggregate_mpdus(psdu);
+  ASSERT_EQ(out.size(), mpdus.size());
+  for (std::size_t i = 0; i < mpdus.size(); ++i) {
+    EXPECT_TRUE(out[i].delimiter_ok);
+    EXPECT_EQ(out[i].mpdu, mpdus[i]);
+  }
+}
+
+TEST(Aggregation, SingleSubframe) {
+  const std::vector<Bytes> mpdus = {{1, 2, 3}};
+  const auto out = deaggregate_mpdus(aggregate_mpdus(mpdus));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].mpdu, (Bytes{1, 2, 3}));
+}
+
+TEST(Aggregation, SizeValidation) {
+  EXPECT_THROW(aggregate_mpdus({}), std::invalid_argument);
+  const std::vector<Bytes> with_empty = {{1}, {}};
+  EXPECT_THROW(aggregate_mpdus(with_empty), std::invalid_argument);
+  Rng rng(2);
+  const std::vector<Bytes> huge = {rng.bytes(2000), rng.bytes(2000),
+                                   rng.bytes(2000)};
+  EXPECT_THROW(aggregate_mpdus(huge), std::invalid_argument);
+}
+
+TEST(Aggregation, CorruptDelimiterStopsScan) {
+  Rng rng(3);
+  const std::vector<Bytes> mpdus = {rng.bytes(50), rng.bytes(60),
+                                    rng.bytes(70)};
+  Bytes psdu = aggregate_mpdus(mpdus);
+  // Corrupt the second delimiter's length complement.
+  const std::size_t second_delim = kDelimiterOctets + 50;
+  psdu[second_delim + 2] ^= 0xFF;
+  const auto out = deaggregate_mpdus(psdu);
+  ASSERT_EQ(out.size(), 1u);  // only the first survives
+  EXPECT_EQ(out[0].mpdu, mpdus[0]);
+}
+
+TEST(Aggregation, CorruptPayloadOnlyKillsItsSubframe) {
+  // The A-MPDU win: with FCS-protected MPDUs, a payload bit flip costs
+  // one subframe, not the whole aggregate.
+  Rng rng(4);
+  std::vector<Bytes> mpdus;
+  for (int i = 0; i < 3; ++i) {
+    Bytes mpdu = rng.bytes(80);
+    append_fcs(mpdu);
+    mpdus.push_back(std::move(mpdu));
+  }
+  Bytes psdu = aggregate_mpdus(mpdus);
+  // Flip a payload bit inside subframe 1 (not its delimiter).
+  psdu[kDelimiterOctets + 84 + kDelimiterOctets + 10] ^= 0x01;
+  const auto out = deaggregate_mpdus(psdu);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_TRUE(check_fcs(out[0].mpdu));
+  EXPECT_FALSE(check_fcs(out[1].mpdu));
+  EXPECT_TRUE(check_fcs(out[2].mpdu));
+}
+
+TEST(Aggregation, CapacityMath) {
+  EXPECT_EQ(max_mpdus_per_aggregate(0), 0u);
+  EXPECT_EQ(max_mpdus_per_aggregate(1024), 3u);
+  EXPECT_EQ(max_mpdus_per_aggregate(100), 39u);
+}
+
+TEST(Aggregation, TruncatedTailDropped) {
+  Rng rng(5);
+  const std::vector<Bytes> mpdus = {rng.bytes(50), rng.bytes(60)};
+  Bytes psdu = aggregate_mpdus(mpdus);
+  psdu.resize(psdu.size() - 10);  // cut into the second subframe
+  const auto out = deaggregate_mpdus(psdu);
+  ASSERT_EQ(out.size(), 1u);
+}
+
+}  // namespace
+}  // namespace silence

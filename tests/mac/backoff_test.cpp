@@ -1,0 +1,78 @@
+#include "mac/backoff.h"
+
+#include <gtest/gtest.h>
+
+#include "mac/timing.h"
+
+namespace silence {
+namespace {
+
+TEST(Backoff, StartsAtCwMin) {
+  Backoff backoff;
+  EXPECT_EQ(backoff.window(), kCwMin);
+  EXPECT_EQ(backoff.retries(), 0);
+}
+
+TEST(Backoff, RestartDrawsWithinWindow) {
+  Rng rng(1);
+  Backoff backoff;
+  for (int i = 0; i < 200; ++i) {
+    backoff.restart(rng);
+    EXPECT_GE(backoff.counter(), 0);
+    EXPECT_LE(backoff.counter(), backoff.window());
+  }
+}
+
+TEST(Backoff, CollisionDoublesWindowUpToCap) {
+  Rng rng(2);
+  Backoff backoff;
+  int expected = kCwMin;
+  for (int i = 0; i < 12; ++i) {
+    backoff.on_collision(rng);
+    expected = std::min(2 * expected + 1, kCwMax);
+    EXPECT_EQ(backoff.window(), expected);
+    EXPECT_EQ(backoff.retries(), i + 1);
+  }
+  EXPECT_EQ(backoff.window(), kCwMax);
+}
+
+TEST(Backoff, SuccessResetsWindowAndRetries) {
+  Rng rng(3);
+  Backoff backoff;
+  backoff.on_collision(rng);
+  backoff.on_collision(rng);
+  backoff.on_success(rng);
+  EXPECT_EQ(backoff.window(), kCwMin);
+  EXPECT_EQ(backoff.retries(), 0);
+}
+
+TEST(Backoff, ConsumeDecrements) {
+  Rng rng(4);
+  Backoff backoff;
+  backoff.restart(rng);
+  const int start = backoff.counter();
+  if (start > 0) {
+    backoff.consume(1);
+    EXPECT_EQ(backoff.counter(), start - 1);
+  }
+  backoff.consume(backoff.counter());
+  EXPECT_EQ(backoff.counter(), 0);
+  EXPECT_THROW(backoff.consume(1), std::invalid_argument);
+  EXPECT_THROW(backoff.consume(-1), std::invalid_argument);
+}
+
+TEST(Backoff, DrawsAreUniformish) {
+  Rng rng(5);
+  Backoff backoff;
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    backoff.restart(rng);
+    sum += backoff.counter();
+  }
+  // Uniform over [0, 15]: mean 7.5.
+  EXPECT_NEAR(sum / n, 7.5, 0.15);
+}
+
+}  // namespace
+}  // namespace silence

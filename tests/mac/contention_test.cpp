@@ -1,0 +1,74 @@
+#include "mac/contention.h"
+
+#include <gtest/gtest.h>
+
+#include "mac/timing.h"
+
+namespace silence {
+namespace {
+
+ContentionConfig quick_config(int stations) {
+  ContentionConfig config;
+  config.num_stations = stations;
+  config.duration_us = 50e3;
+  config.payload_octets = 512;
+  config.measured_snr_db = 20.0;
+  config.run_phy = false;  // MAC behaviour under test, not the PHY
+  return config;
+}
+
+TEST(Contention, SingleStationNeverCollides) {
+  const ContentionResult result = run_dcf_contention(quick_config(1));
+  EXPECT_EQ(result.collisions, 0u);
+  EXPECT_GT(result.successes, 0u);
+  EXPECT_EQ(result.successes, result.attempts);
+}
+
+TEST(Contention, CollisionsGrowWithStations) {
+  const ContentionResult few = run_dcf_contention(quick_config(2));
+  const ContentionResult many = run_dcf_contention(quick_config(20));
+  const double few_rate =
+      static_cast<double>(few.collisions) / static_cast<double>(few.attempts);
+  const double many_rate = static_cast<double>(many.collisions) /
+                           static_cast<double>(many.attempts);
+  EXPECT_GT(many_rate, few_rate);
+}
+
+TEST(Contention, ThroughputDegradesUnderHeavyContention) {
+  const ContentionResult light = run_dcf_contention(quick_config(2));
+  const ContentionResult heavy = run_dcf_contention(quick_config(30));
+  EXPECT_GT(light.throughput_mbps(), heavy.throughput_mbps());
+}
+
+TEST(Contention, AirtimeAccountingAddsUp) {
+  const ContentionResult result = run_dcf_contention(quick_config(5));
+  EXPECT_NEAR(result.airtime.total_us(), result.elapsed_us,
+              result.elapsed_us * 1e-9);
+  EXPECT_EQ(result.airtime.control_us, 0.0);  // plain DCF has no polls
+}
+
+TEST(Contention, PhyPathDeliversAtGoodSnr) {
+  ContentionConfig config = quick_config(3);
+  config.run_phy = true;
+  config.duration_us = 30e3;
+  const ContentionResult result = run_dcf_contention(config);
+  EXPECT_GT(result.successes, 0u);
+  // At 20 dB measured SNR the PHY loses almost nothing.
+  EXPECT_LE(result.phy_losses, result.successes / 10 + 1);
+}
+
+TEST(Contention, DeterministicForSeed) {
+  const ContentionResult a = run_dcf_contention(quick_config(5));
+  const ContentionResult b = run_dcf_contention(quick_config(5));
+  EXPECT_EQ(a.successes, b.successes);
+  EXPECT_EQ(a.collisions, b.collisions);
+  EXPECT_DOUBLE_EQ(a.elapsed_us, b.elapsed_us);
+}
+
+TEST(Contention, RejectsZeroStations) {
+  ContentionConfig config = quick_config(0);
+  EXPECT_THROW(run_dcf_contention(config), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace silence

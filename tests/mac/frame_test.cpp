@@ -1,0 +1,67 @@
+#include "mac/frame.h"
+
+#include <gtest/gtest.h>
+
+#include "common/crc32.h"
+#include "common/rng.h"
+
+namespace silence {
+namespace {
+
+TEST(MacFrame, SerializeParseRoundTrip) {
+  Rng rng(1);
+  for (int trial = 0; trial < 20; ++trial) {
+    MacFrame frame;
+    frame.type = static_cast<FrameType>(trial % 4);
+    frame.src = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    frame.dst = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    frame.seq = static_cast<std::uint16_t>(rng.uniform_int(0, 65535));
+    frame.queue_len = static_cast<std::uint16_t>(rng.uniform_int(0, 65535));
+    frame.payload = rng.bytes(rng.uniform_int(0, 500));
+
+    const Bytes psdu = serialize_frame(frame);
+    EXPECT_EQ(psdu.size(), kMacOverheadOctets + frame.payload.size());
+    const auto parsed = parse_frame(psdu);
+    ASSERT_TRUE(parsed.has_value()) << "trial " << trial;
+    EXPECT_EQ(parsed->type, frame.type);
+    EXPECT_EQ(parsed->src, frame.src);
+    EXPECT_EQ(parsed->dst, frame.dst);
+    EXPECT_EQ(parsed->seq, frame.seq);
+    EXPECT_EQ(parsed->queue_len, frame.queue_len);
+    EXPECT_EQ(parsed->payload, frame.payload);
+  }
+}
+
+TEST(MacFrame, CorruptionDetected) {
+  MacFrame frame;
+  frame.payload = {1, 2, 3, 4};
+  Bytes psdu = serialize_frame(frame);
+  psdu[2] ^= 0x40;
+  EXPECT_FALSE(parse_frame(psdu).has_value());
+}
+
+TEST(MacFrame, TooShortRejected) {
+  const Bytes tiny = {1, 2, 3};
+  EXPECT_FALSE(parse_frame(tiny).has_value());
+}
+
+TEST(MacFrame, UnknownTypeRejected) {
+  MacFrame frame;
+  Bytes psdu = serialize_frame(frame);
+  // Forge an invalid type and refresh the FCS.
+  psdu.resize(psdu.size() - 4);
+  psdu[0] = 0x7F;
+  append_fcs(psdu);
+  EXPECT_FALSE(parse_frame(psdu).has_value());
+}
+
+TEST(MacFrame, EmptyPayloadAllowed) {
+  MacFrame frame;
+  frame.type = FrameType::kAck;
+  const auto parsed = parse_frame(serialize_frame(frame));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->payload.empty());
+}
+
+}  // namespace
+}  // namespace silence

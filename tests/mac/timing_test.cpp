@@ -1,0 +1,39 @@
+#include "mac/timing.h"
+
+#include <gtest/gtest.h>
+
+namespace silence {
+namespace {
+
+TEST(MacTiming, StandardConstants) {
+  EXPECT_DOUBLE_EQ(kSifsUs, 16.0);
+  EXPECT_DOUBLE_EQ(kSlotUs, 9.0);
+  EXPECT_DOUBLE_EQ(kDifsUs, 34.0);
+  EXPECT_EQ(kCwMin, 15);
+  EXPECT_EQ(kCwMax, 1023);
+}
+
+TEST(MacTiming, PsduAirtimeMatchesSymbolMath) {
+  // 1024 B at 24 Mbps: 86 symbols -> 20 + 344 us.
+  EXPECT_NEAR(psdu_airtime_us(1024, mcs_for_rate(24)), 20.0 + 86 * 4.0,
+              1e-9);
+  // 14 B at 6 Mbps: (16 + 112 + 6)/24 = 6 symbols -> 44 us.
+  EXPECT_NEAR(psdu_airtime_us(14, mcs_for_rate(6)), 20.0 + 6 * 4.0, 1e-9);
+}
+
+TEST(MacTiming, AirtimeMonotoneInSizeAndRate) {
+  for (std::size_t size = 50; size <= 1500; size += 250) {
+    EXPECT_LE(psdu_airtime_us(size, mcs_for_rate(54)),
+              psdu_airtime_us(size, mcs_for_rate(6)));
+    EXPECT_LT(psdu_airtime_us(size, mcs_for_rate(12)),
+              psdu_airtime_us(size + 250, mcs_for_rate(12)));
+  }
+}
+
+TEST(MacTiming, ControlFrameAirtimes) {
+  EXPECT_NEAR(ack_airtime_us(), 44.0, 1e-9);
+  EXPECT_GT(poll_airtime_us(), ack_airtime_us());
+}
+
+}  // namespace
+}  // namespace silence

@@ -1,0 +1,95 @@
+#include "phy/convolutional.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace silence {
+namespace {
+
+TEST(Convolutional, OutputLengthIsDouble) {
+  Rng rng(1);
+  const Bits input = rng.bits(123);
+  EXPECT_EQ(convolutional_encode(input).size(), 246u);
+}
+
+TEST(Convolutional, AllZerosEncodeToAllZeros) {
+  const Bits input(50, 0);
+  const Bits coded = convolutional_encode(input);
+  for (auto bit : coded) EXPECT_EQ(bit, 0);
+}
+
+TEST(Convolutional, ImpulseResponseMatchesGenerators) {
+  // A single 1 followed by zeros emits the generator taps over the next 7
+  // steps: A stream = 1011011 (g0 = 133 octal), B stream = 1111001.
+  Bits input(7, 0);
+  input[0] = 1;
+  const Bits coded = convolutional_encode(input);
+  const Bits expected_a = {1, 0, 1, 1, 0, 1, 1};
+  const Bits expected_b = {1, 1, 1, 1, 0, 0, 1};
+  for (int i = 0; i < 7; ++i) {
+    EXPECT_EQ(coded[static_cast<std::size_t>(2 * i)], expected_a[static_cast<std::size_t>(i)])
+        << "A step " << i;
+    EXPECT_EQ(coded[static_cast<std::size_t>(2 * i + 1)], expected_b[static_cast<std::size_t>(i)])
+        << "B step " << i;
+  }
+}
+
+TEST(Convolutional, EncoderIsLinear) {
+  // Convolutional codes are linear: enc(x XOR y) = enc(x) XOR enc(y).
+  Rng rng(2);
+  const Bits x = rng.bits(64);
+  const Bits y = rng.bits(64);
+  Bits x_xor_y(64);
+  for (std::size_t i = 0; i < 64; ++i) x_xor_y[i] = x[i] ^ y[i];
+  const Bits ex = convolutional_encode(x);
+  const Bits ey = convolutional_encode(y);
+  const Bits exy = convolutional_encode(x_xor_y);
+  for (std::size_t i = 0; i < exy.size(); ++i) {
+    EXPECT_EQ(exy[i], ex[i] ^ ey[i]);
+  }
+}
+
+TEST(Convolutional, TailReturnsToZeroState) {
+  Rng rng(3);
+  Bits input = rng.bits(40);
+  input.insert(input.end(), 6, 0);  // tail
+  int state = 0;
+  for (auto bit : input) state = conv_next_state(state, bit);
+  EXPECT_EQ(state, 0);
+}
+
+TEST(Convolutional, NextStateShiftsRegister) {
+  // From state 0, input 1 -> state 0b100000; then input 0 -> 0b010000.
+  EXPECT_EQ(conv_next_state(0, 1), 0b100000);
+  EXPECT_EQ(conv_next_state(0b100000, 0), 0b010000);
+  EXPECT_EQ(conv_next_state(0b111111, 1), 0b111111);
+}
+
+TEST(Convolutional, OutputTableConsistentWithEncode) {
+  Rng rng(4);
+  const Bits input = rng.bits(200);
+  const Bits coded = convolutional_encode(input);
+  int state = 0;
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    const std::uint8_t ab = conv_output(state, input[i]);
+    EXPECT_EQ(coded[2 * i], ab & 1U);
+    EXPECT_EQ(coded[2 * i + 1], (ab >> 1) & 1U);
+    state = conv_next_state(state, input[i]);
+  }
+}
+
+TEST(Convolutional, MinimumWeightNonzeroPathIsFreeDistance) {
+  // The K=7 (133,171) code has free distance 10: flushing a single 1
+  // through the encoder (1 followed by six 0s) yields a weight-10 coded
+  // sequence, and no shorter error event has lower weight.
+  Bits input(7, 0);
+  input[0] = 1;
+  const Bits coded = convolutional_encode(input);
+  int weight = 0;
+  for (auto b : coded) weight += b;
+  EXPECT_EQ(weight, 10);
+}
+
+}  // namespace
+}  // namespace silence

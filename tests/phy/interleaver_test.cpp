@@ -1,0 +1,107 @@
+#include "phy/interleaver.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "common/rng.h"
+
+namespace silence {
+namespace {
+
+class InterleaverAllRates : public ::testing::TestWithParam<int> {};
+
+TEST_P(InterleaverAllRates, PermutationIsBijective) {
+  const Mcs& mcs = mcs_for_rate(GetParam());
+  const auto perm = interleaver_permutation(mcs.n_cbps, mcs.n_bpsc);
+  std::set<int> seen(perm.begin(), perm.end());
+  EXPECT_EQ(seen.size(), perm.size());
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), mcs.n_cbps - 1);
+}
+
+TEST_P(InterleaverAllRates, InterleaveDeinterleaveRoundTrip) {
+  const Mcs& mcs = mcs_for_rate(GetParam());
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const Bits bits = rng.bits(static_cast<std::size_t>(mcs.n_cbps) * 3);
+  const Bits inter = interleave(bits, mcs);
+  // Deinterleave via the soft path (the receiver's route).
+  std::vector<double> llrs(inter.size());
+  for (std::size_t i = 0; i < inter.size(); ++i) {
+    llrs[i] = inter[i] ? -1.0 : 1.0;
+  }
+  const auto deint = deinterleave_llrs(llrs, mcs);
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    EXPECT_EQ(bits[i], deint[i] < 0 ? 1 : 0);
+  }
+}
+
+TEST_P(InterleaverAllRates, AdjacentCodedBitsLandOnDistantSubcarriers) {
+  // The first permutation guarantees adjacent coded bits map onto
+  // subcarriers separated by n_cbps/16 positions in the output.
+  const Mcs& mcs = mcs_for_rate(GetParam());
+  const auto perm = interleaver_permutation(mcs.n_cbps, mcs.n_bpsc);
+  for (int k = 0; k + 1 < mcs.n_cbps; ++k) {
+    const int sc_a = perm[static_cast<std::size_t>(k)] / mcs.n_bpsc;
+    const int sc_b = perm[static_cast<std::size_t>(k + 1)] / mcs.n_bpsc;
+    EXPECT_NE(sc_a, sc_b) << "coded bits " << k << "," << k + 1;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, InterleaverAllRates,
+                         ::testing::Values(6, 9, 12, 18, 24, 36, 48, 54));
+
+TEST(Interleaver, KnownBpskMapping) {
+  // For BPSK (n_cbps = 48, s = 1) the second permutation is identity, so
+  // j = i = 3*(k mod 16) + floor(k/16).
+  const auto perm = interleaver_permutation(48, 1);
+  EXPECT_EQ(perm[0], 0);
+  EXPECT_EQ(perm[1], 3);
+  EXPECT_EQ(perm[2], 6);
+  EXPECT_EQ(perm[15], 45);
+  EXPECT_EQ(perm[16], 1);
+  EXPECT_EQ(perm[47], 47);
+}
+
+TEST(Interleaver, Known16QamMapping) {
+  // 16QAM: n_cbps = 192, s = 2. Spot-check against hand-computed values.
+  const auto perm = interleaver_permutation(192, 4);
+  // k=0: i=0, j = 2*0 + (0 + 192 - 0) % 2 = 0.
+  EXPECT_EQ(perm[0], 0);
+  // k=1: i=12, floor(16*12/192)=1, j = 2*6 + (12+192-1)%2 = 12+1 = 13.
+  EXPECT_EQ(perm[1], 13);
+  // k=16: i=1, floor(16/192)=0, j = 0 + (1+192-0)%2 = 1.
+  EXPECT_EQ(perm[16], 1);
+}
+
+TEST(Interleaver, OneSilenceSymbolSpreadsAcrossCodeword) {
+  // CoS's key reliance on the interleaver: the n_bpsc coded bits carried
+  // by one data subcarrier (one silence symbol) must deinterleave to
+  // positions spread out across the codeword, not a contiguous burst.
+  const Mcs& mcs = mcs_for_rate(24);  // 16QAM: 4 bits per symbol
+  const auto perm = interleaver_permutation(mcs.n_cbps, mcs.n_bpsc);
+  // Output positions of subcarrier 20 are [20*4, 20*4+4).
+  std::vector<int> sources;
+  for (int k = 0; k < mcs.n_cbps; ++k) {
+    const int j = perm[static_cast<std::size_t>(k)];
+    if (j >= 80 && j < 84) sources.push_back(k);
+  }
+  ASSERT_EQ(sources.size(), 4u);
+  std::sort(sources.begin(), sources.end());
+  for (std::size_t i = 1; i < sources.size(); ++i) {
+    EXPECT_GT(sources[i] - sources[i - 1], 8)
+        << "erased bits land too close in the codeword";
+  }
+}
+
+TEST(Interleaver, RejectsWrongSizes) {
+  const Mcs& mcs = mcs_for_rate(12);
+  Rng rng(5);
+  const Bits bits = rng.bits(static_cast<std::size_t>(mcs.n_cbps) + 1);
+  EXPECT_THROW(interleave(bits, mcs), std::invalid_argument);
+  EXPECT_THROW(interleaver_permutation(50, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace silence

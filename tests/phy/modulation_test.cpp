@@ -1,0 +1,168 @@
+#include "phy/modulation.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace silence {
+namespace {
+
+const Modulation kAllMods[] = {Modulation::kBpsk, Modulation::kQpsk,
+                               Modulation::kQam16, Modulation::kQam64};
+
+TEST(Modulation, BpskMapping) {
+  EXPECT_EQ(map_symbol(Bits{0}, Modulation::kBpsk), (Cx{-1.0, 0.0}));
+  EXPECT_EQ(map_symbol(Bits{1}, Modulation::kBpsk), (Cx{1.0, 0.0}));
+}
+
+TEST(Modulation, QpskMapping) {
+  const double s = 1.0 / std::sqrt(2.0);
+  EXPECT_EQ(map_symbol(Bits{0, 0}, Modulation::kQpsk), (Cx{-s, -s}));
+  EXPECT_EQ(map_symbol(Bits{1, 0}, Modulation::kQpsk), (Cx{s, -s}));
+  EXPECT_EQ(map_symbol(Bits{0, 1}, Modulation::kQpsk), (Cx{-s, s}));
+  EXPECT_EQ(map_symbol(Bits{1, 1}, Modulation::kQpsk), (Cx{s, s}));
+}
+
+TEST(Modulation, Qam16GrayMapping) {
+  const double s = 1.0 / std::sqrt(10.0);
+  // 802.11a Table 83: b0b1 selects I in {-3,-1,+3,+1} Gray order.
+  EXPECT_EQ(map_symbol(Bits{0, 0, 0, 0}, Modulation::kQam16),
+            (Cx{-3 * s, -3 * s}));
+  EXPECT_EQ(map_symbol(Bits{0, 1, 1, 1}, Modulation::kQam16),
+            (Cx{-1 * s, 1 * s}));
+  EXPECT_EQ(map_symbol(Bits{1, 0, 1, 0}, Modulation::kQam16),
+            (Cx{3 * s, 3 * s}));
+  EXPECT_EQ(map_symbol(Bits{1, 1, 0, 1}, Modulation::kQam16),
+            (Cx{1 * s, -1 * s}));
+}
+
+TEST(Modulation, Qam64GrayMapping) {
+  const double s = 1.0 / std::sqrt(42.0);
+  EXPECT_EQ(map_symbol(Bits{0, 0, 0, 0, 0, 0}, Modulation::kQam64),
+            (Cx{-7 * s, -7 * s}));
+  EXPECT_EQ(map_symbol(Bits{1, 0, 0, 1, 0, 0}, Modulation::kQam64),
+            (Cx{7 * s, 7 * s}));
+  EXPECT_EQ(map_symbol(Bits{0, 1, 0, 1, 1, 0}, Modulation::kQam64),
+            (Cx{-1 * s, 1 * s}));
+  EXPECT_EQ(map_symbol(Bits{1, 1, 1, 0, 1, 1}, Modulation::kQam64),
+            (Cx{3 * s, -3 * s}));
+}
+
+TEST(Modulation, UnitAverageEnergy) {
+  for (Modulation mod : kAllMods) {
+    const auto points = constellation(mod);
+    double sum = 0.0;
+    for (const Cx& p : points) sum += std::norm(p);
+    EXPECT_NEAR(sum / static_cast<double>(points.size()), 1.0, 1e-12)
+        << to_string(mod);
+  }
+}
+
+TEST(Modulation, ConstellationSizes) {
+  EXPECT_EQ(constellation(Modulation::kBpsk).size(), 2u);
+  EXPECT_EQ(constellation(Modulation::kQpsk).size(), 4u);
+  EXPECT_EQ(constellation(Modulation::kQam16).size(), 16u);
+  EXPECT_EQ(constellation(Modulation::kQam64).size(), 64u);
+}
+
+TEST(Modulation, GrayPropertyNearestNeighborsDifferInOneBit) {
+  // For every constellation point, each nearest neighbor's bit pattern
+  // differs in exactly one bit — the Gray property.
+  for (Modulation mod : kAllMods) {
+    const int n = bits_per_symbol(mod);
+    const auto points = constellation(mod);
+    const double dmin = min_constellation_distance(mod);
+    for (std::size_t a = 0; a < points.size(); ++a) {
+      for (std::size_t b = 0; b < points.size(); ++b) {
+        if (a == b) continue;
+        if (std::abs(points[a] - points[b]) > dmin * 1.001) continue;
+        const Bits bits_a = uint_to_bits(a, n);
+        const Bits bits_b = uint_to_bits(b, n);
+        EXPECT_EQ(hamming_distance(bits_a, bits_b), 1u)
+            << to_string(mod) << " points " << a << "," << b;
+      }
+    }
+  }
+}
+
+TEST(Modulation, HardDecisionRoundTrip) {
+  Rng rng(31);
+  for (Modulation mod : kAllMods) {
+    const int n = bits_per_symbol(mod);
+    for (int trial = 0; trial < 50; ++trial) {
+      const Bits bits = rng.bits(static_cast<std::size_t>(n));
+      const Cx point = map_symbol(bits, mod);
+      // Small perturbation must not change the decision.
+      const Cx noisy = point + Cx{0.01, -0.01};
+      EXPECT_EQ(hard_decision_bits(noisy, mod), bits) << to_string(mod);
+      EXPECT_EQ(hard_decision(noisy, mod), point);
+    }
+  }
+}
+
+TEST(Modulation, LlrSignsMatchTransmittedBits) {
+  Rng rng(32);
+  for (Modulation mod : kAllMods) {
+    const int n = bits_per_symbol(mod);
+    for (int trial = 0; trial < 30; ++trial) {
+      const Bits bits = rng.bits(static_cast<std::size_t>(n));
+      const Cx point = map_symbol(bits, mod);
+      std::vector<double> llrs;
+      demod_llrs(point, mod, 0.1, llrs);
+      ASSERT_EQ(llrs.size(), static_cast<std::size_t>(n));
+      for (int b = 0; b < n; ++b) {
+        // Positive LLR = bit 0; on a clean point signs must be decisive.
+        if (bits[static_cast<std::size_t>(b)] == 0) {
+          EXPECT_GT(llrs[static_cast<std::size_t>(b)], 0.0);
+        } else {
+          EXPECT_LT(llrs[static_cast<std::size_t>(b)], 0.0);
+        }
+      }
+    }
+  }
+}
+
+TEST(Modulation, LlrMagnitudeScalesWithNoise) {
+  const Cx point = map_symbol(Bits{1, 0, 1, 1}, Modulation::kQam16);
+  std::vector<double> low_noise, high_noise;
+  demod_llrs(point + Cx{0.05, 0.0}, Modulation::kQam16, 0.01, low_noise);
+  demod_llrs(point + Cx{0.05, 0.0}, Modulation::kQam16, 1.0, high_noise);
+  for (std::size_t i = 0; i < low_noise.size(); ++i) {
+    EXPECT_GT(std::abs(low_noise[i]), std::abs(high_noise[i]));
+  }
+}
+
+TEST(Modulation, MinDistances) {
+  EXPECT_DOUBLE_EQ(min_constellation_distance(Modulation::kBpsk), 2.0);
+  EXPECT_NEAR(min_constellation_distance(Modulation::kQpsk), std::sqrt(2.0),
+              1e-12);
+  EXPECT_NEAR(min_constellation_distance(Modulation::kQam16),
+              2.0 / std::sqrt(10.0), 1e-12);
+  EXPECT_NEAR(min_constellation_distance(Modulation::kQam64),
+              2.0 / std::sqrt(42.0), 1e-12);
+}
+
+TEST(Modulation, MapBitsWholeStream) {
+  Rng rng(33);
+  const Bits bits = rng.bits(24);
+  const CxVec points = map_bits(bits, Modulation::kQam16);
+  ASSERT_EQ(points.size(), 6u);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    EXPECT_EQ(points[i],
+              map_symbol(std::span(bits).subspan(i * 4, 4),
+                         Modulation::kQam16));
+  }
+  EXPECT_THROW(map_bits(rng.bits(5), Modulation::kQam16),
+               std::invalid_argument);
+}
+
+TEST(Modulation, WrongBitCountRejected) {
+  EXPECT_THROW(map_symbol(Bits{0, 1}, Modulation::kBpsk),
+               std::invalid_argument);
+  EXPECT_THROW(map_symbol(Bits{0}, Modulation::kQam64),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace silence

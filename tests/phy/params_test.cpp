@@ -1,0 +1,110 @@
+#include "phy/params.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace silence {
+namespace {
+
+TEST(Params, EightRatesAscending) {
+  const auto mcs = all_mcs();
+  ASSERT_EQ(mcs.size(), 8u);
+  for (std::size_t i = 1; i < mcs.size(); ++i) {
+    EXPECT_LT(mcs[i - 1].data_rate_mbps, mcs[i].data_rate_mbps);
+    EXPECT_LT(mcs[i - 1].min_required_snr_db, mcs[i].min_required_snr_db);
+  }
+}
+
+TEST(Params, BitCountsConsistent) {
+  for (const Mcs& mcs : all_mcs()) {
+    EXPECT_EQ(mcs.n_bpsc, bits_per_symbol(mcs.modulation));
+    EXPECT_EQ(mcs.n_cbps, mcs.n_bpsc * kNumDataSubcarriers);
+    EXPECT_EQ(mcs.n_dbps, mcs.n_cbps * code_rate_numerator(mcs.code_rate) /
+                              code_rate_denominator(mcs.code_rate));
+  }
+}
+
+TEST(Params, HeadlineRateMatchesSymbolMath) {
+  // data rate = n_dbps / 4 us.
+  for (const Mcs& mcs : all_mcs()) {
+    EXPECT_EQ(mcs.data_rate_mbps, mcs.n_dbps / 4);
+  }
+}
+
+TEST(Params, McsForRateFindsAll) {
+  for (int mbps : {6, 9, 12, 18, 24, 36, 48, 54}) {
+    EXPECT_EQ(mcs_for_rate(mbps).data_rate_mbps, mbps);
+  }
+  EXPECT_THROW(mcs_for_rate(11), std::invalid_argument);
+}
+
+TEST(Params, McsForComboRejectsInvalid) {
+  EXPECT_EQ(mcs_for(Modulation::kQam64, CodeRate::kRate2of3).data_rate_mbps,
+            48);
+  // BPSK 2/3 is not an 802.11a rate.
+  EXPECT_THROW(mcs_for(Modulation::kBpsk, CodeRate::kRate2of3),
+               std::invalid_argument);
+}
+
+TEST(Params, PaperAnchorThresholds) {
+  // The paper states 24 Mbps requires 12 dB and the QPSK 1/2 region spans
+  // measured SNR 7.1..9.5 dB.
+  EXPECT_DOUBLE_EQ(mcs_for_rate(24).min_required_snr_db, 12.0);
+  EXPECT_DOUBLE_EQ(mcs_for_rate(12).min_required_snr_db, 7.1);
+  EXPECT_DOUBLE_EQ(mcs_for_rate(18).min_required_snr_db, 9.5);
+}
+
+TEST(Params, RateAdaptationPicksHighestFeasible) {
+  EXPECT_EQ(select_mcs_by_snr(15.0).data_rate_mbps, 24);
+  EXPECT_EQ(select_mcs_by_snr(8.0).data_rate_mbps, 12);
+  EXPECT_EQ(select_mcs_by_snr(25.0).data_rate_mbps, 54);
+  // Below every threshold: lowest rate.
+  EXPECT_EQ(select_mcs_by_snr(-5.0).data_rate_mbps, 6);
+  // Exactly at a threshold selects that rate.
+  EXPECT_EQ(select_mcs_by_snr(12.0).data_rate_mbps, 24);
+}
+
+TEST(Params, DataBinLayout) {
+  const auto bins = data_subcarrier_bins();
+  ASSERT_EQ(bins.size(), 48u);
+  std::set<int> unique(bins.begin(), bins.end());
+  EXPECT_EQ(unique.size(), 48u);
+  // No DC, no pilots, no guards.
+  EXPECT_FALSE(unique.contains(0));
+  for (int pilot : pilot_subcarrier_bins()) {
+    EXPECT_FALSE(unique.contains(pilot));
+  }
+  for (int guard = 27; guard <= 37; ++guard) {
+    EXPECT_FALSE(unique.contains(guard));
+  }
+  // First logical subcarrier is -26 -> bin 38; last is +26 -> bin 26.
+  EXPECT_EQ(bins[0], 38);
+  EXPECT_EQ(bins[47], 26);
+}
+
+TEST(Params, PilotBins) {
+  const auto pilots = pilot_subcarrier_bins();
+  ASSERT_EQ(pilots.size(), 4u);
+  EXPECT_EQ(pilots[0], 64 - 21);
+  EXPECT_EQ(pilots[1], 64 - 7);
+  EXPECT_EQ(pilots[2], 7);
+  EXPECT_EQ(pilots[3], 21);
+}
+
+TEST(Params, IsDataBin) {
+  EXPECT_TRUE(is_data_bin(1));
+  EXPECT_TRUE(is_data_bin(26));
+  EXPECT_FALSE(is_data_bin(0));
+  EXPECT_FALSE(is_data_bin(7));
+  EXPECT_FALSE(is_data_bin(21));
+  EXPECT_FALSE(is_data_bin(32));
+}
+
+TEST(Params, SymbolTiming) {
+  EXPECT_EQ(kSymbolSamples, 80);
+  EXPECT_DOUBLE_EQ(kSymbolDurationSec, 4e-6);
+}
+
+}  // namespace
+}  // namespace silence

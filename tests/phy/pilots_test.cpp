@@ -1,0 +1,42 @@
+#include "phy/pilots.h"
+
+#include <gtest/gtest.h>
+
+namespace silence {
+namespace {
+
+TEST(Pilots, FirstPolaritiesMatchStandard) {
+  // p_0..p_9 from 802.11a 17.3.5.9: 1 1 1 1 -1 -1 -1 1 -1 -1.
+  const double expected[] = {1, 1, 1, 1, -1, -1, -1, 1, -1, -1};
+  for (int n = 0; n < 10; ++n) {
+    EXPECT_DOUBLE_EQ(pilot_polarity(n), expected[n]) << "symbol " << n;
+  }
+}
+
+TEST(Pilots, PolarityPeriod127) {
+  for (int n = 0; n < 127; ++n) {
+    EXPECT_DOUBLE_EQ(pilot_polarity(n), pilot_polarity(n + 127));
+  }
+}
+
+TEST(Pilots, ValuesFollowBasePattern) {
+  for (int n : {0, 1, 5, 63, 126}) {
+    const auto values = pilot_values(n);
+    const double p = pilot_polarity(n);
+    EXPECT_EQ(values[0], (Cx{p, 0.0}));
+    EXPECT_EQ(values[1], (Cx{p, 0.0}));
+    EXPECT_EQ(values[2], (Cx{p, 0.0}));
+    EXPECT_EQ(values[3], (Cx{-p, 0.0}));
+  }
+}
+
+TEST(Pilots, UnitMagnitude) {
+  for (int n = 0; n < 200; ++n) {
+    for (const Cx& v : pilot_values(n)) {
+      EXPECT_DOUBLE_EQ(std::abs(v), 1.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace silence

@@ -1,0 +1,167 @@
+#include "phy/preamble.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "phy/ofdm.h"
+#include "phy/pilots.h"
+
+namespace silence {
+namespace {
+
+TEST(Preamble, LtfSequenceIsBipolarOn52Bins) {
+  const CxVec& bins = ltf_frequency_bins();
+  ASSERT_EQ(bins.size(), 64u);
+  int occupied = 0;
+  for (std::size_t k = 0; k < 64; ++k) {
+    const double mag = std::abs(bins[k]);
+    if (mag > 0) {
+      EXPECT_NEAR(mag, 1.0, 1e-12);
+      ++occupied;
+    }
+  }
+  EXPECT_EQ(occupied, 52);
+  EXPECT_EQ(bins[0], (Cx{0.0, 0.0}));  // DC empty
+}
+
+TEST(Preamble, StfOccupiesEveryFourthBin) {
+  const CxVec& bins = stf_frequency_bins();
+  int occupied = 0;
+  for (std::size_t k = 0; k < 64; ++k) {
+    if (std::abs(bins[k]) > 0) {
+      EXPECT_EQ(k % 4, 0u) << "bin " << k;
+      ++occupied;
+    }
+  }
+  EXPECT_EQ(occupied, 12);
+}
+
+TEST(Preamble, StfIsPeriodic16) {
+  const CxVec preamble = build_preamble();
+  ASSERT_EQ(preamble.size(), static_cast<std::size_t>(kPreambleSamples));
+  for (int n = 0; n + 16 < kStfSamples; ++n) {
+    EXPECT_NEAR(std::abs(preamble[static_cast<std::size_t>(n)] -
+                         preamble[static_cast<std::size_t>(n + 16)]),
+                0.0, 1e-12)
+        << "sample " << n;
+  }
+}
+
+TEST(Preamble, LtfSecondHalfRepeats) {
+  const CxVec preamble = build_preamble();
+  // The two long symbols (after the 32-sample guard) are identical.
+  const std::size_t ltf0 = kStfSamples + 32;
+  for (int n = 0; n < 64; ++n) {
+    EXPECT_NEAR(std::abs(preamble[ltf0 + static_cast<std::size_t>(n)] -
+                         preamble[ltf0 + 64 + static_cast<std::size_t>(n)]),
+                0.0, 1e-12);
+  }
+}
+
+TEST(Preamble, CleanChannelEstimateIsUnity) {
+  const CxVec preamble = build_preamble();
+  const auto channel = estimate_channel(
+      std::span(preamble).subspan(kStfSamples, kLtfSamples));
+  for (int k = 0; k < kFftSize; ++k) {
+    const auto idx = static_cast<std::size_t>(k);
+    if (std::abs(ltf_frequency_bins()[idx]) > 0) {
+      EXPECT_NEAR(std::abs(channel[idx] - Cx{1.0, 0.0}), 0.0, 1e-9)
+          << "bin " << k;
+    } else {
+      EXPECT_EQ(channel[idx], (Cx{0.0, 0.0}));
+    }
+  }
+}
+
+TEST(Preamble, EstimateRecoversAttenuationAndPhase) {
+  CxVec preamble = build_preamble();
+  const Cx gain{0.4, -0.3};
+  for (auto& x : preamble) x *= gain;
+  const auto channel = estimate_channel(
+      std::span(preamble).subspan(kStfSamples, kLtfSamples));
+  for (int k = 0; k < kFftSize; ++k) {
+    const auto idx = static_cast<std::size_t>(k);
+    if (std::abs(ltf_frequency_bins()[idx]) > 0) {
+      EXPECT_NEAR(std::abs(channel[idx] - gain), 0.0, 1e-9);
+    }
+  }
+}
+
+TEST(Preamble, NoiseAveragingAcrossTwoLongSymbols) {
+  // Channel estimation averages the two long symbols, halving the noise
+  // variance relative to a single-symbol estimate.
+  Rng rng(17);
+  const double noise_var = 0.01;
+  double err_sum = 0.0;
+  int count = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    CxVec preamble = build_preamble();
+    for (auto& x : preamble) x += rng.complex_gaussian(noise_var);
+    const auto channel = estimate_channel(
+        std::span(preamble).subspan(kStfSamples, kLtfSamples));
+    for (int k = 1; k <= 26; ++k) {
+      err_sum += std::norm(channel[static_cast<std::size_t>(k)] - Cx{1.0, 0.0});
+      ++count;
+    }
+  }
+  // Freq-domain noise per bin = 64 * noise_var; averaging two symbols
+  // halves it; |L_k|^2 = 1.
+  const double expected = kFftSize * noise_var / 2.0;
+  EXPECT_NEAR(err_sum / count, expected, expected * 0.15);
+}
+
+TEST(Preamble, PilotNoiseeEstimateWithPerfectChannelIsDebiased) {
+  // With a genie (error-free) channel estimate the pilot residual is pure
+  // noise, so the 1.5x debias makes the estimator read 1/1.5 of truth.
+  Rng rng(18);
+  const double noise_var = 0.02;  // time domain per sample
+  const double expected = kFftSize * noise_var / 1.5;
+  std::array<Cx, kFftSize> perfect_channel{};
+  for (auto& h : perfect_channel) h = Cx{1.0, 0.0};
+
+  double sum = 0.0;
+  const int trials = 400;
+  for (int t = 0; t < trials; ++t) {
+    // A data symbol with only pilots (data zero) plus noise.
+    CxVec data(kNumDataSubcarriers, Cx{0.0, 0.0});
+    CxVec bins = assemble_frequency_bins(data, t);
+    CxVec time = bins_to_time(bins);
+    for (auto& x : time) x += rng.complex_gaussian(noise_var);
+    const CxVec rx_bins = time_to_bins(time);
+    sum += pilot_noise_estimate(rx_bins, perfect_channel, t);
+  }
+  EXPECT_NEAR(sum / trials, expected, expected * 0.15);
+}
+
+TEST(Preamble, PilotNoiseEstimateUnbiasedWithLtfChannelEstimate) {
+  // In the real pipeline the channel estimate comes from the noisy LTF;
+  // its error inflates the residual by exactly the factor the estimator
+  // divides out, so the result is unbiased.
+  Rng rng(19);
+  const double noise_var = 0.02;
+  const double expected = kFftSize * noise_var;
+
+  double sum = 0.0;
+  const int trials = 400;
+  for (int t = 0; t < trials; ++t) {
+    CxVec preamble = build_preamble();
+    for (auto& x : preamble) x += rng.complex_gaussian(noise_var);
+    const auto channel = estimate_channel(
+        std::span(preamble).subspan(kStfSamples, kLtfSamples));
+
+    CxVec data(kNumDataSubcarriers, Cx{0.0, 0.0});
+    CxVec time = bins_to_time(assemble_frequency_bins(data, t));
+    for (auto& x : time) x += rng.complex_gaussian(noise_var);
+    sum += pilot_noise_estimate(time_to_bins(time), channel, t);
+  }
+  EXPECT_NEAR(sum / trials, expected, expected * 0.15);
+}
+
+TEST(Preamble, RejectsWrongSampleCounts) {
+  const CxVec short_ltf(100);
+  EXPECT_THROW(estimate_channel(short_ltf), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace silence

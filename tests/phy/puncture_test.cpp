@@ -1,0 +1,108 @@
+#include "phy/puncture.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "phy/convolutional.h"
+#include "phy/viterbi.h"
+
+namespace silence {
+namespace {
+
+TEST(Puncture, Rate12PassThrough) {
+  Rng rng(1);
+  const Bits coded = rng.bits(96);
+  EXPECT_EQ(puncture(coded, CodeRate::kRate1of2), coded);
+}
+
+TEST(Puncture, Rate23DropsEveryFourth) {
+  // Pattern keeps A1 B1 A2 and drops B2.
+  Bits coded(8);
+  for (std::size_t i = 0; i < 8; ++i) coded[i] = static_cast<std::uint8_t>(i % 2);
+  // Stream [0,1,0,1,0,1,0,1]: positions 3 and 7 dropped.
+  const Bits out = puncture(coded, CodeRate::kRate2of3);
+  EXPECT_EQ(out, (Bits{0, 1, 0, 0, 1, 0}));
+}
+
+TEST(Puncture, Rate34KeepsFourOfSix) {
+  Bits coded = {1, 2, 3, 4, 5, 6};  // markers, not bits
+  const Bits out = puncture(coded, CodeRate::kRate3of4);
+  // Keep A1(1) B1(2) A2(3), drop B2(4) A3(5), keep B3(6).
+  EXPECT_EQ(out, (Bits{1, 2, 3, 6}));
+}
+
+TEST(Puncture, LengthsMatchCodeRates) {
+  EXPECT_EQ(punctured_length(96, CodeRate::kRate1of2), 96u);
+  EXPECT_EQ(punctured_length(96, CodeRate::kRate2of3), 72u);
+  EXPECT_EQ(punctured_length(96, CodeRate::kRate3of4), 64u);
+}
+
+TEST(Puncture, DepunctureRestoresPositions) {
+  const std::vector<double> llrs = {1.0, 2.0, 3.0, 6.0};
+  const Llrs out = depuncture_llrs(llrs, CodeRate::kRate3of4, 6);
+  EXPECT_EQ(out, (Llrs{1.0, 2.0, 3.0, 0.0, 0.0, 6.0}));
+}
+
+TEST(Puncture, DepunctureValidatesCounts) {
+  const std::vector<double> llrs(5, 1.0);
+  EXPECT_THROW(depuncture_llrs(llrs, CodeRate::kRate3of4, 6),
+               std::invalid_argument);
+  EXPECT_THROW(depuncture_llrs(llrs, CodeRate::kRate1of2, 6),
+               std::invalid_argument);
+}
+
+class PunctureRoundTrip : public ::testing::TestWithParam<CodeRate> {};
+
+TEST_P(PunctureRoundTrip, EncodePunctureDecodeRecovers) {
+  // Full coding path at each rate: encode, puncture, perfect-LLR
+  // depuncture, Viterbi decode.
+  const CodeRate rate = GetParam();
+  Rng rng(77);
+  const ViterbiDecoder decoder;
+  for (int trial = 0; trial < 5; ++trial) {
+    Bits info = rng.bits(240);
+    info.insert(info.end(), 6, 0);
+    // Pad so the mother stream is a multiple of the puncture period.
+    while ((2 * info.size()) % 12 != 0) info.push_back(0);
+    const Bits mother = convolutional_encode(info);
+    const Bits sent = puncture(mother, rate);
+    std::vector<double> llrs(sent.size());
+    for (std::size_t i = 0; i < sent.size(); ++i) {
+      llrs[i] = sent[i] ? -4.0 : 4.0;
+    }
+    const Llrs full = depuncture_llrs(llrs, rate, mother.size());
+    const Bits decoded = decoder.decode(full);
+    ASSERT_EQ(decoded.size(), info.size());
+    for (std::size_t i = 0; i < 240; ++i) {
+      EXPECT_EQ(decoded[i], info[i]) << "rate trial " << trial;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, PunctureRoundTrip,
+                         ::testing::Values(CodeRate::kRate1of2,
+                                           CodeRate::kRate2of3,
+                                           CodeRate::kRate3of4));
+
+TEST(Puncture, PuncturedCodeStillCorrectsErrors) {
+  // Rate 3/4 keeps enough redundancy for isolated hard errors.
+  Rng rng(78);
+  const ViterbiDecoder decoder;
+  Bits info = rng.bits(240);
+  info.insert(info.end(), 6, 0);
+  const Bits mother = convolutional_encode(info);
+  const Bits sent = puncture(mother, CodeRate::kRate3of4);
+  std::vector<double> llrs(sent.size());
+  for (std::size_t i = 0; i < sent.size(); ++i) {
+    llrs[i] = sent[i] ? -4.0 : 4.0;
+  }
+  for (std::size_t i = 20; i < llrs.size(); i += 80) llrs[i] = -llrs[i];
+  const Llrs full = depuncture_llrs(llrs, CodeRate::kRate3of4, mother.size());
+  const Bits decoded = decoder.decode(full);
+  for (std::size_t i = 0; i < 240; ++i) {
+    EXPECT_EQ(decoded[i], info[i]);
+  }
+}
+
+}  // namespace
+}  // namespace silence

@@ -1,0 +1,146 @@
+// Receiver-internal behaviours not covered by the loopback tests:
+// common-phase-error tracking, trailer symbol extraction, equalization
+// edge cases, and the noise estimator under impairments.
+#include <cmath>
+#include <gtest/gtest.h>
+#include <numbers>
+
+#include "channel/fading.h"
+#include "channel/impairments.h"
+#include "common/crc32.h"
+#include "common/rng.h"
+#include "phy/ofdm.h"
+#include "phy/preamble.h"
+#include "phy/receiver.h"
+#include "phy/transmitter.h"
+
+namespace silence {
+namespace {
+
+Bytes make_psdu(Rng& rng, std::size_t total) {
+  Bytes psdu = rng.bytes(total - 4);
+  append_fcs(psdu);
+  return psdu;
+}
+
+TEST(ReceiverInternals, CpeTrackingAbsorbsConstantRotationPerSymbol) {
+  // Rotate every data symbol by a fixed phase (as residual CFO would,
+  // after the per-packet channel estimate): the pilots must absorb it.
+  Rng rng(1);
+  const Bytes psdu = make_psdu(rng, 400);
+  const Mcs& mcs = mcs_for_rate(54);  // 64QAM: most phase-sensitive
+  const TxFrame frame = build_frame(psdu, mcs);
+  CxVec samples = frame_to_samples(frame);
+
+  // Apply a 10-degree rotation to everything after the preamble+SIGNAL.
+  const double angle = 10.0 * std::numbers::pi / 180.0;
+  const Cx rot{std::cos(angle), std::sin(angle)};
+  for (std::size_t n = static_cast<std::size_t>(kPreambleSamples) +
+                       kSymbolSamples;
+       n < samples.size(); ++n) {
+    samples[n] *= rot;
+  }
+
+  const RxPacket packet = receive_packet(samples);
+  ASSERT_TRUE(packet.ok);
+  EXPECT_EQ(packet.psdu, psdu);
+}
+
+TEST(ReceiverInternals, TrailerSymbolsExtracted) {
+  Rng rng(2);
+  const Bytes psdu = make_psdu(rng, 100);
+  const TxFrame frame = build_frame(psdu, mcs_for_rate(6));
+  CxVec samples = frame_to_samples(frame);
+
+  // Append 3 whole symbols and a partial one.
+  const CxVec filler(kNumDataSubcarriers, Cx{1.0, 0.0});
+  for (int i = 0; i < 3; ++i) {
+    const CxVec bins =
+        assemble_frequency_bins(filler, frame.num_symbols() + 1 + i);
+    const CxVec time = bins_to_time(bins);
+    samples.insert(samples.end(), time.begin(), time.end());
+  }
+  samples.insert(samples.end(), 37, Cx{0.0, 0.0});  // partial
+
+  const FrontEndResult fe = receiver_front_end(samples);
+  ASSERT_TRUE(fe.signal.has_value());
+  EXPECT_EQ(fe.trailer_bins.size(), 3u);
+  for (const CxVec& bins : fe.trailer_bins) {
+    EXPECT_EQ(bins.size(), static_cast<std::size_t>(kFftSize));
+  }
+}
+
+TEST(ReceiverInternals, NoTrailerWhenExactLength) {
+  Rng rng(3);
+  const Bytes psdu = make_psdu(rng, 100);
+  const CxVec samples =
+      frame_to_samples(build_frame(psdu, mcs_for_rate(6)));
+  const FrontEndResult fe = receiver_front_end(samples);
+  ASSERT_TRUE(fe.signal.has_value());
+  EXPECT_TRUE(fe.trailer_bins.empty());
+}
+
+TEST(ReceiverInternals, EqualizeZeroesDeadBins) {
+  std::array<Cx, kFftSize> channel{};
+  for (auto& h : channel) h = Cx{2.0, 0.0};
+  const auto bins = data_subcarrier_bins();
+  channel[static_cast<std::size_t>(bins[7])] = Cx{0.0, 0.0};  // dead bin
+
+  CxVec raw(kFftSize, Cx{4.0, 0.0});
+  const CxVec points = equalize_data_points(raw, channel);
+  EXPECT_EQ(points[7], (Cx{0.0, 0.0}));
+  EXPECT_NEAR(std::abs(points[8] - Cx{2.0, 0.0}), 0.0, 1e-12);
+}
+
+TEST(ReceiverInternals, CfoReportedByFrontEnd) {
+  Rng rng(4);
+  const Bytes psdu = make_psdu(rng, 200);
+  const CxVec clean = frame_to_samples(build_frame(psdu, mcs_for_rate(12)));
+
+  ImpairmentProfile profile;
+  profile.cfo_hz = 18e3;
+  RadioImpairments radio(profile, 5);
+  const CxVec impaired = radio.apply(clean);
+  const FrontEndResult fe = receiver_front_end(impaired);
+  ASSERT_TRUE(fe.signal.has_value());
+  EXPECT_NEAR(fe.cfo_hz, 18e3, 500.0);
+}
+
+TEST(ReceiverInternals, NoiseEstimateUnaffectedByCfoResidual) {
+  // The regression that motivated CPE-aware noise estimation: a small
+  // CFO residual must not inflate the pilot noise estimate at the end of
+  // a long packet.
+  Rng rng(6);
+  const Bytes psdu = make_psdu(rng, 1500);  // long packet
+  const Mcs& mcs = mcs_for_rate(12);
+  const CxVec clean = frame_to_samples(build_frame(psdu, mcs));
+
+  ImpairmentProfile profile;
+  profile.cfo_hz = 7e3;
+  RadioImpairments radio(profile, 7);
+  CxVec samples = radio.apply(clean);
+  const double nv = noise_var_for_snr_db(18.0);
+  for (auto& x : samples) x += rng.complex_gaussian(nv);
+
+  const FrontEndResult fe = receiver_front_end(samples);
+  ASSERT_TRUE(fe.signal.has_value());
+  const double expected = freq_noise_var(nv);
+  EXPECT_LT(fe.noise_var, 2.0 * expected);
+  EXPECT_GT(fe.noise_var, 0.4 * expected);
+}
+
+TEST(ReceiverInternals, SignalFieldMisdeclaredLengthHandled) {
+  // Chop the burst so the SIGNAL-declared length exceeds the samples:
+  // the front end must retract the SIGNAL rather than read off the end.
+  Rng rng(8);
+  const Bytes psdu = make_psdu(rng, 500);
+  const CxVec samples =
+      frame_to_samples(build_frame(psdu, mcs_for_rate(24)));
+  const std::span<const Cx> chopped(samples.data(), 320 + 80 + 3 * 80);
+  const FrontEndResult fe = receiver_front_end(chopped);
+  EXPECT_FALSE(fe.signal.has_value());
+  EXPECT_TRUE(fe.data_bins.empty());
+}
+
+}  // namespace
+}  // namespace silence

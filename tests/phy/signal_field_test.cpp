@@ -1,0 +1,87 @@
+#include "phy/signal_field.h"
+
+#include <gtest/gtest.h>
+
+namespace silence {
+namespace {
+
+TEST(SignalField, EncodeLayout) {
+  const Bits bits = encode_signal_bits(mcs_for_rate(24), 1024);
+  ASSERT_EQ(bits.size(), 24u);
+  // RATE code for 24 Mbps = 1001.
+  EXPECT_EQ(bits[0], 1);
+  EXPECT_EQ(bits[1], 0);
+  EXPECT_EQ(bits[2], 0);
+  EXPECT_EQ(bits[3], 1);
+  EXPECT_EQ(bits[4], 0);  // reserved
+  // LENGTH 1024 = bit 10 set, LSB first from position 5.
+  for (int i = 0; i < 12; ++i) {
+    EXPECT_EQ(bits[static_cast<std::size_t>(5 + i)], i == 10 ? 1 : 0);
+  }
+  // Tail zeros.
+  for (int i = 18; i < 24; ++i) {
+    EXPECT_EQ(bits[static_cast<std::size_t>(i)], 0);
+  }
+}
+
+TEST(SignalField, ParityIsEven) {
+  for (int mbps : {6, 9, 12, 18, 24, 36, 48, 54}) {
+    const Bits bits = encode_signal_bits(mcs_for_rate(mbps), 777);
+    int ones = 0;
+    for (int i = 0; i < 18; ++i) ones += bits[static_cast<std::size_t>(i)];
+    EXPECT_EQ(ones % 2, 0) << mbps;
+  }
+}
+
+class SignalRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(SignalRoundTrip, EncodeParseRecovers) {
+  for (int length : {1, 64, 1024, 1500, 4095}) {
+    const Bits bits = encode_signal_bits(mcs_for_rate(GetParam()), length);
+    const auto parsed = parse_signal_bits(bits);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->mcs->data_rate_mbps, GetParam());
+    EXPECT_EQ(parsed->length_octets, length);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, SignalRoundTrip,
+                         ::testing::Values(6, 9, 12, 18, 24, 36, 48, 54));
+
+TEST(SignalField, ParityFailureDetected) {
+  Bits bits = encode_signal_bits(mcs_for_rate(12), 100);
+  bits[6] ^= 1;
+  EXPECT_FALSE(parse_signal_bits(bits).has_value());
+}
+
+TEST(SignalField, ReservedBitMustBeZero) {
+  Bits bits = encode_signal_bits(mcs_for_rate(12), 100);
+  bits[4] ^= 1;
+  bits[17] ^= 1;  // fix parity so only the reserved bit is wrong
+  EXPECT_FALSE(parse_signal_bits(bits).has_value());
+}
+
+TEST(SignalField, ZeroLengthRejected) {
+  Bits bits = encode_signal_bits(mcs_for_rate(12), 1);
+  bits[5] = 0;    // length 1 -> 0
+  bits[17] ^= 1;  // fix parity
+  EXPECT_FALSE(parse_signal_bits(bits).has_value());
+}
+
+TEST(SignalField, BadLengthThrows) {
+  EXPECT_THROW(encode_signal_bits(mcs_for_rate(6), 0), std::invalid_argument);
+  EXPECT_THROW(encode_signal_bits(mcs_for_rate(6), 4096),
+               std::invalid_argument);
+}
+
+TEST(SignalField, UnknownRateCodeRejected) {
+  // Construct bits with an invalid rate code 0000 and valid parity.
+  Bits bits(24, 0);
+  bits[5] = 1;  // length 1
+  // parity of bits 0..16 = 1 -> set parity bit.
+  bits[17] = 1;
+  EXPECT_FALSE(parse_signal_bits(bits).has_value());
+}
+
+}  // namespace
+}  // namespace silence

@@ -1,0 +1,104 @@
+#include "phy/sync.h"
+
+#include <gtest/gtest.h>
+
+#include "channel/fading.h"
+#include "common/crc32.h"
+#include "common/rng.h"
+#include "phy/preamble.h"
+#include "phy/receiver.h"
+#include "phy/transmitter.h"
+
+namespace silence {
+namespace {
+
+CxVec padded_burst(const CxVec& burst, std::size_t offset, Rng& rng,
+                   double noise_var) {
+  CxVec samples(offset, Cx{0.0, 0.0});
+  samples.insert(samples.end(), burst.begin(), burst.end());
+  samples.insert(samples.end(), 200, Cx{0.0, 0.0});
+  for (auto& x : samples) x += rng.complex_gaussian(noise_var);
+  return samples;
+}
+
+TEST(FrameDetect, ExactOnCleanInput) {
+  Rng rng(1);
+  Bytes psdu = rng.bytes(200);
+  append_fcs(psdu);
+  const CxVec burst = frame_to_samples(build_frame(psdu, mcs_for_rate(12)));
+  for (std::size_t offset : {0u, 1u, 37u, 160u, 1000u}) {
+    CxVec samples(offset, Cx{0.0, 0.0});
+    samples.insert(samples.end(), burst.begin(), burst.end());
+    const auto start = detect_frame_start(samples);
+    ASSERT_TRUE(start.has_value()) << "offset " << offset;
+    EXPECT_EQ(*start, offset);
+  }
+}
+
+TEST(FrameDetect, AccurateUnderNoise) {
+  Rng rng(2);
+  Bytes psdu = rng.bytes(200);
+  append_fcs(psdu);
+  const CxVec burst = frame_to_samples(build_frame(psdu, mcs_for_rate(12)));
+  const double nv = noise_var_for_snr_db(10.0);
+  int hits = 0;
+  for (std::size_t trial = 0; trial < 20; ++trial) {
+    const std::size_t offset = 50 + trial * 13;
+    const CxVec samples = padded_burst(burst, offset, rng, nv);
+    const auto start = detect_frame_start(samples);
+    if (start && *start == offset) ++hits;
+  }
+  EXPECT_GE(hits, 18);
+}
+
+TEST(FrameDetect, NoFrameMeansNoDetection) {
+  Rng rng(3);
+  CxVec noise(4000);
+  for (auto& x : noise) x = rng.complex_gaussian(0.01);
+  EXPECT_FALSE(detect_frame_start(noise).has_value());
+}
+
+TEST(FrameDetect, TooShortInputRejected) {
+  const CxVec tiny(100, Cx{1.0, 0.0});
+  EXPECT_FALSE(detect_frame_start(tiny).has_value());
+}
+
+TEST(FrameDetect, UnalignedReceiveDecodesPacket) {
+  Rng rng(4);
+  Bytes psdu = rng.bytes(300);
+  append_fcs(psdu);
+  const CxVec burst = frame_to_samples(build_frame(psdu, mcs_for_rate(24)));
+  const double nv = noise_var_for_snr_db(22.0);
+  const CxVec samples = padded_burst(burst, 777, rng, nv);
+
+  // Aligned receive on the padded stream fails...
+  EXPECT_FALSE(receive_packet(samples).ok);
+  // ...while timing acquisition finds and decodes the frame.
+  const RxPacket packet = receive_packet_unaligned(samples);
+  ASSERT_TRUE(packet.ok);
+  EXPECT_EQ(packet.psdu, psdu);
+}
+
+TEST(FrameDetect, WorksThroughMultipath) {
+  Rng rng(5);
+  Bytes psdu = rng.bytes(300);
+  append_fcs(psdu);
+  const CxVec burst = frame_to_samples(build_frame(psdu, mcs_for_rate(12)));
+  int decoded = 0;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    MultipathProfile profile;
+    FadingChannel channel(profile, seed);
+    const double nv = noise_var_for_measured_snr(channel, 14.0);
+    CxVec padded(300 + seed * 20, Cx{0.0, 0.0});
+    padded.insert(padded.end(), burst.begin(), burst.end());
+    padded.insert(padded.end(), 100, Cx{0.0, 0.0});
+    const CxVec received = channel.transmit(padded, nv, rng);
+    // Multipath delays the energy by up to a few taps; the receiver just
+    // needs a decode, not an exact offset.
+    decoded += receive_packet_unaligned(received).ok;
+  }
+  EXPECT_GE(decoded, 8);
+}
+
+}  // namespace
+}  // namespace silence

@@ -1,0 +1,171 @@
+#include "phy/viterbi.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "phy/convolutional.h"
+
+namespace silence {
+namespace {
+
+// Maps coded bits to ideal LLRs (+amp for 0, -amp for 1).
+std::vector<double> bits_to_llrs(const Bits& coded, double amp = 4.0) {
+  std::vector<double> llrs(coded.size());
+  for (std::size_t i = 0; i < coded.size(); ++i) {
+    llrs[i] = coded[i] ? -amp : amp;
+  }
+  return llrs;
+}
+
+Bits encode_terminated(Bits info) {
+  info.insert(info.end(), 6, 0);
+  return convolutional_encode(info);
+}
+
+TEST(Viterbi, NoiselessRoundTrip) {
+  Rng rng(1);
+  const ViterbiDecoder decoder;
+  for (int trial = 0; trial < 10; ++trial) {
+    Bits info = rng.bits(100 + static_cast<std::size_t>(trial) * 37);
+    const Bits coded = encode_terminated(info);
+    const Bits decoded = decoder.decode(bits_to_llrs(coded));
+    ASSERT_EQ(decoded.size(), info.size() + 6);
+    for (std::size_t i = 0; i < info.size(); ++i) {
+      EXPECT_EQ(decoded[i], info[i]) << "trial " << trial << " bit " << i;
+    }
+  }
+}
+
+TEST(Viterbi, EmptyInput) {
+  const ViterbiDecoder decoder;
+  EXPECT_TRUE(decoder.decode(std::vector<double>{}).empty());
+}
+
+TEST(Viterbi, OddLlrCountRejected) {
+  const ViterbiDecoder decoder;
+  const std::vector<double> llrs(5, 1.0);
+  EXPECT_THROW(decoder.decode(llrs), std::invalid_argument);
+}
+
+TEST(Viterbi, CorrectsScatteredHardErrors) {
+  Rng rng(2);
+  const ViterbiDecoder decoder;
+  Bits info = rng.bits(200);
+  const Bits coded = encode_terminated(info);
+  auto llrs = bits_to_llrs(coded);
+  // Flip isolated coded bits, spaced beyond the constraint span.
+  for (std::size_t i = 10; i < llrs.size(); i += 40) llrs[i] = -llrs[i];
+  const Bits decoded = decoder.decode(llrs);
+  for (std::size_t i = 0; i < info.size(); ++i) {
+    EXPECT_EQ(decoded[i], info[i]);
+  }
+}
+
+TEST(Viterbi, CorrectsScatteredErasures) {
+  Rng rng(3);
+  const ViterbiDecoder decoder;
+  Bits info = rng.bits(300);
+  const Bits coded = encode_terminated(info);
+  auto llrs = bits_to_llrs(coded);
+  // Erase (zero) 20% of positions, scattered: erasures are weaker than
+  // errors so the decoder should shrug these off.
+  for (std::size_t i = 0; i < llrs.size(); i += 5) llrs[i] = 0.0;
+  const Bits decoded = decoder.decode(llrs);
+  for (std::size_t i = 0; i < info.size(); ++i) {
+    EXPECT_EQ(decoded[i], info[i]);
+  }
+}
+
+TEST(Viterbi, FullyErasedStreamDecodesDeterministically) {
+  // All-zero LLRs carry no information: every path ties. The decoder must
+  // terminate, produce the right length, and be deterministic.
+  const ViterbiDecoder decoder;
+  const std::vector<double> llrs(200, 0.0);
+  const Bits first = decoder.decode(llrs);
+  const Bits second = decoder.decode(llrs);
+  ASSERT_EQ(first.size(), 100u);
+  EXPECT_EQ(first, second);
+}
+
+TEST(Viterbi, ErasureBurstOnlyDamagesItsRegion) {
+  // Erasing 30 consecutive trellis steps destroys information locally but
+  // the decoder must still recover bits far from the burst.
+  Rng rng(4);
+  const ViterbiDecoder decoder;
+  Bits info = rng.bits(300);
+  const Bits coded = encode_terminated(info);
+  auto llrs = bits_to_llrs(coded);
+  for (std::size_t i = 200; i < 260; ++i) llrs[i] = 0.0;  // steps 100..129
+  const Bits decoded = decoder.decode(llrs);
+  for (std::size_t i = 0; i < 80; ++i) {
+    EXPECT_EQ(decoded[i], info[i]) << "bit " << i << " before burst";
+  }
+  for (std::size_t i = 150; i < info.size(); ++i) {
+    EXPECT_EQ(decoded[i], info[i]) << "bit " << i << " after burst";
+  }
+}
+
+TEST(Viterbi, SoftDecisionsBeatHardDecisions) {
+  // With genuine soft inputs the decoder should fix a pattern where hard
+  // decisions alone would fail: weak wrong bits + strong right bits.
+  Rng rng(5);
+  const ViterbiDecoder decoder;
+  Bits info = rng.bits(100);
+  const Bits coded = encode_terminated(info);
+  std::vector<double> llrs(coded.size());
+  for (std::size_t i = 0; i < coded.size(); ++i) {
+    const double amp = (i % 3 == 0) ? 0.3 : 4.0;  // every third bit weak
+    llrs[i] = coded[i] ? -amp : amp;
+  }
+  // Flip the weak bits' signs: hard decisions there are now wrong (33% of
+  // the stream!), but their low confidence lets the decoder override.
+  for (std::size_t i = 0; i < llrs.size(); i += 3) llrs[i] = -llrs[i];
+  const Bits decoded = decoder.decode(llrs);
+  for (std::size_t i = 0; i < info.size(); ++i) {
+    EXPECT_EQ(decoded[i], info[i]);
+  }
+}
+
+TEST(Viterbi, UnterminatedDecodingStillRecoversBody) {
+  Rng rng(6);
+  const ViterbiDecoder decoder;
+  const Bits info = rng.bits(200);  // no tail
+  const Bits coded = convolutional_encode(info);
+  const Bits decoded = decoder.decode(bits_to_llrs(coded),
+                                      /*terminated=*/false);
+  ASSERT_EQ(decoded.size(), info.size());
+  // The last few bits may be off without termination; the body must hold.
+  for (std::size_t i = 0; i + 8 < info.size(); ++i) {
+    EXPECT_EQ(decoded[i], info[i]);
+  }
+}
+
+class ViterbiNoiseSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ViterbiNoiseSweep, DecodesAtReasonableEbN0) {
+  // BPSK-style channel: llr = 2*y/sigma^2 with y = (1-2c) + n. At the
+  // parameterized noise sigma the rate-1/2 K=7 code should decode a
+  // 500-bit block error-free with overwhelming probability.
+  const double sigma = GetParam();
+  Rng rng(static_cast<std::uint64_t>(sigma * 1000));
+  const ViterbiDecoder decoder;
+  Bits info = rng.bits(500);
+  const Bits coded = encode_terminated(info);
+  std::vector<double> llrs(coded.size());
+  for (std::size_t i = 0; i < coded.size(); ++i) {
+    const double y = (coded[i] ? -1.0 : 1.0) + sigma * rng.gaussian();
+    llrs[i] = 2.0 * y / (sigma * sigma);
+  }
+  const Bits decoded = decoder.decode(llrs);
+  std::size_t errors = 0;
+  for (std::size_t i = 0; i < info.size(); ++i) {
+    if (decoded[i] != info[i]) ++errors;
+  }
+  EXPECT_EQ(errors, 0u) << "sigma " << sigma;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sigmas, ViterbiNoiseSweep,
+                         ::testing::Values(0.3, 0.5, 0.7));
+
+}  // namespace
+}  // namespace silence

@@ -1,0 +1,164 @@
+// Randomized invariants of the CoS building blocks.
+#include <algorithm>
+#include <gtest/gtest.h>
+#include <numeric>
+#include <set>
+
+#include "common/rng.h"
+#include "core/interval_code.h"
+#include "core/silence_plan.h"
+#include "core/subcarrier_selection.h"
+#include "phy/interleaver.h"
+#include "phy/puncture.h"
+#include "phy/scrambler.h"
+
+namespace silence {
+namespace {
+
+class Invariants : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Invariants, IntervalCodecIsLossless) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 40; ++trial) {
+    const int k = static_cast<int>(rng.uniform_int(1, 8));
+    const Bits bits =
+        rng.bits(static_cast<std::size_t>(k) * rng.uniform_int(0, 60));
+    const auto intervals = bits_to_intervals(bits, k);
+    EXPECT_EQ(intervals_to_bits(intervals, k), bits);
+    // Tolerant decode of valid intervals is identical to strict decode.
+    EXPECT_EQ(intervals_to_bits_tolerant(intervals, k), bits);
+  }
+}
+
+TEST_P(Invariants, PlanAndMaskAreDual) {
+  Rng rng(GetParam() + 1);
+  for (int trial = 0; trial < 30; ++trial) {
+    const int k = static_cast<int>(rng.uniform_int(2, 6));
+    const int symbols = static_cast<int>(rng.uniform_int(4, 120));
+    std::set<int> chosen;
+    const std::size_t count = rng.uniform_int(1, 16);
+    while (chosen.size() < count) {
+      chosen.insert(static_cast<int>(rng.uniform_int(0, 47)));
+    }
+    const std::vector<int> subcarriers(chosen.begin(), chosen.end());
+    const Bits bits =
+        rng.bits(static_cast<std::size_t>(k) * rng.uniform_int(0, 100));
+
+    const SilencePlan plan = plan_silences(bits, symbols, subcarriers, k);
+    // bits_sent is a k-multiple prefix of the message.
+    EXPECT_EQ(plan.bits_sent % static_cast<std::size_t>(k), 0u);
+    EXPECT_LE(plan.bits_sent, bits.size());
+    // The mask decodes back to exactly the sent prefix.
+    const auto intervals = mask_to_intervals(plan.mask, subcarriers);
+    const Bits decoded = intervals_to_bits(intervals, k);
+    ASSERT_GE(decoded.size(), plan.bits_sent);
+    for (std::size_t i = 0; i < plan.bits_sent; ++i) {
+      EXPECT_EQ(decoded[i], bits[i]);
+    }
+    // Mask population count equals the reported silence count.
+    std::size_t population = 0;
+    for (const auto& row : plan.mask) {
+      for (auto cell : row) population += cell;
+    }
+    EXPECT_EQ(population, plan.silence_count);
+  }
+}
+
+TEST_P(Invariants, InterleaverIsAPermutationForEveryRate) {
+  for (const Mcs& mcs : all_mcs()) {
+    const auto perm = interleaver_permutation(mcs.n_cbps, mcs.n_bpsc);
+    std::vector<int> sorted = perm;
+    std::sort(sorted.begin(), sorted.end());
+    for (int i = 0; i < mcs.n_cbps; ++i) {
+      ASSERT_EQ(sorted[static_cast<std::size_t>(i)], i)
+          << to_string(mcs.modulation);
+    }
+  }
+}
+
+TEST_P(Invariants, PunctureDepunctureIsPositionFaithful) {
+  Rng rng(GetParam() + 2);
+  for (const CodeRate rate :
+       {CodeRate::kRate1of2, CodeRate::kRate2of3, CodeRate::kRate3of4}) {
+    const std::size_t period =
+        rate == CodeRate::kRate1of2 ? 2 : (rate == CodeRate::kRate2of3 ? 4 : 6);
+    const std::size_t mother_bits = period * rng.uniform_int(5, 60);
+    // Use distinct marker values so any reordering would be visible.
+    std::vector<double> markers(mother_bits);
+    for (std::size_t i = 0; i < mother_bits; ++i) {
+      markers[i] = static_cast<double>(i + 1);
+    }
+    // Puncture a parallel bit stream to learn the surviving positions.
+    Bits index_bits(mother_bits);
+    for (std::size_t i = 0; i < mother_bits; ++i) {
+      index_bits[i] = static_cast<std::uint8_t>(i % 2);
+    }
+    const std::size_t kept = punctured_length(mother_bits, rate);
+    // Build the punctured marker stream by hand via puncture() on bytes
+    // of an identity-tagged vector is impossible (Bits are uint8), so
+    // verify through depuncture: it must place the i-th surviving marker
+    // at the i-th kept position and 0 elsewhere.
+    std::vector<double> survivors;
+    survivors.reserve(kept);
+    for (std::size_t i = 0; i < kept; ++i) {
+      survivors.push_back(static_cast<double>(i + 1000));
+    }
+    const Llrs restored = depuncture_llrs(survivors, rate, mother_bits);
+    ASSERT_EQ(restored.size(), mother_bits);
+    std::size_t seen = 0;
+    for (double v : restored) {
+      if (v != 0.0) {
+        EXPECT_EQ(v, static_cast<double>(seen + 1000));
+        ++seen;
+      }
+    }
+    EXPECT_EQ(seen, kept);
+  }
+}
+
+TEST_P(Invariants, ScramblerIsInvolutionForAnySeed) {
+  Rng rng(GetParam() + 3);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto seed = static_cast<std::uint8_t>(rng.uniform_int(1, 127));
+    const Bits plain = rng.bits(rng.uniform_int(1, 500));
+    Scrambler a(seed), b(seed);
+    EXPECT_EQ(b.apply(a.apply(plain)), plain);
+  }
+}
+
+TEST_P(Invariants, SelectionRespectsBoundsAndOrder) {
+  Rng rng(GetParam() + 4);
+  for (int trial = 0; trial < 30; ++trial) {
+    SubcarrierEvm evm{};
+    for (auto& v : evm) v = rng.uniform() * 0.5;
+    std::vector<std::uint8_t> detectable(kNumDataSubcarriers);
+    for (auto& d : detectable) {
+      d = static_cast<std::uint8_t>(rng.uniform() < 0.6);
+    }
+    const int min_count = static_cast<int>(rng.uniform_int(0, 10));
+    const int max_count =
+        min_count + static_cast<int>(rng.uniform_int(0, 20));
+    const Modulation mod = static_cast<Modulation>(rng.uniform_int(0, 3));
+    const auto selected = select_control_subcarriers(
+        evm, mod, min_count, std::min(max_count, kNumDataSubcarriers),
+        detectable);
+    EXPECT_LE(selected.size(),
+              static_cast<std::size_t>(std::min(max_count,
+                                                kNumDataSubcarriers)));
+    EXPECT_TRUE(std::is_sorted(selected.begin(), selected.end()));
+    for (int sc : selected) {
+      EXPECT_TRUE(detectable[static_cast<std::size_t>(sc)]);
+    }
+    // Round-trips through the feedback vector codec.
+    EXPECT_EQ(decode_selection_vector(encode_selection_vector(selected)),
+              selected);
+    const auto [row1, row2] = encode_selection_vector_robust(selected);
+    EXPECT_EQ(decode_selection_vector_robust(row1, row2), selected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Invariants,
+                         ::testing::Values(7, 17, 27, 37));
+
+}  // namespace
+}  // namespace silence

@@ -1,0 +1,132 @@
+// Cross-checks of optimized implementations against slow textbook
+// reference implementations.
+#include <cmath>
+#include <complex>
+#include <gtest/gtest.h>
+#include <numbers>
+
+#include "channel/fading.h"
+#include "common/rng.h"
+#include "dsp/fft.h"
+#include "phy/modulation.h"
+
+namespace silence {
+namespace {
+
+// O(N^2) DFT straight from the definition.
+CxVec naive_dft(std::span<const Cx> x, bool inverse) {
+  const std::size_t n = x.size();
+  CxVec out(n, Cx{0.0, 0.0});
+  const double sign = inverse ? 1.0 : -1.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t t = 0; t < n; ++t) {
+      const double angle = sign * 2.0 * std::numbers::pi *
+                           static_cast<double>(k * t) /
+                           static_cast<double>(n);
+      out[k] += x[t] * Cx{std::cos(angle), std::sin(angle)};
+    }
+    if (inverse) out[k] /= static_cast<double>(n);
+  }
+  return out;
+}
+
+class FftVsNaive : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftVsNaive, ForwardMatches) {
+  Rng rng(GetParam());
+  CxVec x(GetParam());
+  for (auto& v : x) v = rng.complex_gaussian(1.0);
+  const CxVec fast = fft(x);
+  const CxVec slow = naive_dft(x, false);
+  for (std::size_t k = 0; k < x.size(); ++k) {
+    EXPECT_NEAR(std::abs(fast[k] - slow[k]), 0.0, 1e-8) << "bin " << k;
+  }
+}
+
+TEST_P(FftVsNaive, InverseMatches) {
+  Rng rng(GetParam() + 100);
+  CxVec x(GetParam());
+  for (auto& v : x) v = rng.complex_gaussian(1.0);
+  const CxVec fast = ifft(x);
+  const CxVec slow = naive_dft(x, true);
+  for (std::size_t k = 0; k < x.size(); ++k) {
+    EXPECT_NEAR(std::abs(fast[k] - slow[k]), 0.0, 1e-8);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FftVsNaive,
+                         ::testing::Values(2, 8, 64, 128));
+
+TEST(ReferenceImpl, MaxLogLlrMatchesBruteForceSubsetMinima) {
+  // The separable per-axis demodulator must agree with the direct
+  // definition: llr_i = (min_{x: bit_i=1} |y-x|^2
+  //                      - min_{x: bit_i=0} |y-x|^2) / noise_var.
+  Rng rng(7);
+  for (Modulation mod : {Modulation::kBpsk, Modulation::kQpsk,
+                         Modulation::kQam16, Modulation::kQam64}) {
+    const int n = bits_per_symbol(mod);
+    const auto points = constellation(mod);
+    for (int trial = 0; trial < 40; ++trial) {
+      const Cx y = rng.complex_gaussian(2.0);
+      const double noise_var = 0.1 + rng.uniform();
+      std::vector<double> fast;
+      demod_llrs(y, mod, noise_var, fast);
+      for (int b = 0; b < n; ++b) {
+        double best0 = 1e300, best1 = 1e300;
+        for (std::size_t v = 0; v < points.size(); ++v) {
+          const bool bit_is_one = ((v >> (n - 1 - b)) & 1U) != 0;
+          const double dist = std::norm(y - points[v]);
+          (bit_is_one ? best1 : best0) =
+              std::min(bit_is_one ? best1 : best0, dist);
+        }
+        const double reference = (best1 - best0) / noise_var;
+        EXPECT_NEAR(fast[static_cast<std::size_t>(b)], reference,
+                    1e-9 * (1.0 + std::abs(reference)))
+            << to_string(mod) << " bit " << b;
+      }
+    }
+  }
+}
+
+TEST(ReferenceImpl, GaussMarkovMatchesJakesAutocorrelation) {
+  // The channel's advance() implements rho = J0(2 pi fd dt); verify the
+  // realized tap autocorrelation against the Bessel value.
+  MultipathProfile profile;
+  profile.rician_k_linear = 0.0;
+  profile.doppler_hz = 20.0;
+  for (double dt : {1e-3, 3e-3, 6e-3}) {
+    const double expected =
+        std::max(0.0, std::cyl_bessel_j(0.0, 2.0 * std::numbers::pi *
+                                                 profile.doppler_hz * dt));
+    double num = 0.0, den = 0.0;
+    for (int seed = 0; seed < 600; ++seed) {
+      FadingChannel channel(profile, static_cast<std::uint64_t>(seed));
+      const CxVec before(channel.taps().begin(), channel.taps().end());
+      channel.advance(dt);
+      for (std::size_t l = 0; l < before.size(); ++l) {
+        num += (std::conj(before[l]) * channel.taps()[l]).real();
+        den += std::norm(before[l]);
+      }
+    }
+    EXPECT_NEAR(num / den, expected, 0.04) << "dt " << dt;
+  }
+}
+
+TEST(ReferenceImpl, FrequencyResponseMatchesNaiveDft) {
+  MultipathProfile profile;
+  FadingChannel channel(profile, 3);
+  const auto fast = channel.frequency_response();
+  CxVec padded(kFftSize, Cx{0.0, 0.0});
+  for (std::size_t l = 0; l < channel.taps().size(); ++l) {
+    padded[l] = channel.taps()[l];
+  }
+  const CxVec slow = naive_dft(padded, false);
+  for (int k = 0; k < kFftSize; ++k) {
+    EXPECT_NEAR(std::abs(fast[static_cast<std::size_t>(k)] -
+                         slow[static_cast<std::size_t>(k)]),
+                0.0, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace silence

@@ -1,0 +1,71 @@
+// Parameterized rate x k sweep of the full CoS pipeline on benign
+// channels: whatever combination an application picks, data and control
+// must round-trip.
+#include <gtest/gtest.h>
+
+#include "common/crc32.h"
+#include "common/rng.h"
+#include "core/cos_link.h"
+
+namespace silence {
+namespace {
+
+struct SweepParams {
+  int rate_mbps;
+  int k;
+};
+
+class RateKSweep : public ::testing::TestWithParam<SweepParams> {};
+
+TEST_P(RateKSweep, CleanRoundTrip) {
+  const auto [rate, k] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(rate) * 31 +
+          static_cast<std::uint64_t>(k));
+  Bytes psdu = rng.bytes(1196);
+  append_fcs(psdu);
+  // Load scaled to k: small k produces dense silence clusters (short
+  // intervals), large k produces long intervals that need grid room —
+  // both extremes are real capacity limits, not decoding requirements.
+  const int intervals = k <= 2 ? 8 : (k <= 4 ? 6 : 3);
+  const Bits control =
+      rng.bits(static_cast<std::size_t>(k) * static_cast<std::size_t>(intervals));
+
+  CosTxConfig txc;
+  txc.mcs = &mcs_for_rate(rate);
+  txc.control_subcarriers = k >= 5 ? std::vector<int>{7, 19, 31, 43}
+                                    : std::vector<int>{7, 23, 39};
+  txc.bits_per_interval = k;
+  const CosTxPacket tx = cos_transmit(psdu, control, txc);
+  ASSERT_EQ(tx.plan.bits_sent, control.size());
+
+  CosRxConfig rxc;
+  rxc.control_subcarriers = txc.control_subcarriers;
+  rxc.bits_per_interval = k;
+  const CosRxPacket rx = cos_receive(tx.samples, rxc);
+  ASSERT_TRUE(rx.data_ok);
+  EXPECT_EQ(rx.psdu, psdu);
+  ASSERT_GE(rx.control_bits.size(), control.size());
+  for (std::size_t i = 0; i < control.size(); ++i) {
+    EXPECT_EQ(rx.control_bits[i], control[i]);
+  }
+}
+
+std::vector<SweepParams> all_combinations() {
+  std::vector<SweepParams> params;
+  for (int rate : {6, 9, 12, 18, 24, 36, 48, 54}) {
+    for (int k : {1, 2, 3, 4, 5, 6}) {
+      params.push_back({rate, k});
+    }
+  }
+  return params;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, RateKSweep, ::testing::ValuesIn(all_combinations()),
+    [](const ::testing::TestParamInfo<SweepParams>& info) {
+      return "Rate" + std::to_string(info.param.rate_mbps) + "K" +
+             std::to_string(info.param.k);
+    });
+
+}  // namespace
+}  // namespace silence

@@ -1,0 +1,96 @@
+// Property test: the Viterbi decoder is exactly maximum-likelihood.
+//
+// For short blocks we can brute-force every information sequence and
+// compare metrics. The decoder's output must achieve the maximum
+// correlation metric over all 2^N candidates — including inputs with
+// erasures (zero LLRs) and adversarial random soft values.
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "phy/convolutional.h"
+#include "phy/viterbi.h"
+
+namespace silence {
+namespace {
+
+// Correlation metric the decoder maximizes: sum (+llr/2 for coded 0,
+// -llr/2 for coded 1).
+double path_metric(const Bits& info, std::span<const double> llrs) {
+  const Bits coded = convolutional_encode(info);
+  double metric = 0.0;
+  for (std::size_t i = 0; i < coded.size(); ++i) {
+    metric += coded[i] ? -0.5 * llrs[i] : 0.5 * llrs[i];
+  }
+  return metric;
+}
+
+double best_exhaustive_metric(std::size_t n_bits,
+                              std::span<const double> llrs,
+                              bool terminated) {
+  double best = -1e300;
+  for (std::uint64_t v = 0; v < (std::uint64_t{1} << n_bits); ++v) {
+    Bits info = uint_to_bits(v, static_cast<int>(n_bits));
+    if (terminated) {
+      // Only sequences ending in the zero state compete.
+      bool tail_ok = true;
+      for (std::size_t i = n_bits - 6; i < n_bits; ++i) {
+        if (info[i]) {
+          tail_ok = false;
+          break;
+        }
+      }
+      if (!tail_ok) continue;
+    }
+    best = std::max(best, path_metric(info, llrs));
+  }
+  return best;
+}
+
+class ViterbiMl : public ::testing::TestWithParam<int> {};
+
+TEST_P(ViterbiMl, MatchesExhaustiveSearchOnRandomSoftInputs) {
+  const ViterbiDecoder decoder;
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const std::size_t n_bits = 10;
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<double> llrs(2 * n_bits);
+    for (auto& v : llrs) {
+      // Mix of confident values, weak values, and erasures.
+      const double u = rng.uniform();
+      if (u < 0.2) {
+        v = 0.0;
+      } else {
+        v = (rng.uniform() - 0.5) * 8.0;
+      }
+    }
+    const Bits decoded = decoder.decode(llrs, /*terminated=*/false);
+    const double decoder_metric = path_metric(decoded, llrs);
+    const double best = best_exhaustive_metric(n_bits, llrs, false);
+    EXPECT_NEAR(decoder_metric, best, 1e-9)
+        << "trial " << trial << ": decoder found a sub-optimal path";
+  }
+}
+
+TEST_P(ViterbiMl, MatchesExhaustiveSearchTerminated) {
+  const ViterbiDecoder decoder;
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 100);
+  const std::size_t n_bits = 10;  // last 6 forced to zero by termination
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<double> llrs(2 * n_bits);
+    for (auto& v : llrs) v = (rng.uniform() - 0.5) * 6.0;
+    const Bits decoded = decoder.decode(llrs, /*terminated=*/true);
+    // Termination must hold: the decoded sequence ends in state 0.
+    int state = 0;
+    for (auto bit : decoded) state = conv_next_state(state, bit);
+    EXPECT_EQ(state, 0);
+    const double decoder_metric = path_metric(decoded, llrs);
+    const double best = best_exhaustive_metric(n_bits, llrs, true);
+    EXPECT_NEAR(decoder_metric, best, 1e-9) << "trial " << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ViterbiMl, ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace silence

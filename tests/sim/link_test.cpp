@@ -1,0 +1,73 @@
+#include "sim/link.h"
+
+#include <gtest/gtest.h>
+
+#include "common/crc32.h"
+#include "phy/receiver.h"
+#include "phy/transmitter.h"
+
+namespace silence {
+namespace {
+
+TEST(Link, SnrBookkeepingConsistent) {
+  LinkConfig config;
+  config.snr_db = 18.0;
+  Link link(config);
+  EXPECT_DOUBLE_EQ(link.noise_var(), noise_var_for_snr_db(18.0));
+  EXPECT_DOUBLE_EQ(link.freq_noise_var(), 64.0 * link.noise_var());
+  EXPECT_LE(link.measured_snr_db(), link.actual_snr_db() + 1e-9);
+}
+
+TEST(Link, PacketSurvivesComfortableSnr) {
+  LinkConfig config;
+  config.snr_db = 30.0;
+  config.channel_seed = 5;
+  Link link(config);
+  Rng rng(1);
+  const Bytes psdu = make_test_psdu(300, rng);
+  const CxVec tx = frame_to_samples(build_frame(psdu, mcs_for_rate(12)));
+  const CxVec rx = link.send(tx);
+  const RxPacket packet = receive_packet(rx);
+  ASSERT_TRUE(packet.ok);
+  EXPECT_EQ(packet.psdu, psdu);
+}
+
+TEST(Link, InterfererInjectsEnergy) {
+  LinkConfig config;
+  config.snr_db = 200.0;  // effectively noiseless
+  config.interferer = PulseInterferer{.symbol_hit_probability = 1.0,
+                                      .pulse_power = 5.0};
+  Link link(config);
+  const CxVec zeros(800, Cx{0.0, 0.0});
+  const CxVec rx = link.send(zeros);
+  double energy_sum = 0.0;
+  for (const Cx& x : rx) energy_sum += std::norm(x);
+  EXPECT_NEAR(energy_sum / static_cast<double>(rx.size()), 5.0, 0.8);
+}
+
+TEST(Link, AdvanceMovesChannel) {
+  LinkConfig config;
+  config.profile.rician_k_linear = 0.0;
+  Link link(config);
+  const CxVec before(link.channel().taps().begin(),
+                     link.channel().taps().end());
+  link.advance(0.1);  // far past coherence time
+  double diff = 0.0;
+  for (std::size_t l = 0; l < before.size(); ++l) {
+    diff += std::abs(link.channel().taps()[l] - before[l]);
+  }
+  EXPECT_GT(diff, 1e-3);
+}
+
+TEST(Link, MakeTestPsduHasValidFcs) {
+  Rng rng(2);
+  for (std::size_t size : {5u, 64u, 1024u}) {
+    const Bytes psdu = make_test_psdu(size, rng);
+    EXPECT_EQ(psdu.size(), size);
+    EXPECT_TRUE(check_fcs(psdu));
+  }
+  EXPECT_THROW(make_test_psdu(4, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace silence

@@ -1,0 +1,140 @@
+#include "sim/session.h"
+
+#include <gtest/gtest.h>
+
+namespace silence {
+namespace {
+
+LinkConfig good_link(double snr_db, std::uint64_t seed = 3) {
+  LinkConfig config;
+  config.snr_db = snr_db;
+  config.channel_seed = seed;
+  config.noise_seed = seed + 100;
+  return config;
+}
+
+TEST(Session, DeliversControlBitsOverGoodChannel) {
+  Link link(good_link(28.0));
+  SessionConfig config;
+  CosSession session(link, config);
+  Rng rng(1);
+  const Bytes psdu = make_test_psdu(1024, rng);
+  const Bits control = rng.bits(200);
+
+  // First packet bootstraps on the default subcarrier set at the lowest
+  // control rate; its control delivery is best-effort (the set was not
+  // chosen for this channel), but the data must survive and the feedback
+  // loop must start.
+  const PacketReport first = session.send_packet(psdu, control);
+  EXPECT_TRUE(first.data_ok);
+  ASSERT_TRUE(session.have_feedback());
+
+  // Once the EVM feedback selects detectable subcarriers, control bits
+  // flow reliably.
+  const PacketReport second = session.send_packet(psdu, control);
+  EXPECT_TRUE(second.data_ok);
+  EXPECT_TRUE(second.control_ok);
+  EXPECT_GT(second.control_bits_sent, 0u);
+}
+
+TEST(Session, RateAdaptationFollowsMeasuredSnr) {
+  Rng rng(2);
+  const Bytes psdu = make_test_psdu(512, rng);
+  const Bits control = rng.bits(16);
+  {
+    Link link(good_link(26.0));
+    CosSession session(link, SessionConfig{});
+    const PacketReport report = session.send_packet(psdu, control);
+    EXPECT_GE(report.mcs->data_rate_mbps, 36);
+  }
+  {
+    Link link(good_link(9.0));
+    CosSession session(link, SessionConfig{});
+    const PacketReport report = session.send_packet(psdu, control);
+    EXPECT_LE(report.mcs->data_rate_mbps, 18);
+  }
+}
+
+TEST(Session, FixedRateOverrideRespected) {
+  Link link(good_link(28.0));
+  SessionConfig config;
+  config.fixed_rate_mbps = 12;
+  CosSession session(link, config);
+  Rng rng(3);
+  const Bytes psdu = make_test_psdu(256, rng);
+  const PacketReport report = session.send_packet(psdu, rng.bits(16));
+  EXPECT_EQ(report.mcs->data_rate_mbps, 12);
+}
+
+TEST(Session, FeedbackUpdatesControlSubcarriers) {
+  Link link(good_link(20.0, 7));
+  SessionConfig config;
+  CosSession session(link, config);
+  Rng rng(4);
+  const Bytes psdu = make_test_psdu(1024, rng);
+  const auto initial = session.control_subcarriers();
+  const PacketReport report = session.send_packet(psdu, rng.bits(64));
+  ASSERT_TRUE(report.data_ok);
+  EXPECT_TRUE(session.have_feedback());
+  // After a successful packet the EVM-based selection replaces the
+  // default contiguous block (almost surely different under fading).
+  EXPECT_NE(session.control_subcarriers(), initial);
+}
+
+TEST(Session, SelectionFeedbackCanBeDisabled) {
+  Link link(good_link(20.0, 7));
+  SessionConfig config;
+  config.use_selection_feedback = false;
+  CosSession session(link, config);
+  Rng rng(5);
+  const Bytes psdu = make_test_psdu(512, rng);
+  const auto initial = session.control_subcarriers();
+  session.send_packet(psdu, rng.bits(64));
+  EXPECT_EQ(session.control_subcarriers(), initial);
+}
+
+TEST(Session, ControlRateOverride) {
+  Link link(good_link(28.0));
+  SessionConfig config;
+  config.control_rate_override = 50000;
+  CosSession session(link, config);
+  Rng rng(6);
+  const Bytes psdu = make_test_psdu(1024, rng);
+  const Bits control = rng.bits(2000);
+  const PacketReport report = session.send_packet(psdu, control);
+  // 1024 B at 54 Mbps = 39 symbols = 176 us airtime; 50,000 silences/s
+  // gives a budget of 8 silence symbols.
+  EXPECT_LE(report.silences_sent, 9u);
+  EXPECT_GE(report.silences_sent, 6u);
+}
+
+TEST(Session, LostFeedbackFallsBackToLowestRate) {
+  // Impossible channel: data packets fail, so the sender must stay at the
+  // lowest control rate.
+  Link link(good_link(-10.0));
+  SessionConfig config;
+  CosSession session(link, config);
+  Rng rng(7);
+  const Bytes psdu = make_test_psdu(256, rng);
+  const PacketReport report = session.send_packet(psdu, rng.bits(64));
+  EXPECT_FALSE(report.data_ok);
+  EXPECT_FALSE(session.have_feedback());
+}
+
+TEST(Session, ReportsAccurateControlAccounting) {
+  Link link(good_link(25.0));
+  SessionConfig config;
+  CosSession session(link, config);
+  Rng rng(8);
+  const Bytes psdu = make_test_psdu(1024, rng);
+  const Bits control = rng.bits(96);
+  session.send_packet(psdu, control);  // bootstrap the selection
+  const PacketReport report = session.send_packet(psdu, control);
+  ASSERT_TRUE(report.data_ok);
+  EXPECT_EQ(report.control_bits_correct, report.control_bits_sent);
+  EXPECT_LE(report.control_bits_sent, control.size());
+  EXPECT_EQ(report.control_bits_sent % 4, 0u);
+}
+
+}  // namespace
+}  // namespace silence

@@ -1,0 +1,74 @@
+#include "sim/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace silence {
+namespace {
+
+TEST(Stats, RatesComputedFromCounters) {
+  ErrorStats stats;
+  stats.bits = 1000;
+  stats.bit_errors = 25;
+  stats.symbols = 500;
+  stats.symbol_errors = 10;
+  stats.packets = 100;
+  stats.packets_ok = 99;
+  EXPECT_DOUBLE_EQ(stats.ber(), 0.025);
+  EXPECT_DOUBLE_EQ(stats.ser(), 0.02);
+  EXPECT_DOUBLE_EQ(stats.prr(), 0.99);
+}
+
+TEST(Stats, EmptyCountersGiveZeroRates) {
+  const ErrorStats stats;
+  EXPECT_DOUBLE_EQ(stats.ber(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.ser(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.prr(), 0.0);
+}
+
+TEST(Stats, Accumulation) {
+  ErrorStats a, b;
+  a.bits = 10;
+  a.bit_errors = 1;
+  a.packets = 2;
+  a.packets_ok = 2;
+  b.bits = 30;
+  b.bit_errors = 3;
+  b.packets = 1;
+  b.packets_ok = 0;
+  a += b;
+  EXPECT_EQ(a.bits, 40u);
+  EXPECT_EQ(a.bit_errors, 4u);
+  EXPECT_DOUBLE_EQ(a.ber(), 0.1);
+  EXPECT_DOUBLE_EQ(a.prr(), 2.0 / 3.0);
+}
+
+TEST(Stats, EmpiricalCdfIsSorted) {
+  const std::vector<double> samples = {3.0, 1.0, 2.0, 1.5};
+  const auto cdf = empirical_cdf(samples);
+  EXPECT_EQ(cdf, (std::vector<double>{1.0, 1.5, 2.0, 3.0}));
+}
+
+TEST(Stats, QuantileNearestRank) {
+  const std::vector<double> samples = {10, 20, 30, 40, 50};
+  EXPECT_DOUBLE_EQ(quantile(samples, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(quantile(samples, 0.5), 30.0);
+  EXPECT_DOUBLE_EQ(quantile(samples, 1.0), 50.0);
+  EXPECT_DOUBLE_EQ(quantile(samples, 0.2), 10.0);
+  EXPECT_DOUBLE_EQ(quantile(samples, 0.21), 20.0);
+}
+
+TEST(Stats, QuantileValidation) {
+  const std::vector<double> samples = {1.0};
+  EXPECT_THROW(quantile({}, 0.5), std::invalid_argument);
+  EXPECT_THROW(quantile(samples, -0.1), std::invalid_argument);
+  EXPECT_THROW(quantile(samples, 1.1), std::invalid_argument);
+}
+
+TEST(Stats, Mean) {
+  const std::vector<double> samples = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(samples), 2.5);
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+}
+
+}  // namespace
+}  // namespace silence

@@ -1,0 +1,159 @@
+#include "xtech/narrowband.h"
+
+#include <algorithm>
+#include <gtest/gtest.h>
+
+#include "channel/fading.h"
+#include "common/crc32.h"
+#include "common/rng.h"
+#include "core/cos_link.h"
+#include "phy/preamble.h"
+
+namespace silence {
+namespace {
+
+Bytes test_psdu(Rng& rng, std::size_t total) {
+  Bytes psdu = rng.bytes(total - 4);
+  append_fcs(psdu);
+  return psdu;
+}
+
+XtechTxConfig tx_config(int mbps) {
+  XtechTxConfig config;
+  config.mcs = &mcs_for_rate(mbps);
+  return config;
+}
+
+NarrowbandObserver matching_observer(const XtechTxConfig& config) {
+  NarrowbandObserver observer;
+  observer.block_start = config.block_start;
+  observer.block_len = config.block_len;
+  observer.bits_per_interval = config.bits_per_interval;
+  return observer;
+}
+
+TEST(Xtech, ConfigValidation) {
+  Rng rng(1);
+  const Bytes psdu = test_psdu(rng, 200);
+  XtechTxConfig config;  // mcs null
+  EXPECT_THROW(xtech_transmit(psdu, {}, config), std::invalid_argument);
+  config = tx_config(12);
+  config.block_start = 44;  // 44 + 8 > 48
+  EXPECT_THROW(xtech_transmit(psdu, {}, config), std::invalid_argument);
+}
+
+TEST(Xtech, CleanChannelMessageReadableWithoutOfdm) {
+  Rng rng(2);
+  const Bytes psdu = test_psdu(rng, 1024);
+  const XtechTxConfig config = tx_config(12);
+  const Bits message = rng.bits(24);
+  const XtechTxPacket tx = xtech_transmit(psdu, message, config);
+  EXPECT_EQ(tx.bits_sent, 24u);
+  EXPECT_EQ(tx.dip_count, 9u);  // 8 intervals + marker
+
+  const NarrowbandObserver observer = matching_observer(config);
+  const Bits heard = observer.observe(tx.samples);
+  ASSERT_GE(heard.size(), tx.bits_sent);
+  for (std::size_t i = 0; i < tx.bits_sent; ++i) {
+    EXPECT_EQ(heard[i], message[i]) << "bit " << i;
+  }
+}
+
+TEST(Xtech, WifiDataSurvivesTheDips) {
+  Rng rng(3);
+  const Bytes psdu = test_psdu(rng, 1024);
+  const XtechTxConfig config = tx_config(12);
+  const Bits message = rng.bits(24);
+  const XtechTxPacket tx = xtech_transmit(psdu, message, config);
+
+  // The WiFi receiver knows the blanked positions (same detection path
+  // as regular CoS) and erases them.
+  CosRxConfig rxc;
+  for (int j = 0; j < config.block_len; ++j) {
+    rxc.control_subcarriers.push_back(config.block_start + j);
+  }
+  const CosRxPacket rx = cos_receive(tx.samples, rxc);
+  ASSERT_TRUE(rx.data_ok);
+  EXPECT_EQ(rx.psdu, psdu);
+}
+
+TEST(Xtech, EnergyTraceShowsTheDips) {
+  Rng rng(4);
+  const Bytes psdu = test_psdu(rng, 1024);
+  const XtechTxConfig config = tx_config(12);
+  const XtechTxPacket tx = xtech_transmit(psdu, rng.bits(12), config);
+  const NarrowbandObserver observer = matching_observer(config);
+  const auto trace = observer.energy_trace(tx.samples);
+
+  // In-band energy during a blanked symbol is far below a normal one.
+  const std::size_t data_start =
+      static_cast<std::size_t>(kPreambleSamples) + kSymbolSamples;
+  const auto symbol_energy = [&](int s) {
+    double sum = 0.0;
+    const std::size_t base =
+        data_start + static_cast<std::size_t>(s) * kSymbolSamples;
+    // Skip the CP region where the filter still carries prior energy.
+    for (std::size_t n = 40; n < kSymbolSamples; ++n) sum += trace[base + n];
+    return sum;
+  };
+  ASSERT_GE(tx.dip_symbols.size(), 2u);
+  const int dip = tx.dip_symbols[1];
+  // Compare against a symbol that is definitely NOT blanked.
+  int normal = dip + 1;
+  while (std::find(tx.dip_symbols.begin(), tx.dip_symbols.end(), normal) !=
+         tx.dip_symbols.end()) {
+    ++normal;
+  }
+  ASSERT_LT(normal, tx.frame.num_symbols());
+  EXPECT_LT(symbol_energy(dip), 0.05 * symbol_energy(normal));
+}
+
+TEST(Xtech, SurvivesNoiseAndFading) {
+  int message_ok = 0, wifi_ok = 0;
+  const int trials = 15;
+  for (int t = 0; t < trials; ++t) {
+    Rng rng(static_cast<std::uint64_t>(t) + 60);
+    MultipathProfile profile;
+    profile.rician_k_linear = 10.0;  // narrowband sensing needs no notch
+    profile.decay_taps = 1.5;        // right on its band
+    FadingChannel channel(profile, static_cast<std::uint64_t>(t) + 1);
+    const double nv = noise_var_for_measured_snr(channel, 15.0);
+
+    const Bytes psdu = test_psdu(rng, 1024);
+    const XtechTxConfig config = tx_config(12);
+    const Bits message = rng.bits(21);
+    const XtechTxPacket tx = xtech_transmit(psdu, message, config);
+    const CxVec received = channel.transmit(tx.samples, nv, rng);
+
+    const NarrowbandObserver observer = matching_observer(config);
+    const Bits heard = observer.observe(received);
+    bool prefix = heard.size() >= tx.bits_sent;
+    for (std::size_t i = 0; prefix && i < tx.bits_sent; ++i) {
+      prefix = heard[i] == message[i];
+    }
+    message_ok += prefix;
+
+    CosRxConfig rxc;
+    for (int j = 0; j < config.block_len; ++j) {
+      rxc.control_subcarriers.push_back(config.block_start + j);
+    }
+    wifi_ok += cos_receive(received, rxc).data_ok;
+  }
+  EXPECT_GE(message_ok, trials * 7 / 10);
+  EXPECT_GE(wifi_ok, trials - 2);
+}
+
+TEST(Xtech, MessageTruncatedToPacketLength) {
+  Rng rng(5);
+  const Bytes psdu = test_psdu(rng, 100);  // few symbols
+  const XtechTxConfig config = tx_config(54);
+  const Bits message = rng.bits(300);
+  const XtechTxPacket tx = xtech_transmit(psdu, message, config);
+  EXPECT_LT(tx.bits_sent, 300u);
+  EXPECT_EQ(tx.bits_sent %
+                static_cast<std::size_t>(config.bits_per_interval),
+            0u);
+}
+
+}  // namespace
+}  // namespace silence
