@@ -1,7 +1,12 @@
-// Shared helpers for the figure-reproduction benches.
+// Shared helpers for the figure-reproduction benches: the legacy header
+// printer plus the common CLI (--threads/--trials/--json/--seed) for
+// benches migrated onto the runner subsystem (src/runner/).
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 
 namespace silence::bench {
@@ -10,6 +15,64 @@ inline void print_header(const char* figure, const char* description) {
   std::printf("=============================================================\n");
   std::printf("%s: %s\n", figure, description);
   std::printf("=============================================================\n");
+}
+
+// Options shared by every runner-based bench.
+struct BenchArgs {
+  int threads = 0;         // --threads N   (0 = hardware concurrency)
+  int trials = 0;          // --trials N    (0 = the bench's default)
+  std::uint64_t seed = 1;  // --seed S      (sweep base seed)
+  bool json = false;       // --json [PATH] (write structured results)
+  std::string json_path;   // resolved path; default results/<bench>.json
+};
+
+// Parses the shared flags; exits with a usage message on --help or any
+// unknown/malformed argument. `bench_name` names the default JSON path.
+inline BenchArgs parse_bench_args(int argc, char** argv,
+                                  const char* bench_name) {
+  const auto usage = [&](int code) {
+    std::printf(
+        "usage: %s [--threads N] [--trials N] [--seed S] [--json [PATH]]\n"
+        "  --threads N   worker threads (default: all hardware threads)\n"
+        "  --trials N    Monte-Carlo trials per sweep point\n"
+        "  --seed S      base seed for deterministic trial seeding\n"
+        "  --json [PATH] also write results/%s.json (or PATH) plus a\n"
+        "                .timing.json sidecar\n",
+        argv[0], bench_name);
+    std::exit(code);
+  };
+  const auto numeric_value = [&](int& i) -> const char* {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "%s: missing value for %s\n", argv[0], argv[i]);
+      usage(2);
+    }
+    return argv[++i];
+  };
+
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--help") || !std::strcmp(argv[i], "-h")) {
+      usage(0);
+    } else if (!std::strcmp(argv[i], "--threads")) {
+      args.threads = std::atoi(numeric_value(i));
+    } else if (!std::strcmp(argv[i], "--trials")) {
+      args.trials = std::atoi(numeric_value(i));
+    } else if (!std::strcmp(argv[i], "--seed")) {
+      args.seed = std::strtoull(numeric_value(i), nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--json")) {
+      args.json = true;
+      if (i + 1 < argc && argv[i + 1][0] != '-') {
+        args.json_path = argv[++i];
+      }
+    } else {
+      std::fprintf(stderr, "%s: unknown argument '%s'\n", argv[0], argv[i]);
+      usage(2);
+    }
+  }
+  if (args.json && args.json_path.empty()) {
+    args.json_path = std::string("results/") + bench_name + ".json";
+  }
+  return args;
 }
 
 }  // namespace silence::bench

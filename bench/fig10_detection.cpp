@@ -6,6 +6,14 @@
 //   (c) false probabilities vs SNR with the adaptive (pilot-aided)
 //       threshold, 1000 packets per point;
 //   (d) false negative probability vs SNR with strong pulse interference.
+//
+// Runner-based: parts (b)-(d) fan individual packets across the thread
+// pool as Monte-Carlo trials whose seeds derive from (base_seed, point,
+// packet); per-packet detector counts merge with operator+=, so the
+// false rates are bit-identical at any --threads value. Where the
+// original bench simulated the same packet once per detector variant,
+// one trial now runs the TX/channel/RX chain once and applies every
+// detector to the same front-end result.
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
@@ -17,6 +25,8 @@
 #include "core/cos_link.h"
 #include "phy/ofdm.h"
 #include "phy/preamble.h"
+#include "runner/sinks.h"
+#include "runner/sweep.h"
 #include "sim/link.h"
 
 using namespace silence;
@@ -25,9 +35,26 @@ namespace {
 
 const std::vector<int> kControl = {9, 10, 11, 12, 13, 14, 15, 16};
 
-struct FalseRates {
-  double positive = 0.0;
-  double negative = 0.0;
+// Per-cell detector confusion counts; mergeable across packets.
+struct DetectCounts {
+  std::size_t active = 0;
+  std::size_t silent = 0;
+  std::size_t false_pos = 0;
+  std::size_t false_neg = 0;
+
+  DetectCounts& operator+=(const DetectCounts& o) {
+    active += o.active;
+    silent += o.silent;
+    false_pos += o.false_pos;
+    false_neg += o.false_neg;
+    return *this;
+  }
+  double positive_rate() const {
+    return active ? static_cast<double>(false_pos) / active : 0.0;
+  }
+  double negative_rate() const {
+    return silent ? static_cast<double>(false_neg) / silent : 0.0;
+  }
 };
 
 // LOS-dominant office profile matching the paper's lab links (their
@@ -39,75 +66,86 @@ MultipathProfile office_profile() {
   return profile;
 }
 
-// Counts detector false positives/negatives over `packets` CoS packets.
-// With `ground_truth_framing`, the known frame geometry is used even when
+// One simulated CoS packet ready for detection experiments.
+struct PacketUnderTest {
+  CosTxPacket tx;
+  FrontEndResult fe;
+  bool usable = false;  // SIGNAL decoded (or ground truth supplied)
+};
+
+// Simulates one packet at `seed` and runs the receiver front end. With
+// `ground_truth_framing`, the known frame geometry is used even when
 // SIGNAL fails to decode (the paper knows its fixed packet layout), so
 // heavy interference does not bias the sample toward lightly-hit packets.
-FalseRates measure(double measured_snr_db, int packets,
-                   const DetectorConfig& detector,
-                   const PulseInterferer* interferer = nullptr,
-                   bool ground_truth_framing = false) {
-  std::size_t active = 0, silent = 0, false_pos = 0, false_neg = 0;
-  for (int p = 0; p < packets; ++p) {
-    const auto seed = static_cast<std::uint64_t>(p) + 1;
-    Rng rng(seed * 104729);
-    const MultipathProfile profile = office_profile();
-    FadingChannel channel(profile, seed);
-    const double nv = noise_var_for_measured_snr(channel, measured_snr_db);
+PacketUnderTest simulate_packet(double measured_snr_db, std::uint64_t seed,
+                                const PulseInterferer* interferer,
+                                bool ground_truth_framing) {
+  PacketUnderTest out;
+  const std::uint64_t channel_seed = runner::substream_seed(seed, 0);
+  Rng rng(runner::substream_seed(seed, 1));
+  const MultipathProfile profile = office_profile();
+  FadingChannel channel(profile, channel_seed);
+  const double nv = noise_var_for_measured_snr(channel, measured_snr_db);
 
-    CosTxConfig tx_config;
-    tx_config.mcs = &mcs_for_rate(12);
-    tx_config.control_subcarriers = kControl;
-    const Bytes psdu = make_test_psdu(256, rng);
-    const Bits control = rng.bits(60);
-    const CosTxPacket tx = cos_transmit(psdu, control, tx_config);
+  CosTxConfig tx_config;
+  tx_config.mcs = &mcs_for_rate(12);
+  tx_config.control_subcarriers = kControl;
+  const Bytes psdu = make_test_psdu(256, rng);
+  const Bits control = rng.bits(60);
+  out.tx = cos_transmit(psdu, control, tx_config);
 
-    CxVec received = channel.transmit(tx.samples, nv, rng);
-    if (interferer != nullptr) interferer->apply(received, rng);
+  CxVec received = channel.transmit(out.tx.samples, nv, rng);
+  if (interferer != nullptr) interferer->apply(received, rng);
 
-    FrontEndResult fe = receiver_front_end(received);
-    if (ground_truth_framing) {
-      // Rebuild the per-symbol FFTs from the known frame geometry.
-      fe.channel = estimate_channel(
-          std::span(received).subspan(kStfSamples, kLtfSamples));
-      fe.data_bins.clear();
-      for (int s = 0; s < tx.frame.num_symbols(); ++s) {
-        const auto offset =
-            static_cast<std::size_t>(kPreambleSamples) +
-            static_cast<std::size_t>(kSymbolSamples) *
-                static_cast<std::size_t>(1 + s);
-        fe.data_bins.push_back(time_to_bins(
-            std::span(received).subspan(offset, kSymbolSamples)));
-      }
-      // A deployed receiver tracks its noise floor over many packets, so
-      // a sudden interferer does not move the detection threshold; use
-      // the long-term floor rather than this packet's pilot residuals
-      // (which the pulses contaminate).
-      fe.noise_var = freq_noise_var(nv);
-    } else if (!fe.signal) {
-      continue;
+  out.fe = receiver_front_end(received);
+  if (ground_truth_framing) {
+    // Rebuild the per-symbol FFTs from the known frame geometry.
+    out.fe.channel = estimate_channel(
+        std::span(received).subspan(kStfSamples, kLtfSamples));
+    out.fe.data_bins.clear();
+    for (int s = 0; s < out.tx.frame.num_symbols(); ++s) {
+      const auto offset =
+          static_cast<std::size_t>(kPreambleSamples) +
+          static_cast<std::size_t>(kSymbolSamples) *
+              static_cast<std::size_t>(1 + s);
+      out.fe.data_bins.push_back(time_to_bins(
+          std::span(received).subspan(offset, kSymbolSamples)));
     }
-    const SilenceMask detected = detect_silences(fe, kControl, detector);
-    // A SIGNAL mis-decode (possible at very low SNR) yields the wrong
-    // symbol count; skip such packets.
-    if (detected.size() != tx.plan.mask.size()) continue;
-    for (std::size_t s = 0; s < tx.plan.mask.size(); ++s) {
-      for (int sc : kControl) {
-        const auto idx = static_cast<std::size_t>(sc);
-        if (tx.plan.mask[s][idx]) {
-          ++silent;
-          if (!detected[s][idx]) ++false_neg;
-        } else {
-          ++active;
-          if (detected[s][idx]) ++false_pos;
-        }
+    // A deployed receiver tracks its noise floor over many packets, so
+    // a sudden interferer does not move the detection threshold; use
+    // the long-term floor rather than this packet's pilot residuals
+    // (which the pulses contaminate).
+    out.fe.noise_var = freq_noise_var(nv);
+    out.usable = true;
+  } else {
+    out.usable = static_cast<bool>(out.fe.signal);
+  }
+  return out;
+}
+
+// Confusion counts of `detector` against the packet's true silence plan.
+DetectCounts count_detection(const PacketUnderTest& packet,
+                             const DetectorConfig& detector) {
+  DetectCounts counts;
+  if (!packet.usable) return counts;
+  const SilenceMask detected =
+      detect_silences(packet.fe, kControl, detector);
+  // A SIGNAL mis-decode (possible at very low SNR) yields the wrong
+  // symbol count; skip such packets.
+  if (detected.size() != packet.tx.plan.mask.size()) return counts;
+  for (std::size_t s = 0; s < packet.tx.plan.mask.size(); ++s) {
+    for (int sc : kControl) {
+      const auto idx = static_cast<std::size_t>(sc);
+      if (packet.tx.plan.mask[s][idx]) {
+        ++counts.silent;
+        if (!detected[s][idx]) ++counts.false_neg;
+      } else {
+        ++counts.active;
+        if (detected[s][idx]) ++counts.false_pos;
       }
     }
   }
-  FalseRates rates;
-  if (active) rates.positive = static_cast<double>(false_pos) / active;
-  if (silent) rates.negative = static_cast<double>(false_neg) / silent;
-  return rates;
+  return counts;
 }
 
 void part_a() {
@@ -143,63 +181,177 @@ void part_a() {
   }
 }
 
-void part_b() {
-  std::printf(
-      "\n(b) false probabilities vs detection threshold @ 9.2 dB measured\n");
-  std::printf("%16s %12s %12s\n", "threshold_dB", "false_pos", "false_neg");
-  // Thresholds swept relative to the unit-signal FFT scale; the noise
-  // floor at 9.2 dB sits at 10^-0.92 ~ -9.2 dB.
+runner::SweepReport part_b(const bench::BenchArgs& args) {
+  const int packets = args.trials > 0 ? args.trials : 150;
+  runner::SweepGrid<double> grid;  // points: threshold in dB
+  grid.base_seed = runner::substream_seed(args.seed, 0xb);
+  grid.trials = static_cast<std::size_t>(packets);
   for (double thr_db = -30.0; thr_db <= 10.0; thr_db += 2.5) {
-    DetectorConfig detector;
-    detector.fixed_threshold = std::pow(10.0, thr_db / 10.0);
-    const FalseRates rates = measure(9.2, 150, detector);
-    std::printf("%16.1f %12.4f %12.4f\n", thr_db, rates.positive,
-                rates.negative);
+    grid.points.push_back(thr_db);
   }
+
+  const auto outcome = runner::run_sweep(
+      grid, {.threads = args.threads, .chunk = 8},
+      [&](const double& thr_db, const runner::TrialContext& ctx) {
+        DetectorConfig detector;
+        detector.fixed_threshold = std::pow(10.0, thr_db / 10.0);
+        return count_detection(
+            simulate_packet(9.2, ctx.seed, nullptr, false), detector);
+      });
+
+  runner::SweepReport report;
+  report.bench = "fig10_detection.b";
+  report.title = "Fig. 10(b)";
+  report.description =
+      "false probabilities vs detection threshold @ 9.2 dB measured";
+  report.grid.set("measured_snr_db", 9.2);
+  report.grid.set("packets_per_point", packets);
+  report.grid.set("base_seed", static_cast<std::int64_t>(grid.base_seed));
+  report.columns = {{"threshold_dB", 16, 1},
+                    {"false_pos", 12, 4},
+                    {"false_neg", 12, 4}};
+  report.threads = outcome.threads;
+  report.wall_seconds = outcome.wall_seconds;
+  report.trials_run = outcome.trials_run;
+  for (std::size_t i = 0; i < grid.points.size(); ++i) {
+    const DetectCounts& counts = outcome.point_results[i];
+    report.add_row({grid.points[i], counts.positive_rate(),
+                    counts.negative_rate()});
+  }
+  return report;
 }
 
-void part_c() {
-  std::printf(
-      "\n(c) false probabilities vs SNR, adaptive pilot-aided threshold "
-      "(1000 packets per point)\n");
-  std::printf("%12s %12s %12s %12s %12s\n", "measured_dB", "false_pos",
-              "false_neg", "fp_midpoint", "fn_midpoint");
-  for (double snr : {3.2, 4.0, 6.0, 8.0, 10.0, 12.0, 14.0, 16.0, 18.0, 20.0}) {
-    DetectorConfig noise_margin;
-    noise_margin.mode = ThresholdMode::kNoiseMargin;
-    const FalseRates rates = measure(snr, 1000, noise_margin);
-    // This repo's per-subcarrier midpoint refinement, for comparison.
-    DetectorConfig midpoint_config;
-    midpoint_config.mode = ThresholdMode::kPerSubcarrierMidpoint;
-    const FalseRates midpoint = measure(snr, 1000, midpoint_config);
-    std::printf("%12.1f %12.4f %12.4f %12.4f %12.4f\n", snr, rates.positive,
-                rates.negative, midpoint.positive, midpoint.negative);
+// Part (c) evaluates two adaptive-threshold variants on the SAME packets.
+struct AdaptiveCounts {
+  DetectCounts noise_margin;
+  DetectCounts midpoint;
+  AdaptiveCounts& operator+=(const AdaptiveCounts& o) {
+    noise_margin += o.noise_margin;
+    midpoint += o.midpoint;
+    return *this;
   }
+};
+
+runner::SweepReport part_c(const bench::BenchArgs& args) {
+  const int packets = args.trials > 0 ? args.trials : 1000;
+  runner::SweepGrid<double> grid;  // points: measured SNR in dB
+  grid.base_seed = runner::substream_seed(args.seed, 0xc);
+  grid.trials = static_cast<std::size_t>(packets);
+  grid.points = {3.2, 4.0, 6.0, 8.0, 10.0, 12.0, 14.0, 16.0, 18.0, 20.0};
+
+  const auto outcome = runner::run_sweep(
+      grid, {.threads = args.threads, .chunk = 16},
+      [&](const double& snr, const runner::TrialContext& ctx) {
+        const PacketUnderTest packet =
+            simulate_packet(snr, ctx.seed, nullptr, false);
+        DetectorConfig noise_margin;
+        noise_margin.mode = ThresholdMode::kNoiseMargin;
+        // This repo's per-subcarrier midpoint refinement, for comparison.
+        DetectorConfig midpoint_config;
+        midpoint_config.mode = ThresholdMode::kPerSubcarrierMidpoint;
+        AdaptiveCounts counts;
+        counts.noise_margin = count_detection(packet, noise_margin);
+        counts.midpoint = count_detection(packet, midpoint_config);
+        return counts;
+      });
+
+  runner::SweepReport report;
+  report.bench = "fig10_detection.c";
+  report.title = "Fig. 10(c)";
+  report.description =
+      "false probabilities vs SNR, adaptive pilot-aided threshold";
+  report.grid.set("packets_per_point", packets);
+  report.grid.set("base_seed", static_cast<std::int64_t>(grid.base_seed));
+  report.columns = {{"measured_dB", 12, 1},
+                    {"false_pos", 12, 4},
+                    {"false_neg", 12, 4},
+                    {"fp_midpoint", 12, 4},
+                    {"fn_midpoint", 12, 4}};
+  report.threads = outcome.threads;
+  report.wall_seconds = outcome.wall_seconds;
+  report.trials_run = outcome.trials_run;
+  for (std::size_t i = 0; i < grid.points.size(); ++i) {
+    const AdaptiveCounts& counts = outcome.point_results[i];
+    report.add_row({grid.points[i], counts.noise_margin.positive_rate(),
+                    counts.noise_margin.negative_rate(),
+                    counts.midpoint.positive_rate(),
+                    counts.midpoint.negative_rate()});
+  }
+  return report;
 }
 
-void part_d() {
-  std::printf("\n(d) false negative vs SNR with strong pulse interference\n");
-  std::printf("%12s %14s %14s\n", "measured_dB", "fn_interf", "fn_clean");
+// Part (d) compares interfered vs clean detection on the SAME channel
+// and noise realizations.
+struct InterferenceCounts {
+  DetectCounts interfered;
+  DetectCounts clean;
+  InterferenceCounts& operator+=(const InterferenceCounts& o) {
+    interfered += o.interfered;
+    clean += o.clean;
+    return *this;
+  }
+};
+
+runner::SweepReport part_d(const bench::BenchArgs& args) {
+  const int packets = args.trials > 0 ? args.trials : 200;
+  runner::SweepGrid<double> grid;  // points: measured SNR in dB
+  grid.base_seed = runner::substream_seed(args.seed, 0xd);
+  grid.trials = static_cast<std::size_t>(packets);
+  grid.points = {3.2, 6.0, 10.0, 14.0, 18.0, 20.0};
   const PulseInterferer strong{.symbol_hit_probability = 0.6,
                                .pulse_power = 1.0};
-  for (double snr : {3.2, 6.0, 10.0, 14.0, 18.0, 20.0}) {
-    const FalseRates with = measure(snr, 200, DetectorConfig{}, &strong,
-                                    /*ground_truth_framing=*/true);
-    const FalseRates without = measure(snr, 200, DetectorConfig{}, nullptr,
-                                       /*ground_truth_framing=*/true);
-    std::printf("%12.1f %14.4f %14.4f\n", snr, with.negative,
-                without.negative);
+
+  const auto outcome = runner::run_sweep(
+      grid, {.threads = args.threads, .chunk = 8},
+      [&](const double& snr, const runner::TrialContext& ctx) {
+        InterferenceCounts counts;
+        counts.interfered = count_detection(
+            simulate_packet(snr, ctx.seed, &strong,
+                            /*ground_truth_framing=*/true),
+            DetectorConfig{});
+        counts.clean = count_detection(
+            simulate_packet(snr, ctx.seed, nullptr,
+                            /*ground_truth_framing=*/true),
+            DetectorConfig{});
+        return counts;
+      });
+
+  runner::SweepReport report;
+  report.bench = "fig10_detection.d";
+  report.title = "Fig. 10(d)";
+  report.description = "false negative vs SNR with strong pulse interference";
+  report.grid.set("packets_per_point", packets);
+  report.grid.set("symbol_hit_probability", strong.symbol_hit_probability);
+  report.grid.set("base_seed", static_cast<std::int64_t>(grid.base_seed));
+  report.columns = {{"measured_dB", 12, 1},
+                    {"fn_interf", 14, 4},
+                    {"fn_clean", 14, 4}};
+  report.threads = outcome.threads;
+  report.wall_seconds = outcome.wall_seconds;
+  report.trials_run = outcome.trials_run;
+  for (std::size_t i = 0; i < grid.points.size(); ++i) {
+    const InterferenceCounts& counts = outcome.point_results[i];
+    report.add_row({grid.points[i], counts.interfered.negative_rate(),
+                    counts.clean.negative_rate()});
   }
+  return report;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchArgs args =
+      bench::parse_bench_args(argc, argv, "fig10_detection");
   bench::print_header("Fig. 10", "silence-symbol detection accuracy");
   part_a();
-  part_b();
-  part_c();
-  part_d();
+
+  const runner::SweepReport b = part_b(args);
+  const runner::SweepReport c = part_c(args);
+  const runner::SweepReport d = part_d(args);
+  runner::TableSink table;
+  table.write(b);
+  table.write(c);
+  table.write(d);
   std::printf(
       "\nPaper shape: (a) silenced subcarriers are clearly discernible;\n"
       "(b) high thresholds inflate false positives, low thresholds\n"
@@ -207,5 +359,29 @@ int main() {
       "false negative rate stays < 0.01 and the false positive rate only\n"
       "rises at very low SNR (~0.14 at 3.2 dB); (d) strong interference\n"
       "drives the false negative rate up dramatically.\n");
+
+  if (args.json) {
+    // The three sweeps share one result file: a "parts" array of the
+    // standard per-sweep payloads.
+    runner::Json root = runner::Json::object();
+    root.set("bench", "fig10_detection");
+    root.set("schema_version", 1);
+    runner::Json parts = runner::Json::array();
+    parts.push_back(runner::JsonSink::payload(b));
+    parts.push_back(runner::JsonSink::payload(c));
+    parts.push_back(runner::JsonSink::payload(d));
+    root.set("parts", std::move(parts));
+    runner::write_json_file(args.json_path, root);
+
+    runner::Json timing = runner::Json::object();
+    timing.set("bench", "fig10_detection");
+    timing.set("threads", runner::resolve_threads(args.threads));
+    timing.set("wall_seconds",
+               b.wall_seconds + c.wall_seconds + d.wall_seconds);
+    timing.set("trials_run", static_cast<std::int64_t>(
+                                 b.trials_run + c.trials_run + d.trials_run));
+    runner::write_json_file(runner::timing_sidecar_path(args.json_path),
+                            timing);
+  }
   return 0;
 }

@@ -1,6 +1,10 @@
 // PHY throughput microbenchmarks (google-benchmark): the hot paths of the
 // simulator — FFT, Viterbi decoding, the full transmit and receive chains,
 // and the CoS additions (energy detection, silence planning).
+//
+// Besides the console table, every run writes `results/BENCH_phy.json`
+// (per-stage ns/op and items/sec) through the runner's JSON sink so PRs
+// have a machine-readable perf baseline to diff against.
 #include <benchmark/benchmark.h>
 
 #include "channel/fading.h"
@@ -11,6 +15,8 @@
 #include "phy/receiver.h"
 #include "phy/transmitter.h"
 #include "phy/viterbi.h"
+#include "runner/json.h"
+#include "runner/sinks.h"
 
 namespace silence {
 namespace {
@@ -114,7 +120,49 @@ void BM_FadingChannelTransmit(benchmark::State& state) {
 }
 BENCHMARK(BM_FadingChannelTransmit);
 
+// Console output as usual, plus a structured record of every run for the
+// perf-baseline file.
+class JsonEmitReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      runner::Json entry = runner::Json::object();
+      entry.set("name", run.benchmark_name());
+      entry.set("iterations", static_cast<std::int64_t>(run.iterations));
+      entry.set("real_ns", run.GetAdjustedRealTime());
+      entry.set("cpu_ns", run.GetAdjustedCPUTime());
+      const auto items = run.counters.find("items_per_second");
+      if (items != run.counters.end()) {
+        entry.set("items_per_second", static_cast<double>(items->second));
+      }
+      stages_.push_back(std::move(entry));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  void write_json(const std::string& path) const {
+    runner::Json root = runner::Json::object();
+    root.set("bench", "perf_phy");
+    root.set("schema_version", 1);
+    root.set("stages", runner::Json::Array(stages_));
+    runner::write_json_file(path, root);
+    std::printf("perf baseline written to %s\n", path.c_str());
+  }
+
+ private:
+  std::vector<runner::Json> stages_;
+};
+
 }  // namespace
 }  // namespace silence
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  silence::JsonEmitReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  reporter.write_json("results/BENCH_phy.json");
+  benchmark::Shutdown();
+  return 0;
+}

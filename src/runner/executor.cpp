@@ -1,0 +1,58 @@
+#include "runner/executor.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace silence::runner {
+
+int resolve_threads(int requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw ? static_cast<int>(hw) : 1;
+}
+
+void parallel_for(std::size_t count, int threads, std::size_t chunk,
+                  const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  chunk = std::max<std::size_t>(chunk, 1);
+  if (threads <= 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<std::size_t> cursor{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  const auto worker = [&] {
+    for (;;) {
+      const std::size_t begin = cursor.fetch_add(chunk, std::memory_order_relaxed);
+      if (begin >= count) return;
+      const std::size_t end = std::min(begin + chunk, count);
+      try {
+        for (std::size_t i = begin; i < end; ++i) fn(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        return;
+      }
+    }
+  };
+
+  {
+    std::vector<std::jthread> pool;
+    const auto n = static_cast<std::size_t>(
+        std::min<std::size_t>(static_cast<std::size_t>(threads),
+                              (count + chunk - 1) / chunk));
+    pool.reserve(n);
+    for (std::size_t t = 0; t < n; ++t) pool.emplace_back(worker);
+  }  // jthreads join here
+
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace silence::runner

@@ -1,0 +1,27 @@
+// Chunked thread-pool execution of an index space.
+//
+// The executor owns no state that influences results: it only decides
+// which thread runs which index. Work is handed out in contiguous chunks
+// through a single atomic cursor (cheap, cache-friendly, and naturally
+// load-balancing when per-index cost varies, as it does when a sweep
+// point near a rate-region floor binary-searches further than others).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace silence::runner {
+
+// Threads actually used for a requested count: `requested` if > 0, else
+// std::thread::hardware_concurrency() (min 1).
+int resolve_threads(int requested);
+
+// Runs fn(i) for every i in [0, count). With threads <= 1 the calls run
+// inline on the caller's thread; otherwise `threads` std::jthreads pull
+// chunks of `chunk` consecutive indices until the space is exhausted.
+// The first exception thrown by any fn is rethrown on the caller's
+// thread after all workers have joined.
+void parallel_for(std::size_t count, int threads, std::size_t chunk,
+                  const std::function<void(std::size_t)>& fn);
+
+}  // namespace silence::runner

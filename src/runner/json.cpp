@@ -1,0 +1,138 @@
+#include "runner/json.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace silence::runner {
+
+namespace {
+
+void append_escaped(std::string& out, std::string_view s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_indent(std::string& out, int indent, int depth) {
+  out += '\n';
+  out.append(static_cast<std::size_t>(indent) * static_cast<std::size_t>(depth),
+             ' ');
+}
+
+}  // namespace
+
+std::string format_double(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[32];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  (void)ec;
+  return std::string(buf, ptr);
+}
+
+Json& Json::set(std::string_view key, Json value) {
+  auto& obj = std::get<Object>(value_);
+  for (auto& [k, v] : obj) {
+    if (k == key) {
+      v = std::move(value);
+      return v;
+    }
+  }
+  obj.emplace_back(std::string(key), std::move(value));
+  return obj.back().second;
+}
+
+const Json* Json::find(std::string_view key) const {
+  const auto& obj = std::get<Object>(value_);
+  for (const auto& [k, v] : obj) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+std::size_t Json::size() const {
+  if (is_array()) return std::get<Array>(value_).size();
+  if (is_object()) return std::get<Object>(value_).size();
+  return 0;
+}
+
+void Json::write(std::string& out, int indent, int depth) const {
+  std::visit(
+      [&](const auto& v) {
+        using T = std::decay_t<decltype(v)>;
+        if constexpr (std::is_same_v<T, std::nullptr_t>) {
+          out += "null";
+        } else if constexpr (std::is_same_v<T, bool>) {
+          out += v ? "true" : "false";
+        } else if constexpr (std::is_same_v<T, std::int64_t>) {
+          char buf[24];
+          const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+          (void)ec;
+          out.append(buf, ptr);
+        } else if constexpr (std::is_same_v<T, double>) {
+          out += format_double(v);
+        } else if constexpr (std::is_same_v<T, std::string>) {
+          append_escaped(out, v);
+        } else if constexpr (std::is_same_v<T, Array>) {
+          if (v.empty()) {
+            out += "[]";
+            return;
+          }
+          out += '[';
+          for (std::size_t i = 0; i < v.size(); ++i) {
+            if (i) out += ',';
+            if (indent) append_indent(out, indent, depth + 1);
+            v[i].write(out, indent, depth + 1);
+          }
+          if (indent) append_indent(out, indent, depth);
+          out += ']';
+        } else if constexpr (std::is_same_v<T, Object>) {
+          if (v.empty()) {
+            out += "{}";
+            return;
+          }
+          out += '{';
+          for (std::size_t i = 0; i < v.size(); ++i) {
+            if (i) out += ',';
+            if (indent) append_indent(out, indent, depth + 1);
+            append_escaped(out, v[i].first);
+            out += indent ? ": " : ":";
+            v[i].second.write(out, indent, depth + 1);
+          }
+          if (indent) append_indent(out, indent, depth);
+          out += '}';
+        }
+      },
+      value_);
+}
+
+std::string Json::dump() const {
+  std::string out;
+  write(out, 2, 0);
+  out += '\n';
+  return out;
+}
+
+std::string Json::dump_compact() const {
+  std::string out;
+  write(out, 0, 0);
+  return out;
+}
+
+}  // namespace silence::runner

@@ -1,0 +1,74 @@
+// A minimal ordered JSON value with deterministic serialization.
+//
+// The result sinks need output that is byte-identical across runs and
+// thread counts so result files can be diffed between PRs; object keys
+// keep insertion order and doubles serialize via the shortest
+// round-trippable form (std::to_chars), which is fully deterministic.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace silence::runner {
+
+class Json {
+ public:
+  using Array = std::vector<Json>;
+  // Insertion-ordered object: stable serialization, no hashing.
+  using Object = std::vector<std::pair<std::string, Json>>;
+
+  Json() : value_(nullptr) {}
+  Json(std::nullptr_t) : value_(nullptr) {}
+  Json(bool b) : value_(b) {}
+  Json(int v) : value_(static_cast<std::int64_t>(v)) {}
+  Json(unsigned v) : value_(static_cast<std::int64_t>(v)) {}
+  Json(long v) : value_(static_cast<std::int64_t>(v)) {}
+  Json(long long v) : value_(static_cast<std::int64_t>(v)) {}
+  Json(unsigned long v) : value_(static_cast<std::int64_t>(v)) {}
+  Json(unsigned long long v) : value_(static_cast<std::int64_t>(v)) {}
+  Json(double v) : value_(v) {}
+  Json(const char* s) : value_(std::string(s)) {}
+  Json(std::string s) : value_(std::move(s)) {}
+  Json(Array a) : value_(std::move(a)) {}
+  Json(Object o) : value_(std::move(o)) {}
+
+  static Json array(std::initializer_list<Json> items = {}) {
+    return Json(Array(items));
+  }
+  static Json object() { return Json(Object{}); }
+
+  bool is_object() const { return std::holds_alternative<Object>(value_); }
+  bool is_array() const { return std::holds_alternative<Array>(value_); }
+
+  // Object access: set() replaces an existing key or appends a new one.
+  Json& set(std::string_view key, Json value);
+  const Json* find(std::string_view key) const;
+
+  // Array access.
+  void push_back(Json value) { std::get<Array>(value_).push_back(std::move(value)); }
+  std::size_t size() const;
+
+  // Serializes with 2-space indentation and a trailing newline at the
+  // top level; `dump_compact` emits a single line.
+  std::string dump() const;
+  std::string dump_compact() const;
+
+ private:
+  std::variant<std::nullptr_t, bool, std::int64_t, double, std::string, Array,
+               Object>
+      value_;
+
+  void write(std::string& out, int indent, int depth) const;
+};
+
+// Deterministic double formatting used by the JSON writer (shortest
+// round-trip via std::to_chars); exposed for tests. Non-finite values
+// serialize as null per RFC 8259.
+std::string format_double(double v);
+
+}  // namespace silence::runner

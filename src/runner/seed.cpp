@@ -1,0 +1,28 @@
+#include "runner/seed.h"
+
+namespace silence::runner {
+
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t trial_seed(std::uint64_t base_seed, std::uint64_t point_index,
+                         std::uint64_t trial_index) {
+  // Chain the three counters through the mixer; each stage is bijective
+  // in its input, so (base, point, trial) -> seed is collision-free for
+  // fixed values of the other two coordinates.
+  std::uint64_t s = mix64(base_seed);
+  s = mix64(s ^ (point_index + 0x632be59bd9b4e019ULL));
+  s = mix64(s ^ (trial_index + 0x9e3779b97f4a7c15ULL));
+  return s == 0 ? 0x2545f4914f6cdd1dULL : s;
+}
+
+std::uint64_t substream_seed(std::uint64_t seed, std::uint64_t stream_index) {
+  const std::uint64_t s = mix64(seed ^ mix64(stream_index + 1));
+  return s == 0 ? 0x2545f4914f6cdd1dULL : s;
+}
+
+}  // namespace silence::runner

@@ -1,0 +1,27 @@
+// Counter-based deterministic seeding for Monte-Carlo sweeps.
+//
+// Every trial in a sweep derives its RNG seed purely from its coordinates
+// (base_seed, point_index, trial_index), never from which thread runs it
+// or in what order. Results are therefore bit-identical at any thread
+// count, and an individual trial can be re-run in isolation by
+// reconstructing its seed.
+#pragma once
+
+#include <cstdint>
+
+namespace silence::runner {
+
+// SplitMix64 finalizer: a bijective avalanche mix, so distinct counter
+// values never collide and nearby counters decorrelate fully.
+std::uint64_t mix64(std::uint64_t x);
+
+// The seed for trial `trial_index` of sweep point `point_index` under
+// `base_seed`. Guaranteed non-zero (some PRNGs degenerate on zero seeds).
+std::uint64_t trial_seed(std::uint64_t base_seed, std::uint64_t point_index,
+                         std::uint64_t trial_index);
+
+// A decorrelated sub-stream of a trial seed, for trials that need several
+// independent RNGs (e.g. one per simulated station).
+std::uint64_t substream_seed(std::uint64_t seed, std::uint64_t stream_index);
+
+}  // namespace silence::runner

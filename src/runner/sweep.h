@@ -1,0 +1,105 @@
+// Deterministic parallel Monte-Carlo sweeps.
+//
+// A SweepGrid describes WHAT to run: a list of parameter points and a
+// trial count per point, under one base seed. run_sweep() decides HOW:
+// it fans the (point x trial) space across a thread pool, derives every
+// trial's RNG seed from its coordinates only (runner/seed.h), stores
+// each trial's result in its own slot, and merges per point in strict
+// trial order on the caller's thread. The outcome is therefore
+// bit-identical at any thread count — parallelism changes wall-clock,
+// never results.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "runner/executor.h"
+#include "runner/seed.h"
+
+namespace silence::runner {
+
+template <typename Point>
+struct SweepGrid {
+  std::vector<Point> points;
+  std::size_t trials = 1;        // Monte-Carlo trials per point
+  std::uint64_t base_seed = 1;
+};
+
+struct RunnerOptions {
+  int threads = 0;        // 0 = hardware concurrency
+  std::size_t chunk = 1;  // trials handed to a worker at a time
+};
+
+// Coordinates of one trial, as seen by the trial function.
+struct TrialContext {
+  std::size_t point_index = 0;
+  std::size_t trial_index = 0;
+  std::uint64_t seed = 0;  // trial_seed(base, point_index, trial_index)
+};
+
+template <typename Result>
+struct SweepOutcome {
+  std::vector<Result> point_results;  // one merged Result per grid point
+  int threads = 1;                    // threads actually used
+  double wall_seconds = 0.0;
+  std::size_t trials_run = 0;
+};
+
+// Runs `trial(point, ctx) -> Result` over the whole grid and merges each
+// point's trials in index order with `merge(Result& into, Result&& part)`.
+// Result must be default-constructible (slot storage) and movable.
+template <typename Point, typename TrialFn, typename MergeFn>
+auto run_sweep(const SweepGrid<Point>& grid, const RunnerOptions& options,
+               TrialFn&& trial, MergeFn&& merge)
+    -> SweepOutcome<std::invoke_result_t<TrialFn&, const Point&,
+                                         const TrialContext&>> {
+  using Result =
+      std::invoke_result_t<TrialFn&, const Point&, const TrialContext&>;
+  static_assert(std::is_default_constructible_v<Result>,
+                "run_sweep stores per-trial results in pre-sized slots");
+
+  SweepOutcome<Result> outcome;
+  outcome.threads = resolve_threads(options.threads);
+  const std::size_t trials = grid.trials == 0 ? 1 : grid.trials;
+  const std::size_t total = grid.points.size() * trials;
+  outcome.trials_run = total;
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<Result> slots(total);
+  parallel_for(total, outcome.threads, options.chunk, [&](std::size_t i) {
+    TrialContext ctx;
+    ctx.point_index = i / trials;
+    ctx.trial_index = i % trials;
+    ctx.seed = trial_seed(grid.base_seed, ctx.point_index, ctx.trial_index);
+    slots[i] = trial(grid.points[ctx.point_index], ctx);
+  });
+
+  // Ordered reduction: point p merges its trials 0..trials-1 in sequence,
+  // so floating-point accumulation order is fixed regardless of which
+  // threads produced the slots.
+  outcome.point_results.reserve(grid.points.size());
+  for (std::size_t p = 0; p < grid.points.size(); ++p) {
+    Result merged = std::move(slots[p * trials]);
+    for (std::size_t t = 1; t < trials; ++t) {
+      merge(merged, std::move(slots[p * trials + t]));
+    }
+    outcome.point_results.push_back(std::move(merged));
+  }
+  outcome.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return outcome;
+}
+
+// Overload merging with `into += part` (ErrorStats and friends).
+template <typename Point, typename TrialFn>
+auto run_sweep(const SweepGrid<Point>& grid, const RunnerOptions& options,
+               TrialFn&& trial) {
+  return run_sweep(grid, options, std::forward<TrialFn>(trial),
+                   [](auto& into, auto&& part) { into += part; });
+}
+
+}  // namespace silence::runner

@@ -24,11 +24,19 @@ struct ErrorStats {
     return packets ? static_cast<double>(packets_ok) / packets : 0.0;
   }
 
+  // Counter-wise merge; the rate accessors (ber/ser/prr) of a merged
+  // value equal the rates over the pooled counters, so partial results
+  // produced by runner threads can be reduced in any grouping.
   ErrorStats& operator+=(const ErrorStats& other);
+  friend ErrorStats operator+(ErrorStats lhs, const ErrorStats& rhs) {
+    lhs += rhs;
+    return lhs;
+  }
 };
 
 // Empirical CDF: returns sorted copies of the samples; the CDF value of
-// result[i] is (i + 1) / result.size().
+// result[i] is (i + 1) / result.size(). An empty sample set yields an
+// empty CDF (not an error), so unvisited sweep points merge cleanly.
 std::vector<double> empirical_cdf(std::span<const double> samples);
 
 // The q-quantile (0 <= q <= 1) of the samples (nearest-rank).

@@ -1,0 +1,56 @@
+#include "runner/executor.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace silence::runner {
+namespace {
+
+TEST(Executor, ResolveThreadsHonorsRequest) {
+  EXPECT_EQ(resolve_threads(3), 3);
+  EXPECT_EQ(resolve_threads(1), 1);
+  EXPECT_GE(resolve_threads(0), 1);   // hardware concurrency, at least 1
+  EXPECT_GE(resolve_threads(-5), 1);
+}
+
+TEST(Executor, VisitsEveryIndexExactlyOnce) {
+  for (const int threads : {1, 2, 4, 8}) {
+    for (const std::size_t chunk : {std::size_t{1}, std::size_t{7}}) {
+      std::vector<std::atomic<int>> visits(103);
+      parallel_for(visits.size(), threads, chunk,
+                   [&](std::size_t i) { visits[i].fetch_add(1); });
+      for (const auto& v : visits) EXPECT_EQ(v.load(), 1);
+    }
+  }
+}
+
+TEST(Executor, EmptyRangeIsNoOp) {
+  parallel_for(0, 4, 1, [](std::size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(Executor, ZeroChunkIsTreatedAsOne) {
+  std::atomic<int> calls{0};
+  parallel_for(5, 2, 0, [&](std::size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 5);
+}
+
+TEST(Executor, MoreThreadsThanWorkStillCompletes) {
+  std::atomic<int> calls{0};
+  parallel_for(3, 16, 1, [&](std::size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 3);
+}
+
+TEST(Executor, RethrowsWorkerException) {
+  const auto boom = [](std::size_t i) {
+    if (i == 17) throw std::runtime_error("trial 17 failed");
+  };
+  EXPECT_THROW(parallel_for(64, 4, 4, boom), std::runtime_error);
+  EXPECT_THROW(parallel_for(64, 1, 1, boom), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace silence::runner

@@ -1,0 +1,86 @@
+#include "runner/json.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace silence::runner {
+namespace {
+
+TEST(Json, ScalarsSerialize) {
+  EXPECT_EQ(Json(nullptr).dump_compact(), "null");
+  EXPECT_EQ(Json(true).dump_compact(), "true");
+  EXPECT_EQ(Json(false).dump_compact(), "false");
+  EXPECT_EQ(Json(42).dump_compact(), "42");
+  EXPECT_EQ(Json(-7).dump_compact(), "-7");
+  EXPECT_EQ(Json("hi").dump_compact(), "\"hi\"");
+}
+
+TEST(Json, DoublesUseShortestRoundTrip) {
+  EXPECT_EQ(Json(0.5).dump_compact(), "0.5");
+  EXPECT_EQ(Json(0.1).dump_compact(), "0.1");
+  EXPECT_EQ(Json(1.0 / 3.0).dump_compact(), "0.3333333333333333");
+}
+
+TEST(Json, NonFiniteDoublesBecomeNull) {
+  EXPECT_EQ(Json(std::numeric_limits<double>::infinity()).dump_compact(),
+            "null");
+  EXPECT_EQ(Json(std::numeric_limits<double>::quiet_NaN()).dump_compact(),
+            "null");
+}
+
+TEST(Json, StringsEscape) {
+  EXPECT_EQ(Json("a\"b\\c\nd").dump_compact(), "\"a\\\"b\\\\c\\nd\"");
+  EXPECT_EQ(Json(std::string(1, '\x01')).dump_compact(), "\"\\u0001\"");
+}
+
+TEST(Json, ObjectsKeepInsertionOrder) {
+  Json obj = Json::object();
+  obj.set("zebra", 1);
+  obj.set("apple", 2);
+  obj.set("mango", 3);
+  EXPECT_EQ(obj.dump_compact(), "{\"zebra\":1,\"apple\":2,\"mango\":3}");
+  // set() on an existing key replaces in place, preserving position.
+  obj.set("apple", 9);
+  EXPECT_EQ(obj.dump_compact(), "{\"zebra\":1,\"apple\":9,\"mango\":3}");
+}
+
+TEST(Json, FindLocatesKeys) {
+  Json obj = Json::object();
+  obj.set("k", 5);
+  ASSERT_NE(obj.find("k"), nullptr);
+  EXPECT_EQ(obj.find("k")->dump_compact(), "5");
+  EXPECT_EQ(obj.find("missing"), nullptr);
+}
+
+TEST(Json, NestedPrettyPrintIsStable) {
+  Json root = Json::object();
+  root.set("name", "sweep");
+  Json& values = root.set("values", Json::array());
+  values.push_back(1);
+  values.push_back(2.5);
+  root.set("empty_list", Json::array());
+  root.set("empty_obj", Json::object());
+  EXPECT_EQ(root.dump(),
+            "{\n"
+            "  \"name\": \"sweep\",\n"
+            "  \"values\": [\n"
+            "    1,\n"
+            "    2.5\n"
+            "  ],\n"
+            "  \"empty_list\": [],\n"
+            "  \"empty_obj\": {}\n"
+            "}\n");
+}
+
+TEST(Json, SizeReportsContainers) {
+  Json arr = Json::array({1, 2, 3});
+  EXPECT_EQ(arr.size(), 3u);
+  Json obj = Json::object();
+  obj.set("a", 1);
+  EXPECT_EQ(obj.size(), 1u);
+  EXPECT_EQ(Json(5).size(), 0u);
+}
+
+}  // namespace
+}  // namespace silence::runner

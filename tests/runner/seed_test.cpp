@@ -1,0 +1,54 @@
+#include "runner/seed.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace silence::runner {
+namespace {
+
+TEST(Seed, Mix64Avalanches) {
+  // Adjacent inputs must map to thoroughly different outputs.
+  const std::uint64_t a = mix64(1);
+  const std::uint64_t b = mix64(2);
+  EXPECT_NE(a, b);
+  int differing_bits = 0;
+  for (std::uint64_t diff = a ^ b; diff; diff >>= 1) {
+    differing_bits += static_cast<int>(diff & 1);
+  }
+  EXPECT_GE(differing_bits, 16);
+}
+
+TEST(Seed, TrialSeedIsPureFunctionOfCoordinates) {
+  EXPECT_EQ(trial_seed(1, 2, 3), trial_seed(1, 2, 3));
+  EXPECT_NE(trial_seed(1, 2, 3), trial_seed(1, 2, 4));
+  EXPECT_NE(trial_seed(1, 2, 3), trial_seed(1, 3, 3));
+  EXPECT_NE(trial_seed(1, 2, 3), trial_seed(2, 2, 3));
+}
+
+TEST(Seed, NoCollisionsAcrossSmallGrid) {
+  // A realistic sweep's worth of coordinates must yield distinct seeds.
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t point = 0; point < 64; ++point) {
+    for (std::uint64_t trial = 0; trial < 256; ++trial) {
+      seen.insert(trial_seed(42, point, trial));
+    }
+  }
+  EXPECT_EQ(seen.size(), 64u * 256u);
+}
+
+TEST(Seed, SeedsAreNeverZero) {
+  for (std::uint64_t t = 0; t < 1000; ++t) {
+    EXPECT_NE(trial_seed(0, 0, t), 0u);
+    EXPECT_NE(substream_seed(t, 0), 0u);
+  }
+}
+
+TEST(Seed, SubstreamsDiffer) {
+  const std::uint64_t seed = trial_seed(7, 1, 1);
+  EXPECT_NE(substream_seed(seed, 0), substream_seed(seed, 1));
+  EXPECT_NE(substream_seed(seed, 0), seed);
+}
+
+}  // namespace
+}  // namespace silence::runner

@@ -42,10 +42,60 @@ TEST(Stats, Accumulation) {
   EXPECT_DOUBLE_EQ(a.prr(), 2.0 / 3.0);
 }
 
+TEST(Stats, MergeMatchesPooledCounters) {
+  // Rates of a merged value must equal rates over the pooled samples no
+  // matter how the runner groups partial results.
+  std::vector<ErrorStats> parts(4);
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    parts[i].bits = 100 * (i + 1);
+    parts[i].bit_errors = 3 * i;
+    parts[i].symbols = 50 * (i + 1);
+    parts[i].symbol_errors = i;
+    parts[i].packets = 10;
+    parts[i].packets_ok = 10 - i;
+  }
+  ErrorStats serial;
+  for (const auto& p : parts) serial += p;
+  const ErrorStats pairwise = (parts[0] + parts[1]) + (parts[2] + parts[3]);
+  EXPECT_EQ(serial.bits, pairwise.bits);
+  EXPECT_EQ(serial.bit_errors, pairwise.bit_errors);
+  EXPECT_EQ(serial.symbols, pairwise.symbols);
+  EXPECT_EQ(serial.symbol_errors, pairwise.symbol_errors);
+  EXPECT_EQ(serial.packets, pairwise.packets);
+  EXPECT_EQ(serial.packets_ok, pairwise.packets_ok);
+  EXPECT_DOUBLE_EQ(serial.ber(), 18.0 / 1000.0);
+  EXPECT_DOUBLE_EQ(serial.prr(), 34.0 / 40.0);
+}
+
+TEST(Stats, MergeWithEmptyIsIdentity) {
+  ErrorStats stats;
+  stats.bits = 7;
+  stats.bit_errors = 2;
+  stats.packets = 3;
+  stats.packets_ok = 1;
+  const ErrorStats merged = stats + ErrorStats{};
+  EXPECT_EQ(merged.bits, 7u);
+  EXPECT_EQ(merged.bit_errors, 2u);
+  EXPECT_DOUBLE_EQ(merged.ber(), stats.ber());
+  EXPECT_DOUBLE_EQ(merged.prr(), stats.prr());
+  const ErrorStats both_empty = ErrorStats{} + ErrorStats{};
+  EXPECT_DOUBLE_EQ(both_empty.ber(), 0.0);
+  EXPECT_DOUBLE_EQ(both_empty.prr(), 0.0);
+}
+
 TEST(Stats, EmpiricalCdfIsSorted) {
   const std::vector<double> samples = {3.0, 1.0, 2.0, 1.5};
   const auto cdf = empirical_cdf(samples);
   EXPECT_EQ(cdf, (std::vector<double>{1.0, 1.5, 2.0, 3.0}));
+}
+
+TEST(Stats, EmpiricalCdfOfEmptySamplesIsEmpty) {
+  EXPECT_TRUE(empirical_cdf({}).empty());
+}
+
+TEST(Stats, EmpiricalCdfKeepsDuplicates) {
+  const std::vector<double> samples = {2.0, 1.0, 2.0};
+  EXPECT_EQ(empirical_cdf(samples), (std::vector<double>{1.0, 2.0, 2.0}));
 }
 
 TEST(Stats, QuantileNearestRank) {
