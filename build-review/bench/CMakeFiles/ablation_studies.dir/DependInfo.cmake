@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_studies.cpp" "bench/CMakeFiles/ablation_studies.dir/ablation_studies.cpp.o" "gcc" "bench/CMakeFiles/ablation_studies.dir/ablation_studies.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/cos_common.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/dsp/CMakeFiles/cos_dsp.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/phy/CMakeFiles/cos_phy.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/channel/CMakeFiles/cos_channel.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/core/CMakeFiles/cos_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sim/CMakeFiles/cos_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/mac/CMakeFiles/cos_mac.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/baselines/CMakeFiles/cos_baselines.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/xtech/CMakeFiles/cos_xtech.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/runner/CMakeFiles/cos_runner.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_studies.dir/ablation_studies.cpp.o"
+  "CMakeFiles/ablation_studies.dir/ablation_studies.cpp.o.d"
+  "ablation_studies"
+  "ablation_studies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_studies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

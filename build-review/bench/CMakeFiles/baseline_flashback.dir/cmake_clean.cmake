@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_flashback.dir/baseline_flashback.cpp.o"
+  "CMakeFiles/baseline_flashback.dir/baseline_flashback.cpp.o.d"
+  "baseline_flashback"
+  "baseline_flashback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_flashback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

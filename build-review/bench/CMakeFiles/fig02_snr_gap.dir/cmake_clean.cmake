@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_snr_gap.dir/fig02_snr_gap.cpp.o"
+  "CMakeFiles/fig02_snr_gap.dir/fig02_snr_gap.cpp.o.d"
+  "fig02_snr_gap"
+  "fig02_snr_gap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_snr_gap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

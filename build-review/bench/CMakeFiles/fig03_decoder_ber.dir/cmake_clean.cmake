@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_decoder_ber.dir/fig03_decoder_ber.cpp.o"
+  "CMakeFiles/fig03_decoder_ber.dir/fig03_decoder_ber.cpp.o.d"
+  "fig03_decoder_ber"
+  "fig03_decoder_ber.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_decoder_ber.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

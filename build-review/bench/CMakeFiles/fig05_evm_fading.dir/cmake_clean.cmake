@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_evm_fading.dir/fig05_evm_fading.cpp.o"
+  "CMakeFiles/fig05_evm_fading.dir/fig05_evm_fading.cpp.o.d"
+  "fig05_evm_fading"
+  "fig05_evm_fading.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_evm_fading.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

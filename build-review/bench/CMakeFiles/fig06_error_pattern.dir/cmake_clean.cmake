@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_error_pattern.dir/fig06_error_pattern.cpp.o"
+  "CMakeFiles/fig06_error_pattern.dir/fig06_error_pattern.cpp.o.d"
+  "fig06_error_pattern"
+  "fig06_error_pattern.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_error_pattern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_temporal.dir/fig07_temporal.cpp.o"
+  "CMakeFiles/fig07_temporal.dir/fig07_temporal.cpp.o.d"
+  "fig07_temporal"
+  "fig07_temporal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_temporal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_capacity.dir/fig09_capacity.cpp.o"
+  "CMakeFiles/fig09_capacity.dir/fig09_capacity.cpp.o.d"
+  "fig09_capacity"
+  "fig09_capacity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_detection.dir/fig10_detection.cpp.o"
+  "CMakeFiles/fig10_detection.dir/fig10_detection.cpp.o.d"
+  "fig10_detection"
+  "fig10_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

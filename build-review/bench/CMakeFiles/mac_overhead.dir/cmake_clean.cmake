@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mac_overhead.dir/mac_overhead.cpp.o"
+  "CMakeFiles/mac_overhead.dir/mac_overhead.cpp.o.d"
+  "mac_overhead"
+  "mac_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mac_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_phy.dir/perf_phy.cpp.o"
+  "CMakeFiles/perf_phy.dir/perf_phy.cpp.o.d"
+  "perf_phy"
+  "perf_phy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_phy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/throughput_curves.dir/throughput_curves.cpp.o"
+  "CMakeFiles/throughput_curves.dir/throughput_curves.cpp.o.d"
+  "throughput_curves"
+  "throughput_curves.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/throughput_curves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/access_coordination.dir/access_coordination.cpp.o"
+  "CMakeFiles/access_coordination.dir/access_coordination.cpp.o.d"
+  "access_coordination"
+  "access_coordination.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/access_coordination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

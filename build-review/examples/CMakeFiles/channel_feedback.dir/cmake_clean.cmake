@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/channel_feedback.dir/channel_feedback.cpp.o"
+  "CMakeFiles/channel_feedback.dir/channel_feedback.cpp.o.d"
+  "channel_feedback"
+  "channel_feedback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/channel_feedback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cos_sim_cli.dir/cos_sim_cli.cpp.o"
+  "CMakeFiles/cos_sim_cli.dir/cos_sim_cli.cpp.o.d"
+  "cos_sim_cli"
+  "cos_sim_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cos_sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crosstech_beacon.dir/crosstech_beacon.cpp.o"
+  "CMakeFiles/crosstech_beacon.dir/crosstech_beacon.cpp.o.d"
+  "crosstech_beacon"
+  "crosstech_beacon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crosstech_beacon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

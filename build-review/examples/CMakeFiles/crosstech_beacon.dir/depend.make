@@ -1,0 +1,2 @@
+# Empty dependencies file for crosstech_beacon.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spectrum_waterfall.dir/spectrum_waterfall.cpp.o"
+  "CMakeFiles/spectrum_waterfall.dir/spectrum_waterfall.cpp.o.d"
+  "spectrum_waterfall"
+  "spectrum_waterfall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spectrum_waterfall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

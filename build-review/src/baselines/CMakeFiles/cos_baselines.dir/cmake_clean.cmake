@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cos_baselines.dir/flashback.cpp.o"
+  "CMakeFiles/cos_baselines.dir/flashback.cpp.o.d"
+  "libcos_baselines.a"
+  "libcos_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cos_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/channel/fading.cpp" "src/channel/CMakeFiles/cos_channel.dir/fading.cpp.o" "gcc" "src/channel/CMakeFiles/cos_channel.dir/fading.cpp.o.d"
+  "/root/repo/src/channel/impairments.cpp" "src/channel/CMakeFiles/cos_channel.dir/impairments.cpp.o" "gcc" "src/channel/CMakeFiles/cos_channel.dir/impairments.cpp.o.d"
+  "/root/repo/src/channel/interference.cpp" "src/channel/CMakeFiles/cos_channel.dir/interference.cpp.o" "gcc" "src/channel/CMakeFiles/cos_channel.dir/interference.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/cos_common.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/dsp/CMakeFiles/cos_dsp.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/phy/CMakeFiles/cos_phy.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cos_channel.dir/fading.cpp.o"
+  "CMakeFiles/cos_channel.dir/fading.cpp.o.d"
+  "CMakeFiles/cos_channel.dir/impairments.cpp.o"
+  "CMakeFiles/cos_channel.dir/impairments.cpp.o.d"
+  "CMakeFiles/cos_channel.dir/interference.cpp.o"
+  "CMakeFiles/cos_channel.dir/interference.cpp.o.d"
+  "libcos_channel.a"
+  "libcos_channel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cos_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

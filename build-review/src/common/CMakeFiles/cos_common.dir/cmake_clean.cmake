@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cos_common.dir/bits.cpp.o"
+  "CMakeFiles/cos_common.dir/bits.cpp.o.d"
+  "CMakeFiles/cos_common.dir/crc32.cpp.o"
+  "CMakeFiles/cos_common.dir/crc32.cpp.o.d"
+  "CMakeFiles/cos_common.dir/hex.cpp.o"
+  "CMakeFiles/cos_common.dir/hex.cpp.o.d"
+  "CMakeFiles/cos_common.dir/rng.cpp.o"
+  "CMakeFiles/cos_common.dir/rng.cpp.o.d"
+  "libcos_common.a"
+  "libcos_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cos_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

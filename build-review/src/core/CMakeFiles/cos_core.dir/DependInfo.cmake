@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/control_framing.cpp" "src/core/CMakeFiles/cos_core.dir/control_framing.cpp.o" "gcc" "src/core/CMakeFiles/cos_core.dir/control_framing.cpp.o.d"
+  "/root/repo/src/core/control_rate.cpp" "src/core/CMakeFiles/cos_core.dir/control_rate.cpp.o" "gcc" "src/core/CMakeFiles/cos_core.dir/control_rate.cpp.o.d"
+  "/root/repo/src/core/cos_link.cpp" "src/core/CMakeFiles/cos_core.dir/cos_link.cpp.o" "gcc" "src/core/CMakeFiles/cos_core.dir/cos_link.cpp.o.d"
+  "/root/repo/src/core/energy_detector.cpp" "src/core/CMakeFiles/cos_core.dir/energy_detector.cpp.o" "gcc" "src/core/CMakeFiles/cos_core.dir/energy_detector.cpp.o.d"
+  "/root/repo/src/core/evm.cpp" "src/core/CMakeFiles/cos_core.dir/evm.cpp.o" "gcc" "src/core/CMakeFiles/cos_core.dir/evm.cpp.o.d"
+  "/root/repo/src/core/feedback_transport.cpp" "src/core/CMakeFiles/cos_core.dir/feedback_transport.cpp.o" "gcc" "src/core/CMakeFiles/cos_core.dir/feedback_transport.cpp.o.d"
+  "/root/repo/src/core/interval_code.cpp" "src/core/CMakeFiles/cos_core.dir/interval_code.cpp.o" "gcc" "src/core/CMakeFiles/cos_core.dir/interval_code.cpp.o.d"
+  "/root/repo/src/core/silence_plan.cpp" "src/core/CMakeFiles/cos_core.dir/silence_plan.cpp.o" "gcc" "src/core/CMakeFiles/cos_core.dir/silence_plan.cpp.o.d"
+  "/root/repo/src/core/subcarrier_selection.cpp" "src/core/CMakeFiles/cos_core.dir/subcarrier_selection.cpp.o" "gcc" "src/core/CMakeFiles/cos_core.dir/subcarrier_selection.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/cos_common.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/dsp/CMakeFiles/cos_dsp.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/phy/CMakeFiles/cos_phy.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/channel/CMakeFiles/cos_channel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

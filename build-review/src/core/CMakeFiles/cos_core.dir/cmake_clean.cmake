@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cos_core.dir/control_framing.cpp.o"
+  "CMakeFiles/cos_core.dir/control_framing.cpp.o.d"
+  "CMakeFiles/cos_core.dir/control_rate.cpp.o"
+  "CMakeFiles/cos_core.dir/control_rate.cpp.o.d"
+  "CMakeFiles/cos_core.dir/cos_link.cpp.o"
+  "CMakeFiles/cos_core.dir/cos_link.cpp.o.d"
+  "CMakeFiles/cos_core.dir/energy_detector.cpp.o"
+  "CMakeFiles/cos_core.dir/energy_detector.cpp.o.d"
+  "CMakeFiles/cos_core.dir/evm.cpp.o"
+  "CMakeFiles/cos_core.dir/evm.cpp.o.d"
+  "CMakeFiles/cos_core.dir/feedback_transport.cpp.o"
+  "CMakeFiles/cos_core.dir/feedback_transport.cpp.o.d"
+  "CMakeFiles/cos_core.dir/interval_code.cpp.o"
+  "CMakeFiles/cos_core.dir/interval_code.cpp.o.d"
+  "CMakeFiles/cos_core.dir/silence_plan.cpp.o"
+  "CMakeFiles/cos_core.dir/silence_plan.cpp.o.d"
+  "CMakeFiles/cos_core.dir/subcarrier_selection.cpp.o"
+  "CMakeFiles/cos_core.dir/subcarrier_selection.cpp.o.d"
+  "libcos_core.a"
+  "libcos_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cos_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cos_dsp.dir/fft.cpp.o"
+  "CMakeFiles/cos_dsp.dir/fft.cpp.o.d"
+  "libcos_dsp.a"
+  "libcos_dsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cos_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mac/aggregation.cpp" "src/mac/CMakeFiles/cos_mac.dir/aggregation.cpp.o" "gcc" "src/mac/CMakeFiles/cos_mac.dir/aggregation.cpp.o.d"
+  "/root/repo/src/mac/backoff.cpp" "src/mac/CMakeFiles/cos_mac.dir/backoff.cpp.o" "gcc" "src/mac/CMakeFiles/cos_mac.dir/backoff.cpp.o.d"
+  "/root/repo/src/mac/contention.cpp" "src/mac/CMakeFiles/cos_mac.dir/contention.cpp.o" "gcc" "src/mac/CMakeFiles/cos_mac.dir/contention.cpp.o.d"
+  "/root/repo/src/mac/coordination.cpp" "src/mac/CMakeFiles/cos_mac.dir/coordination.cpp.o" "gcc" "src/mac/CMakeFiles/cos_mac.dir/coordination.cpp.o.d"
+  "/root/repo/src/mac/frame.cpp" "src/mac/CMakeFiles/cos_mac.dir/frame.cpp.o" "gcc" "src/mac/CMakeFiles/cos_mac.dir/frame.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/cos_common.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/phy/CMakeFiles/cos_phy.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/channel/CMakeFiles/cos_channel.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/core/CMakeFiles/cos_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sim/CMakeFiles/cos_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/dsp/CMakeFiles/cos_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

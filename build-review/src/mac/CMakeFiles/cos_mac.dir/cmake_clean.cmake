@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cos_mac.dir/aggregation.cpp.o"
+  "CMakeFiles/cos_mac.dir/aggregation.cpp.o.d"
+  "CMakeFiles/cos_mac.dir/backoff.cpp.o"
+  "CMakeFiles/cos_mac.dir/backoff.cpp.o.d"
+  "CMakeFiles/cos_mac.dir/contention.cpp.o"
+  "CMakeFiles/cos_mac.dir/contention.cpp.o.d"
+  "CMakeFiles/cos_mac.dir/coordination.cpp.o"
+  "CMakeFiles/cos_mac.dir/coordination.cpp.o.d"
+  "CMakeFiles/cos_mac.dir/frame.cpp.o"
+  "CMakeFiles/cos_mac.dir/frame.cpp.o.d"
+  "libcos_mac.a"
+  "libcos_mac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cos_mac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/phy/convolutional.cpp" "src/phy/CMakeFiles/cos_phy.dir/convolutional.cpp.o" "gcc" "src/phy/CMakeFiles/cos_phy.dir/convolutional.cpp.o.d"
+  "/root/repo/src/phy/interleaver.cpp" "src/phy/CMakeFiles/cos_phy.dir/interleaver.cpp.o" "gcc" "src/phy/CMakeFiles/cos_phy.dir/interleaver.cpp.o.d"
+  "/root/repo/src/phy/modulation.cpp" "src/phy/CMakeFiles/cos_phy.dir/modulation.cpp.o" "gcc" "src/phy/CMakeFiles/cos_phy.dir/modulation.cpp.o.d"
+  "/root/repo/src/phy/ofdm.cpp" "src/phy/CMakeFiles/cos_phy.dir/ofdm.cpp.o" "gcc" "src/phy/CMakeFiles/cos_phy.dir/ofdm.cpp.o.d"
+  "/root/repo/src/phy/params.cpp" "src/phy/CMakeFiles/cos_phy.dir/params.cpp.o" "gcc" "src/phy/CMakeFiles/cos_phy.dir/params.cpp.o.d"
+  "/root/repo/src/phy/pilots.cpp" "src/phy/CMakeFiles/cos_phy.dir/pilots.cpp.o" "gcc" "src/phy/CMakeFiles/cos_phy.dir/pilots.cpp.o.d"
+  "/root/repo/src/phy/preamble.cpp" "src/phy/CMakeFiles/cos_phy.dir/preamble.cpp.o" "gcc" "src/phy/CMakeFiles/cos_phy.dir/preamble.cpp.o.d"
+  "/root/repo/src/phy/puncture.cpp" "src/phy/CMakeFiles/cos_phy.dir/puncture.cpp.o" "gcc" "src/phy/CMakeFiles/cos_phy.dir/puncture.cpp.o.d"
+  "/root/repo/src/phy/receiver.cpp" "src/phy/CMakeFiles/cos_phy.dir/receiver.cpp.o" "gcc" "src/phy/CMakeFiles/cos_phy.dir/receiver.cpp.o.d"
+  "/root/repo/src/phy/scrambler.cpp" "src/phy/CMakeFiles/cos_phy.dir/scrambler.cpp.o" "gcc" "src/phy/CMakeFiles/cos_phy.dir/scrambler.cpp.o.d"
+  "/root/repo/src/phy/signal_field.cpp" "src/phy/CMakeFiles/cos_phy.dir/signal_field.cpp.o" "gcc" "src/phy/CMakeFiles/cos_phy.dir/signal_field.cpp.o.d"
+  "/root/repo/src/phy/sync.cpp" "src/phy/CMakeFiles/cos_phy.dir/sync.cpp.o" "gcc" "src/phy/CMakeFiles/cos_phy.dir/sync.cpp.o.d"
+  "/root/repo/src/phy/transmitter.cpp" "src/phy/CMakeFiles/cos_phy.dir/transmitter.cpp.o" "gcc" "src/phy/CMakeFiles/cos_phy.dir/transmitter.cpp.o.d"
+  "/root/repo/src/phy/viterbi.cpp" "src/phy/CMakeFiles/cos_phy.dir/viterbi.cpp.o" "gcc" "src/phy/CMakeFiles/cos_phy.dir/viterbi.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/cos_common.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/dsp/CMakeFiles/cos_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cos_phy.dir/convolutional.cpp.o"
+  "CMakeFiles/cos_phy.dir/convolutional.cpp.o.d"
+  "CMakeFiles/cos_phy.dir/interleaver.cpp.o"
+  "CMakeFiles/cos_phy.dir/interleaver.cpp.o.d"
+  "CMakeFiles/cos_phy.dir/modulation.cpp.o"
+  "CMakeFiles/cos_phy.dir/modulation.cpp.o.d"
+  "CMakeFiles/cos_phy.dir/ofdm.cpp.o"
+  "CMakeFiles/cos_phy.dir/ofdm.cpp.o.d"
+  "CMakeFiles/cos_phy.dir/params.cpp.o"
+  "CMakeFiles/cos_phy.dir/params.cpp.o.d"
+  "CMakeFiles/cos_phy.dir/pilots.cpp.o"
+  "CMakeFiles/cos_phy.dir/pilots.cpp.o.d"
+  "CMakeFiles/cos_phy.dir/preamble.cpp.o"
+  "CMakeFiles/cos_phy.dir/preamble.cpp.o.d"
+  "CMakeFiles/cos_phy.dir/puncture.cpp.o"
+  "CMakeFiles/cos_phy.dir/puncture.cpp.o.d"
+  "CMakeFiles/cos_phy.dir/receiver.cpp.o"
+  "CMakeFiles/cos_phy.dir/receiver.cpp.o.d"
+  "CMakeFiles/cos_phy.dir/scrambler.cpp.o"
+  "CMakeFiles/cos_phy.dir/scrambler.cpp.o.d"
+  "CMakeFiles/cos_phy.dir/signal_field.cpp.o"
+  "CMakeFiles/cos_phy.dir/signal_field.cpp.o.d"
+  "CMakeFiles/cos_phy.dir/sync.cpp.o"
+  "CMakeFiles/cos_phy.dir/sync.cpp.o.d"
+  "CMakeFiles/cos_phy.dir/transmitter.cpp.o"
+  "CMakeFiles/cos_phy.dir/transmitter.cpp.o.d"
+  "CMakeFiles/cos_phy.dir/viterbi.cpp.o"
+  "CMakeFiles/cos_phy.dir/viterbi.cpp.o.d"
+  "libcos_phy.a"
+  "libcos_phy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cos_phy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

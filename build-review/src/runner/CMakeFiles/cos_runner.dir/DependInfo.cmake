@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runner/executor.cpp" "src/runner/CMakeFiles/cos_runner.dir/executor.cpp.o" "gcc" "src/runner/CMakeFiles/cos_runner.dir/executor.cpp.o.d"
+  "/root/repo/src/runner/json.cpp" "src/runner/CMakeFiles/cos_runner.dir/json.cpp.o" "gcc" "src/runner/CMakeFiles/cos_runner.dir/json.cpp.o.d"
+  "/root/repo/src/runner/seed.cpp" "src/runner/CMakeFiles/cos_runner.dir/seed.cpp.o" "gcc" "src/runner/CMakeFiles/cos_runner.dir/seed.cpp.o.d"
+  "/root/repo/src/runner/sinks.cpp" "src/runner/CMakeFiles/cos_runner.dir/sinks.cpp.o" "gcc" "src/runner/CMakeFiles/cos_runner.dir/sinks.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

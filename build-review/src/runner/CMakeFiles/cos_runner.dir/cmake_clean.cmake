@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cos_runner.dir/executor.cpp.o"
+  "CMakeFiles/cos_runner.dir/executor.cpp.o.d"
+  "CMakeFiles/cos_runner.dir/json.cpp.o"
+  "CMakeFiles/cos_runner.dir/json.cpp.o.d"
+  "CMakeFiles/cos_runner.dir/seed.cpp.o"
+  "CMakeFiles/cos_runner.dir/seed.cpp.o.d"
+  "CMakeFiles/cos_runner.dir/sinks.cpp.o"
+  "CMakeFiles/cos_runner.dir/sinks.cpp.o.d"
+  "libcos_runner.a"
+  "libcos_runner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cos_runner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cos_sim.dir/link.cpp.o"
+  "CMakeFiles/cos_sim.dir/link.cpp.o.d"
+  "CMakeFiles/cos_sim.dir/session.cpp.o"
+  "CMakeFiles/cos_sim.dir/session.cpp.o.d"
+  "CMakeFiles/cos_sim.dir/stats.cpp.o"
+  "CMakeFiles/cos_sim.dir/stats.cpp.o.d"
+  "libcos_sim.a"
+  "libcos_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cos_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

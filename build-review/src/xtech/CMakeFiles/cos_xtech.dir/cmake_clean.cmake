@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cos_xtech.dir/narrowband.cpp.o"
+  "CMakeFiles/cos_xtech.dir/narrowband.cpp.o.d"
+  "libcos_xtech.a"
+  "libcos_xtech.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cos_xtech.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/channel_tests.dir/channel/fading_test.cpp.o"
+  "CMakeFiles/channel_tests.dir/channel/fading_test.cpp.o.d"
+  "CMakeFiles/channel_tests.dir/channel/impairments_test.cpp.o"
+  "CMakeFiles/channel_tests.dir/channel/impairments_test.cpp.o.d"
+  "CMakeFiles/channel_tests.dir/channel/interference_test.cpp.o"
+  "CMakeFiles/channel_tests.dir/channel/interference_test.cpp.o.d"
+  "channel_tests"
+  "channel_tests.pdb"
+  "channel_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/channel_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_tests.dir/common/bits_test.cpp.o"
+  "CMakeFiles/common_tests.dir/common/bits_test.cpp.o.d"
+  "CMakeFiles/common_tests.dir/common/crc32_test.cpp.o"
+  "CMakeFiles/common_tests.dir/common/crc32_test.cpp.o.d"
+  "CMakeFiles/common_tests.dir/common/hex_test.cpp.o"
+  "CMakeFiles/common_tests.dir/common/hex_test.cpp.o.d"
+  "CMakeFiles/common_tests.dir/common/rng_test.cpp.o"
+  "CMakeFiles/common_tests.dir/common/rng_test.cpp.o.d"
+  "common_tests"
+  "common_tests.pdb"
+  "common_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

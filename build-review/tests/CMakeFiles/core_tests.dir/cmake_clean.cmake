@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tests.dir/core/control_framing_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/control_framing_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/control_rate_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/control_rate_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/cos_link_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/cos_link_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/energy_detector_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/energy_detector_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/evd_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/evd_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/evm_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/evm_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/feedback_transport_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/feedback_transport_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/interval_code_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/interval_code_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/silence_plan_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/silence_plan_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/subcarrier_selection_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/subcarrier_selection_test.cpp.o.d"
+  "core_tests"
+  "core_tests.pdb"
+  "core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

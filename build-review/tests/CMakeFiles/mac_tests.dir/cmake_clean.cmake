@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mac_tests.dir/mac/aggregation_test.cpp.o"
+  "CMakeFiles/mac_tests.dir/mac/aggregation_test.cpp.o.d"
+  "CMakeFiles/mac_tests.dir/mac/backoff_test.cpp.o"
+  "CMakeFiles/mac_tests.dir/mac/backoff_test.cpp.o.d"
+  "CMakeFiles/mac_tests.dir/mac/contention_test.cpp.o"
+  "CMakeFiles/mac_tests.dir/mac/contention_test.cpp.o.d"
+  "CMakeFiles/mac_tests.dir/mac/coordination_test.cpp.o"
+  "CMakeFiles/mac_tests.dir/mac/coordination_test.cpp.o.d"
+  "CMakeFiles/mac_tests.dir/mac/frame_test.cpp.o"
+  "CMakeFiles/mac_tests.dir/mac/frame_test.cpp.o.d"
+  "CMakeFiles/mac_tests.dir/mac/timing_test.cpp.o"
+  "CMakeFiles/mac_tests.dir/mac/timing_test.cpp.o.d"
+  "mac_tests"
+  "mac_tests.pdb"
+  "mac_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mac_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

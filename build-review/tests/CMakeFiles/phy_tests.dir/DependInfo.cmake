@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/phy/convolutional_test.cpp" "tests/CMakeFiles/phy_tests.dir/phy/convolutional_test.cpp.o" "gcc" "tests/CMakeFiles/phy_tests.dir/phy/convolutional_test.cpp.o.d"
+  "/root/repo/tests/phy/interleaver_test.cpp" "tests/CMakeFiles/phy_tests.dir/phy/interleaver_test.cpp.o" "gcc" "tests/CMakeFiles/phy_tests.dir/phy/interleaver_test.cpp.o.d"
+  "/root/repo/tests/phy/loopback_test.cpp" "tests/CMakeFiles/phy_tests.dir/phy/loopback_test.cpp.o" "gcc" "tests/CMakeFiles/phy_tests.dir/phy/loopback_test.cpp.o.d"
+  "/root/repo/tests/phy/modulation_test.cpp" "tests/CMakeFiles/phy_tests.dir/phy/modulation_test.cpp.o" "gcc" "tests/CMakeFiles/phy_tests.dir/phy/modulation_test.cpp.o.d"
+  "/root/repo/tests/phy/ofdm_test.cpp" "tests/CMakeFiles/phy_tests.dir/phy/ofdm_test.cpp.o" "gcc" "tests/CMakeFiles/phy_tests.dir/phy/ofdm_test.cpp.o.d"
+  "/root/repo/tests/phy/params_test.cpp" "tests/CMakeFiles/phy_tests.dir/phy/params_test.cpp.o" "gcc" "tests/CMakeFiles/phy_tests.dir/phy/params_test.cpp.o.d"
+  "/root/repo/tests/phy/pilots_test.cpp" "tests/CMakeFiles/phy_tests.dir/phy/pilots_test.cpp.o" "gcc" "tests/CMakeFiles/phy_tests.dir/phy/pilots_test.cpp.o.d"
+  "/root/repo/tests/phy/preamble_test.cpp" "tests/CMakeFiles/phy_tests.dir/phy/preamble_test.cpp.o" "gcc" "tests/CMakeFiles/phy_tests.dir/phy/preamble_test.cpp.o.d"
+  "/root/repo/tests/phy/puncture_test.cpp" "tests/CMakeFiles/phy_tests.dir/phy/puncture_test.cpp.o" "gcc" "tests/CMakeFiles/phy_tests.dir/phy/puncture_test.cpp.o.d"
+  "/root/repo/tests/phy/receiver_internals_test.cpp" "tests/CMakeFiles/phy_tests.dir/phy/receiver_internals_test.cpp.o" "gcc" "tests/CMakeFiles/phy_tests.dir/phy/receiver_internals_test.cpp.o.d"
+  "/root/repo/tests/phy/scrambler_test.cpp" "tests/CMakeFiles/phy_tests.dir/phy/scrambler_test.cpp.o" "gcc" "tests/CMakeFiles/phy_tests.dir/phy/scrambler_test.cpp.o.d"
+  "/root/repo/tests/phy/signal_field_test.cpp" "tests/CMakeFiles/phy_tests.dir/phy/signal_field_test.cpp.o" "gcc" "tests/CMakeFiles/phy_tests.dir/phy/signal_field_test.cpp.o.d"
+  "/root/repo/tests/phy/sync_test.cpp" "tests/CMakeFiles/phy_tests.dir/phy/sync_test.cpp.o" "gcc" "tests/CMakeFiles/phy_tests.dir/phy/sync_test.cpp.o.d"
+  "/root/repo/tests/phy/viterbi_test.cpp" "tests/CMakeFiles/phy_tests.dir/phy/viterbi_test.cpp.o" "gcc" "tests/CMakeFiles/phy_tests.dir/phy/viterbi_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/cos_common.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/dsp/CMakeFiles/cos_dsp.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/phy/CMakeFiles/cos_phy.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/channel/CMakeFiles/cos_channel.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/core/CMakeFiles/cos_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sim/CMakeFiles/cos_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/mac/CMakeFiles/cos_mac.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/baselines/CMakeFiles/cos_baselines.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/xtech/CMakeFiles/cos_xtech.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/runner/CMakeFiles/cos_runner.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,38 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phy_tests.dir/phy/convolutional_test.cpp.o"
+  "CMakeFiles/phy_tests.dir/phy/convolutional_test.cpp.o.d"
+  "CMakeFiles/phy_tests.dir/phy/interleaver_test.cpp.o"
+  "CMakeFiles/phy_tests.dir/phy/interleaver_test.cpp.o.d"
+  "CMakeFiles/phy_tests.dir/phy/loopback_test.cpp.o"
+  "CMakeFiles/phy_tests.dir/phy/loopback_test.cpp.o.d"
+  "CMakeFiles/phy_tests.dir/phy/modulation_test.cpp.o"
+  "CMakeFiles/phy_tests.dir/phy/modulation_test.cpp.o.d"
+  "CMakeFiles/phy_tests.dir/phy/ofdm_test.cpp.o"
+  "CMakeFiles/phy_tests.dir/phy/ofdm_test.cpp.o.d"
+  "CMakeFiles/phy_tests.dir/phy/params_test.cpp.o"
+  "CMakeFiles/phy_tests.dir/phy/params_test.cpp.o.d"
+  "CMakeFiles/phy_tests.dir/phy/pilots_test.cpp.o"
+  "CMakeFiles/phy_tests.dir/phy/pilots_test.cpp.o.d"
+  "CMakeFiles/phy_tests.dir/phy/preamble_test.cpp.o"
+  "CMakeFiles/phy_tests.dir/phy/preamble_test.cpp.o.d"
+  "CMakeFiles/phy_tests.dir/phy/puncture_test.cpp.o"
+  "CMakeFiles/phy_tests.dir/phy/puncture_test.cpp.o.d"
+  "CMakeFiles/phy_tests.dir/phy/receiver_internals_test.cpp.o"
+  "CMakeFiles/phy_tests.dir/phy/receiver_internals_test.cpp.o.d"
+  "CMakeFiles/phy_tests.dir/phy/scrambler_test.cpp.o"
+  "CMakeFiles/phy_tests.dir/phy/scrambler_test.cpp.o.d"
+  "CMakeFiles/phy_tests.dir/phy/signal_field_test.cpp.o"
+  "CMakeFiles/phy_tests.dir/phy/signal_field_test.cpp.o.d"
+  "CMakeFiles/phy_tests.dir/phy/sync_test.cpp.o"
+  "CMakeFiles/phy_tests.dir/phy/sync_test.cpp.o.d"
+  "CMakeFiles/phy_tests.dir/phy/viterbi_test.cpp.o"
+  "CMakeFiles/phy_tests.dir/phy/viterbi_test.cpp.o.d"
+  "phy_tests"
+  "phy_tests.pdb"
+  "phy_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phy_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

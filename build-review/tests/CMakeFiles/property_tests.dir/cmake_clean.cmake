@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_tests.dir/property/chain_fuzz_test.cpp.o"
+  "CMakeFiles/property_tests.dir/property/chain_fuzz_test.cpp.o.d"
+  "CMakeFiles/property_tests.dir/property/invariants_test.cpp.o"
+  "CMakeFiles/property_tests.dir/property/invariants_test.cpp.o.d"
+  "CMakeFiles/property_tests.dir/property/reference_impl_test.cpp.o"
+  "CMakeFiles/property_tests.dir/property/reference_impl_test.cpp.o.d"
+  "CMakeFiles/property_tests.dir/property/sweep_test.cpp.o"
+  "CMakeFiles/property_tests.dir/property/sweep_test.cpp.o.d"
+  "CMakeFiles/property_tests.dir/property/viterbi_ml_test.cpp.o"
+  "CMakeFiles/property_tests.dir/property/viterbi_ml_test.cpp.o.d"
+  "property_tests"
+  "property_tests.pdb"
+  "property_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runner_tests.dir/runner/determinism_test.cpp.o"
+  "CMakeFiles/runner_tests.dir/runner/determinism_test.cpp.o.d"
+  "CMakeFiles/runner_tests.dir/runner/executor_test.cpp.o"
+  "CMakeFiles/runner_tests.dir/runner/executor_test.cpp.o.d"
+  "CMakeFiles/runner_tests.dir/runner/json_test.cpp.o"
+  "CMakeFiles/runner_tests.dir/runner/json_test.cpp.o.d"
+  "CMakeFiles/runner_tests.dir/runner/seed_test.cpp.o"
+  "CMakeFiles/runner_tests.dir/runner/seed_test.cpp.o.d"
+  "runner_tests"
+  "runner_tests.pdb"
+  "runner_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runner_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

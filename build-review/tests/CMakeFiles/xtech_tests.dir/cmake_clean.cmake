@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xtech_tests.dir/xtech/narrowband_test.cpp.o"
+  "CMakeFiles/xtech_tests.dir/xtech/narrowband_test.cpp.o.d"
+  "xtech_tests"
+  "xtech_tests.pdb"
+  "xtech_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xtech_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-review/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-review/tests/common_tests[1]_include.cmake")
+include("/root/repo/build-review/tests/dsp_tests[1]_include.cmake")
+include("/root/repo/build-review/tests/phy_tests[1]_include.cmake")
+include("/root/repo/build-review/tests/channel_tests[1]_include.cmake")
+include("/root/repo/build-review/tests/core_tests[1]_include.cmake")
+include("/root/repo/build-review/tests/mac_tests[1]_include.cmake")
+include("/root/repo/build-review/tests/runner_tests[1]_include.cmake")
+include("/root/repo/build-review/tests/sim_tests[1]_include.cmake")
+include("/root/repo/build-review/tests/integration_tests[1]_include.cmake")
+include("/root/repo/build-review/tests/baselines_tests[1]_include.cmake")
+include("/root/repo/build-review/tests/property_tests[1]_include.cmake")
+include("/root/repo/build-review/tests/xtech_tests[1]_include.cmake")
