@@ -1,6 +1,6 @@
 // Shared helpers for the figure-reproduction benches: the legacy header
-// printer plus the common CLI (--threads/--trials/--json/--seed) for
-// benches migrated onto the runner subsystem (src/runner/).
+// printer plus the common CLI (--threads/--trials/--json/--seed/--trace)
+// for benches migrated onto the runner subsystem (src/runner/).
 #pragma once
 
 #include <cstdint>
@@ -8,6 +8,8 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+
+#include "obs/obs.h"
 
 namespace silence::bench {
 
@@ -24,6 +26,7 @@ struct BenchArgs {
   std::uint64_t seed = 1;  // --seed S      (sweep base seed)
   bool json = false;       // --json [PATH] (write structured results)
   std::string json_path;   // resolved path; default results/<bench>.json
+  std::string trace_path;  // --trace FILE  (Chrome trace-event JSON)
 };
 
 // Parses the shared flags; exits with a usage message on --help or any
@@ -33,11 +36,14 @@ inline BenchArgs parse_bench_args(int argc, char** argv,
   const auto usage = [&](int code) {
     std::printf(
         "usage: %s [--threads N] [--trials N] [--seed S] [--json [PATH]]\n"
+        "          [--trace FILE]\n"
         "  --threads N   worker threads (default: all hardware threads)\n"
         "  --trials N    Monte-Carlo trials per sweep point\n"
         "  --seed S      base seed for deterministic trial seeding\n"
-        "  --json [PATH] also write results/%s.json (or PATH) plus a\n"
-        "                .timing.json sidecar\n",
+        "  --json [PATH] also write results/%s.json (or PATH) plus\n"
+        "                .timing.json and .metrics.json sidecars\n"
+        "  --trace FILE  write a Chrome/Perfetto trace (spans for every\n"
+        "                PHY/CoS stage + embedded metrics snapshot)\n",
         argv[0], bench_name);
     std::exit(code);
   };
@@ -64,6 +70,8 @@ inline BenchArgs parse_bench_args(int argc, char** argv,
       if (i + 1 < argc && argv[i + 1][0] != '-') {
         args.json_path = argv[++i];
       }
+    } else if (!std::strcmp(argv[i], "--trace")) {
+      args.trace_path = numeric_value(i);
     } else {
       std::fprintf(stderr, "%s: unknown argument '%s'\n", argv[0], argv[i]);
       usage(2);
@@ -72,7 +80,38 @@ inline BenchArgs parse_bench_args(int argc, char** argv,
   if (args.json && args.json_path.empty()) {
     args.json_path = std::string("results/") + bench_name + ".json";
   }
+  if (!args.trace_path.empty()) {
+#if SILENCE_OBS_ON
+    silence::obs::Tracer::global().start();
+#else
+    std::fprintf(stderr,
+                 "%s: built with SILENCE_OBS=OFF; --trace has no spans to "
+                 "record and is ignored\n",
+                 argv[0]);
+    args.trace_path.clear();
+#endif
+  }
   return args;
+}
+
+// Call once after the sweep (before returning from main): writes the
+// Chrome trace requested with --trace. No-op otherwise.
+inline void finish_observability(const BenchArgs& args) {
+#if SILENCE_OBS_ON
+  if (args.trace_path.empty()) return;
+  auto& tracer = silence::obs::Tracer::global();
+  const std::size_t events = tracer.event_count();
+  const std::size_t dropped = tracer.dropped();
+  tracer.write(args.trace_path);
+  std::printf("trace written to %s (%zu events%s) — open in "
+              "ui.perfetto.dev or chrome://tracing\n",
+              args.trace_path.c_str(), events,
+              dropped > 0
+                  ? (", " + std::to_string(dropped) + " dropped").c_str()
+                  : "");
+#else
+  (void)args;
+#endif
 }
 
 }  // namespace silence::bench

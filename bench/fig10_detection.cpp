@@ -382,6 +382,13 @@ int main(int argc, char** argv) {
                                  b.trials_run + c.trials_run + d.trials_run));
     runner::write_json_file(runner::timing_sidecar_path(args.json_path),
                             timing);
+
+    const obs::MetricsSnapshot snapshot = obs::Registry::global().snapshot();
+    if (!snapshot.empty()) {
+      runner::write_json_file(runner::metrics_sidecar_path(args.json_path),
+                              runner::metrics_json(snapshot));
+    }
   }
+  bench::finish_observability(args);
   return 0;
 }

@@ -4,13 +4,21 @@
 //
 // Besides the console table, every run writes `results/BENCH_phy.json`
 // (per-stage ns/op and items/sec) through the runner's JSON sink so PRs
-// have a machine-readable perf baseline to diff against.
+// have a machine-readable perf baseline to diff against. Builds with
+// SILENCE_OBS=ON additionally record `stage_throughput` — Mitems/s per
+// instrumented pipeline stage (items = samples, bits or subcarriers,
+// whichever the stage's `<stage>.items` counter tracks) straight from the
+// obs metrics registry. `--trace FILE` dumps a Chrome trace of the run.
 #include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <string>
 
 #include "channel/fading.h"
 #include "common/crc32.h"
 #include "common/rng.h"
 #include "core/cos_link.h"
+#include "obs/obs.h"
 #include "phy/convolutional.h"
 #include "phy/receiver.h"
 #include "phy/transmitter.h"
@@ -146,6 +154,36 @@ class JsonEmitReporter : public benchmark::ConsoleReporter {
     root.set("bench", "perf_phy");
     root.set("schema_version", 1);
     root.set("stages", runner::Json::Array(stages_));
+    // Per-stage pipeline throughput from the obs registry: every
+    // instrumented stage with a `<stage>.ns` histogram and a matching
+    // `<stage>.items` counter. Appended after the legacy fields so
+    // existing consumers of bench/schema_version/stages see identical
+    // bytes; absent entirely in SILENCE_OBS=OFF builds (empty snapshot).
+    const obs::MetricsSnapshot snapshot = obs::Registry::global().snapshot();
+    runner::Json throughput = runner::Json::object();
+    bool any = false;
+    for (const auto& h : snapshot.histograms) {
+      constexpr std::string_view kNsSuffix = ".ns";
+      if (h.name.size() <= kNsSuffix.size() ||
+          h.name.compare(h.name.size() - kNsSuffix.size(), kNsSuffix.size(),
+                         kNsSuffix) != 0) {
+        continue;
+      }
+      const std::string stage =
+          h.name.substr(0, h.name.size() - kNsSuffix.size());
+      const auto* items = snapshot.counter(stage + ".items");
+      if (items == nullptr || h.sum == 0) continue;
+      runner::Json entry = runner::Json::object();
+      entry.set("ns", static_cast<std::int64_t>(h.sum));
+      entry.set("calls", static_cast<std::int64_t>(h.count));
+      entry.set("items", static_cast<std::int64_t>(items->value));
+      entry.set("mitems_per_second",
+                static_cast<double>(items->value) * 1000.0 /
+                    static_cast<double>(h.sum));
+      throughput.set(stage, std::move(entry));
+      any = true;
+    }
+    if (any) root.set("stage_throughput", std::move(throughput));
     runner::write_json_file(path, root);
     std::printf("perf baseline written to %s\n", path.c_str());
   }
@@ -158,11 +196,30 @@ class JsonEmitReporter : public benchmark::ConsoleReporter {
 }  // namespace silence
 
 int main(int argc, char** argv) {
+  // Peel off our own --trace flag before google-benchmark sees argv.
+  std::string trace_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[i + 1];
+      for (int j = i; j + 2 < argc; ++j) argv[j] = argv[j + 2];
+      argc -= 2;
+      break;
+    }
+  }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+#if SILENCE_OBS_ON
+  if (!trace_path.empty()) silence::obs::Tracer::global().start();
+#endif
   silence::JsonEmitReporter reporter;
   benchmark::RunSpecifiedBenchmarks(&reporter);
   reporter.write_json("results/BENCH_phy.json");
+#if SILENCE_OBS_ON
+  if (!trace_path.empty()) {
+    silence::obs::Tracer::global().write(trace_path);
+    std::printf("trace written to %s\n", trace_path.c_str());
+  }
+#endif
   benchmark::Shutdown();
   return 0;
 }

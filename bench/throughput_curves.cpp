@@ -162,5 +162,6 @@ int main(int argc, char** argv) {
   if (args.json) {
     runner::JsonSink(args.json_path).write(report);
   }
+  bench::finish_observability(args);
   return 0;
 }

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "common/db.h"
+#include "obs/obs.h"
 
 namespace silence {
 
@@ -118,8 +119,11 @@ CxVec FadingChannel::apply_multipath(std::span<const Cx> samples) const {
 
 CxVec FadingChannel::transmit(std::span<const Cx> samples, double noise_var,
                               Rng& noise_rng) const {
+  OBS_SPAN("chan.apply");
+  OBS_COUNT("chan.packets");
   CxVec out = apply_multipath(samples);
   for (auto& x : out) x += noise_rng.complex_gaussian(noise_var);
+  OBS_COUNT_N("chan.apply.items", out.size());
   return out;
 }
 

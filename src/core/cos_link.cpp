@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "core/interval_code.h"
+#include "obs/obs.h"
 
 namespace silence {
 
@@ -12,6 +13,8 @@ CosTxPacket cos_transmit(std::span<const std::uint8_t> psdu,
   if (config.mcs == nullptr) {
     throw std::invalid_argument("cos_transmit: no MCS configured");
   }
+  OBS_SPAN("cos.tx");
+  OBS_COUNT("cos.tx.packets");
   CosTxPacket packet;
   packet.frame = build_frame(psdu, *config.mcs, config.scrambler_seed);
   if (!config.control_subcarriers.empty() && !control_bits.empty()) {
@@ -39,6 +42,8 @@ std::vector<CxVec> reconstruct_ideal_grid(const DecodeResult& decode,
 CosRxPacket cos_receive(std::span<const Cx> samples,
                         const CosRxConfig& config,
                         std::optional<Modulation> next_mod) {
+  OBS_SPAN("cos.rx");
+  OBS_COUNT("cos.rx.packets");
   CosRxPacket packet;
   packet.fe = receiver_front_end(samples);
   if (!packet.fe.signal) return packet;
@@ -54,10 +59,14 @@ CosRxPacket cos_receive(std::span<const Cx> samples,
       detect_silences(packet.fe, config.control_subcarriers, detector);
 
   // Control message: intervals between detected silences.
-  const std::vector<int> intervals =
-      mask_to_intervals(packet.detected_mask, config.control_subcarriers);
-  packet.control_bits =
-      intervals_to_bits_tolerant(intervals, config.bits_per_interval);
+  {
+    OBS_SPAN("cos.rx.intervals");
+    const std::vector<int> intervals =
+        mask_to_intervals(packet.detected_mask, config.control_subcarriers);
+    packet.control_bits =
+        intervals_to_bits_tolerant(intervals, config.bits_per_interval);
+  }
+  OBS_COUNT_N("cos.control_bits_recovered", packet.control_bits.size());
 
   // Data decode with EVD over the detected mask.
   packet.decode =
@@ -67,6 +76,8 @@ CosRxPacket cos_receive(std::span<const Cx> samples,
   packet.psdu = packet.decode.psdu;
 
   if (packet.data_ok) {
+    OBS_COUNT("cos.rx.data_ok");
+    OBS_SPAN("cos.rx.evm");
     const std::vector<CxVec> ideal =
         reconstruct_ideal_grid(packet.decode, mcs);
     packet.evm = per_subcarrier_evm(packet.decode.eq_data, ideal,

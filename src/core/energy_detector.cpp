@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/obs.h"
 #include "phy/modulation.h"
 #include "phy/ofdm.h"
 
@@ -46,6 +47,7 @@ double detection_threshold(const DetectorConfig& config,
 SilenceMask detect_silences(const FrontEndResult& fe,
                             std::span<const int> control_subcarriers,
                             const DetectorConfig& config) {
+  OBS_SPAN("cos.detect");
   const auto bins = data_subcarrier_bins();
   SilenceMask mask(fe.data_bins.size(),
                    std::vector<std::uint8_t>(kNumDataSubcarriers, 0));
@@ -58,17 +60,25 @@ SilenceMask detect_silences(const FrontEndResult& fe,
     thresholds.push_back(
         detection_threshold(config, fe.noise_var, fe.channel, sc));
   }
+  [[maybe_unused]] std::uint64_t detected = 0;
   for (std::size_t s = 0; s < fe.data_bins.size(); ++s) {
     for (std::size_t c = 0; c < control_subcarriers.size(); ++c) {
       const int sc = control_subcarriers[c];
       const auto bin = static_cast<std::size_t>(
           bins[static_cast<std::size_t>(sc)]);
       const double e = std::norm(fe.data_bins[s][bin]);
+      // Detection statistic in units of 1/256 of the threshold: scores
+      // below 256 are silences. The fixed-point scaling keeps histogram
+      // accumulation integral (deterministic merge at any thread count).
+      OBS_HIST("cos.detector.score_x256",
+               std::min(e / thresholds[c] * 256.0, 1e12));
       if (e < thresholds[c]) {
         mask[s][static_cast<std::size_t>(sc)] = 1;
+        ++detected;
       }
     }
   }
+  OBS_COUNT_N("cos.silences_detected", detected);
   return mask;
 }
 

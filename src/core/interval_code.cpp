@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/obs.h"
+
 namespace silence {
 namespace {
 
@@ -27,6 +29,7 @@ std::vector<int> bits_to_intervals(std::span<const std::uint8_t> bits,
     intervals.push_back(
         static_cast<int>(bits_to_uint(bits.subspan(i, k))));
   }
+  OBS_COUNT_N("cos.intervals.encoded", intervals.size());
   return intervals;
 }
 
@@ -56,6 +59,8 @@ Bits intervals_to_bits_tolerant(std::span<const int> intervals,
          intervals[valid] <= max_value) {
     ++valid;
   }
+  OBS_COUNT_N("cos.intervals.decoded", valid);
+  OBS_COUNT_N("cos.intervals.rejected", intervals.size() - valid);
   return intervals_to_bits(intervals.first(valid), bits_per_interval);
 }
 

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "core/interval_code.h"
+#include "obs/obs.h"
 #include "phy/params.h"
 
 namespace silence {
@@ -71,6 +72,9 @@ SilencePlan plan_silences(std::span<const std::uint8_t> control_bits,
     position += static_cast<std::size_t>(interval) + 1;
     place(position);
   }
+  OBS_COUNT("cos.plans");
+  OBS_COUNT_N("cos.silences_planned", plan.silence_count);
+  OBS_COUNT_N("cos.control_bits_sent", plan.bits_sent);
   return plan;
 }
 

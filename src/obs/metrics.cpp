@@ -1,0 +1,285 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cstdio>
+#include <stdexcept>
+
+namespace silence::obs {
+namespace {
+
+std::uint32_t intern(std::vector<std::string>& names, std::string_view name,
+                     std::size_t capacity, const char* kind) {
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (names[i] == name) return static_cast<std::uint32_t>(i);
+  }
+  if (names.size() >= capacity) {
+    throw std::length_error(std::string("obs: too many ") + kind +
+                            " metrics (cap " + std::to_string(capacity) +
+                            ")");
+  }
+  names.emplace_back(name);
+  return static_cast<std::uint32_t>(names.size() - 1);
+}
+
+// Single-writer cells: plain load+store beats fetch_add (no lock prefix)
+// and is still tear-free for concurrent snapshot readers.
+inline void cell_add(std::atomic<std::uint64_t>& cell, std::uint64_t delta) {
+  cell.store(cell.load(std::memory_order_relaxed) + delta,
+             std::memory_order_relaxed);
+}
+
+void append_escaped(std::string& out, std::string_view s) {
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+}  // namespace
+
+std::size_t histogram_bucket(std::uint64_t value) {
+  if (value == 0) return 0;
+  return std::min<std::size_t>(std::bit_width(value), kHistogramBuckets - 1);
+}
+
+std::uint64_t histogram_bucket_floor(std::size_t index) {
+  if (index == 0) return 0;
+  return std::uint64_t{1} << (index - 1);
+}
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+const CounterSnapshot* MetricsSnapshot::counter(std::string_view name) const {
+  for (const auto& c : counters) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+const GaugeSnapshot* MetricsSnapshot::gauge(std::string_view name) const {
+  for (const auto& g : gauges) {
+    if (g.name == name) return &g;
+  }
+  return nullptr;
+}
+
+const HistogramSnapshot* MetricsSnapshot::histogram(
+    std::string_view name) const {
+  for (const auto& h : histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+Registry& Registry::global() {
+  static Registry* instance = new Registry();  // intentionally leaked:
+  // instrumented code may run during static destruction of other TUs.
+  return *instance;
+}
+
+// Ties a pooled block to the lifetime of one thread: acquired on the
+// thread's first recording, returned to the free list when it exits so a
+// later thread can continue accumulating into the same cells.
+struct ThreadBlockLease {
+  Registry* registry = nullptr;
+  Registry::ThreadBlock* block = nullptr;
+
+  Registry::ThreadBlock& acquire(Registry& reg) {
+    if (block == nullptr) {
+      registry = &reg;
+      std::lock_guard lock(reg.mutex_);
+      if (!reg.free_blocks_.empty()) {
+        block = reg.free_blocks_.back();
+        reg.free_blocks_.pop_back();
+      } else {
+        block = &reg.blocks_.emplace_back();
+      }
+    }
+    return *block;
+  }
+
+  ~ThreadBlockLease() {
+    if (block != nullptr) {
+      std::lock_guard lock(registry->mutex_);
+      registry->free_blocks_.push_back(block);
+    }
+  }
+};
+
+Registry::ThreadBlock& Registry::local_block() {
+  thread_local ThreadBlockLease lease;
+  return lease.acquire(*this);
+}
+
+std::uint32_t Registry::counter_id(std::string_view name) {
+  std::lock_guard lock(mutex_);
+  return intern(counter_names_, name, kMaxCounters, "counter");
+}
+
+std::uint32_t Registry::gauge_id(std::string_view name) {
+  std::lock_guard lock(mutex_);
+  return intern(gauge_names_, name, kMaxGauges, "gauge");
+}
+
+std::uint32_t Registry::histogram_id(std::string_view name) {
+  std::lock_guard lock(mutex_);
+  return intern(histogram_names_, name, kMaxHistograms, "histogram");
+}
+
+void Registry::counter_add(std::uint32_t id, std::uint64_t delta) {
+  cell_add(local_block().counters[id], delta);
+}
+
+void Registry::gauge_set(std::uint32_t id, std::int64_t value) {
+  gauges_[id].store(value, std::memory_order_relaxed);
+  gauge_set_[id].store(true, std::memory_order_relaxed);
+}
+
+void Registry::histogram_record(std::uint32_t id, std::uint64_t value) {
+  HistogramCells& h = local_block().histograms[id];
+  const std::uint64_t count = h.count.load(std::memory_order_relaxed);
+  if (count == 0 || value < h.min.load(std::memory_order_relaxed)) {
+    h.min.store(value, std::memory_order_relaxed);
+  }
+  if (count == 0 || value > h.max.load(std::memory_order_relaxed)) {
+    h.max.store(value, std::memory_order_relaxed);
+  }
+  h.count.store(count + 1, std::memory_order_relaxed);
+  cell_add(h.sum, value);
+  cell_add(h.buckets[histogram_bucket(value)], 1);
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  std::lock_guard lock(mutex_);
+  MetricsSnapshot snap;
+
+  snap.counters.resize(counter_names_.size());
+  for (std::size_t i = 0; i < counter_names_.size(); ++i) {
+    snap.counters[i].name = counter_names_[i];
+  }
+  snap.histograms.resize(histogram_names_.size());
+  for (std::size_t i = 0; i < histogram_names_.size(); ++i) {
+    snap.histograms[i].name = histogram_names_[i];
+    snap.histograms[i].buckets.assign(kHistogramBuckets, 0);
+  }
+  for (const ThreadBlock& block : blocks_) {
+    for (std::size_t i = 0; i < snap.counters.size(); ++i) {
+      snap.counters[i].value +=
+          block.counters[i].load(std::memory_order_relaxed);
+    }
+    for (std::size_t i = 0; i < snap.histograms.size(); ++i) {
+      const HistogramCells& cells = block.histograms[i];
+      const std::uint64_t count = cells.count.load(std::memory_order_relaxed);
+      if (count == 0) continue;
+      HistogramSnapshot& h = snap.histograms[i];
+      const std::uint64_t mn = cells.min.load(std::memory_order_relaxed);
+      const std::uint64_t mx = cells.max.load(std::memory_order_relaxed);
+      if (h.count == 0 || mn < h.min) h.min = mn;
+      if (h.count == 0 || mx > h.max) h.max = mx;
+      h.count += count;
+      h.sum += cells.sum.load(std::memory_order_relaxed);
+      for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+        h.buckets[b] += cells.buckets[b].load(std::memory_order_relaxed);
+      }
+    }
+  }
+  for (std::size_t i = 0; i < gauge_names_.size(); ++i) {
+    if (!gauge_set_[i].load(std::memory_order_relaxed)) continue;
+    snap.gauges.push_back(
+        {gauge_names_[i], gauges_[i].load(std::memory_order_relaxed)});
+  }
+
+  const auto by_name = [](const auto& a, const auto& b) {
+    return a.name < b.name;
+  };
+  std::sort(snap.counters.begin(), snap.counters.end(), by_name);
+  std::sort(snap.gauges.begin(), snap.gauges.end(), by_name);
+  std::sort(snap.histograms.begin(), snap.histograms.end(), by_name);
+  return snap;
+}
+
+void Registry::reset() {
+  std::lock_guard lock(mutex_);
+  for (ThreadBlock& block : blocks_) {
+    for (auto& c : block.counters) c.store(0, std::memory_order_relaxed);
+    for (auto& h : block.histograms) {
+      h.count.store(0, std::memory_order_relaxed);
+      h.sum.store(0, std::memory_order_relaxed);
+      h.min.store(0, std::memory_order_relaxed);
+      h.max.store(0, std::memory_order_relaxed);
+      for (auto& b : h.buckets) b.store(0, std::memory_order_relaxed);
+    }
+  }
+  for (auto& g : gauges_) g.store(0, std::memory_order_relaxed);
+  for (auto& s : gauge_set_) s.store(false, std::memory_order_relaxed);
+}
+
+std::string metrics_to_json(const MetricsSnapshot& snapshot) {
+  std::string out = "{\n    \"counters\": {";
+  for (std::size_t i = 0; i < snapshot.counters.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    out += "      ";
+    append_escaped(out, snapshot.counters[i].name);
+    out += ": " + std::to_string(snapshot.counters[i].value);
+  }
+  out += snapshot.counters.empty() ? "},\n" : "\n    },\n";
+  out += "    \"gauges\": {";
+  for (std::size_t i = 0; i < snapshot.gauges.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    out += "      ";
+    append_escaped(out, snapshot.gauges[i].name);
+    out += ": " + std::to_string(snapshot.gauges[i].value);
+  }
+  out += snapshot.gauges.empty() ? "},\n" : "\n    },\n";
+  out += "    \"histograms\": {";
+  for (std::size_t i = 0; i < snapshot.histograms.size(); ++i) {
+    const HistogramSnapshot& h = snapshot.histograms[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "      ";
+    append_escaped(out, h.name);
+    out += ": {\"count\": " + std::to_string(h.count);
+    out += ", \"sum\": " + std::to_string(h.sum);
+    out += ", \"min\": " + std::to_string(h.min);
+    out += ", \"max\": " + std::to_string(h.max);
+    // Trailing empty buckets are elided; floors make the file
+    // self-describing.
+    std::size_t last = h.buckets.size();
+    while (last > 0 && h.buckets[last - 1] == 0) --last;
+    out += ", \"bucket_floors\": [";
+    for (std::size_t b = 0; b < last; ++b) {
+      if (b > 0) out += ", ";
+      out += std::to_string(histogram_bucket_floor(b));
+    }
+    out += "], \"buckets\": [";
+    for (std::size_t b = 0; b < last; ++b) {
+      if (b > 0) out += ", ";
+      out += std::to_string(h.buckets[b]);
+    }
+    out += "]}";
+  }
+  out += snapshot.histograms.empty() ? "}\n  }" : "\n    }\n  }";
+  return out;
+}
+
+}  // namespace silence::obs

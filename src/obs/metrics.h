@@ -1,0 +1,150 @@
+// Low-overhead metrics registry: named counters, gauges and fixed-bucket
+// histograms for the whole pipeline (phy.tx.*, phy.rx.*, cos.*, chan.*,
+// sim.*, runner.*).
+//
+// Hot-path writes go to a per-thread block of relaxed atomics — a block
+// is owned by exactly one live thread at a time (single writer), so an
+// increment is a load+store pair on an uncontended cache line, with no
+// locks and no RMW contention. Blocks are pooled: a thread picks a free
+// block on first use and returns it on exit, so totals survive thread
+// death and memory stays bounded at O(peak concurrent threads).
+//
+// Merging is deterministic by construction: every accumulated quantity
+// is an unsigned integer (counts, sums of integer values, bucket tallies,
+// min/max), so summing blocks is order-independent and a snapshot of the
+// same recorded values is identical at any thread count. Snapshots list
+// metrics sorted by name, independent of registration order.
+//
+// Instrumentation sites should not call this API directly — use the
+// macros in obs/obs.h, which compile to no-ops when SILENCE_OBS=OFF.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace silence::obs {
+
+// Hard caps keep thread blocks fixed-size (no hot-path growth/locking).
+inline constexpr std::size_t kMaxCounters = 256;
+inline constexpr std::size_t kMaxGauges = 64;
+inline constexpr std::size_t kMaxHistograms = 128;
+
+// Power-of-two buckets: bucket 0 counts value 0, bucket b >= 1 counts
+// values with bit_width b, i.e. [2^(b-1), 2^b); the last bucket is
+// open-ended. 40 buckets cover every duration up to ~2^39 ns (~9 min).
+inline constexpr std::size_t kHistogramBuckets = 40;
+
+// Bucket index for a recorded value (exposed for tests).
+std::size_t histogram_bucket(std::uint64_t value);
+
+// Inclusive lower bound of bucket `index`.
+std::uint64_t histogram_bucket_floor(std::size_t index);
+
+// Monotonic wall-time in nanoseconds (steady_clock).
+std::uint64_t now_ns();
+
+struct CounterSnapshot {
+  std::string name;
+  std::uint64_t value = 0;
+};
+
+struct GaugeSnapshot {
+  std::string name;
+  std::int64_t value = 0;
+};
+
+struct HistogramSnapshot {
+  std::string name;
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t min = 0;  // meaningful only when count > 0
+  std::uint64_t max = 0;
+  std::vector<std::uint64_t> buckets;  // kHistogramBuckets entries
+
+  double mean() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+};
+
+struct MetricsSnapshot {
+  // Each vector is sorted by metric name.
+  std::vector<CounterSnapshot> counters;
+  std::vector<GaugeSnapshot> gauges;
+  std::vector<HistogramSnapshot> histograms;
+
+  bool empty() const {
+    return counters.empty() && gauges.empty() && histograms.empty();
+  }
+  const CounterSnapshot* counter(std::string_view name) const;
+  const GaugeSnapshot* gauge(std::string_view name) const;
+  const HistogramSnapshot* histogram(std::string_view name) const;
+};
+
+// Renders a snapshot as a JSON object string (counters/gauges/histograms
+// keyed by name) — the form embedded into trace files. Sorted input makes
+// the output deterministic.
+std::string metrics_to_json(const MetricsSnapshot& snapshot);
+
+class Registry {
+ public:
+  // The process-wide registry all instrumentation macros record into.
+  static Registry& global();
+
+  // Interns `name`, returning a dense id. Idempotent; throws
+  // std::length_error past the fixed capacity. Called once per site
+  // (function-local static), never per event.
+  std::uint32_t counter_id(std::string_view name);
+  std::uint32_t gauge_id(std::string_view name);
+  std::uint32_t histogram_id(std::string_view name);
+
+  // Hot-path recording. Wait-free: one relaxed load+store per cell.
+  void counter_add(std::uint32_t id, std::uint64_t delta);
+  void gauge_set(std::uint32_t id, std::int64_t value);
+  void histogram_record(std::uint32_t id, std::uint64_t value);
+
+  // Deterministic merged view of every block, sorted by name. Safe to
+  // call while other threads record (their in-flight deltas may or may
+  // not be included, but nothing tears).
+  MetricsSnapshot snapshot() const;
+
+  // Zeroes all recorded values; registered names and ids survive. Not
+  // meant to run concurrently with recording (counts written during a
+  // reset may be lost, though nothing races in the UB sense).
+  void reset();
+
+ private:
+  struct HistogramCells {
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<std::uint64_t> sum{0};
+    std::atomic<std::uint64_t> min{0};
+    std::atomic<std::uint64_t> max{0};
+    std::array<std::atomic<std::uint64_t>, kHistogramBuckets> buckets{};
+  };
+  struct ThreadBlock {
+    std::array<std::atomic<std::uint64_t>, kMaxCounters> counters{};
+    std::array<HistogramCells, kMaxHistograms> histograms{};
+  };
+
+  Registry() = default;
+  ThreadBlock& local_block();
+  friend struct ThreadBlockLease;
+
+  mutable std::mutex mutex_;
+  std::vector<std::string> counter_names_;
+  std::vector<std::string> gauge_names_;
+  std::vector<std::string> histogram_names_;
+  std::deque<ThreadBlock> blocks_;       // stable addresses, never shrinks
+  std::vector<ThreadBlock*> free_blocks_;  // returned by dead threads
+  std::array<std::atomic<std::int64_t>, kMaxGauges> gauges_{};
+  std::array<std::atomic<bool>, kMaxGauges> gauge_set_{};
+};
+
+}  // namespace silence::obs

@@ -1,0 +1,114 @@
+// Instrumentation macros — the only obs API the pipeline code touches.
+//
+//   OBS_COUNT("phy.rx.crc_ok");              // counter += 1
+//   OBS_COUNT_N("cos.erasures_injected", n); // counter += n
+//   OBS_HIST("cos.detector.score_x256", v);  // histogram record (uint64)
+//   OBS_GAUGE_SET("runner.threads", n);      // gauge = n
+//   OBS_SPAN("phy.rx.viterbi");              // RAII: histogram
+//                                            // "phy.rx.viterbi.ns" of the
+//                                            // scope's duration + a trace
+//                                            // span when tracing is active
+//
+// Metric names must be string literals (OBS_SPAN concatenates ".ns" at
+// compile time) and follow the dotted scheme documented in
+// docs/ARCHITECTURE.md: phy.tx.*, phy.rx.*, cos.*, chan.*, sim.*,
+// runner.*. Name interning happens once per site through a function-local
+// static; the per-event cost is a couple of relaxed atomic ops.
+//
+// Building with -DSILENCE_OBS=OFF defines SILENCE_OBS_DISABLED and every
+// macro compiles to nothing — zero obs symbols in the hot path. A single
+// translation unit can force the same (compile tests) by defining
+// SILENCE_OBS_FORCE_OFF before including this header.
+#pragma once
+
+#if defined(SILENCE_OBS_DISABLED) || defined(SILENCE_OBS_FORCE_OFF)
+#define SILENCE_OBS_ON 0
+#else
+#define SILENCE_OBS_ON 1
+#endif
+
+#define OBS_CAT2(a, b) a##b
+#define OBS_CAT(a, b) OBS_CAT2(a, b)
+
+#if SILENCE_OBS_ON
+
+#include <cstdint>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace silence::obs {
+
+// RAII body of OBS_SPAN: opens the trace span eagerly (so B events carry
+// the true start time) and records the duration histogram on exit.
+class SpanTimer {
+ public:
+  SpanTimer(std::uint32_t histogram_id, const char* name)
+      : histogram_id_(histogram_id),
+        name_(name),
+        traced_(Tracer::global().active()) {
+    if (traced_) Tracer::global().span_begin(name);
+    start_ns_ = now_ns();
+  }
+  ~SpanTimer() {
+    Registry::global().histogram_record(histogram_id_, now_ns() - start_ns_);
+    if (traced_) Tracer::global().span_end(name_);
+  }
+  SpanTimer(const SpanTimer&) = delete;
+  SpanTimer& operator=(const SpanTimer&) = delete;
+
+ private:
+  std::uint32_t histogram_id_;
+  const char* name_;
+  bool traced_;
+  std::uint64_t start_ns_ = 0;
+};
+
+}  // namespace silence::obs
+
+#define OBS_COUNT_N(name, n)                                           \
+  do {                                                                 \
+    static const std::uint32_t OBS_CAT(obs_cid_, __LINE__) =           \
+        ::silence::obs::Registry::global().counter_id(name);           \
+    ::silence::obs::Registry::global().counter_add(                    \
+        OBS_CAT(obs_cid_, __LINE__), static_cast<std::uint64_t>(n));   \
+  } while (0)
+
+#define OBS_COUNT(name) OBS_COUNT_N(name, 1)
+
+#define OBS_HIST(name, value)                                          \
+  do {                                                                 \
+    static const std::uint32_t OBS_CAT(obs_hid_, __LINE__) =           \
+        ::silence::obs::Registry::global().histogram_id(name);         \
+    ::silence::obs::Registry::global().histogram_record(               \
+        OBS_CAT(obs_hid_, __LINE__),                                   \
+        static_cast<std::uint64_t>(value));                            \
+  } while (0)
+
+#define OBS_GAUGE_SET(name, value)                                     \
+  do {                                                                 \
+    static const std::uint32_t OBS_CAT(obs_gid_, __LINE__) =           \
+        ::silence::obs::Registry::global().gauge_id(name);             \
+    ::silence::obs::Registry::global().gauge_set(                      \
+        OBS_CAT(obs_gid_, __LINE__),                                   \
+        static_cast<std::int64_t>(value));                             \
+  } while (0)
+
+// Declares a scoped timer; `name` must be a string literal.
+#define OBS_SPAN(name)                                                 \
+  static const std::uint32_t OBS_CAT(obs_sid_, __LINE__) =             \
+      ::silence::obs::Registry::global().histogram_id(name ".ns");     \
+  const ::silence::obs::SpanTimer OBS_CAT(obs_span_, __LINE__)(        \
+      OBS_CAT(obs_sid_, __LINE__), name)
+
+#else  // SILENCE_OBS_ON
+
+// `(void)sizeof(x)` keeps obs-only operands "used" without evaluating
+// them, so OFF builds stay warning-clean at -Wall -Wextra.
+#define OBS_COUNT_N(name, n) do { (void)sizeof(n); } while (0)
+#define OBS_COUNT(name) do { } while (0)
+#define OBS_HIST(name, value) do { (void)sizeof(value); } while (0)
+#define OBS_GAUGE_SET(name, value) do { (void)sizeof(value); } while (0)
+#define OBS_SPAN(name) do { } while (0)
+
+#endif  // SILENCE_OBS_ON

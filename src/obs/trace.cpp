@@ -1,0 +1,159 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+#include "obs/metrics.h"
+
+namespace silence::obs {
+namespace {
+
+// Stable per-thread track id, assigned on a thread's first event.
+std::uint32_t thread_track_id(std::atomic<std::uint32_t>& next) {
+  thread_local std::uint32_t tid = 0;
+  if (tid == 0) tid = next.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+// Chrome traces use microsecond timestamps; keep ns resolution as a
+// fixed three-decimal fraction (deterministic, locale-free).
+void append_ts_us(std::string& out, std::uint64_t ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%llu.%03llu",
+                static_cast<unsigned long long>(ns / 1000),
+                static_cast<unsigned long long>(ns % 1000));
+  out += buf;
+}
+
+}  // namespace
+
+Tracer& Tracer::global() {
+  static Tracer* instance = new Tracer();  // leaked, same as the Registry
+  return *instance;
+}
+
+void Tracer::start() {
+  std::lock_guard lock(mutex_);
+  events_.clear();
+  dropped_ = 0;
+  t0_ = now_ns();
+  active_.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::stop() { active_.store(false, std::memory_order_relaxed); }
+
+void Tracer::push(char phase, const char* name) {
+  const std::uint64_t ts = now_ns() - t0_;
+  const std::uint32_t tid = thread_track_id(next_tid_);
+  std::lock_guard lock(mutex_);
+  if (events_.size() >= kMaxTraceEvents) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back({name, ts, tid, phase});
+}
+
+void Tracer::span_begin(const char* name) {
+  if (active()) push('B', name);
+}
+
+void Tracer::span_end(const char* name) {
+  if (active()) push('E', name);
+}
+
+std::size_t Tracer::event_count() const {
+  std::lock_guard lock(mutex_);
+  return events_.size();
+}
+
+std::size_t Tracer::dropped() const {
+  std::lock_guard lock(mutex_);
+  return dropped_;
+}
+
+std::string Tracer::to_json() {
+  stop();
+  std::vector<Event> events;
+  std::size_t dropped = 0;
+  {
+    std::lock_guard lock(mutex_);
+    events = events_;
+    dropped = dropped_;
+  }
+  // Buffer order is real-time lock-acquisition order, so a stable sort
+  // on ts yields a globally monotonic file that still preserves each
+  // thread's B-before-E ordering at equal timestamps.
+  std::stable_sort(events.begin(), events.end(),
+                   [](const Event& a, const Event& b) { return a.ts < b.ts; });
+
+  // Close any span left open (e.g. tracing stopped mid-packet): walk
+  // per-thread stacks and append synthetic E events at the last seen
+  // timestamp so every B has a matching E.
+  std::vector<std::pair<std::uint32_t, std::vector<const char*>>> stacks;
+  const auto stack_for = [&](std::uint32_t tid) -> std::vector<const char*>& {
+    for (auto& [id, stack] : stacks) {
+      if (id == tid) return stack;
+    }
+    return stacks.emplace_back(tid, std::vector<const char*>{}).second;
+  };
+  std::uint64_t last_ts = 0;
+  std::vector<Event> cleaned;
+  cleaned.reserve(events.size());
+  for (const Event& e : events) {
+    auto& stack = stack_for(e.tid);
+    if (e.phase == 'E') {
+      if (stack.empty()) continue;  // stray end: drop
+      stack.pop_back();
+    } else {
+      stack.push_back(e.name);
+    }
+    last_ts = std::max(last_ts, e.ts);
+    cleaned.push_back(e);
+  }
+  for (auto& [tid, stack] : stacks) {
+    while (!stack.empty()) {
+      cleaned.push_back({stack.back(), last_ts, tid, 'E'});
+      stack.pop_back();
+    }
+  }
+
+  std::string out = "{\n  \"displayTimeUnit\": \"ns\",\n";
+  if (dropped > 0) {
+    out += "  \"droppedEvents\": " + std::to_string(dropped) + ",\n";
+  }
+  out += "  \"traceEvents\": [";
+  for (std::size_t i = 0; i < cleaned.size(); ++i) {
+    const Event& e = cleaned[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"name\": \"";
+    out += e.name;  // site names are controlled literals, no escaping needed
+    out += "\", \"cat\": \"cos\", \"ph\": \"";
+    out += e.phase;
+    out += "\", \"pid\": 1, \"tid\": " + std::to_string(e.tid) + ", \"ts\": ";
+    append_ts_us(out, e.ts);
+    out += "}";
+  }
+  out += cleaned.empty() ? "],\n" : "\n  ],\n";
+  out += "  \"metrics\": ";
+  out += metrics_to_json(Registry::global().snapshot());
+  out += "\n}\n";
+  return out;
+}
+
+void Tracer::write(const std::string& path) {
+  const std::string json = to_json();
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) {
+    std::filesystem::create_directories(p.parent_path());
+  }
+  std::ofstream file(p, std::ios::binary | std::ios::trunc);
+  if (!file) {
+    throw std::runtime_error("obs: cannot write trace file " + path);
+  }
+  file << json;
+}
+
+}  // namespace silence::obs

@@ -1,0 +1,74 @@
+// Span-based tracer emitting Chrome trace-event JSON (chrome://tracing /
+// Perfetto "JSON trace" format): every span becomes a matched B/E pair
+// on its thread's track, and the current metrics snapshot is embedded
+// under a top-level "metrics" key so one file carries both views.
+//
+// The tracer is off by default; when inactive a span costs one relaxed
+// atomic load. When active, begin/end events append to a bounded central
+// buffer under a mutex — tracing is a diagnostic mode, not a steady-state
+// cost, and the mutex keeps the buffer trivially race-free (validated
+// under TSan). Events past the cap are counted as dropped rather than
+// silently lost.
+//
+// Use via the OBS_SPAN macro (obs/obs.h); the Tracer API itself is for
+// the runtime plumbing (bench --trace) and tests.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace silence::obs {
+
+// Buffer cap: ~24 MB of events before dropping.
+inline constexpr std::size_t kMaxTraceEvents = std::size_t{1} << 20;
+
+class Tracer {
+ public:
+  static Tracer& global();
+
+  // Clears the buffer and starts capturing; timestamps are relative to
+  // this call.
+  void start();
+  void stop();
+  bool active() const { return active_.load(std::memory_order_relaxed); }
+
+  // Record a span boundary on the calling thread's track. `name` must
+  // have static storage duration (instrumentation sites pass literals).
+  void span_begin(const char* name);
+  void span_end(const char* name);
+
+  std::size_t event_count() const;
+  std::size_t dropped() const;
+
+  // Stops capturing and renders the trace: events sorted by timestamp
+  // (ties keep buffer order, so per-thread nesting is preserved), spans
+  // still open at render time closed with synthetic E events, metrics
+  // snapshot embedded.
+  std::string to_json();
+
+  // to_json() written to `path` (parent directories created).
+  void write(const std::string& path);
+
+ private:
+  struct Event {
+    const char* name;
+    std::uint64_t ts;  // ns since start()
+    std::uint32_t tid;
+    char phase;  // 'B' or 'E'
+  };
+
+  Tracer() = default;
+  void push(char phase, const char* name);
+
+  std::atomic<bool> active_{false};
+  std::uint64_t t0_ = 0;
+  mutable std::mutex mutex_;
+  std::vector<Event> events_;
+  std::size_t dropped_ = 0;
+  std::atomic<std::uint32_t> next_tid_{1};
+};
+
+}  // namespace silence::obs

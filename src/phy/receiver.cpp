@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "common/crc32.h"
+#include "obs/obs.h"
 #include "phy/convolutional.h"
 #include "phy/interleaver.h"
 #include "phy/modulation.h"
@@ -72,22 +73,31 @@ FrontEndResult receiver_front_end(std::span<const Cx> raw_samples) {
       static_cast<std::size_t>(kPreambleSamples + kSymbolSamples)) {
     return fe;
   }
+  OBS_SPAN("phy.rx.frontend");
+  OBS_COUNT("phy.rx.packets");
   fe.preamble_ok = true;
 
   // Carrier synchronization: coarse CFO from the STF periodicity, then a
   // fine pass on the (coarse-corrected) LTF. On an offset-free input the
   // estimates are noise-level and the correction is a no-op.
   CxVec corrected(raw_samples.begin(), raw_samples.end());
-  const double coarse =
-      estimate_cfo_coarse(std::span(corrected).first(kStfSamples));
-  correct_cfo(corrected, coarse);
-  const double fine = estimate_cfo_fine(
-      std::span(corrected).subspan(kStfSamples, kLtfSamples));
-  correct_cfo(corrected, fine);
-  fe.cfo_hz = coarse + fine;
+  {
+    OBS_SPAN("phy.rx.sync");
+    const double coarse =
+        estimate_cfo_coarse(std::span(corrected).first(kStfSamples));
+    correct_cfo(corrected, coarse);
+    const double fine = estimate_cfo_fine(
+        std::span(corrected).subspan(kStfSamples, kLtfSamples));
+    correct_cfo(corrected, fine);
+    fe.cfo_hz = coarse + fine;
+    OBS_COUNT_N("phy.rx.sync.items", corrected.size());
+  }
   const std::span<const Cx> samples(corrected);
 
-  fe.channel = estimate_channel(samples.subspan(kStfSamples, kLtfSamples));
+  {
+    OBS_SPAN("phy.rx.channel_est");
+    fe.channel = estimate_channel(samples.subspan(kStfSamples, kLtfSamples));
+  }
 
   // First-pass noise estimate from the SIGNAL symbol's pilots, refined
   // below by averaging over the data symbols.
@@ -98,7 +108,10 @@ FrontEndResult receiver_front_end(std::span<const Cx> raw_samples) {
   int noise_count = 1;
   fe.noise_var = noise_sum;
 
-  fe.signal = decode_signal(signal_samples, fe.channel, fe.noise_var);
+  {
+    OBS_SPAN("phy.rx.signal");
+    fe.signal = decode_signal(signal_samples, fe.channel, fe.noise_var);
+  }
   if (!fe.signal) return fe;
 
   const int n_sym =
@@ -113,17 +126,24 @@ FrontEndResult receiver_front_end(std::span<const Cx> raw_samples) {
     return fe;
   }
 
-  fe.data_bins.reserve(static_cast<std::size_t>(n_sym));
-  for (int s = 0; s < n_sym; ++s) {
-    const auto offset = static_cast<std::size_t>(kPreambleSamples) +
-                        static_cast<std::size_t>(kSymbolSamples) *
-                            static_cast<std::size_t>(1 + s);
-    fe.data_bins.push_back(
-        time_to_bins(samples.subspan(offset, kSymbolSamples)));
-    noise_sum += pilot_noise_estimate(fe.data_bins.back(), fe.channel, s + 1);
-    ++noise_count;
+  {
+    OBS_SPAN("phy.rx.fft");
+    fe.data_bins.reserve(static_cast<std::size_t>(n_sym));
+    for (int s = 0; s < n_sym; ++s) {
+      const auto offset = static_cast<std::size_t>(kPreambleSamples) +
+                          static_cast<std::size_t>(kSymbolSamples) *
+                              static_cast<std::size_t>(1 + s);
+      fe.data_bins.push_back(
+          time_to_bins(samples.subspan(offset, kSymbolSamples)));
+      noise_sum += pilot_noise_estimate(fe.data_bins.back(), fe.channel, s + 1);
+      ++noise_count;
+    }
+    OBS_COUNT_N("phy.rx.fft.items",
+                static_cast<std::size_t>(n_sym) *
+                    static_cast<std::size_t>(kSymbolSamples));
   }
   fe.noise_var = noise_sum / noise_count;
+  OBS_COUNT_N("phy.rx.symbols", n_sym);
 
   // Any whole symbols after the data field are trailer symbols.
   for (std::size_t offset = needed;
@@ -146,53 +166,80 @@ DecodeResult decode_data_symbols(const FrontEndResult& fe, const Mcs& mcs,
     throw std::invalid_argument("decode_data_symbols: mask size mismatch");
   }
 
+  OBS_SPAN("phy.rx.decode");
   const auto data_bins = data_subcarrier_bins();
+  result.eq_data.reserve(static_cast<std::size_t>(n_sym));
+
+  // Pass 1 — equalize every symbol (plus per-symbol common-phase-error
+  // derotation). The equalized grid is retained in eq_data regardless
+  // (EVM needs it), so splitting demapping into a second pass costs
+  // nothing and gives each stage its own timing span.
+  {
+    OBS_SPAN("phy.rx.equalize");
+    for (int s = 0; s < n_sym; ++s) {
+      const auto sym = static_cast<std::size_t>(s);
+      CxVec points = equalize_data_points(fe.data_bins[sym], fe.channel);
+
+      // Common phase error tracking: residual CFO and phase noise rotate
+      // every subcarrier of a symbol by the same angle; the four known
+      // pilots reveal it (standard 802.11a receiver practice).
+      const auto rx_pilots = extract_pilot_points(fe.data_bins[sym]);
+      const auto tx_pilots = pilot_values(s + 1);
+      const auto pilot_bins = pilot_subcarrier_bins();
+      Cx rotation{0.0, 0.0};
+      for (int i = 0; i < kNumPilotSubcarriers; ++i) {
+        const auto idx = static_cast<std::size_t>(i);
+        const Cx expected =
+            fe.channel[static_cast<std::size_t>(pilot_bins[idx])] *
+            tx_pilots[idx];
+        rotation += rx_pilots[idx] * std::conj(expected);
+      }
+      if (std::abs(rotation) > 1e-12) {
+        const Cx derotate = std::conj(rotation) / std::abs(rotation);
+        for (Cx& p : points) p *= derotate;
+      }
+      result.eq_data.push_back(std::move(points));
+    }
+    OBS_COUNT_N("phy.rx.equalize.items",
+                static_cast<std::size_t>(n_sym) *
+                    static_cast<std::size_t>(kNumDataSubcarriers));
+  }
+
+  // Pass 2 — demap to LLRs, injecting EVD erasures on masked subcarriers.
   std::vector<double> llrs;
   llrs.reserve(static_cast<std::size_t>(n_sym) *
                static_cast<std::size_t>(mcs.n_cbps));
-  result.eq_data.reserve(static_cast<std::size_t>(n_sym));
-
-  for (int s = 0; s < n_sym; ++s) {
-    const auto sym = static_cast<std::size_t>(s);
-    CxVec points = equalize_data_points(fe.data_bins[sym], fe.channel);
-
-    // Common phase error tracking: residual CFO and phase noise rotate
-    // every subcarrier of a symbol by the same angle; the four known
-    // pilots reveal it (standard 802.11a receiver practice).
-    const auto rx_pilots = extract_pilot_points(fe.data_bins[sym]);
-    const auto tx_pilots = pilot_values(s + 1);
-    const auto pilot_bins = pilot_subcarrier_bins();
-    Cx rotation{0.0, 0.0};
-    for (int i = 0; i < kNumPilotSubcarriers; ++i) {
-      const auto idx = static_cast<std::size_t>(i);
-      const Cx expected =
-          fe.channel[static_cast<std::size_t>(pilot_bins[idx])] *
-          tx_pilots[idx];
-      rotation += rx_pilots[idx] * std::conj(expected);
-    }
-    if (std::abs(rotation) > 1e-12) {
-      const Cx derotate = std::conj(rotation) / std::abs(rotation);
-      for (Cx& p : points) p *= derotate;
-    }
-
-    for (int i = 0; i < kNumDataSubcarriers; ++i) {
-      const auto idx = static_cast<std::size_t>(i);
-      const bool erased =
-          silence != nullptr && (*silence)[sym][idx] != 0;
-      if (erased) {
-        // EVD: every constellation bit of a silence symbol is an erasure
-        // (paper Eq. 7, the e_k = 0 branch).
-        for (int b = 0; b < mcs.n_bpsc; ++b) llrs.push_back(0.0);
-        continue;
+  [[maybe_unused]] std::size_t erased_bits = 0;
+  {
+    OBS_SPAN("phy.rx.demap");
+    for (int s = 0; s < n_sym; ++s) {
+      const auto sym = static_cast<std::size_t>(s);
+      const CxVec& points = result.eq_data[sym];
+      for (int i = 0; i < kNumDataSubcarriers; ++i) {
+        const auto idx = static_cast<std::size_t>(i);
+        const bool erased =
+            silence != nullptr && (*silence)[sym][idx] != 0;
+        if (erased) {
+          // EVD: every constellation bit of a silence symbol is an erasure
+          // (paper Eq. 7, the e_k = 0 branch).
+          for (int b = 0; b < mcs.n_bpsc; ++b) llrs.push_back(0.0);
+          erased_bits += static_cast<std::size_t>(mcs.n_bpsc);
+          continue;
+        }
+        const Cx h = fe.channel[static_cast<std::size_t>(data_bins[idx])];
+        const double h2 = std::max(std::norm(h), kMinChannelPower);
+        demod_llrs(points[idx], mcs.modulation, fe.noise_var / h2, llrs);
       }
-      const Cx h = fe.channel[static_cast<std::size_t>(data_bins[idx])];
-      const double h2 = std::max(std::norm(h), kMinChannelPower);
-      demod_llrs(points[idx], mcs.modulation, fe.noise_var / h2, llrs);
     }
-    result.eq_data.push_back(std::move(points));
+    OBS_COUNT_N("phy.rx.demap.items", llrs.size());
   }
+  OBS_COUNT_N("cos.erasures_injected", erased_bits);
 
-  const std::vector<double> deint = deinterleave_llrs(llrs, mcs);
+  std::vector<double> deint;
+  {
+    OBS_SPAN("phy.rx.deinterleave");
+    deint = deinterleave_llrs(llrs, mcs);
+  }
   result.decoder_input_hard.reserve(deint.size());
   for (double v : deint) {
     result.decoder_input_hard.push_back(v < 0.0 ? 1 : 0);
@@ -203,8 +250,33 @@ DecodeResult decode_data_symbols(const FrontEndResult& fe, const Mcs& mcs,
   // The DATA field's pad bits are scrambled and therefore nonzero, so the
   // encoder does NOT finish in the all-zero state (only the tail bits are
   // re-zeroed, and padding follows them). Trace back from the best state.
-  const Llrs mother = depuncture_llrs(deint, mcs.code_rate, info_bits * 2);
-  const Bits scrambled = shared_decoder().decode(mother, /*terminated=*/false);
+  Bits scrambled;
+  {
+    OBS_SPAN("phy.rx.viterbi");
+    const Llrs mother = depuncture_llrs(deint, mcs.code_rate, info_bits * 2);
+    scrambled = shared_decoder().decode(mother, /*terminated=*/false);
+    OBS_COUNT_N("phy.rx.viterbi.items", scrambled.size());
+  }
+
+#if SILENCE_OBS_ON
+  {
+    // Corrected-bit diagnostic (paper §"erasure Viterbi decoding"): the
+    // decoder's output re-encoded and compared with the hard decisions it
+    // was fed — mismatches at non-erased positions are the channel errors
+    // plus silence erasures the code absorbed.
+    const Bits recoded =
+        puncture(convolutional_encode(scrambled), mcs.code_rate);
+    std::uint64_t corrected = 0;
+    const std::size_t n = std::min(recoded.size(), deint.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      if (deint[i] != 0.0 &&
+          (deint[i] < 0.0 ? 1 : 0) != recoded[i]) {
+        ++corrected;
+      }
+    }
+    OBS_COUNT_N("cos.bits_corrected", corrected);
+  }
+#endif
 
   // Descramble: the transmitter's 7-bit seed is recoverable from the first
   // 7 SERVICE bits, which are zero before scrambling.
@@ -216,13 +288,21 @@ DecodeResult decode_data_symbols(const FrontEndResult& fe, const Mcs& mcs,
   }
   Scrambler descrambler(seed);
   result.scrambler_seed = seed;
-  result.info_bits = descrambler.apply(scrambled);
+  {
+    OBS_SPAN("phy.rx.descramble");
+    result.info_bits = descrambler.apply(scrambled);
+  }
 
   const std::size_t psdu_bits = 8 * static_cast<std::size_t>(length_octets);
   if (result.info_bits.size() < kServiceBits + psdu_bits) return result;
   result.psdu = bits_to_bytes(
       std::span(result.info_bits).subspan(kServiceBits, psdu_bits));
   result.crc_ok = check_fcs(result.psdu);
+  if (result.crc_ok) {
+    OBS_COUNT("phy.rx.crc_ok");
+  } else {
+    OBS_COUNT("phy.rx.crc_fail");
+  }
   return result;
 }
 

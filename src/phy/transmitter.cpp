@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "obs/obs.h"
 #include "phy/convolutional.h"
 #include "phy/interleaver.h"
 #include "phy/modulation.h"
@@ -35,6 +36,8 @@ TxFrame build_frame(std::span<const std::uint8_t> psdu, const Mcs& mcs,
   if (psdu.empty() || psdu.size() > 4095) {
     throw std::invalid_argument("build_frame: PSDU must be 1..4095 octets");
   }
+  OBS_SPAN("phy.tx.frame");
+  OBS_COUNT("phy.tx.frames");
 
   TxFrame frame;
   frame.mcs = &mcs;
@@ -53,16 +56,34 @@ TxFrame build_frame(std::span<const std::uint8_t> psdu, const Mcs& mcs,
   std::copy(psdu_bits.begin(), psdu_bits.end(),
             plain.begin() + kServiceBits);
 
-  Scrambler scrambler(scrambler_seed);
-  frame.data_bits = scrambler.apply(plain);
+  {
+    OBS_SPAN("phy.tx.scramble");
+    Scrambler scrambler(scrambler_seed);
+    frame.data_bits = scrambler.apply(plain);
+    OBS_COUNT_N("phy.tx.scramble.items", frame.data_bits.size());
+  }
   const std::size_t tail_at = kServiceBits + psdu_bits.size();
   for (int i = 0; i < kTailBits; ++i) frame.data_bits[tail_at + static_cast<std::size_t>(i)] = 0;
 
-  const Bits mother = convolutional_encode(frame.data_bits);
-  frame.coded_bits = puncture(mother, mcs.code_rate);
+  {
+    OBS_SPAN("phy.tx.encode");
+    const Bits mother = convolutional_encode(frame.data_bits);
+    frame.coded_bits = puncture(mother, mcs.code_rate);
+    OBS_COUNT_N("phy.tx.encode.items", frame.data_bits.size());
+  }
 
-  const Bits interleaved = interleave(frame.coded_bits, mcs);
-  const CxVec points = map_bits(interleaved, mcs.modulation);
+  Bits interleaved;
+  {
+    OBS_SPAN("phy.tx.interleave");
+    interleaved = interleave(frame.coded_bits, mcs);
+    OBS_COUNT_N("phy.tx.interleave.items", interleaved.size());
+  }
+  CxVec points;
+  {
+    OBS_SPAN("phy.tx.map");
+    points = map_bits(interleaved, mcs.modulation);
+    OBS_COUNT_N("phy.tx.map.items", points.size());
+  }
 
   frame.data_grid.reserve(static_cast<std::size_t>(n_sym));
   for (int s = 0; s < n_sym; ++s) {
@@ -70,6 +91,7 @@ TxFrame build_frame(std::span<const std::uint8_t> psdu, const Mcs& mcs,
         points.begin() + static_cast<std::ptrdiff_t>(s) * kNumDataSubcarriers;
     frame.data_grid.emplace_back(begin, begin + kNumDataSubcarriers);
   }
+  OBS_COUNT_N("phy.tx.symbols", n_sym);
   return frame;
 }
 
@@ -94,12 +116,19 @@ CxVec frame_to_samples(const TxFrame& frame) {
   samples.insert(samples.end(), signal_time.begin(), signal_time.end());
 
   // Data symbols: pilot indices 1..n.
-  for (int s = 0; s < frame.num_symbols(); ++s) {
-    const CxVec bins = assemble_frequency_bins(
-        frame.data_grid[static_cast<std::size_t>(s)], s + 1);
-    const CxVec time = bins_to_time(bins);
-    samples.insert(samples.end(), time.begin(), time.end());
+  {
+    OBS_SPAN("phy.tx.ifft");
+    for (int s = 0; s < frame.num_symbols(); ++s) {
+      const CxVec bins = assemble_frequency_bins(
+          frame.data_grid[static_cast<std::size_t>(s)], s + 1);
+      const CxVec time = bins_to_time(bins);
+      samples.insert(samples.end(), time.begin(), time.end());
+    }
   }
+  OBS_COUNT_N("phy.tx.ifft.items",
+              static_cast<std::size_t>(frame.num_symbols()) *
+                  static_cast<std::size_t>(kSymbolSamples));
+  OBS_COUNT_N("phy.tx.samples", samples.size());
   return samples;
 }
 

@@ -91,6 +91,51 @@ std::string timing_sidecar_path(const std::string& json_path) {
   return path + ".timing.json";
 }
 
+std::string metrics_sidecar_path(const std::string& json_path) {
+  std::string path = json_path;
+  if (path.size() >= 5 && path.compare(path.size() - 5, 5, ".json") == 0) {
+    path.resize(path.size() - 5);
+  }
+  return path + ".metrics.json";
+}
+
+Json metrics_json(const obs::MetricsSnapshot& snapshot) {
+  Json root = Json::object();
+  Json counters = Json::object();
+  for (const auto& c : snapshot.counters) {
+    counters.set(c.name, static_cast<std::int64_t>(c.value));
+  }
+  root.set("counters", std::move(counters));
+  Json gauges = Json::object();
+  for (const auto& g : snapshot.gauges) {
+    gauges.set(g.name, static_cast<std::int64_t>(g.value));
+  }
+  root.set("gauges", std::move(gauges));
+  Json histograms = Json::object();
+  for (const auto& h : snapshot.histograms) {
+    Json entry = Json::object();
+    entry.set("count", static_cast<std::int64_t>(h.count));
+    entry.set("sum", static_cast<std::int64_t>(h.sum));
+    entry.set("min", static_cast<std::int64_t>(h.min));
+    entry.set("max", static_cast<std::int64_t>(h.max));
+    entry.set("mean", h.mean());
+    std::size_t last = h.buckets.size();
+    while (last > 0 && h.buckets[last - 1] == 0) --last;
+    Json floors = Json::array();
+    Json buckets = Json::array();
+    for (std::size_t b = 0; b < last; ++b) {
+      floors.push_back(
+          static_cast<std::int64_t>(obs::histogram_bucket_floor(b)));
+      buckets.push_back(static_cast<std::int64_t>(h.buckets[b]));
+    }
+    entry.set("bucket_floors", std::move(floors));
+    entry.set("buckets", std::move(buckets));
+    histograms.set(h.name, std::move(entry));
+  }
+  root.set("histograms", std::move(histograms));
+  return root;
+}
+
 void JsonSink::write(const SweepReport& report) {
   write_json_file(path_, payload(report));
 
@@ -101,6 +146,14 @@ void JsonSink::write(const SweepReport& report) {
   timing.set("trials_run", static_cast<std::int64_t>(report.trials_run));
   timing.set("wall_seconds", report.wall_seconds);
   write_json_file(timing_path, timing);
+
+  // Metrics sidecar: the pipeline-wide obs snapshot for this run. Like
+  // timing it never touches the main file — counter values are seed-
+  // deterministic, but the .ns histograms are wall-clock.
+  const obs::MetricsSnapshot snapshot = obs::Registry::global().snapshot();
+  if (!snapshot.empty()) {
+    write_json_file(metrics_sidecar_path(path_), metrics_json(snapshot));
+  }
 }
 
 void write_json_file(const std::string& path, const Json& value) {

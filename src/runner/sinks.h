@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "runner/json.h"
 
 namespace silence::runner {
@@ -73,5 +74,13 @@ void write_json_file(const std::string& path, const Json& value);
 
 // `results/foo.json` -> `results/foo.timing.json`.
 std::string timing_sidecar_path(const std::string& json_path);
+
+// `results/foo.json` -> `results/foo.metrics.json`.
+std::string metrics_sidecar_path(const std::string& json_path);
+
+// The obs snapshot rendered as a runner::Json object (counters, gauges,
+// histograms keyed by metric name). Used for the metrics sidecar and by
+// perf_phy's stage-throughput record.
+Json metrics_json(const obs::MetricsSnapshot& snapshot);
 
 }  // namespace silence::runner

@@ -16,6 +16,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/obs.h"
 #include "runner/executor.h"
 #include "runner/seed.h"
 
@@ -67,9 +68,13 @@ auto run_sweep(const SweepGrid<Point>& grid, const RunnerOptions& options,
   const std::size_t total = grid.points.size() * trials;
   outcome.trials_run = total;
 
+  OBS_GAUGE_SET("runner.threads", outcome.threads);
+  OBS_COUNT_N("runner.trials", total);
+
   const auto start = std::chrono::steady_clock::now();
   std::vector<Result> slots(total);
   parallel_for(total, outcome.threads, options.chunk, [&](std::size_t i) {
+    OBS_SPAN("runner.trial");
     TrialContext ctx;
     ctx.point_index = i / trials;
     ctx.trial_index = i % trials;

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "common/crc32.h"
+#include "obs/obs.h"
 
 namespace silence {
 
@@ -19,6 +20,8 @@ Link::Link(const LinkConfig& config)
 }
 
 CxVec Link::send(std::span<const Cx> samples) {
+  OBS_SPAN("sim.link.send");
+  OBS_COUNT("sim.link.sends");
   CxVec tx(samples.begin(), samples.end());
   if (radio_) tx = radio_->apply(tx);
   CxVec received = channel_.transmit(tx, noise_var_, rng_);

@@ -1,0 +1,54 @@
+// Compile-level test of the SILENCE_OBS=OFF contract: with observability
+// forced off for this translation unit the macros must expand to nothing —
+// no registry calls, no argument evaluation, no interned names. This test
+// lives in its own binary (obs_off_tests) so the process-wide registry is
+// provably untouched by anything else.
+#define SILENCE_OBS_FORCE_OFF 1
+#include "obs/obs.h"
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+static_assert(SILENCE_OBS_ON == 0,
+              "SILENCE_OBS_FORCE_OFF must disable instrumentation");
+
+namespace silence::obs {
+namespace {
+
+int instrumented_hot_path(int x) {
+  OBS_SPAN("off_test.hot");
+  OBS_COUNT("off_test.calls");
+  OBS_COUNT_N("off_test.items", x);
+  OBS_HIST("off_test.value", x);
+  OBS_GAUGE_SET("off_test.gauge", x);
+  return x * 2;
+}
+
+TEST(ObsOffTest, MacrosDoNotEvaluateArguments) {
+  int evaluations = 0;
+  OBS_COUNT_N("off_test.side_effect", ++evaluations);
+  OBS_HIST("off_test.side_effect_h", ++evaluations);
+  OBS_GAUGE_SET("off_test.side_effect_g", ++evaluations);
+  EXPECT_EQ(evaluations, 0);
+}
+
+TEST(ObsOffTest, InstrumentedCodeRegistersNothing) {
+  EXPECT_EQ(instrumented_hot_path(21), 42);
+  // The runtime library still links (benches call Registry/Tracer
+  // unconditionally) but this binary's instrumentation never touched it.
+  EXPECT_TRUE(Registry::global().snapshot().empty());
+  EXPECT_EQ(Tracer::global().event_count(), 0u);
+}
+
+TEST(ObsOffTest, SpansAreScopelessStatements) {
+  // OBS_SPAN must remain usable as a plain statement in OFF builds —
+  // including inside an un-braced if, where a declaration would not
+  // compile.
+  if (instrumented_hot_path(1) == 2) OBS_SPAN("off_test.unbraced");
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace silence::obs

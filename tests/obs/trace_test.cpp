@@ -1,0 +1,285 @@
+// Trace export: the rendered file must be valid JSON, timestamps must be
+// monotonic, and every B event must have a matching E on the same thread
+// track — including spans still open when the trace is rendered.
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/obs.h"
+
+namespace silence::obs {
+namespace {
+
+// Minimal recursive-descent JSON validator: returns true iff `text` is a
+// single well-formed JSON value with nothing but whitespace after it.
+class JsonValidator {
+ public:
+  explicit JsonValidator(const std::string& text) : s_(text) {}
+
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+  bool literal(const char* word) {
+    const std::size_t n = std::string(word).size();
+    if (s_.compare(pos_, n, word) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+  bool string() {
+    if (pos_ >= s_.size() || s_[pos_] != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') ++pos_;
+      ++pos_;
+    }
+    if (pos_ >= s_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+  bool number() {
+    const std::size_t start = pos_;
+    if (pos_ < s_.size() && s_[pos_] == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+  bool members(char close, bool keyed) {
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == close) {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (keyed) {
+        if (!string()) return false;
+        skip_ws();
+        if (pos_ >= s_.size() || s_[pos_++] != ':') return false;
+        skip_ws();
+      }
+      if (!value()) return false;
+      skip_ws();
+      if (pos_ >= s_.size()) return false;
+      const char c = s_[pos_++];
+      if (c == close) return true;
+      if (c != ',') return false;
+    }
+  }
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': ++pos_; return members('}', true);
+      case '[': ++pos_; return members(']', false);
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+struct ParsedEvent {
+  std::string name;
+  char phase = '?';
+  unsigned tid = 0;
+  double ts_us = 0.0;
+};
+
+// The emitter writes one event per line in a fixed format; scanning lines
+// keeps the test independent of a full JSON parser.
+std::vector<ParsedEvent> parse_events(const std::string& json) {
+  std::vector<ParsedEvent> events;
+  std::size_t pos = 0;
+  while ((pos = json.find("{\"name\": \"", pos)) != std::string::npos) {
+    char name[128];
+    char phase;
+    unsigned tid;
+    double ts;
+    if (std::sscanf(json.c_str() + pos,
+                    "{\"name\": \"%127[^\"]\", \"cat\": \"cos\", "
+                    "\"ph\": \"%c\", \"pid\": 1, \"tid\": %u, \"ts\": %lf}",
+                    name, &phase, &tid, &ts) == 4) {
+      events.push_back({name, phase, tid, ts});
+    }
+    ++pos;
+  }
+  return events;
+}
+
+// Each tid's B/E events must nest like parentheses; returns false on a
+// stray E or a B left open.
+bool spans_balanced(const std::vector<ParsedEvent>& events) {
+  std::vector<std::pair<unsigned, std::vector<std::string>>> stacks;
+  for (const ParsedEvent& e : events) {
+    std::vector<std::string>* stack = nullptr;
+    for (auto& [tid, s] : stacks) {
+      if (tid == e.tid) stack = &s;
+    }
+    if (stack == nullptr) {
+      stack = &stacks.emplace_back(e.tid, std::vector<std::string>{}).second;
+    }
+    if (e.phase == 'B') {
+      stack->push_back(e.name);
+    } else if (e.phase == 'E') {
+      if (stack->empty() || stack->back() != e.name) return false;
+      stack->pop_back();
+    } else {
+      return false;
+    }
+  }
+  for (const auto& [tid, stack] : stacks) {
+    if (!stack.empty()) return false;
+  }
+  return true;
+}
+
+TEST(TraceTest, InactiveTracerRecordsNothing) {
+  Tracer& tracer = Tracer::global();
+  tracer.start();
+  tracer.stop();
+  tracer.span_begin("obs_test.ignored");
+  tracer.span_end("obs_test.ignored");
+  EXPECT_EQ(tracer.event_count(), 0u);
+}
+
+TEST(TraceTest, RendersValidJsonWithMetricsEmbedded) {
+  Tracer& tracer = Tracer::global();
+  tracer.start();
+  tracer.span_begin("obs_test.outer");
+  tracer.span_begin("obs_test.inner");
+  tracer.span_end("obs_test.inner");
+  tracer.span_end("obs_test.outer");
+  const std::string json = tracer.to_json();
+  EXPECT_TRUE(JsonValidator(json).valid()) << json;
+  EXPECT_NE(json.find("\"traceEvents\": ["), std::string::npos);
+  EXPECT_NE(json.find("\"metrics\": "), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\": \"ns\""), std::string::npos);
+}
+
+TEST(TraceTest, TimestampsMonotonicAndPairsMatched) {
+  Tracer& tracer = Tracer::global();
+  tracer.start();
+  tracer.span_begin("obs_test.a");
+  tracer.span_begin("obs_test.b");
+  tracer.span_end("obs_test.b");
+  tracer.span_begin("obs_test.c");
+  tracer.span_end("obs_test.c");
+  tracer.span_end("obs_test.a");
+  std::thread([&] {
+    tracer.span_begin("obs_test.other_thread");
+    tracer.span_end("obs_test.other_thread");
+  }).join();
+  const std::string json = tracer.to_json();
+  const std::vector<ParsedEvent> events = parse_events(json);
+  ASSERT_EQ(events.size(), 8u);  // 4 spans, B+E each
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_GE(events[i].ts_us, events[i - 1].ts_us) << "event " << i;
+  }
+  EXPECT_TRUE(spans_balanced(events));
+  // The off-main-thread span landed on its own track.
+  unsigned main_tid = events.front().tid;
+  bool saw_other_tid = false;
+  for (const ParsedEvent& e : events) {
+    if (e.name == "obs_test.other_thread") {
+      saw_other_tid = true;
+      EXPECT_NE(e.tid, main_tid);
+    }
+  }
+  EXPECT_TRUE(saw_other_tid);
+}
+
+TEST(TraceTest, OpenSpansGetSyntheticCloses) {
+  Tracer& tracer = Tracer::global();
+  tracer.start();
+  tracer.span_begin("obs_test.never_closed");
+  tracer.span_begin("obs_test.also_open");
+  const std::string json = tracer.to_json();
+  EXPECT_TRUE(JsonValidator(json).valid()) << json;
+  const std::vector<ParsedEvent> events = parse_events(json);
+  ASSERT_EQ(events.size(), 4u);  // two B's + two synthetic E's
+  EXPECT_TRUE(spans_balanced(events));
+}
+
+TEST(TraceTest, StrayEndEventsAreDropped) {
+  Tracer& tracer = Tracer::global();
+  tracer.start();
+  tracer.span_end("obs_test.stray");
+  tracer.span_begin("obs_test.real");
+  tracer.span_end("obs_test.real");
+  const std::string json = tracer.to_json();
+  const std::vector<ParsedEvent> events = parse_events(json);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_TRUE(spans_balanced(events));
+  EXPECT_EQ(events[0].name, "obs_test.real");
+}
+
+TEST(TraceTest, WriteCreatesParentDirectories) {
+  Tracer& tracer = Tracer::global();
+  tracer.start();
+  tracer.span_begin("obs_test.file_span");
+  tracer.span_end("obs_test.file_span");
+  const std::string path =
+      ::testing::TempDir() + "obs_trace_test/nested/out.trace.json";
+  tracer.write(path);
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string contents;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) contents.append(buf, n);
+  std::fclose(f);
+  EXPECT_TRUE(JsonValidator(contents).valid());
+  EXPECT_NE(contents.find("obs_test.file_span"), std::string::npos);
+}
+
+#if SILENCE_OBS_ON
+// The macro path: OBS_SPAN must emit a B/E pair on the tracer AND record
+// a `<name>.ns` histogram in the registry.
+TEST(TraceTest, ObsSpanMacroEmitsSpanAndHistogram) {
+  Registry::global().reset();
+  Tracer& tracer = Tracer::global();
+  tracer.start();
+  {
+    OBS_SPAN("obs_test.macro_span");
+  }
+  const std::string json = tracer.to_json();
+  const std::vector<ParsedEvent> events = parse_events(json);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].name, "obs_test.macro_span");
+  EXPECT_EQ(events[0].phase, 'B');
+  EXPECT_EQ(events[1].phase, 'E');
+  const MetricsSnapshot snap = Registry::global().snapshot();
+  const HistogramSnapshot* h = snap.histogram("obs_test.macro_span.ns");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, 1u);
+}
+#endif  // SILENCE_OBS_ON
+
+}  // namespace
+}  // namespace silence::obs
