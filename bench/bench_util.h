@@ -1,6 +1,7 @@
 // Shared helpers for the figure-reproduction benches: the legacy header
-// printer plus the common CLI (--threads/--trials/--json/--seed/--trace)
-// for benches migrated onto the runner subsystem (src/runner/).
+// printer plus the common CLI (--threads/--trials/--json/--seed/--trace/
+// --flight-dir) for benches migrated onto the runner subsystem
+// (src/runner/).
 #pragma once
 
 #include <cstdint>
@@ -9,6 +10,7 @@
 #include <cstring>
 #include <string>
 
+#include "obs/flight/flight.h"
 #include "obs/obs.h"
 
 namespace silence::bench {
@@ -27,6 +29,8 @@ struct BenchArgs {
   bool json = false;       // --json [PATH] (write structured results)
   std::string json_path;   // resolved path; default results/<bench>.json
   std::string trace_path;  // --trace FILE  (Chrome trace-event JSON)
+  std::string flight_dir;  // --flight-dir DIR (anomaly dump directory)
+  std::size_t flight_limit = 32;  // --flight-limit N (max dumps per run)
 };
 
 // Parses the shared flags; exits with a usage message on --help or any
@@ -36,14 +40,18 @@ inline BenchArgs parse_bench_args(int argc, char** argv,
   const auto usage = [&](int code) {
     std::printf(
         "usage: %s [--threads N] [--trials N] [--seed S] [--json [PATH]]\n"
-        "          [--trace FILE]\n"
+        "          [--trace FILE] [--flight-dir DIR] [--flight-limit N]\n"
         "  --threads N   worker threads (default: all hardware threads)\n"
         "  --trials N    Monte-Carlo trials per sweep point\n"
         "  --seed S      base seed for deterministic trial seeding\n"
         "  --json [PATH] also write results/%s.json (or PATH) plus\n"
         "                .timing.json and .metrics.json sidecars\n"
         "  --trace FILE  write a Chrome/Perfetto trace (spans for every\n"
-        "                PHY/CoS stage + embedded metrics snapshot)\n",
+        "                PHY/CoS stage + embedded metrics snapshot)\n"
+        "  --flight-dir DIR    arm the flight recorder: anomalous trials\n"
+        "                (CRC fail, control miss, false alarm) dump replayable\n"
+        "                artifacts into DIR (replay with tools/silence_diag)\n"
+        "  --flight-limit N    cap the dump count per run (default 32)\n",
         argv[0], bench_name);
     std::exit(code);
   };
@@ -72,6 +80,11 @@ inline BenchArgs parse_bench_args(int argc, char** argv,
       }
     } else if (!std::strcmp(argv[i], "--trace")) {
       args.trace_path = numeric_value(i);
+    } else if (!std::strcmp(argv[i], "--flight-dir")) {
+      args.flight_dir = numeric_value(i);
+    } else if (!std::strcmp(argv[i], "--flight-limit")) {
+      args.flight_limit =
+          static_cast<std::size_t>(std::strtoull(numeric_value(i), nullptr, 10));
     } else {
       std::fprintf(stderr, "%s: unknown argument '%s'\n", argv[0], argv[i]);
       usage(2);
@@ -91,13 +104,35 @@ inline BenchArgs parse_bench_args(int argc, char** argv,
     args.trace_path.clear();
 #endif
   }
+  if (!args.flight_dir.empty()) {
+#if SILENCE_OBS_ON
+    silence::obs::flight::DumpRouter::global().configure(args.flight_dir,
+                                                         args.flight_limit);
+#else
+    std::fprintf(stderr,
+                 "%s: built with SILENCE_OBS=OFF; --flight-dir has no events "
+                 "to record and is ignored\n",
+                 argv[0]);
+    args.flight_dir.clear();
+#endif
+  }
   return args;
 }
 
 // Call once after the sweep (before returning from main): writes the
-// Chrome trace requested with --trace. No-op otherwise.
+// Chrome trace requested with --trace and reports flight-recorder dump
+// activity. No-op otherwise.
 inline void finish_observability(const BenchArgs& args) {
 #if SILENCE_OBS_ON
+  if (!args.flight_dir.empty()) {
+    auto& router = silence::obs::flight::DumpRouter::global();
+    std::printf("flight recorder: %zu anomaly dump(s) in %s", router.dumped(),
+                args.flight_dir.c_str());
+    if (router.suppressed() > 0) {
+      std::printf(" (%zu suppressed by --flight-limit)", router.suppressed());
+    }
+    std::printf("\n");
+  }
   if (args.trace_path.empty()) return;
   auto& tracer = silence::obs::Tracer::global();
   const std::size_t events = tracer.event_count();

@@ -10,10 +10,13 @@
 // Runner-based: parts (b)-(d) fan individual packets across the thread
 // pool as Monte-Carlo trials whose seeds derive from (base_seed, point,
 // packet); per-packet detector counts merge with operator+=, so the
-// false rates are bit-identical at any --threads value. Where the
-// original bench simulated the same packet once per detector variant,
-// one trial now runs the TX/channel/RX chain once and applies every
-// detector to the same front-end result.
+// false rates are bit-identical at any --threads value. The packet
+// simulation itself is the canonical replayable trial from sim/trial.h —
+// parts (b) and (d) run the full run_cos_trial() (detection + interval
+// decode + EVD data decode), so `--flight-dir` captures any anomalous
+// trial as a dump that tools/silence_diag replays bit-exactly; part (c)
+// evaluates two detector variants against the SAME simulated packet and
+// therefore shares simulate_cos_packet()/count_detection() directly.
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
@@ -24,38 +27,16 @@
 #include "channel/interference.h"
 #include "core/cos_link.h"
 #include "phy/ofdm.h"
-#include "phy/preamble.h"
 #include "runner/sinks.h"
 #include "runner/sweep.h"
 #include "sim/link.h"
+#include "sim/trial.h"
 
 using namespace silence;
 
 namespace {
 
 const std::vector<int> kControl = {9, 10, 11, 12, 13, 14, 15, 16};
-
-// Per-cell detector confusion counts; mergeable across packets.
-struct DetectCounts {
-  std::size_t active = 0;
-  std::size_t silent = 0;
-  std::size_t false_pos = 0;
-  std::size_t false_neg = 0;
-
-  DetectCounts& operator+=(const DetectCounts& o) {
-    active += o.active;
-    silent += o.silent;
-    false_pos += o.false_pos;
-    false_neg += o.false_neg;
-    return *this;
-  }
-  double positive_rate() const {
-    return active ? static_cast<double>(false_pos) / active : 0.0;
-  }
-  double negative_rate() const {
-    return silent ? static_cast<double>(false_neg) / silent : 0.0;
-  }
-};
 
 // LOS-dominant office profile matching the paper's lab links (their
 // Fig. 5 EVM range implies no deep notches on the tested positions).
@@ -66,86 +47,17 @@ MultipathProfile office_profile() {
   return profile;
 }
 
-// One simulated CoS packet ready for detection experiments.
-struct PacketUnderTest {
-  CosTxPacket tx;
-  FrontEndResult fe;
-  bool usable = false;  // SIGNAL decoded (or ground truth supplied)
-};
-
-// Simulates one packet at `seed` and runs the receiver front end. With
-// `ground_truth_framing`, the known frame geometry is used even when
-// SIGNAL fails to decode (the paper knows its fixed packet layout), so
-// heavy interference does not bias the sample toward lightly-hit packets.
-PacketUnderTest simulate_packet(double measured_snr_db, std::uint64_t seed,
-                                const PulseInterferer* interferer,
-                                bool ground_truth_framing) {
-  PacketUnderTest out;
-  const std::uint64_t channel_seed = runner::substream_seed(seed, 0);
-  Rng rng(runner::substream_seed(seed, 1));
-  const MultipathProfile profile = office_profile();
-  FadingChannel channel(profile, channel_seed);
-  const double nv = noise_var_for_measured_snr(channel, measured_snr_db);
-
-  CosTxConfig tx_config;
-  tx_config.mcs = &mcs_for_rate(12);
-  tx_config.control_subcarriers = kControl;
-  const Bytes psdu = make_test_psdu(256, rng);
-  const Bits control = rng.bits(60);
-  out.tx = cos_transmit(psdu, control, tx_config);
-
-  CxVec received = channel.transmit(out.tx.samples, nv, rng);
-  if (interferer != nullptr) interferer->apply(received, rng);
-
-  out.fe = receiver_front_end(received);
-  if (ground_truth_framing) {
-    // Rebuild the per-symbol FFTs from the known frame geometry.
-    out.fe.channel = estimate_channel(
-        std::span(received).subspan(kStfSamples, kLtfSamples));
-    out.fe.data_bins.clear();
-    for (int s = 0; s < out.tx.frame.num_symbols(); ++s) {
-      const auto offset =
-          static_cast<std::size_t>(kPreambleSamples) +
-          static_cast<std::size_t>(kSymbolSamples) *
-              static_cast<std::size_t>(1 + s);
-      out.fe.data_bins.push_back(time_to_bins(
-          std::span(received).subspan(offset, kSymbolSamples)));
-    }
-    // A deployed receiver tracks its noise floor over many packets, so
-    // a sudden interferer does not move the detection threshold; use
-    // the long-term floor rather than this packet's pilot residuals
-    // (which the pulses contaminate).
-    out.fe.noise_var = freq_noise_var(nv);
-    out.usable = true;
-  } else {
-    out.usable = static_cast<bool>(out.fe.signal);
-  }
-  return out;
-}
-
-// Confusion counts of `detector` against the packet's true silence plan.
-DetectCounts count_detection(const PacketUnderTest& packet,
-                             const DetectorConfig& detector) {
-  DetectCounts counts;
-  if (!packet.usable) return counts;
-  const SilenceMask detected =
-      detect_silences(packet.fe, kControl, detector);
-  // A SIGNAL mis-decode (possible at very low SNR) yields the wrong
-  // symbol count; skip such packets.
-  if (detected.size() != packet.tx.plan.mask.size()) return counts;
-  for (std::size_t s = 0; s < packet.tx.plan.mask.size(); ++s) {
-    for (int sc : kControl) {
-      const auto idx = static_cast<std::size_t>(sc);
-      if (packet.tx.plan.mask[s][idx]) {
-        ++counts.silent;
-        if (!detected[s][idx]) ++counts.false_neg;
-      } else {
-        ++counts.active;
-        if (detected[s][idx]) ++counts.false_pos;
-      }
-    }
-  }
-  return counts;
+// The common packet layout of every Fig. 10 sweep; each part adjusts the
+// SNR, detector and interferer on top.
+CosTrialSpec base_spec(double measured_snr_db) {
+  CosTrialSpec spec;
+  spec.measured_snr_db = measured_snr_db;
+  spec.rate_mbps = 12;
+  spec.psdu_octets = 256;
+  spec.control_bits = 60;
+  spec.control_subcarriers = kControl;
+  spec.profile = office_profile();
+  return spec;
 }
 
 void part_a() {
@@ -193,10 +105,18 @@ runner::SweepReport part_b(const bench::BenchArgs& args) {
   const auto outcome = runner::run_sweep(
       grid, {.threads = args.threads, .chunk = 8},
       [&](const double& thr_db, const runner::TrialContext& ctx) {
-        DetectorConfig detector;
-        detector.fixed_threshold = std::pow(10.0, thr_db / 10.0);
-        return count_detection(
-            simulate_packet(9.2, ctx.seed, nullptr, false), detector);
+        CosTrialSpec spec = base_spec(9.2);
+        spec.detector.fixed_threshold = std::pow(10.0, thr_db / 10.0);
+        // Extreme thresholds make every trial "anomalous" by design;
+        // only a CRC failure is worth a flight dump here.
+        spec.dump_on_control_miss = false;
+        spec.dump_on_false_alarm = false;
+        return run_cos_trial(spec,
+                             {.sweep = "fig10_detection.b",
+                              .point_index = ctx.point_index,
+                              .trial_index = ctx.trial_index},
+                             ctx.seed)
+            .detection;
       });
 
   runner::SweepReport report;
@@ -214,7 +134,7 @@ runner::SweepReport part_b(const bench::BenchArgs& args) {
   report.wall_seconds = outcome.wall_seconds;
   report.trials_run = outcome.trials_run;
   for (std::size_t i = 0; i < grid.points.size(); ++i) {
-    const DetectCounts& counts = outcome.point_results[i];
+    const DetectionCounts& counts = outcome.point_results[i];
     report.add_row({grid.points[i], counts.positive_rate(),
                     counts.negative_rate()});
   }
@@ -223,8 +143,8 @@ runner::SweepReport part_b(const bench::BenchArgs& args) {
 
 // Part (c) evaluates two adaptive-threshold variants on the SAME packets.
 struct AdaptiveCounts {
-  DetectCounts noise_margin;
-  DetectCounts midpoint;
+  DetectionCounts noise_margin;
+  DetectionCounts midpoint;
   AdaptiveCounts& operator+=(const AdaptiveCounts& o) {
     noise_margin += o.noise_margin;
     midpoint += o.midpoint;
@@ -242,16 +162,18 @@ runner::SweepReport part_c(const bench::BenchArgs& args) {
   const auto outcome = runner::run_sweep(
       grid, {.threads = args.threads, .chunk = 16},
       [&](const double& snr, const runner::TrialContext& ctx) {
-        const PacketUnderTest packet =
-            simulate_packet(snr, ctx.seed, nullptr, false);
+        const CosPacket packet =
+            simulate_cos_packet(base_spec(snr), ctx.seed);
         DetectorConfig noise_margin;
         noise_margin.mode = ThresholdMode::kNoiseMargin;
         // This repo's per-subcarrier midpoint refinement, for comparison.
         DetectorConfig midpoint_config;
         midpoint_config.mode = ThresholdMode::kPerSubcarrierMidpoint;
         AdaptiveCounts counts;
-        counts.noise_margin = count_detection(packet, noise_margin);
-        counts.midpoint = count_detection(packet, midpoint_config);
+        counts.noise_margin =
+            count_detection(packet, kControl, noise_margin);
+        counts.midpoint =
+            count_detection(packet, kControl, midpoint_config);
         return counts;
       });
 
@@ -283,8 +205,8 @@ runner::SweepReport part_c(const bench::BenchArgs& args) {
 // Part (d) compares interfered vs clean detection on the SAME channel
 // and noise realizations.
 struct InterferenceCounts {
-  DetectCounts interfered;
-  DetectCounts clean;
+  DetectionCounts interfered;
+  DetectionCounts clean;
   InterferenceCounts& operator+=(const InterferenceCounts& o) {
     interfered += o.interfered;
     clean += o.clean;
@@ -304,15 +226,23 @@ runner::SweepReport part_d(const bench::BenchArgs& args) {
   const auto outcome = runner::run_sweep(
       grid, {.threads = args.threads, .chunk = 8},
       [&](const double& snr, const runner::TrialContext& ctx) {
+        CosTrialSpec interfered = base_spec(snr);
+        interfered.ground_truth_framing = true;
+        interfered.interferer = strong;
+        // Interference at low SNR misses control messages by design;
+        // dump only on the rarer CRC/false-alarm anomalies.
+        interfered.dump_on_control_miss = false;
+        CosTrialSpec clean = base_spec(snr);
+        clean.ground_truth_framing = true;
         InterferenceCounts counts;
-        counts.interfered = count_detection(
-            simulate_packet(snr, ctx.seed, &strong,
-                            /*ground_truth_framing=*/true),
-            DetectorConfig{});
-        counts.clean = count_detection(
-            simulate_packet(snr, ctx.seed, nullptr,
-                            /*ground_truth_framing=*/true),
-            DetectorConfig{});
+        counts.interfered = run_cos_trial(interfered,
+                                          {.sweep = "fig10_detection.d",
+                                           .point_index = ctx.point_index,
+                                           .trial_index = ctx.trial_index},
+                                          ctx.seed)
+                                .detection;
+        counts.clean = count_detection(simulate_cos_packet(clean, ctx.seed),
+                                       kControl, DetectorConfig{});
         return counts;
       });
 

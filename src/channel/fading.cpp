@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "common/db.h"
+#include "obs/flight/flight.h"
 #include "obs/obs.h"
 
 namespace silence {
@@ -121,6 +122,12 @@ CxVec FadingChannel::transmit(std::span<const Cx> samples, double noise_var,
                               Rng& noise_rng) const {
   OBS_SPAN("chan.apply");
   OBS_COUNT("chan.packets");
+  // Flight: the realization this packet saw (a/b = tap re/im, subcarrier
+  // field reused as the tap delay index).
+  for (std::size_t l = 0; l < taps_.size(); ++l) {
+    FLIGHT_EVENT("chan.tap", obs::flight::kNoIndex, l, taps_[l].real(),
+                 taps_[l].imag(), 0);
+  }
   CxVec out = apply_multipath(samples);
   for (auto& x : out) x += noise_rng.complex_gaussian(noise_var);
   OBS_COUNT_N("chan.apply.items", out.size());

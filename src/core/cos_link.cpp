@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "core/interval_code.h"
+#include "obs/flight/flight.h"
 #include "obs/obs.h"
 
 namespace silence {
@@ -67,6 +68,12 @@ CosRxPacket cos_receive(std::span<const Cx> samples,
         intervals_to_bits_tolerant(intervals, config.bits_per_interval);
   }
   OBS_COUNT_N("cos.control_bits_recovered", packet.control_bits.size());
+  std::size_t detected_silences = 0;
+  for (const auto& row : packet.detected_mask) {
+    for (const auto cell : row) detected_silences += cell != 0;
+  }
+  FLIGHT_EVENT("cos.control", obs::flight::kNoIndex, obs::flight::kNoIndex,
+               packet.control_bits.size(), detected_silences, 0);
 
   // Data decode with EVD over the detected mask.
   packet.decode =

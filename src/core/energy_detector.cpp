@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/flight/flight.h"
 #include "obs/obs.h"
 #include "phy/modulation.h"
 #include "phy/ofdm.h"
@@ -72,6 +73,10 @@ SilenceMask detect_silences(const FrontEndResult& fe,
       // accumulation integral (deterministic merge at any thread count).
       OBS_HIST("cos.detector.score_x256",
                std::min(e / thresholds[c] * 256.0, 1e12));
+      // Flight: the raw decision (a = bin energy, b = threshold,
+      // u = 1 when declared silent), one event per control cell.
+      FLIGHT_EVENT("det.score", s, sc, e, thresholds[c],
+                   e < thresholds[c] ? 1 : 0);
       if (e < thresholds[c]) {
         mask[s][static_cast<std::size_t>(sc)] = 1;
         ++detected;

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "obs/flight/flight.h"
 #include "obs/obs.h"
 
 namespace silence {
@@ -61,6 +62,11 @@ Bits intervals_to_bits_tolerant(std::span<const int> intervals,
   }
   OBS_COUNT_N("cos.intervals.decoded", valid);
   OBS_COUNT_N("cos.intervals.rejected", intervals.size() - valid);
+  // Flight: how much of the interval stream survived the range check
+  // (a = valid prefix length, b = total intervals seen).
+  FLIGHT_EVENT("rx.interval_bits", obs::flight::kNoIndex,
+               obs::flight::kNoIndex, valid, intervals.size(),
+               valid * static_cast<std::size_t>(bits_per_interval));
   return intervals_to_bits(intervals.first(valid), bits_per_interval);
 }
 

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "core/interval_code.h"
+#include "obs/flight/flight.h"
 #include "obs/obs.h"
 #include "phy/params.h"
 
@@ -64,6 +65,8 @@ SilencePlan plan_silences(std::span<const std::uint8_t> control_bits,
         control_subcarriers[position % n_ctrl]);
     plan.mask[symbol][sc] = 1;
     ++plan.silence_count;
+    // Flight: the ground-truth TX plan (u = slot-major grid position).
+    FLIGHT_EVENT("plan.silence", symbol, sc, 0.0, 0.0, position);
   };
 
   std::size_t position = 0;
@@ -72,6 +75,8 @@ SilencePlan plan_silences(std::span<const std::uint8_t> control_bits,
     position += static_cast<std::size_t>(interval) + 1;
     place(position);
   }
+  FLIGHT_EVENT("plan.summary", obs::flight::kNoIndex, obs::flight::kNoIndex,
+               plan.bits_sent, plan.intervals.size(), plan.silence_count);
   OBS_COUNT("cos.plans");
   OBS_COUNT_N("cos.silences_planned", plan.silence_count);
   OBS_COUNT_N("cos.control_bits_sent", plan.bits_sent);
@@ -107,8 +112,14 @@ std::vector<int> mask_to_intervals(const SilenceMask& mask,
   if (silence_positions.size() < 2) return intervals;
   intervals.reserve(silence_positions.size() - 1);
   for (std::size_t i = 1; i < silence_positions.size(); ++i) {
-    intervals.push_back(static_cast<int>(
-        silence_positions[i] - silence_positions[i - 1] - 1));
+    const std::size_t pos = silence_positions[i];
+    const int interval = static_cast<int>(
+        pos - silence_positions[i - 1] - 1);
+    // Flight: each decoded interval, anchored at the silence that closes
+    // it (a = interval value, u = slot-major grid position).
+    FLIGHT_EVENT("rx.interval", pos / n_ctrl,
+                 control_subcarriers[pos % n_ctrl], interval, 0.0, pos);
+    intervals.push_back(interval);
   }
   return intervals;
 }

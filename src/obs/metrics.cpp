@@ -63,6 +63,32 @@ std::uint64_t histogram_bucket_floor(std::size_t index) {
   return std::uint64_t{1} << (index - 1);
 }
 
+double HistogramSnapshot::quantile(double q) const {
+  if (count == 0) return 0.0;
+  if (q <= 0.0) return static_cast<double>(min);
+  if (q >= 1.0) return static_cast<double>(max);
+  const double target = q * static_cast<double>(count);
+  double cumulative = 0.0;
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    const double n = static_cast<double>(buckets[b]);
+    if (n == 0.0) continue;
+    if (cumulative + n >= target) {
+      const double lower = static_cast<double>(histogram_bucket_floor(b));
+      // The last bucket is open-ended; the observed max bounds it.
+      const double upper =
+          b + 1 < buckets.size()
+              ? static_cast<double>(histogram_bucket_floor(b + 1))
+              : static_cast<double>(max);
+      const double fraction = (target - cumulative) / n;
+      const double value = lower + fraction * (upper - lower);
+      return std::clamp(value, static_cast<double>(min),
+                        static_cast<double>(max));
+    }
+    cumulative += n;
+  }
+  return static_cast<double>(max);
+}
+
 std::uint64_t now_ns() {
   return static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(

@@ -72,6 +72,13 @@ struct HistogramSnapshot {
     return count == 0 ? 0.0
                       : static_cast<double>(sum) / static_cast<double>(count);
   }
+
+  // Bucket-interpolated quantile estimate (q in [0, 1]): finds the bucket
+  // holding the q-th sample and interpolates linearly inside it, clamped
+  // to the observed [min, max]. Power-of-two buckets bound the relative
+  // error by the bucket width (a factor of 2); exact at q = 0 and q = 1.
+  // Returns 0 for an empty histogram.
+  double quantile(double q) const;
 };
 
 struct MetricsSnapshot {

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "common/crc32.h"
+#include "obs/flight/flight.h"
 #include "obs/obs.h"
 #include "phy/convolutional.h"
 #include "phy/interleaver.h"
@@ -145,6 +146,21 @@ FrontEndResult receiver_front_end(std::span<const Cx> raw_samples) {
   fe.noise_var = noise_sum / noise_count;
   OBS_COUNT_N("phy.rx.symbols", n_sym);
 
+#if SILENCE_OBS_ON
+  // Flight: the channel estimate the whole decode runs on (a = |H|^2 per
+  // logical data subcarrier, b = the resulting bin SNR).
+  if (obs::flight::TrialRecording::active() != nullptr) {
+    const auto dbins = data_subcarrier_bins();
+    for (int i = 0; i < kNumDataSubcarriers; ++i) {
+      const double h2 = std::norm(
+          fe.channel[static_cast<std::size_t>(
+              dbins[static_cast<std::size_t>(i)])]);
+      FLIGHT_EVENT("rx.csi", obs::flight::kNoIndex, i, h2,
+                   h2 / fe.noise_var, 0);
+    }
+  }
+#endif
+
   // Any whole symbols after the data field are trailer symbols.
   for (std::size_t offset = needed;
        offset + static_cast<std::size_t>(kSymbolSamples) <= samples.size();
@@ -275,6 +291,10 @@ DecodeResult decode_data_symbols(const FrontEndResult& fe, const Mcs& mcs,
       }
     }
     OBS_COUNT_N("cos.bits_corrected", corrected);
+    // Flight: a = corrected bits, b = erased bits fed in, u = decoded
+    // bit count — the EVD workload of this packet in one event.
+    FLIGHT_EVENT("rx.viterbi", obs::flight::kNoIndex, obs::flight::kNoIndex,
+                 corrected, erased_bits, scrambled.size());
   }
 #endif
 
@@ -298,6 +318,8 @@ DecodeResult decode_data_symbols(const FrontEndResult& fe, const Mcs& mcs,
   result.psdu = bits_to_bytes(
       std::span(result.info_bits).subspan(kServiceBits, psdu_bits));
   result.crc_ok = check_fcs(result.psdu);
+  FLIGHT_EVENT("rx.crc", obs::flight::kNoIndex, obs::flight::kNoIndex,
+               result.psdu.size(), 0.0, result.crc_ok ? 1 : 0);
   if (result.crc_ok) {
     OBS_COUNT("phy.rx.crc_ok");
   } else {

@@ -1,9 +1,14 @@
-// A minimal ordered JSON value with deterministic serialization.
+// A minimal ordered JSON value with deterministic serialization and a
+// strict parser.
 //
 // The result sinks need output that is byte-identical across runs and
 // thread counts so result files can be diffed between PRs; object keys
 // keep insertion order and doubles serialize via the shortest
 // round-trippable form (std::to_chars), which is fully deterministic.
+// Parsing exists for the tooling side — flight-recorder replay
+// (tools/silence_diag) and perf-baseline diffing (tools/bench_compare)
+// read back the files the sinks write. parse(dump(x)) reproduces x
+// exactly, including every double bit pattern.
 #pragma once
 
 #include <cstdint>
@@ -42,8 +47,28 @@ class Json {
   }
   static Json object() { return Json(Object{}); }
 
+  // Parses strict RFC 8259 JSON; throws std::runtime_error (with a byte
+  // offset) on malformed input or trailing garbage.
+  static Json parse(std::string_view text);
+
   bool is_object() const { return std::holds_alternative<Object>(value_); }
   bool is_array() const { return std::holds_alternative<Array>(value_); }
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(value_); }
+  bool is_bool() const { return std::holds_alternative<bool>(value_); }
+  bool is_string() const { return std::holds_alternative<std::string>(value_); }
+  bool is_int() const { return std::holds_alternative<std::int64_t>(value_); }
+  bool is_number() const {
+    return is_int() || std::holds_alternative<double>(value_);
+  }
+
+  // Typed accessors; throw std::runtime_error on a type mismatch.
+  // as_double() accepts integers too (JSON numbers are one type).
+  bool as_bool() const;
+  std::int64_t as_int() const;
+  double as_double() const;
+  const std::string& as_string() const;
+  const Array& as_array() const;
+  const Object& as_object() const;
 
   // Object access: set() replaces an existing key or appends a new one.
   Json& set(std::string_view key, Json value);

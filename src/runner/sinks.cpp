@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
 #include <stdexcept>
 #include <variant>
 
@@ -119,6 +120,11 @@ Json metrics_json(const obs::MetricsSnapshot& snapshot) {
     entry.set("min", static_cast<std::int64_t>(h.min));
     entry.set("max", static_cast<std::int64_t>(h.max));
     entry.set("mean", h.mean());
+    // Bucket-interpolated latency quantiles. Appended after the legacy
+    // fields, so pre-existing keys keep their exact bytes.
+    entry.set("p50", h.quantile(0.50));
+    entry.set("p95", h.quantile(0.95));
+    entry.set("p99", h.quantile(0.99));
     std::size_t last = h.buckets.size();
     while (last > 0 && h.buckets[last - 1] == 0) --last;
     Json floors = Json::array();
@@ -166,6 +172,19 @@ void write_json_file(const std::string& path, const Json& value) {
     throw std::runtime_error("write_json_file: cannot open " + path);
   }
   out << value.dump();
+}
+
+Json read_json_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("read_json_file: cannot open " + path);
+  }
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  if (in.bad()) {
+    throw std::runtime_error("read_json_file: read error on " + path);
+  }
+  return Json::parse(text);
 }
 
 }  // namespace silence::runner

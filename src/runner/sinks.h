@@ -72,6 +72,10 @@ class JsonSink : public ResultSink {
 // Serializes `value` to `path` (dump() form), creating parent directories.
 void write_json_file(const std::string& path, const Json& value);
 
+// Reads and parses a JSON file; throws std::runtime_error on IO or parse
+// failure. Round-trips write_json_file exactly.
+Json read_json_file(const std::string& path);
+
 // `results/foo.json` -> `results/foo.timing.json`.
 std::string timing_sidecar_path(const std::string& json_path);
 

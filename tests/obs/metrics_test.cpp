@@ -194,5 +194,60 @@ TEST_F(MetricsTest, ConcurrentWritersAllLand) {
             kThreads * kPerThread);
 }
 
+HistogramSnapshot histogram_of(const std::vector<std::uint64_t>& values) {
+  HistogramSnapshot h;
+  h.buckets.assign(kHistogramBuckets, 0);
+  for (const std::uint64_t v : values) {
+    if (h.count == 0 || v < h.min) h.min = v;
+    if (h.count == 0 || v > h.max) h.max = v;
+    ++h.count;
+    h.sum += v;
+    ++h.buckets[histogram_bucket(v)];
+  }
+  return h;
+}
+
+TEST(HistogramQuantile, EmptyHistogramIsZero) {
+  const HistogramSnapshot h = histogram_of({});
+  EXPECT_EQ(h.quantile(0.5), 0.0);
+}
+
+TEST(HistogramQuantile, ExtremesAreExact) {
+  const HistogramSnapshot h = histogram_of({3, 100, 9000});
+  EXPECT_EQ(h.quantile(0.0), 3.0);
+  EXPECT_EQ(h.quantile(-1.0), 3.0);
+  EXPECT_EQ(h.quantile(1.0), 9000.0);
+  EXPECT_EQ(h.quantile(2.0), 9000.0);
+}
+
+TEST(HistogramQuantile, InterpolatesWithinABucket) {
+  // 100 samples of the same value: every quantile must clamp to it —
+  // bucket interpolation cannot wander outside the observed range.
+  const HistogramSnapshot h =
+      histogram_of(std::vector<std::uint64_t>(100, 700));
+  EXPECT_EQ(h.quantile(0.50), 700.0);
+  EXPECT_EQ(h.quantile(0.99), 700.0);
+}
+
+TEST(HistogramQuantile, SplitsMassAcrossBuckets) {
+  // 10 small samples (bucket of 1) and 10 large ones (bucket of 1500):
+  // the median sits at the boundary between the two buckets, p95 inside
+  // the upper one, bounded by the observed max.
+  std::vector<std::uint64_t> values(10, 1);
+  values.insert(values.end(), 10, 1500);
+  const HistogramSnapshot h = histogram_of(values);
+  const double p50 = h.quantile(0.50);
+  const double p95 = h.quantile(0.95);
+  const double p99 = h.quantile(0.99);
+  EXPECT_GE(p50, 1.0);
+  EXPECT_LE(p50, 1024.0);
+  EXPECT_GT(p95, 1024.0);
+  EXPECT_LE(p95, 1500.0);
+  // Quantiles are monotone in q and never exceed the observed range.
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_LE(p99, 1500.0);
+}
+
 }  // namespace
 }  // namespace silence::obs

@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/flight/flight.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -40,6 +41,27 @@ TEST(ObsOffTest, InstrumentedCodeRegistersNothing) {
   // unconditionally) but this binary's instrumentation never touched it.
   EXPECT_TRUE(Registry::global().snapshot().empty());
   EXPECT_EQ(Tracer::global().event_count(), 0u);
+}
+
+TEST(ObsOffTest, FlightEventCompilesOutAndDoesNotEvaluate) {
+  // Even with an active recording, an OFF-mode FLIGHT_EVENT records
+  // nothing and never evaluates its arguments.
+  flight::TrialLabel label;
+  label.sweep = "off_test";
+  flight::TrialRecording rec(label, 1, runner::Json::object());
+  int evaluations = 0;
+  FLIGHT_EVENT("off_test.stage", ++evaluations, ++evaluations, ++evaluations,
+               ++evaluations, ++evaluations);
+  EXPECT_EQ(evaluations, 0);
+  EXPECT_EQ(rec.size(), 0u);
+
+  // The runtime classes stay fully functional for tooling (silence_diag
+  // parses artifacts in OFF builds too): manual record() still works.
+  flight::Event event;
+  event.stage = "off_test.manual";
+  rec.record(event);
+  EXPECT_EQ(rec.size(), 1u);
+  EXPECT_EQ(flight::TrialRecording::active(), &rec);
 }
 
 TEST(ObsOffTest, SpansAreScopelessStatements) {

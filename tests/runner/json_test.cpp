@@ -82,5 +82,85 @@ TEST(Json, SizeReportsContainers) {
   EXPECT_EQ(Json(5).size(), 0u);
 }
 
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(Json::parse("null").is_null());
+  EXPECT_EQ(Json::parse("true").as_bool(), true);
+  EXPECT_EQ(Json::parse("false").as_bool(), false);
+  EXPECT_EQ(Json::parse("42").as_int(), 42);
+  EXPECT_EQ(Json::parse("-7").as_int(), -7);
+  EXPECT_EQ(Json::parse("0.5").as_double(), 0.5);
+  EXPECT_EQ(Json::parse("1e3").as_double(), 1000.0);
+  EXPECT_EQ(Json::parse("\"hi\"").as_string(), "hi");
+  EXPECT_EQ(Json::parse("  [1, 2]  ").as_array().size(), 2u);
+}
+
+TEST(JsonParse, IntegersStayIntegersDoublesStayDoubles) {
+  EXPECT_TRUE(Json::parse("9007199254740993").is_int());  // > 2^53
+  EXPECT_EQ(Json::parse("9007199254740993").as_int(), 9007199254740993LL);
+  EXPECT_FALSE(Json::parse("1.0").is_int());
+  EXPECT_TRUE(Json::parse("1.0").is_number());
+}
+
+TEST(JsonParse, StringEscapes) {
+  EXPECT_EQ(Json::parse(R"("a\"b\\c\/d\n\t")").as_string(), "a\"b\\c/d\n\t");
+  EXPECT_EQ(Json::parse(R"("A")").as_string(), "A");
+  EXPECT_EQ(Json::parse(R"("é")").as_string(), "\xc3\xa9");  // é
+  // Surrogate pair: U+1F600 as 4-byte UTF-8.
+  EXPECT_EQ(Json::parse(R"("😀")").as_string(),
+            "\xf0\x9f\x98\x80");
+}
+
+TEST(JsonParse, RoundTripsDumpExactly) {
+  Json root = Json::object();
+  root.set("name", "sweep");
+  root.set("rate", 0.1);
+  root.set("third", 1.0 / 3.0);
+  root.set("count", std::int64_t{1} << 62);
+  root.set("none", nullptr);
+  Json& nested = root.set("nested", Json::array());
+  nested.push_back(Json::array({1, 2.5, "x"}));
+  Json inner = Json::object();
+  inner.set("flag", true);
+  nested.push_back(std::move(inner));
+
+  // dump -> parse -> dump must be byte-identical (shortest-round-trip
+  // doubles parse back to the same bit pattern). This is what makes
+  // flight-artifact comparison via dump_compact() sound.
+  const Json compact = Json::parse(root.dump_compact());
+  EXPECT_EQ(compact.dump_compact(), root.dump_compact());
+  const Json pretty = Json::parse(root.dump());
+  EXPECT_EQ(pretty.dump(), root.dump());
+}
+
+TEST(JsonParse, RejectsMalformedInput) {
+  EXPECT_THROW(Json::parse(""), std::runtime_error);
+  EXPECT_THROW(Json::parse("{"), std::runtime_error);
+  EXPECT_THROW(Json::parse("[1,]"), std::runtime_error);
+  EXPECT_THROW(Json::parse("{\"a\" 1}"), std::runtime_error);
+  EXPECT_THROW(Json::parse("\"unterminated"), std::runtime_error);
+  EXPECT_THROW(Json::parse("\"bad \\x escape\""), std::runtime_error);
+  EXPECT_THROW(Json::parse("nul"), std::runtime_error);
+  EXPECT_THROW(Json::parse("01"), std::runtime_error);
+  EXPECT_THROW(Json::parse("1 trailing"), std::runtime_error);
+  EXPECT_THROW(Json::parse(R"("\ud83d")"), std::runtime_error);  // lone hi
+}
+
+TEST(JsonParse, RejectsRunawayNesting) {
+  const std::string deep(400, '[');
+  EXPECT_THROW(Json::parse(deep), std::runtime_error);
+}
+
+TEST(JsonParse, TypedAccessorsThrowOnMismatch) {
+  const Json num(42);
+  EXPECT_THROW(num.as_string(), std::runtime_error);
+  EXPECT_THROW(num.as_array(), std::runtime_error);
+  EXPECT_THROW(num.as_object(), std::runtime_error);
+  EXPECT_THROW(Json("x").as_int(), std::runtime_error);
+  EXPECT_THROW(Json(nullptr).as_bool(), std::runtime_error);
+  // as_double accepts both numeric representations.
+  EXPECT_EQ(Json(2).as_double(), 2.0);
+  EXPECT_EQ(Json(2.5).as_double(), 2.5);
+}
+
 }  // namespace
 }  // namespace silence::runner

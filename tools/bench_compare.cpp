@@ -1,0 +1,213 @@
+// bench_compare — diffs two perf_phy baseline files for CI perf gating.
+//
+//   bench_compare <baseline.json> <candidate.json> [--tolerance 0.10]
+//
+// Compares the top-level benchmark entries ("stages": per-benchmark
+// real_ns/cpu_ns/items_per_second) and, when both files carry it, the
+// "stage_throughput" map (per-pipeline-stage Mitems/s from the obs
+// registry). A benchmark or stage regresses when the candidate is slower
+// than baseline by more than the relative tolerance (default 10%).
+//
+// Exit status: 0 = no regression, 1 = at least one regression, 2 =
+// usage/input error. Entries present on only one side are reported but
+// are not failures (benchmarks come and go); speedups are reported as
+// informational.
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "runner/json.h"
+#include "runner/sinks.h"
+
+namespace {
+
+using silence::runner::Json;
+
+int usage(const char* argv0, int code) {
+  std::fprintf(stderr,
+               "usage: %s <baseline.json> <candidate.json> "
+               "[--tolerance FRAC]\n"
+               "  compares two results/BENCH_phy.json files; exits 1 when\n"
+               "  any benchmark or pipeline stage slowed down by more than\n"
+               "  FRAC (default 0.10 = 10%%)\n",
+               argv0);
+  return code;
+}
+
+const Json* field(const Json& root, const char* key) {
+  return root.is_object() ? root.find(key) : nullptr;
+}
+
+double number_field(const Json& entry, const char* key, double fallback) {
+  const Json* value = field(entry, key);
+  return value != nullptr && value->is_number() ? value->as_double()
+                                                : fallback;
+}
+
+struct Comparison {
+  std::size_t compared = 0;
+  std::size_t regressions = 0;
+  std::size_t improvements = 0;
+  std::size_t only_baseline = 0;
+  std::size_t only_candidate = 0;
+};
+
+// One metric of one entry. `higher_is_better` flips the regression
+// direction (ns vs items/sec).
+void compare_metric(const std::string& label, const char* metric,
+                    double base, double cand, bool higher_is_better,
+                    double tolerance, Comparison& summary) {
+  if (base <= 0.0 || cand <= 0.0) return;
+  const double ratio = cand / base;
+  // Relative slowdown, positive = worse.
+  const double slowdown = higher_is_better ? 1.0 - ratio : ratio - 1.0;
+  ++summary.compared;
+  if (slowdown > tolerance) {
+    ++summary.regressions;
+    std::printf("REGRESSION  %-40s %-18s %12.4g -> %12.4g  (%+.1f%%)\n",
+                label.c_str(), metric, base, cand,
+                100.0 * (ratio - 1.0));
+  } else if (slowdown < -tolerance) {
+    ++summary.improvements;
+    std::printf("improved    %-40s %-18s %12.4g -> %12.4g  (%+.1f%%)\n",
+                label.c_str(), metric, base, cand,
+                100.0 * (ratio - 1.0));
+  }
+}
+
+// "stages" is an array of google-benchmark runs keyed by "name".
+void compare_benchmarks(const Json& base_root, const Json& cand_root,
+                        double tolerance, Comparison& summary) {
+  const Json* base = field(base_root, "stages");
+  const Json* cand = field(cand_root, "stages");
+  if (base == nullptr || cand == nullptr || !base->is_array() ||
+      !cand->is_array()) {
+    return;
+  }
+  const auto find_by_name = [](const Json& stages, const std::string& name)
+      -> const Json* {
+    for (const Json& entry : stages.as_array()) {
+      const Json* entry_name = field(entry, "name");
+      if (entry_name != nullptr && entry_name->is_string() &&
+          entry_name->as_string() == name) {
+        return &entry;
+      }
+    }
+    return nullptr;
+  };
+  for (const Json& base_entry : base->as_array()) {
+    const Json* name = field(base_entry, "name");
+    if (name == nullptr || !name->is_string()) continue;
+    const Json* cand_entry = find_by_name(*cand, name->as_string());
+    if (cand_entry == nullptr) {
+      ++summary.only_baseline;
+      std::printf("only in baseline: benchmark %s\n",
+                  name->as_string().c_str());
+      continue;
+    }
+    compare_metric(name->as_string(), "real_ns",
+                   number_field(base_entry, "real_ns", 0.0),
+                   number_field(*cand_entry, "real_ns", 0.0),
+                   /*higher_is_better=*/false, tolerance, summary);
+    compare_metric(name->as_string(), "items_per_second",
+                   number_field(base_entry, "items_per_second", 0.0),
+                   number_field(*cand_entry, "items_per_second", 0.0),
+                   /*higher_is_better=*/true, tolerance, summary);
+  }
+  for (const Json& cand_entry : cand->as_array()) {
+    const Json* name = field(cand_entry, "name");
+    if (name == nullptr || !name->is_string()) continue;
+    if (find_by_name(*base, name->as_string()) == nullptr) {
+      ++summary.only_candidate;
+      std::printf("only in candidate: benchmark %s\n",
+                  name->as_string().c_str());
+    }
+  }
+}
+
+// "stage_throughput" is an object keyed by pipeline stage; compare the
+// Mitems/s figure (absent entirely in SILENCE_OBS=OFF baselines).
+void compare_stage_throughput(const Json& base_root, const Json& cand_root,
+                              double tolerance, Comparison& summary) {
+  const Json* base = field(base_root, "stage_throughput");
+  const Json* cand = field(cand_root, "stage_throughput");
+  if (base == nullptr || cand == nullptr || !base->is_object() ||
+      !cand->is_object()) {
+    if (base != nullptr || cand != nullptr) {
+      std::printf("stage_throughput present in only one file; skipped\n");
+    }
+    return;
+  }
+  for (const auto& [stage, base_entry] : base->as_object()) {
+    const Json* cand_entry = cand->find(stage);
+    if (cand_entry == nullptr) {
+      ++summary.only_baseline;
+      std::printf("only in baseline: stage %s\n", stage.c_str());
+      continue;
+    }
+    compare_metric("stage " + stage, "mitems_per_second",
+                   number_field(base_entry, "mitems_per_second", 0.0),
+                   number_field(*cand_entry, "mitems_per_second", 0.0),
+                   /*higher_is_better=*/true, tolerance, summary);
+  }
+  for (const auto& [stage, cand_entry] : cand->as_object()) {
+    (void)cand_entry;
+    if (base->find(stage) == nullptr) {
+      ++summary.only_candidate;
+      std::printf("only in candidate: stage %s\n", stage.c_str());
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> paths;
+  double tolerance = 0.10;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--help") || !std::strcmp(argv[i], "-h")) {
+      return usage(argv[0], 0);
+    } else if (!std::strcmp(argv[i], "--tolerance")) {
+      if (i + 1 >= argc) return usage(argv[0], 2);
+      tolerance = std::strtod(argv[++i], nullptr);
+      if (!(tolerance >= 0.0) || !std::isfinite(tolerance)) {
+        std::fprintf(stderr, "%s: tolerance must be a non-negative number\n",
+                     argv[0]);
+        return 2;
+      }
+    } else {
+      paths.emplace_back(argv[i]);
+    }
+  }
+  if (paths.size() != 2) return usage(argv[0], 2);
+
+  Json base_root;
+  Json cand_root;
+  try {
+    base_root = silence::runner::read_json_file(paths[0]);
+    cand_root = silence::runner::read_json_file(paths[1]);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
+    return 2;
+  }
+
+  std::printf("comparing %s (baseline) vs %s (candidate), tolerance %.0f%%\n",
+              paths[0].c_str(), paths[1].c_str(), 100.0 * tolerance);
+  Comparison summary;
+  compare_benchmarks(base_root, cand_root, tolerance, summary);
+  compare_stage_throughput(base_root, cand_root, tolerance, summary);
+
+  std::printf(
+      "%zu metric(s) compared: %zu regression(s), %zu improvement(s), "
+      "%zu baseline-only, %zu candidate-only\n",
+      summary.compared, summary.regressions, summary.improvements,
+      summary.only_baseline, summary.only_candidate);
+  if (summary.compared == 0) {
+    std::fprintf(stderr, "%s: nothing comparable between the two files\n",
+                 argv[0]);
+    return 2;
+  }
+  return summary.regressions > 0 ? 1 : 0;
+}
