@@ -66,6 +66,30 @@ void BM_ViterbiDecode(benchmark::State& state) {
 }
 BENCHMARK(BM_ViterbiDecode)->Arg(1024)->Arg(8214);
 
+// The fixed-point kernel the receive chain actually runs, measured with a
+// warm workspace the way the chain holds one (zero allocations per call).
+void BM_ViterbiDecodeFixed(benchmark::State& state) {
+  const auto bits = static_cast<std::size_t>(state.range(0));
+  Rng rng(3);
+  Bits info = rng.bits(bits);
+  info.insert(info.end(), 6, 0);
+  const Bits coded = convolutional_encode(info);
+  std::vector<double> llrs(coded.size());
+  for (std::size_t i = 0; i < coded.size(); ++i) {
+    llrs[i] = coded[i] ? -4.0 : 4.0;
+  }
+  const ViterbiDecoder decoder;
+  ViterbiWorkspace ws;
+  Bits out;
+  decoder.decode_fixed(llrs, true, ws, out);  // warm the workspace
+  for (auto _ : state) {
+    decoder.decode_fixed(llrs, true, ws, out);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(bits));
+}
+BENCHMARK(BM_ViterbiDecodeFixed)->Arg(1024)->Arg(8214);
+
 void BM_TransmitChain(benchmark::State& state) {
   const Bytes psdu = bench_psdu(1024);
   const Mcs& mcs = mcs_for_rate(24);

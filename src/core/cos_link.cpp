@@ -1,6 +1,7 @@
 #include "core/cos_link.h"
 
 #include <stdexcept>
+#include <utility>
 
 #include "core/interval_code.h"
 #include "obs/flight/flight.h"
@@ -30,23 +31,28 @@ CosTxPacket cos_transmit(std::span<const std::uint8_t> psdu,
   return packet;
 }
 
-std::vector<CxVec> reconstruct_ideal_grid(const DecodeResult& decode,
-                                          const Mcs& mcs) {
+SymbolGrid reconstruct_ideal_grid(const DecodeResult& decode,
+                                  const Mcs& mcs) {
   if (!decode.crc_ok) {
     throw std::invalid_argument("reconstruct_ideal_grid: CRC must pass");
   }
-  const TxFrame frame =
-      build_frame(decode.psdu, mcs, decode.scrambler_seed);
-  return frame.data_grid;
+  TxFrame frame = build_frame(decode.psdu, mcs, decode.scrambler_seed);
+  return std::move(frame.data_grid);
 }
 
 CosRxPacket cos_receive(std::span<const Cx> samples,
                         const CosRxConfig& config,
                         std::optional<Modulation> next_mod) {
+  return cos_receive(samples, config, next_mod, default_phy_workspace());
+}
+
+CosRxPacket cos_receive(std::span<const Cx> samples,
+                        const CosRxConfig& config,
+                        std::optional<Modulation> next_mod, PhyWorkspace& ws) {
   OBS_SPAN("cos.rx");
   OBS_COUNT("cos.rx.packets");
   CosRxPacket packet;
-  packet.fe = receiver_front_end(samples);
+  packet.fe = receiver_front_end(samples, ws);
   if (!packet.fe.signal) return packet;
   const Mcs& mcs = *packet.fe.signal->mcs;
 
@@ -78,15 +84,14 @@ CosRxPacket cos_receive(std::span<const Cx> samples,
   // Data decode with EVD over the detected mask.
   packet.decode =
       decode_data_symbols(packet.fe, mcs, packet.fe.signal->length_octets,
-                          &packet.detected_mask);
+                          &packet.detected_mask, ws);
   packet.data_ok = packet.decode.crc_ok;
   packet.psdu = packet.decode.psdu;
 
   if (packet.data_ok) {
     OBS_COUNT("cos.rx.data_ok");
     OBS_SPAN("cos.rx.evm");
-    const std::vector<CxVec> ideal =
-        reconstruct_ideal_grid(packet.decode, mcs);
+    const SymbolGrid ideal = reconstruct_ideal_grid(packet.decode, mcs);
     packet.evm = per_subcarrier_evm(packet.decode.eq_data, ideal,
                                     mcs.modulation, &packet.detected_mask);
     packet.evm_valid = true;

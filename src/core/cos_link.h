@@ -73,15 +73,18 @@ struct CosRxPacket {
 
 // Receives a CoS burst. `next_mod` is the modulation expected for the
 // next packet (used for the EVM > D_m/2 selection rule); when omitted the
-// current packet's modulation is used.
+// current packet's modulation is used. The workspace-taking overload
+// reuses `ws` scratch for all steady-state symbol processing.
 CosRxPacket cos_receive(std::span<const Cx> samples,
                         const CosRxConfig& config,
                         std::optional<Modulation> next_mod = std::nullopt);
+CosRxPacket cos_receive(std::span<const Cx> samples,
+                        const CosRxConfig& config,
+                        std::optional<Modulation> next_mod, PhyWorkspace& ws);
 
 // Reconstructs the transmitted constellation grid from a successfully
 // decoded packet (re-mapping decoded bits through the transmit chain),
 // for EVM computation. Requires decode.crc_ok.
-std::vector<CxVec> reconstruct_ideal_grid(const DecodeResult& decode,
-                                          const Mcs& mcs);
+SymbolGrid reconstruct_ideal_grid(const DecodeResult& decode, const Mcs& mcs);
 
 }  // namespace silence

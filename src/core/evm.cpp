@@ -7,8 +7,8 @@
 
 namespace silence {
 
-SubcarrierEvm per_subcarrier_evm(std::span<const CxVec> received,
-                                 std::span<const CxVec> ideal,
+SubcarrierEvm per_subcarrier_evm(const SymbolGrid& received,
+                                 const SymbolGrid& ideal,
                                  Modulation mod,
                                  const SilenceMask* exclude) {
   if (received.size() != ideal.size()) {
@@ -16,6 +16,11 @@ SubcarrierEvm per_subcarrier_evm(std::span<const CxVec> received,
   }
   if (exclude != nullptr && exclude->size() != received.size()) {
     throw std::invalid_argument("per_subcarrier_evm: mask size mismatch");
+  }
+  if (!received.empty() &&
+      (received.width() != kNumDataSubcarriers ||
+       ideal.width() != kNumDataSubcarriers)) {
+    throw std::invalid_argument("per_subcarrier_evm: need 48 points");
   }
   // Mean constellation energy (1/M sum |s_m|^2); 1.0 for the normalized
   // 802.11a constellations but computed anyway for generality.
@@ -28,10 +33,6 @@ SubcarrierEvm per_subcarrier_evm(std::span<const CxVec> received,
   std::array<double, kNumDataSubcarriers> error_sum{};
   std::array<int, kNumDataSubcarriers> count{};
   for (std::size_t s = 0; s < received.size(); ++s) {
-    if (received[s].size() != static_cast<std::size_t>(kNumDataSubcarriers) ||
-        ideal[s].size() != static_cast<std::size_t>(kNumDataSubcarriers)) {
-      throw std::invalid_argument("per_subcarrier_evm: need 48 points");
-    }
     for (int j = 0; j < kNumDataSubcarriers; ++j) {
       const auto idx = static_cast<std::size_t>(j);
       if (exclude != nullptr && (*exclude)[s][idx]) continue;

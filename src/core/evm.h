@@ -14,16 +14,17 @@
 #include "dsp/fft.h"
 #include "phy/params.h"
 #include "phy/receiver.h"
+#include "phy/symbol_grid.h"
 
 namespace silence {
 
 using SubcarrierEvm = std::array<double, kNumDataSubcarriers>;
 
-// EVM per data subcarrier. `received` and `ideal` are per-symbol vectors
+// EVM per data subcarrier. `received` and `ideal` are per-symbol grids
 // of 48 points; `exclude` (optional) marks positions to skip (silences).
 // Subcarriers with no usable symbols get EVM = 0.
-SubcarrierEvm per_subcarrier_evm(std::span<const CxVec> received,
-                                 std::span<const CxVec> ideal,
+SubcarrierEvm per_subcarrier_evm(const SymbolGrid& received,
+                                 const SymbolGrid& ideal,
                                  Modulation mod,
                                  const SilenceMask* exclude = nullptr);
 

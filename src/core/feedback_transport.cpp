@@ -1,5 +1,7 @@
 #include "core/feedback_transport.h"
 
+#include <array>
+
 #include "core/subcarrier_selection.h"
 #include "phy/ofdm.h"
 #include "phy/params.h"
@@ -9,14 +11,13 @@ namespace {
 
 // Filler for active positions of a feedback symbol: full-power BPSK ones,
 // so every non-silenced subcarrier is maximally detectable.
-CxVec feedback_symbol_points(std::span<const std::uint8_t> silence_row) {
-  CxVec points(kNumDataSubcarriers, Cx{1.0, 0.0});
+void feedback_symbol_points_into(std::span<const std::uint8_t> silence_row,
+                                 std::span<Cx> points) {
   for (int sc = 0; sc < kNumDataSubcarriers; ++sc) {
-    if (silence_row[static_cast<std::size_t>(sc)]) {
-      points[static_cast<std::size_t>(sc)] = Cx{0.0, 0.0};
-    }
+    points[static_cast<std::size_t>(sc)] =
+        silence_row[static_cast<std::size_t>(sc)] ? Cx{0.0, 0.0}
+                                                  : Cx{1.0, 0.0};
   }
-  return points;
 }
 
 }  // namespace
@@ -24,12 +25,19 @@ CxVec feedback_symbol_points(std::span<const std::uint8_t> silence_row) {
 void append_selection_feedback(CxVec& samples, std::span<const int> selection,
                                int next_pilot_index) {
   const auto [row1, row2] = encode_selection_vector_robust(selection);
+  const std::size_t base = samples.size();
+  samples.resize(base + static_cast<std::size_t>(kFeedbackSymbols) *
+                            static_cast<std::size_t>(kSymbolSamples));
+  std::array<Cx, kNumDataSubcarriers> points;
+  std::array<Cx, kFftSize> bins;
   for (int i = 0; i < kFeedbackSymbols; ++i) {
-    const CxVec points = feedback_symbol_points(i == 0 ? row1 : row2);
-    const CxVec bins =
-        assemble_frequency_bins(points, next_pilot_index + i);
-    const CxVec time = bins_to_time(bins);
-    samples.insert(samples.end(), time.begin(), time.end());
+    feedback_symbol_points_into(i == 0 ? row1 : row2, points);
+    assemble_frequency_bins_into(points, next_pilot_index + i, bins);
+    bins_to_time_into(
+        bins, std::span(samples).subspan(
+                  base + static_cast<std::size_t>(i) *
+                             static_cast<std::size_t>(kSymbolSamples),
+                  kSymbolSamples));
   }
 }
 
@@ -42,8 +50,11 @@ std::optional<std::vector<int>> decode_selection_feedback(
   FrontEndResult trailer_fe;
   trailer_fe.channel = fe.channel;
   trailer_fe.noise_var = fe.noise_var;
-  trailer_fe.data_bins.assign(fe.trailer_bins.begin(),
-                              fe.trailer_bins.begin() + kFeedbackSymbols);
+  trailer_fe.data_bins.reserve(kFeedbackSymbols);
+  for (int i = 0; i < kFeedbackSymbols; ++i) {
+    trailer_fe.data_bins.push_back(
+        fe.trailer_bins[static_cast<std::size_t>(i)]);
+  }
   std::vector<int> all(kNumDataSubcarriers);
   for (int sc = 0; sc < kNumDataSubcarriers; ++sc) {
     all[static_cast<std::size_t>(sc)] = sc;

@@ -83,13 +83,14 @@ SilencePlan plan_silences(std::span<const std::uint8_t> control_bits,
   return plan;
 }
 
-void apply_silences(std::vector<CxVec>& grid, const SilenceMask& mask) {
+void apply_silences(SymbolGrid& grid, const SilenceMask& mask) {
   if (grid.size() != mask.size()) {
     throw std::invalid_argument("apply_silences: mask/grid size mismatch");
   }
   for (std::size_t s = 0; s < grid.size(); ++s) {
-    for (std::size_t c = 0; c < grid[s].size(); ++c) {
-      if (mask[s][c]) grid[s][c] = Cx{0.0, 0.0};
+    const auto row = grid[s];
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (mask[s][c]) row[c] = Cx{0.0, 0.0};
     }
   }
 }

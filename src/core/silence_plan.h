@@ -34,7 +34,7 @@ SilencePlan plan_silences(std::span<const std::uint8_t> control_bits,
 
 // Applies a plan to a transmit grid: zeroes the planned points.
 // `grid[symbol][subcarrier]` are the constellation points of the frame.
-void apply_silences(std::vector<CxVec>& grid, const SilenceMask& mask);
+void apply_silences(SymbolGrid& grid, const SilenceMask& mask);
 
 // Recovers interval values from a detected mask, walking the control grid
 // in the same traversal order. Returns the gaps between consecutive

@@ -1,6 +1,10 @@
 #include "dsp/fft.h"
 
+#include <array>
+#include <atomic>
+#include <bit>
 #include <cmath>
+#include <mutex>
 #include <numbers>
 #include <stdexcept>
 
@@ -11,39 +15,91 @@ bool is_power_of_two(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
 
 }  // namespace
 
-void fft_in_place(std::span<Cx> data, bool inverse) {
-  const std::size_t n = data.size();
+FftPlan::FftPlan(std::size_t n) : n_(n) {
   if (!is_power_of_two(n)) {
     throw std::invalid_argument("fft: size must be a power of two");
   }
 
-  // Bit-reversal permutation.
+  bitrev_.resize(n);
   for (std::size_t i = 1, j = 0; i < n; ++i) {
     std::size_t bit = n >> 1;
     for (; j & bit; bit >>= 1) j ^= bit;
     j ^= bit;
-    if (i < j) std::swap(data[i], data[j]);
+    bitrev_[i] = static_cast<std::uint32_t>(j);
   }
 
-  const double sign = inverse ? 1.0 : -1.0;
-  for (std::size_t len = 2; len <= n; len <<= 1) {
-    const double angle = sign * 2.0 * std::numbers::pi / static_cast<double>(len);
-    const Cx wlen(std::cos(angle), std::sin(angle));
-    for (std::size_t i = 0; i < n; i += len) {
-      Cx w(1.0, 0.0);
-      for (std::size_t j = 0; j < len / 2; ++j) {
-        const Cx u = data[i + j];
-        const Cx v = data[i + j + len / 2] * w;
-        data[i + j] = u + v;
-        data[i + j + len / 2] = u - v;
-        w *= wlen;
+  // The factors must match the values the old in-loop recurrence
+  // (w = 1; w *= wlen) produced, last ulp included, so the tables are
+  // filled by running exactly that recurrence once per stage.
+  if (n > 1) {
+    twiddle_fwd_.resize(n - 1);
+    twiddle_inv_.resize(n - 1);
+    for (int pass = 0; pass < 2; ++pass) {
+      const double sign = pass == 0 ? -1.0 : 1.0;
+      auto& table = pass == 0 ? twiddle_fwd_ : twiddle_inv_;
+      for (std::size_t len = 2; len <= n; len <<= 1) {
+        const double angle =
+            sign * 2.0 * std::numbers::pi / static_cast<double>(len);
+        const Cx wlen(std::cos(angle), std::sin(angle));
+        Cx w(1.0, 0.0);
+        for (std::size_t j = 0; j < len / 2; ++j) {
+          table[len / 2 - 1 + j] = w;
+          w *= wlen;
+        }
       }
     }
   }
+}
 
+void FftPlan::run(std::span<Cx> data, const std::vector<Cx>& twiddle) const {
+  if (data.size() != n_) {
+    throw std::invalid_argument("fft: data size does not match plan");
+  }
+  for (std::size_t i = 1; i < n_; ++i) {
+    const std::size_t j = bitrev_[i];
+    if (i < j) std::swap(data[i], data[j]);
+  }
+  for (std::size_t len = 2; len <= n_; len <<= 1) {
+    const Cx* w = twiddle.data() + (len / 2 - 1);
+    for (std::size_t i = 0; i < n_; i += len) {
+      for (std::size_t j = 0; j < len / 2; ++j) {
+        const Cx u = data[i + j];
+        const Cx v = data[i + j + len / 2] * w[j];
+        data[i + j] = u + v;
+        data[i + j + len / 2] = u - v;
+      }
+    }
+  }
+}
+
+const FftPlan& fft_plan(std::size_t n) {
+  if (!is_power_of_two(n)) {
+    throw std::invalid_argument("fft: size must be a power of two");
+  }
+  // One slot per log2(size); plans are created once under the mutex and
+  // published with release semantics, so steady-state lookups are a single
+  // acquire load. Plans intentionally live for the whole process.
+  static std::array<std::atomic<const FftPlan*>, 64> slots{};
+  static std::mutex build_mutex;
+  const auto idx = static_cast<std::size_t>(std::countr_zero(n));
+  const FftPlan* plan = slots[idx].load(std::memory_order_acquire);
+  if (plan == nullptr) {
+    std::lock_guard<std::mutex> lock(build_mutex);
+    plan = slots[idx].load(std::memory_order_acquire);
+    if (plan == nullptr) {
+      plan = new FftPlan(n);
+      slots[idx].store(plan, std::memory_order_release);
+    }
+  }
+  return *plan;
+}
+
+void fft_in_place(std::span<Cx> data, bool inverse) {
+  const FftPlan& plan = fft_plan(data.size());
   if (inverse) {
-    const double scale = 1.0 / static_cast<double>(n);
-    for (auto& x : data) x *= scale;
+    plan.inverse(data);
+  } else {
+    plan.forward(data);
   }
 }
 

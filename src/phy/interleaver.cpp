@@ -22,11 +22,65 @@ std::vector<int> interleaver_permutation(int n_cbps, int n_bpsc) {
   return perm;
 }
 
+namespace {
+
+// Permutation lookup that keeps non-standard shapes working (tests use
+// them): standard shapes hit the cache, anything else is computed into
+// `local`.
+std::span<const int> permutation_for(int n_cbps, int n_bpsc,
+                                     std::vector<int>& local) {
+  switch (n_bpsc) {
+    case 1:
+      if (n_cbps == 48) return interleaver_permutation_cached(n_cbps, n_bpsc);
+      break;
+    case 2:
+      if (n_cbps == 96) return interleaver_permutation_cached(n_cbps, n_bpsc);
+      break;
+    case 4:
+      if (n_cbps == 192) return interleaver_permutation_cached(n_cbps, n_bpsc);
+      break;
+    case 6:
+      if (n_cbps == 288) return interleaver_permutation_cached(n_cbps, n_bpsc);
+      break;
+    default:
+      break;
+  }
+  local = interleaver_permutation(n_cbps, n_bpsc);
+  return local;
+}
+
+}  // namespace
+
+std::span<const int> interleaver_permutation_cached(int n_cbps, int n_bpsc) {
+  static const std::vector<int> bpsk = interleaver_permutation(48, 1);
+  static const std::vector<int> qpsk = interleaver_permutation(96, 2);
+  static const std::vector<int> qam16 = interleaver_permutation(192, 4);
+  static const std::vector<int> qam64 = interleaver_permutation(288, 6);
+  switch (n_bpsc) {
+    case 1:
+      if (n_cbps == 48) return bpsk;
+      break;
+    case 2:
+      if (n_cbps == 96) return qpsk;
+      break;
+    case 4:
+      if (n_cbps == 192) return qam16;
+      break;
+    case 6:
+      if (n_cbps == 288) return qam64;
+      break;
+    default:
+      break;
+  }
+  throw std::invalid_argument("interleaver: no cached permutation for shape");
+}
+
 Bits interleave_symbol(std::span<const std::uint8_t> bits, const Mcs& mcs) {
   if (bits.size() != static_cast<std::size_t>(mcs.n_cbps)) {
     throw std::invalid_argument("interleave_symbol: wrong bit count");
   }
-  const auto perm = interleaver_permutation(mcs.n_cbps, mcs.n_bpsc);
+  std::vector<int> local;
+  const auto perm = permutation_for(mcs.n_cbps, mcs.n_bpsc, local);
   Bits out(bits.size());
   for (std::size_t k = 0; k < bits.size(); ++k) {
     out[static_cast<std::size_t>(perm[k])] = bits[k];
@@ -34,16 +88,23 @@ Bits interleave_symbol(std::span<const std::uint8_t> bits, const Mcs& mcs) {
   return out;
 }
 
-std::vector<double> deinterleave_symbol_llrs(std::span<const double> llrs,
-                                             const Mcs& mcs) {
+void deinterleave_symbol_llrs_into(std::span<const double> llrs,
+                                   const Mcs& mcs, std::vector<double>& out) {
   if (llrs.size() != static_cast<std::size_t>(mcs.n_cbps)) {
     throw std::invalid_argument("deinterleave_symbol_llrs: wrong count");
   }
-  const auto perm = interleaver_permutation(mcs.n_cbps, mcs.n_bpsc);
-  std::vector<double> out(llrs.size());
+  std::vector<int> local;
+  const auto perm = permutation_for(mcs.n_cbps, mcs.n_bpsc, local);
+  out.resize(llrs.size());
   for (std::size_t k = 0; k < llrs.size(); ++k) {
     out[k] = llrs[static_cast<std::size_t>(perm[k])];
   }
+}
+
+std::vector<double> deinterleave_symbol_llrs(std::span<const double> llrs,
+                                             const Mcs& mcs) {
+  std::vector<double> out;
+  deinterleave_symbol_llrs_into(llrs, mcs, out);
   return out;
 }
 
@@ -52,7 +113,8 @@ Bits interleave(std::span<const std::uint8_t> bits, const Mcs& mcs) {
   if (bits.size() % n != 0) {
     throw std::invalid_argument("interleave: not a whole number of symbols");
   }
-  const auto perm = interleaver_permutation(mcs.n_cbps, mcs.n_bpsc);
+  std::vector<int> local;
+  const auto perm = permutation_for(mcs.n_cbps, mcs.n_bpsc, local);
   Bits out(bits.size());
   for (std::size_t base = 0; base < bits.size(); base += n) {
     for (std::size_t k = 0; k < n; ++k) {
@@ -62,20 +124,27 @@ Bits interleave(std::span<const std::uint8_t> bits, const Mcs& mcs) {
   return out;
 }
 
-std::vector<double> deinterleave_llrs(std::span<const double> llrs,
-                                      const Mcs& mcs) {
+void deinterleave_llrs_into(std::span<const double> llrs, const Mcs& mcs,
+                            std::vector<double>& out) {
   const auto n = static_cast<std::size_t>(mcs.n_cbps);
   if (llrs.size() % n != 0) {
     throw std::invalid_argument(
         "deinterleave_llrs: not a whole number of symbols");
   }
-  const auto perm = interleaver_permutation(mcs.n_cbps, mcs.n_bpsc);
-  std::vector<double> out(llrs.size());
+  std::vector<int> local;
+  const auto perm = permutation_for(mcs.n_cbps, mcs.n_bpsc, local);
+  out.resize(llrs.size());
   for (std::size_t base = 0; base < llrs.size(); base += n) {
     for (std::size_t k = 0; k < n; ++k) {
       out[base + k] = llrs[base + static_cast<std::size_t>(perm[k])];
     }
   }
+}
+
+std::vector<double> deinterleave_llrs(std::span<const double> llrs,
+                                      const Mcs& mcs) {
+  std::vector<double> out;
+  deinterleave_llrs_into(llrs, mcs, out);
   return out;
 }
 

@@ -20,6 +20,11 @@ namespace silence {
 // position of input bit k (k = 0 .. n_cbps-1).
 std::vector<int> interleaver_permutation(int n_cbps, int n_bpsc);
 
+// The same permutation served from a process-wide cache. Only the four
+// standard 802.11a shapes (48/1, 96/2, 192/4, 288/6) are cached; anything
+// else throws. The span stays valid for the process lifetime.
+std::span<const int> interleaver_permutation_cached(int n_cbps, int n_bpsc);
+
 // Interleaves one OFDM symbol worth of bits. `bits.size()` must equal
 // n_cbps of `mcs`.
 Bits interleave_symbol(std::span<const std::uint8_t> bits, const Mcs& mcs);
@@ -33,5 +38,12 @@ std::vector<double> deinterleave_symbol_llrs(std::span<const double> llrs,
 Bits interleave(std::span<const std::uint8_t> bits, const Mcs& mcs);
 std::vector<double> deinterleave_llrs(std::span<const double> llrs,
                                       const Mcs& mcs);
+
+// Allocation-free variants writing into a caller buffer (resized to the
+// input length; capacity is reused across calls).
+void deinterleave_symbol_llrs_into(std::span<const double> llrs,
+                                   const Mcs& mcs, std::vector<double>& out);
+void deinterleave_llrs_into(std::span<const double> llrs, const Mcs& mcs,
+                            std::vector<double>& out);
 
 }  // namespace silence

@@ -117,16 +117,27 @@ Cx map_symbol(std::span<const std::uint8_t> bits, Modulation mod) {
   return {i_axis * scale, q_axis * scale};
 }
 
+void map_bits_into(std::span<const std::uint8_t> bits, Modulation mod,
+                   std::span<Cx> out) {
+  const auto n = static_cast<std::size_t>(bits_per_symbol(mod));
+  if (bits.size() % n != 0) {
+    throw std::invalid_argument("map_bits: not a whole number of symbols");
+  }
+  if (out.size() != bits.size() / n) {
+    throw std::invalid_argument("map_bits_into: output size mismatch");
+  }
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = map_symbol(bits.subspan(i * n, n), mod);
+  }
+}
+
 CxVec map_bits(std::span<const std::uint8_t> bits, Modulation mod) {
   const auto n = static_cast<std::size_t>(bits_per_symbol(mod));
   if (bits.size() % n != 0) {
     throw std::invalid_argument("map_bits: not a whole number of symbols");
   }
-  CxVec out;
-  out.reserve(bits.size() / n);
-  for (std::size_t i = 0; i < bits.size(); i += n) {
-    out.push_back(map_symbol(bits.subspan(i, n), mod));
-  }
+  CxVec out(bits.size() / n);
+  map_bits_into(bits, mod, out);
   return out;
 }
 

@@ -21,6 +21,11 @@ Cx map_symbol(std::span<const std::uint8_t> bits, Modulation mod);
 // Maps a bit stream (length a multiple of n_bpsc) to symbols.
 CxVec map_bits(std::span<const std::uint8_t> bits, Modulation mod);
 
+// Same mapping into a caller buffer; `out.size()` must equal
+// bits.size() / n_bpsc.
+void map_bits_into(std::span<const std::uint8_t> bits, Modulation mod,
+                   std::span<Cx> out);
+
 // Max-log LLRs for the n_bpsc bits of a received point `y` whose noise
 // variance (per complex dimension pair, E[|n|^2]) is `noise_var`.
 // Appends n_bpsc values to `out`.

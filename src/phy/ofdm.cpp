@@ -1,59 +1,97 @@
 #include "phy/ofdm.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "phy/pilots.h"
 
 namespace silence {
 
-CxVec assemble_frequency_bins(std::span<const Cx> data48, int symbol_index) {
+void assemble_frequency_bins_into(std::span<const Cx> data48, int symbol_index,
+                                  std::span<Cx> bins64) {
   if (data48.size() != static_cast<std::size_t>(kNumDataSubcarriers)) {
     throw std::invalid_argument("assemble_frequency_bins: need 48 points");
   }
-  CxVec bins(kFftSize, Cx{0.0, 0.0});
+  if (bins64.size() != static_cast<std::size_t>(kFftSize)) {
+    throw std::invalid_argument("assemble_frequency_bins: need 64 bins");
+  }
+  std::fill(bins64.begin(), bins64.end(), Cx{0.0, 0.0});
   const auto data_bins = data_subcarrier_bins();
   for (int i = 0; i < kNumDataSubcarriers; ++i) {
-    bins[static_cast<std::size_t>(data_bins[static_cast<std::size_t>(i)])] =
+    bins64[static_cast<std::size_t>(data_bins[static_cast<std::size_t>(i)])] =
         data48[static_cast<std::size_t>(i)];
   }
   const auto pilots = pilot_values(symbol_index);
   const auto pilot_bins = pilot_subcarrier_bins();
   for (int i = 0; i < kNumPilotSubcarriers; ++i) {
-    bins[static_cast<std::size_t>(pilot_bins[static_cast<std::size_t>(i)])] =
+    bins64[static_cast<std::size_t>(pilot_bins[static_cast<std::size_t>(i)])] =
         pilots[static_cast<std::size_t>(i)];
   }
+}
+
+CxVec assemble_frequency_bins(std::span<const Cx> data48, int symbol_index) {
+  CxVec bins(kFftSize);
+  assemble_frequency_bins_into(data48, symbol_index, bins);
   return bins;
 }
 
-CxVec bins_to_time(std::span<const Cx> bins64) {
+void bins_to_time_into(std::span<const Cx> bins64, std::span<Cx> samples80) {
   if (bins64.size() != static_cast<std::size_t>(kFftSize)) {
     throw std::invalid_argument("bins_to_time: need 64 bins");
   }
-  const CxVec body = ifft(bins64);
-  CxVec samples;
-  samples.reserve(kSymbolSamples);
-  samples.insert(samples.end(), body.end() - kCpLength, body.end());
-  samples.insert(samples.end(), body.begin(), body.end());
+  if (samples80.size() != static_cast<std::size_t>(kSymbolSamples)) {
+    throw std::invalid_argument("bins_to_time: need 80 samples");
+  }
+  // Body occupies samples [16, 80); the cyclic prefix is its last 16
+  // samples copied to the front.
+  const auto body = samples80.subspan(kCpLength);
+  std::copy(bins64.begin(), bins64.end(), body.begin());
+  fft_plan(kFftSize).inverse(body);
+  std::copy(body.end() - kCpLength, body.end(), samples80.begin());
+}
+
+CxVec bins_to_time(std::span<const Cx> bins64) {
+  CxVec samples(kSymbolSamples);
+  bins_to_time_into(bins64, samples);
   return samples;
 }
 
-CxVec time_to_bins(std::span<const Cx> samples80) {
+void time_to_bins_into(std::span<const Cx> samples80, std::span<Cx> bins64) {
   if (samples80.size() != static_cast<std::size_t>(kSymbolSamples)) {
     throw std::invalid_argument("time_to_bins: need 80 samples");
   }
-  return fft(samples80.subspan(kCpLength));
+  if (bins64.size() != static_cast<std::size_t>(kFftSize)) {
+    throw std::invalid_argument("time_to_bins: need 64 bins");
+  }
+  const auto body = samples80.subspan(kCpLength);
+  std::copy(body.begin(), body.end(), bins64.begin());
+  fft_plan(kFftSize).forward(bins64);
 }
 
-CxVec extract_data_points(std::span<const Cx> bins64) {
+CxVec time_to_bins(std::span<const Cx> samples80) {
+  CxVec bins(kFftSize);
+  time_to_bins_into(samples80, bins);
+  return bins;
+}
+
+void extract_data_points_into(std::span<const Cx> bins64,
+                              std::span<Cx> data48) {
   if (bins64.size() != static_cast<std::size_t>(kFftSize)) {
     throw std::invalid_argument("extract_data_points: need 64 bins");
   }
-  CxVec out(kNumDataSubcarriers);
+  if (data48.size() != static_cast<std::size_t>(kNumDataSubcarriers)) {
+    throw std::invalid_argument("extract_data_points: need 48 points");
+  }
   const auto data_bins = data_subcarrier_bins();
   for (int i = 0; i < kNumDataSubcarriers; ++i) {
-    out[static_cast<std::size_t>(i)] =
+    data48[static_cast<std::size_t>(i)] =
         bins64[static_cast<std::size_t>(data_bins[static_cast<std::size_t>(i)])];
   }
+}
+
+CxVec extract_data_points(std::span<const Cx> bins64) {
+  CxVec out(kNumDataSubcarriers);
+  extract_data_points_into(bins64, out);
   return out;
 }
 

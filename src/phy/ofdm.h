@@ -27,4 +27,12 @@ CxVec extract_data_points(std::span<const Cx> bins64);
 // Extracts the 4 pilot points (logical order: bins -21,-7,+7,+21).
 std::array<Cx, 4> extract_pilot_points(std::span<const Cx> bins64);
 
+// Allocation-free variants writing into fixed-size caller buffers. The
+// time/frequency transforms use the cached size-64 FFT plan in place.
+void assemble_frequency_bins_into(std::span<const Cx> data48, int symbol_index,
+                                  std::span<Cx> bins64);
+void bins_to_time_into(std::span<const Cx> bins64, std::span<Cx> samples80);
+void time_to_bins_into(std::span<const Cx> samples80, std::span<Cx> bins64);
+void extract_data_points_into(std::span<const Cx> bins64, std::span<Cx> data48);
+
 }  // namespace silence

@@ -32,31 +32,37 @@ Bits puncture(std::span<const std::uint8_t> coded, CodeRate rate) {
   return out;
 }
 
-Llrs depuncture_llrs(std::span<const double> llrs, CodeRate rate,
-                     std::size_t mother_bits) {
+void depuncture_llrs_into(std::span<const double> llrs, CodeRate rate,
+                          std::size_t mother_bits, Llrs& out) {
   const auto pattern = pattern_for(rate);
   if (pattern.empty()) {
     if (llrs.size() != mother_bits) {
       throw std::invalid_argument("depuncture_llrs: length mismatch");
     }
-    return Llrs(llrs.begin(), llrs.end());
+    out.assign(llrs.begin(), llrs.end());
+    return;
   }
-  Llrs out;
-  out.reserve(mother_bits);
+  out.resize(mother_bits);
   std::size_t in = 0;
   for (std::size_t pos = 0; pos < mother_bits; ++pos) {
     if (pattern[pos % pattern.size()]) {
       if (in >= llrs.size()) {
         throw std::invalid_argument("depuncture_llrs: too few soft values");
       }
-      out.push_back(llrs[in++]);
+      out[pos] = llrs[in++];
     } else {
-      out.push_back(0.0);  // punctured position: total erasure
+      out[pos] = 0.0;  // punctured position: total erasure
     }
   }
   if (in != llrs.size()) {
     throw std::invalid_argument("depuncture_llrs: too many soft values");
   }
+}
+
+Llrs depuncture_llrs(std::span<const double> llrs, CodeRate rate,
+                     std::size_t mother_bits) {
+  Llrs out;
+  depuncture_llrs_into(llrs, rate, mother_bits, out);
   return out;
 }
 

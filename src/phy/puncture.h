@@ -27,6 +27,11 @@ Bits puncture(std::span<const std::uint8_t> coded, CodeRate rate);
 Llrs depuncture_llrs(std::span<const double> llrs, CodeRate rate,
                      std::size_t mother_bits);
 
+// Same re-insertion into a caller buffer (resized to `mother_bits`;
+// capacity is reused across calls).
+void depuncture_llrs_into(std::span<const double> llrs, CodeRate rate,
+                          std::size_t mother_bits, Llrs& out);
+
 // Number of punctured-stream bits produced from `mother_bits` coded bits.
 std::size_t punctured_length(std::size_t mother_bits, CodeRate rate);
 

@@ -30,45 +30,57 @@ const ViterbiDecoder& shared_decoder() {
 }
 
 std::optional<SignalField> decode_signal(
-    std::span<const Cx> signal_samples,
-    const std::array<Cx, kFftSize>& channel, double noise_var) {
-  const CxVec bins = time_to_bins(signal_samples);
-  const CxVec points = equalize_data_points(bins, channel);
+    std::span<const Cx> signal_bins, const std::array<Cx, kFftSize>& channel,
+    double noise_var, PhyWorkspace& ws) {
+  std::array<Cx, kNumDataSubcarriers> points;
+  equalize_data_points_into(signal_bins, channel, points);
 
   const Mcs& bpsk = mcs_for_rate(6);
-  std::vector<double> llrs;
-  llrs.reserve(48);
+  ws.llrs.clear();
   const auto data_bins = data_subcarrier_bins();
   for (int i = 0; i < kNumDataSubcarriers; ++i) {
     const auto idx = static_cast<std::size_t>(i);
     const Cx h = channel[static_cast<std::size_t>(data_bins[idx])];
     const double h2 = std::max(std::norm(h), kMinChannelPower);
-    demod_llrs(points[idx], Modulation::kBpsk, noise_var / h2, llrs);
+    demod_llrs(points[idx], Modulation::kBpsk, noise_var / h2, ws.llrs);
   }
-  const auto deint = deinterleave_symbol_llrs(llrs, bpsk);
-  const Bits bits = shared_decoder().decode(deint);
-  return parse_signal_bits(std::span(bits).first(24));
+  deinterleave_symbol_llrs_into(ws.llrs, bpsk, ws.deint);
+  shared_decoder().decode(ws.deint, /*terminated=*/true, ws.viterbi,
+                          ws.scrambled);
+  return parse_signal_bits(std::span(ws.scrambled).first(24));
 }
 
 }  // namespace
 
-CxVec equalize_data_points(std::span<const Cx> bins64,
-                           const std::array<Cx, kFftSize>& channel) {
-  CxVec points = extract_data_points(bins64);
+void equalize_data_points_into(std::span<const Cx> bins64,
+                               const std::array<Cx, kFftSize>& channel,
+                               std::span<Cx> points48) {
+  extract_data_points_into(bins64, points48);
   const auto data_bins = data_subcarrier_bins();
   for (int i = 0; i < kNumDataSubcarriers; ++i) {
     const auto idx = static_cast<std::size_t>(i);
     const Cx h = channel[static_cast<std::size_t>(data_bins[idx])];
     if (std::norm(h) < kMinChannelPower) {
-      points[idx] = Cx{0.0, 0.0};
+      points48[idx] = Cx{0.0, 0.0};
     } else {
-      points[idx] /= h;
+      points48[idx] /= h;
     }
   }
+}
+
+CxVec equalize_data_points(std::span<const Cx> bins64,
+                           const std::array<Cx, kFftSize>& channel) {
+  CxVec points(kNumDataSubcarriers);
+  equalize_data_points_into(bins64, channel, points);
   return points;
 }
 
-FrontEndResult receiver_front_end(std::span<const Cx> raw_samples) {
+FrontEndResult receiver_front_end(std::span<const Cx> samples) {
+  return receiver_front_end(samples, default_phy_workspace());
+}
+
+FrontEndResult receiver_front_end(std::span<const Cx> raw_samples,
+                                  PhyWorkspace& ws) {
   FrontEndResult fe;
   if (raw_samples.size() <
       static_cast<std::size_t>(kPreambleSamples + kSymbolSamples)) {
@@ -81,7 +93,8 @@ FrontEndResult receiver_front_end(std::span<const Cx> raw_samples) {
   // Carrier synchronization: coarse CFO from the STF periodicity, then a
   // fine pass on the (coarse-corrected) LTF. On an offset-free input the
   // estimates are noise-level and the correction is a no-op.
-  CxVec corrected(raw_samples.begin(), raw_samples.end());
+  ws.corrected.assign(raw_samples.begin(), raw_samples.end());
+  CxVec& corrected = ws.corrected;
   {
     OBS_SPAN("phy.rx.sync");
     const double coarse =
@@ -104,14 +117,15 @@ FrontEndResult receiver_front_end(std::span<const Cx> raw_samples) {
   // below by averaging over the data symbols.
   const auto signal_samples =
       samples.subspan(kPreambleSamples, kSymbolSamples);
-  const CxVec signal_bins = time_to_bins(signal_samples);
+  std::array<Cx, kFftSize> signal_bins;
+  time_to_bins_into(signal_samples, signal_bins);
   double noise_sum = pilot_noise_estimate(signal_bins, fe.channel, 0);
   int noise_count = 1;
   fe.noise_var = noise_sum;
 
   {
     OBS_SPAN("phy.rx.signal");
-    fe.signal = decode_signal(signal_samples, fe.channel, fe.noise_var);
+    fe.signal = decode_signal(signal_bins, fe.channel, fe.noise_var, ws);
   }
   if (!fe.signal) return fe;
 
@@ -134,9 +148,9 @@ FrontEndResult receiver_front_end(std::span<const Cx> raw_samples) {
       const auto offset = static_cast<std::size_t>(kPreambleSamples) +
                           static_cast<std::size_t>(kSymbolSamples) *
                               static_cast<std::size_t>(1 + s);
-      fe.data_bins.push_back(
-          time_to_bins(samples.subspan(offset, kSymbolSamples)));
-      noise_sum += pilot_noise_estimate(fe.data_bins.back(), fe.channel, s + 1);
+      const auto bins = fe.data_bins.append();
+      time_to_bins_into(samples.subspan(offset, kSymbolSamples), bins);
+      noise_sum += pilot_noise_estimate(bins, fe.channel, s + 1);
       ++noise_count;
     }
     OBS_COUNT_N("phy.rx.fft.items",
@@ -162,11 +176,17 @@ FrontEndResult receiver_front_end(std::span<const Cx> raw_samples) {
 #endif
 
   // Any whole symbols after the data field are trailer symbols.
-  for (std::size_t offset = needed;
-       offset + static_cast<std::size_t>(kSymbolSamples) <= samples.size();
-       offset += static_cast<std::size_t>(kSymbolSamples)) {
-    fe.trailer_bins.push_back(
-        time_to_bins(samples.subspan(offset, kSymbolSamples)));
+  const std::size_t n_trailer =
+      samples.size() < needed + static_cast<std::size_t>(kSymbolSamples)
+          ? 0
+          : (samples.size() - needed) /
+                static_cast<std::size_t>(kSymbolSamples);
+  fe.trailer_bins.reserve(n_trailer);
+  for (std::size_t s = 0; s < n_trailer; ++s) {
+    const auto offset =
+        needed + s * static_cast<std::size_t>(kSymbolSamples);
+    time_to_bins_into(samples.subspan(offset, kSymbolSamples),
+                      fe.trailer_bins.append());
   }
   return fe;
 }
@@ -174,6 +194,13 @@ FrontEndResult receiver_front_end(std::span<const Cx> raw_samples) {
 DecodeResult decode_data_symbols(const FrontEndResult& fe, const Mcs& mcs,
                                  int length_octets,
                                  const SilenceMask* silence) {
+  return decode_data_symbols(fe, mcs, length_octets, silence,
+                             default_phy_workspace());
+}
+
+DecodeResult decode_data_symbols(const FrontEndResult& fe, const Mcs& mcs,
+                                 int length_octets, const SilenceMask* silence,
+                                 PhyWorkspace& ws) {
   DecodeResult result;
   const int n_sym = static_cast<int>(fe.data_bins.size());
   if (n_sym == 0) return result;
@@ -194,7 +221,8 @@ DecodeResult decode_data_symbols(const FrontEndResult& fe, const Mcs& mcs,
     OBS_SPAN("phy.rx.equalize");
     for (int s = 0; s < n_sym; ++s) {
       const auto sym = static_cast<std::size_t>(s);
-      CxVec points = equalize_data_points(fe.data_bins[sym], fe.channel);
+      const auto points = result.eq_data.append();
+      equalize_data_points_into(fe.data_bins[sym], fe.channel, points);
 
       // Common phase error tracking: residual CFO and phase noise rotate
       // every subcarrier of a symbol by the same angle; the four known
@@ -214,7 +242,6 @@ DecodeResult decode_data_symbols(const FrontEndResult& fe, const Mcs& mcs,
         const Cx derotate = std::conj(rotation) / std::abs(rotation);
         for (Cx& p : points) p *= derotate;
       }
-      result.eq_data.push_back(std::move(points));
     }
     OBS_COUNT_N("phy.rx.equalize.items",
                 static_cast<std::size_t>(n_sym) *
@@ -222,15 +249,15 @@ DecodeResult decode_data_symbols(const FrontEndResult& fe, const Mcs& mcs,
   }
 
   // Pass 2 — demap to LLRs, injecting EVD erasures on masked subcarriers.
-  std::vector<double> llrs;
-  llrs.reserve(static_cast<std::size_t>(n_sym) *
-               static_cast<std::size_t>(mcs.n_cbps));
+  ws.llrs.clear();
+  ws.llrs.reserve(static_cast<std::size_t>(n_sym) *
+                  static_cast<std::size_t>(mcs.n_cbps));
   [[maybe_unused]] std::size_t erased_bits = 0;
   {
     OBS_SPAN("phy.rx.demap");
     for (int s = 0; s < n_sym; ++s) {
       const auto sym = static_cast<std::size_t>(s);
-      const CxVec& points = result.eq_data[sym];
+      const auto points = result.eq_data[sym];
       for (int i = 0; i < kNumDataSubcarriers; ++i) {
         const auto idx = static_cast<std::size_t>(i);
         const bool erased =
@@ -238,26 +265,25 @@ DecodeResult decode_data_symbols(const FrontEndResult& fe, const Mcs& mcs,
         if (erased) {
           // EVD: every constellation bit of a silence symbol is an erasure
           // (paper Eq. 7, the e_k = 0 branch).
-          for (int b = 0; b < mcs.n_bpsc; ++b) llrs.push_back(0.0);
+          for (int b = 0; b < mcs.n_bpsc; ++b) ws.llrs.push_back(0.0);
           erased_bits += static_cast<std::size_t>(mcs.n_bpsc);
           continue;
         }
         const Cx h = fe.channel[static_cast<std::size_t>(data_bins[idx])];
         const double h2 = std::max(std::norm(h), kMinChannelPower);
-        demod_llrs(points[idx], mcs.modulation, fe.noise_var / h2, llrs);
+        demod_llrs(points[idx], mcs.modulation, fe.noise_var / h2, ws.llrs);
       }
     }
-    OBS_COUNT_N("phy.rx.demap.items", llrs.size());
+    OBS_COUNT_N("phy.rx.demap.items", ws.llrs.size());
   }
   OBS_COUNT_N("cos.erasures_injected", erased_bits);
 
-  std::vector<double> deint;
   {
     OBS_SPAN("phy.rx.deinterleave");
-    deint = deinterleave_llrs(llrs, mcs);
+    deinterleave_llrs_into(ws.llrs, mcs, ws.deint);
   }
-  result.decoder_input_hard.reserve(deint.size());
-  for (double v : deint) {
+  result.decoder_input_hard.reserve(ws.deint.size());
+  for (double v : ws.deint) {
     result.decoder_input_hard.push_back(v < 0.0 ? 1 : 0);
   }
 
@@ -266,13 +292,14 @@ DecodeResult decode_data_symbols(const FrontEndResult& fe, const Mcs& mcs,
   // The DATA field's pad bits are scrambled and therefore nonzero, so the
   // encoder does NOT finish in the all-zero state (only the tail bits are
   // re-zeroed, and padding follows them). Trace back from the best state.
-  Bits scrambled;
   {
     OBS_SPAN("phy.rx.viterbi");
-    const Llrs mother = depuncture_llrs(deint, mcs.code_rate, info_bits * 2);
-    scrambled = shared_decoder().decode(mother, /*terminated=*/false);
-    OBS_COUNT_N("phy.rx.viterbi.items", scrambled.size());
+    depuncture_llrs_into(ws.deint, mcs.code_rate, info_bits * 2, ws.mother);
+    shared_decoder().decode_fixed(ws.mother, /*terminated=*/false, ws.viterbi,
+                                  ws.scrambled);
+    OBS_COUNT_N("phy.rx.viterbi.items", ws.scrambled.size());
   }
+  const Bits& scrambled = ws.scrambled;
 
 #if SILENCE_OBS_ON
   {
@@ -283,10 +310,10 @@ DecodeResult decode_data_symbols(const FrontEndResult& fe, const Mcs& mcs,
     const Bits recoded =
         puncture(convolutional_encode(scrambled), mcs.code_rate);
     std::uint64_t corrected = 0;
-    const std::size_t n = std::min(recoded.size(), deint.size());
+    const std::size_t n = std::min(recoded.size(), ws.deint.size());
     for (std::size_t i = 0; i < n; ++i) {
-      if (deint[i] != 0.0 &&
-          (deint[i] < 0.0 ? 1 : 0) != recoded[i]) {
+      if (ws.deint[i] != 0.0 &&
+          (ws.deint[i] < 0.0 ? 1 : 0) != recoded[i]) {
         ++corrected;
       }
     }
@@ -335,12 +362,17 @@ RxPacket receive_packet_unaligned(std::span<const Cx> samples) {
 }
 
 RxPacket receive_packet(std::span<const Cx> samples) {
+  return receive_packet(samples, default_phy_workspace());
+}
+
+RxPacket receive_packet(std::span<const Cx> samples, PhyWorkspace& ws) {
   RxPacket packet;
-  const FrontEndResult fe = receiver_front_end(samples);
+  const FrontEndResult fe = receiver_front_end(samples, ws);
   packet.signal = fe.signal;
   if (!fe.signal) return packet;
   DecodeResult decode =
-      decode_data_symbols(fe, *fe.signal->mcs, fe.signal->length_octets);
+      decode_data_symbols(fe, *fe.signal->mcs, fe.signal->length_octets,
+                          nullptr, ws);
   packet.psdu = std::move(decode.psdu);
   packet.ok = decode.crc_ok;
   return packet;

@@ -2,6 +2,10 @@
 // SIGNAL decode, per-symbol FFT) and a data decoder, so that the CoS
 // energy detector can inspect raw frequency bins and mark silence symbols
 // between the two stages.
+//
+// Each stage has a workspace-taking overload; with a warm PhyWorkspace the
+// steady-state per-symbol processing performs no heap allocation (the
+// result grids are reserved exactly once per packet).
 #pragma once
 
 #include <array>
@@ -13,6 +17,8 @@
 #include "dsp/fft.h"
 #include "phy/params.h"
 #include "phy/signal_field.h"
+#include "phy/symbol_grid.h"
+#include "phy/workspace.h"
 
 namespace silence {
 
@@ -26,23 +32,26 @@ struct FrontEndResult {
   std::array<Cx, kFftSize> channel{};  // LTF-based estimate
   double noise_var = 0.0;  // per-bin frequency-domain noise, pilot-aided
   double cfo_hz = 0.0;     // preamble-estimated and corrected CFO
-  std::vector<CxVec> data_bins;  // raw 64-bin FFT output per data symbol
+  // Raw 64-bin FFT output per data symbol (row = symbol).
+  SymbolGrid data_bins{kFftSize};
   // Whole OFDM symbols following the data field (e.g. CoS feedback
   // symbols appended to an ACK). Not part of the PSDU decode.
-  std::vector<CxVec> trailer_bins;
+  SymbolGrid trailer_bins{kFftSize};
 };
 
 // Runs preamble processing and SIGNAL decoding over a frame-aligned burst.
 // When SIGNAL parses, all data-symbol FFTs and the pilot-aided noise
 // estimate are populated.
 FrontEndResult receiver_front_end(std::span<const Cx> samples);
+FrontEndResult receiver_front_end(std::span<const Cx> samples,
+                                  PhyWorkspace& ws);
 
 struct DecodeResult {
   bool crc_ok = false;
   Bytes psdu;
   // Equalized data constellation points per symbol (48 each), for EVM
   // computation and symbol-error analysis.
-  std::vector<CxVec> eq_data;
+  SymbolGrid eq_data{kNumDataSubcarriers};
   // Hard decisions of the coded stream in pre-interleave (deinterleaved)
   // order, one per transmitted coded bit; silence-masked symbols still
   // contribute their (meaningless) hard bits here, callers that measure
@@ -61,6 +70,9 @@ struct DecodeResult {
 DecodeResult decode_data_symbols(const FrontEndResult& fe, const Mcs& mcs,
                                  int length_octets,
                                  const SilenceMask* silence = nullptr);
+DecodeResult decode_data_symbols(const FrontEndResult& fe, const Mcs& mcs,
+                                 int length_octets, const SilenceMask* silence,
+                                 PhyWorkspace& ws);
 
 // Convenience: full receive of a plain (non-CoS) burst.
 struct RxPacket {
@@ -69,6 +81,7 @@ struct RxPacket {
   Bytes psdu;
 };
 RxPacket receive_packet(std::span<const Cx> samples);
+RxPacket receive_packet(std::span<const Cx> samples, PhyWorkspace& ws);
 
 // Like receive_packet(), but the frame may start anywhere in `samples`
 // (preceded by noise/idle): runs STF/LTF timing acquisition first.
@@ -78,5 +91,8 @@ RxPacket receive_packet_unaligned(std::span<const Cx> samples);
 // Bins with a near-zero channel estimate equalize to 0.
 CxVec equalize_data_points(std::span<const Cx> bins64,
                            const std::array<Cx, kFftSize>& channel);
+void equalize_data_points_into(std::span<const Cx> bins64,
+                               const std::array<Cx, kFftSize>& channel,
+                               std::span<Cx> points48);
 
 }  // namespace silence

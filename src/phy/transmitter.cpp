@@ -1,5 +1,6 @@
 #include "phy/transmitter.h"
 
+#include <array>
 #include <stdexcept>
 
 #include "obs/obs.h"
@@ -78,18 +79,13 @@ TxFrame build_frame(std::span<const std::uint8_t> psdu, const Mcs& mcs,
     interleaved = interleave(frame.coded_bits, mcs);
     OBS_COUNT_N("phy.tx.interleave.items", interleaved.size());
   }
-  CxVec points;
   {
     OBS_SPAN("phy.tx.map");
-    points = map_bits(interleaved, mcs.modulation);
-    OBS_COUNT_N("phy.tx.map.items", points.size());
-  }
-
-  frame.data_grid.reserve(static_cast<std::size_t>(n_sym));
-  for (int s = 0; s < n_sym; ++s) {
-    const auto begin =
-        points.begin() + static_cast<std::ptrdiff_t>(s) * kNumDataSubcarriers;
-    frame.data_grid.emplace_back(begin, begin + kNumDataSubcarriers);
+    // Map straight into the flat grid storage: one allocation for the
+    // whole frame, no per-symbol rows.
+    frame.data_grid.resize(static_cast<std::size_t>(n_sym));
+    map_bits_into(interleaved, mcs.modulation, frame.data_grid.cells());
+    OBS_COUNT_N("phy.tx.map.items", frame.data_grid.cells().size());
   }
   OBS_COUNT_N("phy.tx.symbols", n_sym);
   return frame;
@@ -99,10 +95,15 @@ CxVec frame_to_samples(const TxFrame& frame) {
   if (frame.mcs == nullptr) {
     throw std::invalid_argument("frame_to_samples: empty frame");
   }
-  CxVec samples = build_preamble();
-  samples.reserve(static_cast<std::size_t>(kPreambleSamples) +
-                  static_cast<std::size_t>(kSymbolSamples) *
-                      (1 + frame.data_grid.size()));
+  // The preamble is a pure function of nothing; build it once.
+  static const CxVec& preamble = *new CxVec(build_preamble());
+
+  const std::size_t total =
+      static_cast<std::size_t>(kPreambleSamples) +
+      static_cast<std::size_t>(kSymbolSamples) * (1 + frame.data_grid.size());
+  CxVec samples(total);
+  const std::span<Cx> out(samples);
+  std::copy(preamble.begin(), preamble.end(), out.begin());
 
   // SIGNAL symbol (BPSK, rate 1/2, not scrambled), pilot index 0.
   const Mcs& bpsk = mcs_for_rate(6);
@@ -110,19 +111,23 @@ CxVec frame_to_samples(const TxFrame& frame) {
       encode_signal_bits(*frame.mcs, static_cast<int>(frame.psdu_octets));
   const Bits signal_coded = convolutional_encode(signal_bits);
   const Bits signal_inter = interleave(signal_coded, bpsk);
-  const CxVec signal_points = map_bits(signal_inter, Modulation::kBpsk);
-  const CxVec signal_bins = assemble_frequency_bins(signal_points, 0);
-  const CxVec signal_time = bins_to_time(signal_bins);
-  samples.insert(samples.end(), signal_time.begin(), signal_time.end());
+  std::array<Cx, kNumDataSubcarriers> signal_points;
+  map_bits_into(signal_inter, Modulation::kBpsk, signal_points);
+  std::array<Cx, kFftSize> bins;
+  assemble_frequency_bins_into(signal_points, 0, bins);
+  bins_to_time_into(bins, out.subspan(kPreambleSamples, kSymbolSamples));
 
-  // Data symbols: pilot indices 1..n.
+  // Data symbols: pilot indices 1..n, written straight into the output
+  // burst (the IFFT runs in place on the destination span).
   {
     OBS_SPAN("phy.tx.ifft");
     for (int s = 0; s < frame.num_symbols(); ++s) {
-      const CxVec bins = assemble_frequency_bins(
-          frame.data_grid[static_cast<std::size_t>(s)], s + 1);
-      const CxVec time = bins_to_time(bins);
-      samples.insert(samples.end(), time.begin(), time.end());
+      assemble_frequency_bins_into(
+          frame.data_grid[static_cast<std::size_t>(s)], s + 1, bins);
+      const auto offset = static_cast<std::size_t>(kPreambleSamples) +
+                          static_cast<std::size_t>(kSymbolSamples) *
+                              static_cast<std::size_t>(1 + s);
+      bins_to_time_into(bins, out.subspan(offset, kSymbolSamples));
     }
   }
   OBS_COUNT_N("phy.tx.ifft.items",

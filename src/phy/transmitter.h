@@ -14,6 +14,7 @@
 #include "common/bits.h"
 #include "dsp/fft.h"
 #include "phy/params.h"
+#include "phy/symbol_grid.h"
 
 namespace silence {
 
@@ -27,7 +28,7 @@ struct TxFrame {
   Bits coded_bits;
   // Per-OFDM-symbol constellation points (48 each, logical subcarrier
   // order). CoS silence insertion zeroes entries here.
-  std::vector<CxVec> data_grid;
+  SymbolGrid data_grid{kNumDataSubcarriers};
 
   int num_symbols() const { return static_cast<int>(data_grid.size()); }
 

@@ -5,8 +5,26 @@
 // LLR = 0 and therefore contribute nothing to any path metric, which is
 // exactly the erasure Viterbi decoding (EVD) of the paper's Eq. (7): the
 // trellis itself is the standard one, only the bit metrics change.
+//
+// Two kernels share one trellis/traceback structure:
+//
+//  - decode(): exact double-precision metrics, arithmetically identical
+//    to the original straight-line implementation (it is the reference
+//    the fixed-point path is property-tested against, and the exhaustive
+//    maximum-likelihood property tests hold against it to 1e-9).
+//  - decode_fixed(): the hot path. LLRs are block-normalized and rounded
+//    to int16 (|q| <= kQuantMax), metrics are int32, and the 32 trellis
+//    butterflies per step run branch-free over flat state arrays (SSE2
+//    when available, with an identical-result scalar fallback). For any
+//    input of at most kMaxFixedSteps steps, decode_fixed(llrs) returns
+//    *bit-identical* output to decode() run on the quantized LLRs: with
+//    |q| <= 8191 and <= 49152 steps the int32 path metrics stay within
+//    [-8.1e8, 0] while unreachable states sit at kIntFloor = INT32_MIN/2,
+//    so no saturation or renormalization point is ever hit, and every
+//    add/compare is exact in both integer and double arithmetic.
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -14,8 +32,24 @@
 
 namespace silence {
 
+// Reusable decoder scratch. Buffers grow to the largest frame seen and
+// are reused across packets, so steady-state decoding allocates nothing.
+struct ViterbiWorkspace {
+  // One 64-bit survivor word per trellis step (bit n = predecessor parity
+  // of next-state n).
+  std::vector<std::uint64_t> survivors;
+  // Quantized LLR pairs for the fixed-point path.
+  std::vector<std::int16_t> quantized;
+};
+
 class ViterbiDecoder {
  public:
+  // Quantization ceiling: block maximum |LLR| maps to +-kQuantMax.
+  static constexpr int kQuantMax = 8191;
+  // Longest input the fixed-point kernel accepts without falling back to
+  // the double path (every legal 802.11a frame is <= 32790 steps).
+  static constexpr std::size_t kMaxFixedSteps = 49152;
+
   ViterbiDecoder();
 
   // Decodes `llrs` (2 values per information bit, mother-code order
@@ -25,10 +59,36 @@ class ViterbiDecoder {
   // the all-zero state by tail bits (802.11a always does this) and
   // traceback starts at state 0; otherwise it starts at the best state.
   Bits decode(std::span<const double> llrs, bool terminated = true) const;
+  void decode(std::span<const double> llrs, bool terminated,
+              ViterbiWorkspace& ws, Bits& out) const;
+
+  // Fixed-point decode of the same stream (see file comment for the
+  // exactness contract vs decode() on quantized inputs).
+  Bits decode_fixed(std::span<const double> llrs,
+                    bool terminated = true) const;
+  void decode_fixed(std::span<const double> llrs, bool terminated,
+                    ViterbiWorkspace& ws, Bits& out) const;
+
+  // Block quantization used by decode_fixed: scales so the largest finite
+  // |LLR| becomes kQuantMax, rounding half away from zero; zero stays
+  // exactly zero (erasures remain erasures). `out.size()` must equal
+  // `llrs.size()`.
+  static void quantize_llrs(std::span<const double> llrs,
+                            std::span<std::int16_t> out);
 
  private:
+  void traceback(const ViterbiWorkspace& ws, std::size_t steps, int state,
+                 Bits& out) const;
+
   // out_[state][input] = 2 coded bits (A in bit 0, B in bit 1).
   std::vector<std::uint8_t> output_table_;
+  // Butterfly branch-metric signs: for butterfly j (predecessors 2j and
+  // 2j+1), g_j = sign_a_[j]*la + sign_b_[j]*lb is the branch metric of
+  // the (even predecessor, input 0) edge; the three sibling edges use
+  // +-g_j by the code's symmetry (both generator polynomials have their
+  // lowest and highest taps set).
+  std::int32_t sign_a_[32];
+  std::int32_t sign_b_[32];
 };
 
 }  // namespace silence

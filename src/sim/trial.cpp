@@ -124,6 +124,11 @@ CosTrialSpec CosTrialSpec::from_json(const runner::Json& json) {
 }
 
 CosPacket simulate_cos_packet(const CosTrialSpec& spec, std::uint64_t seed) {
+  return simulate_cos_packet(spec, seed, default_phy_workspace());
+}
+
+CosPacket simulate_cos_packet(const CosTrialSpec& spec, std::uint64_t seed,
+                              PhyWorkspace& ws) {
   CosPacket out;
   // Substream split inherited from the original fig10 bench: stream 0 is
   // the "position" (channel realization), stream 1 drives payload, noise
@@ -144,20 +149,23 @@ CosPacket simulate_cos_packet(const CosTrialSpec& spec, std::uint64_t seed) {
   CxVec received = channel.transmit(out.tx.samples, nv, rng);
   if (spec.interferer) spec.interferer->apply(received, rng);
 
-  out.fe = receiver_front_end(received);
+  out.fe = receiver_front_end(received, ws);
   if (spec.ground_truth_framing) {
     // Rebuild the per-symbol FFTs from the known frame geometry, so a
     // SIGNAL wipe-out under heavy interference does not drop the packet.
     out.fe.channel = estimate_channel(
         std::span<const Cx>(received).subspan(kStfSamples, kLtfSamples));
     out.fe.data_bins.clear();
+    out.fe.data_bins.reserve(
+        static_cast<std::size_t>(out.tx.frame.num_symbols()));
     for (int s = 0; s < out.tx.frame.num_symbols(); ++s) {
       const auto offset =
           static_cast<std::size_t>(kPreambleSamples) +
           static_cast<std::size_t>(kSymbolSamples) *
               static_cast<std::size_t>(1 + s);
-      out.fe.data_bins.push_back(time_to_bins(
-          std::span<const Cx>(received).subspan(offset, kSymbolSamples)));
+      time_to_bins_into(
+          std::span<const Cx>(received).subspan(offset, kSymbolSamples),
+          out.fe.data_bins.append());
     }
     // A deployed receiver tracks its noise floor over many packets; use
     // the long-term floor rather than this packet's pilot residuals
@@ -227,8 +235,13 @@ runner::Json CosTrialResult::summary() const {
 
 CosTrialResult run_cos_trial_recorded(const CosTrialSpec& spec,
                                       std::uint64_t seed) {
+  return run_cos_trial_recorded(spec, seed, default_phy_workspace());
+}
+
+CosTrialResult run_cos_trial_recorded(const CosTrialSpec& spec,
+                                      std::uint64_t seed, PhyWorkspace& ws) {
   CosTrialResult result;
-  const CosPacket packet = simulate_cos_packet(spec, seed);
+  const CosPacket packet = simulate_cos_packet(spec, seed, ws);
   result.usable = packet.usable;
   result.control_bits_sent = packet.tx.plan.bits_sent;
 
@@ -258,7 +271,7 @@ CosTrialResult run_cos_trial_recorded(const CosTrialSpec& spec,
     // fig10's legacy detection-only sweep skipped this).
     const DecodeResult decode = decode_data_symbols(
         packet.fe, mcs, static_cast<int>(spec.psdu_octets),
-        &result.detected_mask);
+        &result.detected_mask, ws);
     result.crc_ok = decode.crc_ok;
     if (decode.crc_ok) result.psdu = decode.psdu;
   }

@@ -82,8 +82,11 @@ struct CosPacket {
 };
 
 // Simulates one packet of `spec` at `seed` and runs the receiver front
-// end. Deterministic in (spec, seed).
+// end. Deterministic in (spec, seed). The workspace overload reuses `ws`
+// for all PHY scratch, keeping steady-state symbol work allocation-free.
 CosPacket simulate_cos_packet(const CosTrialSpec& spec, std::uint64_t seed);
+CosPacket simulate_cos_packet(const CosTrialSpec& spec, std::uint64_t seed,
+                              PhyWorkspace& ws);
 
 // Confusion counts of `detector` against the packet's true silence plan
 // (empty counts when the packet is unusable or the symbol count
@@ -114,6 +117,8 @@ struct CosTrialResult {
 // anomaly-predicate evaluation. Never routes dumps itself.
 CosTrialResult run_cos_trial_recorded(const CosTrialSpec& spec,
                                       std::uint64_t seed);
+CosTrialResult run_cos_trial_recorded(const CosTrialSpec& spec,
+                                      std::uint64_t seed, PhyWorkspace& ws);
 
 // The sweep-facing wrapper: when the global DumpRouter is armed (a bench
 // ran with --flight-dir), records the trial and routes the artifact on an

@@ -186,7 +186,7 @@ TEST(EnergyDetector, DataBinEnergiesLayout) {
 
 TEST(EnergyDetector, SubcarrierRangeValidated) {
   FrontEndResult fe;
-  fe.data_bins.emplace_back(kFftSize, Cx{0.0, 0.0});
+  fe.data_bins.append();
   fe.noise_var = 0.01;
   const std::vector<int> bad = {48};
   EXPECT_THROW(detect_silences(fe, bad, {}), std::invalid_argument);

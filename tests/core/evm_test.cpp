@@ -9,18 +9,19 @@
 namespace silence {
 namespace {
 
-std::vector<CxVec> constant_grid(int symbols, Cx value) {
-  return std::vector<CxVec>(static_cast<std::size_t>(symbols),
-                            CxVec(kNumDataSubcarriers, value));
+SymbolGrid constant_grid(int symbols, Cx value) {
+  SymbolGrid grid(kNumDataSubcarriers);
+  grid.resize(static_cast<std::size_t>(symbols));
+  for (Cx& p : grid.cells()) p = value;
+  return grid;
 }
 
 TEST(Evm, ZeroForPerfectReception) {
   Rng rng(1);
-  std::vector<CxVec> ideal(5, CxVec(kNumDataSubcarriers));
-  for (auto& row : ideal) {
-    for (auto& p : row) {
-      p = constellation(Modulation::kQam16)[rng.uniform_int(0, 15)];
-    }
+  SymbolGrid ideal(kNumDataSubcarriers);
+  ideal.resize(5);
+  for (Cx& p : ideal.cells()) {
+    p = constellation(Modulation::kQam16)[rng.uniform_int(0, 15)];
   }
   const auto evm = per_subcarrier_evm(ideal, ideal, Modulation::kQam16);
   for (double v : evm) EXPECT_DOUBLE_EQ(v, 0.0);
@@ -31,9 +32,7 @@ TEST(Evm, KnownOffsetGivesKnownEvm) {
   // 0.1 for unit-energy constellations.
   const auto ideal = constant_grid(4, Cx{1.0, 0.0});
   auto received = ideal;
-  for (auto& row : received) {
-    for (auto& p : row) p += Cx{0.1, 0.0};
-  }
+  for (Cx& p : received.cells()) p += Cx{0.1, 0.0};
   const auto evm = per_subcarrier_evm(received, ideal, Modulation::kBpsk);
   for (double v : evm) EXPECT_NEAR(v, 0.1, 1e-12);
 }
@@ -42,7 +41,7 @@ TEST(Evm, PerSubcarrierIndependence) {
   // Distort only subcarrier 7; all others must stay at zero EVM.
   const auto ideal = constant_grid(10, Cx{1.0, 0.0});
   auto received = ideal;
-  for (auto& row : received) row[7] += Cx{0.0, 0.3};
+  for (const auto row : received) row[7] += Cx{0.0, 0.3};
   const auto evm = per_subcarrier_evm(received, ideal, Modulation::kBpsk);
   for (int j = 0; j < kNumDataSubcarriers; ++j) {
     if (j == 7) {
@@ -89,7 +88,8 @@ TEST(Evm, ShapeValidation) {
   const auto b = constant_grid(3, Cx{1.0, 0.0});
   EXPECT_THROW(per_subcarrier_evm(a, b, Modulation::kBpsk),
                std::invalid_argument);
-  std::vector<CxVec> short_row(2, CxVec(47));
+  SymbolGrid short_row(47);
+  short_row.resize(2);
   EXPECT_THROW(per_subcarrier_evm(short_row, short_row, Modulation::kBpsk),
                std::invalid_argument);
 }

@@ -103,7 +103,9 @@ TEST(SilencePlan, ApplySilencesZeroesPlannedPoints) {
   Rng rng(7);
   const Bits bits = rng.bits(16);
   const SilencePlan plan = plan_silences(bits, 8, kSixSubcarriers, 4);
-  std::vector<CxVec> grid(8, CxVec(kNumDataSubcarriers, Cx{1.0, 1.0}));
+  SymbolGrid grid(kNumDataSubcarriers);
+  grid.resize(8);
+  for (Cx& p : grid.cells()) p = Cx{1.0, 1.0};
   apply_silences(grid, plan.mask);
   for (std::size_t s = 0; s < grid.size(); ++s) {
     for (int sc = 0; sc < kNumDataSubcarriers; ++sc) {
@@ -118,7 +120,8 @@ TEST(SilencePlan, ApplySilencesZeroesPlannedPoints) {
 }
 
 TEST(SilencePlan, ApplySilencesValidatesShape) {
-  std::vector<CxVec> grid(3, CxVec(kNumDataSubcarriers));
+  SymbolGrid grid(kNumDataSubcarriers);
+  grid.resize(3);
   const SilenceMask mask = empty_mask(4);
   EXPECT_THROW(apply_silences(grid, mask), std::invalid_argument);
 }

@@ -65,7 +65,7 @@ TEST(ReceiverInternals, TrailerSymbolsExtracted) {
   const FrontEndResult fe = receiver_front_end(samples);
   ASSERT_TRUE(fe.signal.has_value());
   EXPECT_EQ(fe.trailer_bins.size(), 3u);
-  for (const CxVec& bins : fe.trailer_bins) {
+  for (const auto bins : fe.trailer_bins) {
     EXPECT_EQ(bins.size(), static_cast<std::size_t>(kFftSize));
   }
 }

@@ -1,0 +1,195 @@
+// Fixed-point Viterbi equivalence fuzz suite.
+//
+// decode_fixed()'s contract (phy/viterbi.h): for any input of at most
+// kMaxFixedSteps trellis steps, its output is bit-identical to the exact
+// double-precision decode() run on the *quantized* LLRs. These tests fuzz
+// that contract across every code rate and puncturing pattern the chain
+// uses, erasure-heavy streams (the EVD mechanism: LLR = 0 positions),
+// saturation extremes (huge/tiny magnitudes, +-inf, NaN), and both
+// terminated and unterminated traceback.
+#include <cmath>
+#include <gtest/gtest.h>
+#include <limits>
+#include <vector>
+
+#include "common/rng.h"
+#include "phy/convolutional.h"
+#include "phy/params.h"
+#include "phy/puncture.h"
+#include "phy/viterbi.h"
+
+namespace silence {
+namespace {
+
+// The reference path: quantize exactly as decode_fixed does, then run the
+// exact double kernel on the quantized values.
+Bits reference_decode(const ViterbiDecoder& decoder,
+                      std::span<const double> llrs, bool terminated) {
+  std::vector<std::int16_t> q(llrs.size());
+  ViterbiDecoder::quantize_llrs(llrs, q);
+  std::vector<double> as_double(q.begin(), q.end());
+  return decoder.decode(as_double, terminated);
+}
+
+void expect_equivalent(const ViterbiDecoder& decoder,
+                       const std::vector<double>& llrs,
+                       const std::string& label) {
+  for (const bool terminated : {true, false}) {
+    const Bits expected = reference_decode(decoder, llrs, terminated);
+    const Bits fixed = decoder.decode_fixed(llrs, terminated);
+    ASSERT_EQ(fixed, expected)
+        << label << " (terminated=" << terminated << ")";
+  }
+}
+
+// Noisy LLR stream for `info_bits` information bits at code `rate`,
+// punctured positions carried as exact zeros (as depuncture_llrs emits).
+std::vector<double> chain_llrs(Rng& rng, std::size_t info_bits,
+                               CodeRate rate, double erasure_prob) {
+  Bits info = rng.bits(info_bits);
+  info.insert(info.end(), 6, 0);  // tail
+  const Bits mother = convolutional_encode(info);
+  const Bits sent = puncture(mother, rate);
+  std::vector<double> noisy(sent.size());
+  for (std::size_t i = 0; i < sent.size(); ++i) {
+    const double clean = sent[i] ? -1.0 : 1.0;
+    noisy[i] = 2.0 * clean + rng.gaussian();
+    if (rng.uniform() < erasure_prob) noisy[i] = 0.0;  // silenced symbol
+  }
+  const Llrs full = depuncture_llrs(noisy, rate, mother.size());
+  return full;
+}
+
+TEST(ViterbiFixedEquivalence, AllRatesRandomNoise) {
+  const ViterbiDecoder decoder;
+  Rng rng(1);
+  const CodeRate rates[] = {CodeRate::kRate1of2, CodeRate::kRate2of3,
+                            CodeRate::kRate3of4};
+  for (const CodeRate rate : rates) {
+    for (int trial = 0; trial < 25; ++trial) {
+      // Multiple of 6 keeps every puncturing pattern period-aligned.
+      const std::size_t info_bits = 66 + 6 * rng.uniform_int(0, 200);
+      const auto llrs = chain_llrs(rng, info_bits, rate, 0.0);
+      expect_equivalent(decoder, llrs,
+                        "rate=" + std::to_string(static_cast<int>(rate)) +
+                            " trial=" + std::to_string(trial));
+    }
+  }
+}
+
+TEST(ViterbiFixedEquivalence, ErasureHeavyStreams) {
+  // EVD inputs: large fractions of exact-zero LLRs (silenced subcarriers
+  // plus punctured positions) must decode identically.
+  const ViterbiDecoder decoder;
+  Rng rng(2);
+  for (const double erasures : {0.2, 0.5, 0.9}) {
+    for (int trial = 0; trial < 10; ++trial) {
+      const auto llrs = chain_llrs(rng, 510, CodeRate::kRate3of4, erasures);
+      expect_equivalent(decoder, llrs,
+                        "erasures=" + std::to_string(erasures));
+    }
+  }
+}
+
+TEST(ViterbiFixedEquivalence, AllZeroInput) {
+  const ViterbiDecoder decoder;
+  const std::vector<double> llrs(2 * 200, 0.0);
+  expect_equivalent(decoder, llrs, "all-zero");
+}
+
+TEST(ViterbiFixedEquivalence, SaturationExtremes) {
+  // Mixed magnitudes spanning ~600 orders: block normalization must keep
+  // the big values at +-kQuantMax and flush the tiny ones to zero, both
+  // paths agreeing bit for bit.
+  const ViterbiDecoder decoder;
+  Rng rng(3);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<double> llrs(2 * 300);
+    for (auto& v : llrs) {
+      switch (rng.uniform_int(0, 3)) {
+        case 0: v = (rng.uniform() - 0.5) * 2e300; break;
+        case 1: v = (rng.uniform() - 0.5) * 2e-300; break;
+        case 2: v = (rng.uniform() - 0.5) * 8.0; break;
+        default: v = 0.0; break;
+      }
+    }
+    expect_equivalent(decoder, llrs, "saturation trial " +
+                                         std::to_string(trial));
+  }
+}
+
+TEST(ViterbiFixedEquivalence, NonFiniteInputs) {
+  // quantize_llrs maps NaN -> 0 (erasure) and +-inf -> +-kQuantMax; the
+  // fixed path must agree with the reference on such streams too.
+  const ViterbiDecoder decoder;
+  Rng rng(4);
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+  std::vector<double> llrs(2 * 150);
+  for (auto& v : llrs) {
+    switch (rng.uniform_int(0, 4)) {
+      case 0: v = kInf; break;
+      case 1: v = -kInf; break;
+      case 2: v = kNan; break;
+      default: v = rng.gaussian(); break;
+    }
+  }
+  expect_equivalent(decoder, llrs, "non-finite");
+}
+
+TEST(ViterbiFixedEquivalence, QuantizeLlrsProperties) {
+  // Zero stays exactly zero (erasures survive quantization) and the block
+  // maximum hits exactly +-kQuantMax.
+  const std::vector<double> llrs = {0.0, 3.5, -7.0, 0.0, 1.75,
+                                    -0.0, 7.0,  -3.5};
+  std::vector<std::int16_t> q(llrs.size());
+  ViterbiDecoder::quantize_llrs(llrs, q);
+  EXPECT_EQ(q[0], 0);
+  EXPECT_EQ(q[3], 0);
+  EXPECT_EQ(q[5], 0);
+  EXPECT_EQ(q[2], -ViterbiDecoder::kQuantMax);
+  EXPECT_EQ(q[6], ViterbiDecoder::kQuantMax);
+  EXPECT_EQ(q[1], (ViterbiDecoder::kQuantMax + 1) / 2);  // 3.5/7 rounded
+}
+
+TEST(ViterbiFixedEquivalence, HardDecisionsMatchEncoder) {
+  // Clean +-4 LLRs at every rate: both kernels must recover the exact
+  // transmitted bits (not just agree with each other).
+  const ViterbiDecoder decoder;
+  Rng rng(5);
+  const CodeRate rates[] = {CodeRate::kRate1of2, CodeRate::kRate2of3,
+                            CodeRate::kRate3of4};
+  for (const CodeRate rate : rates) {
+    Bits info = rng.bits(798);  // +6 tail bits stays period-aligned
+    Bits padded = info;
+    padded.insert(padded.end(), 6, 0);
+    const Bits mother = convolutional_encode(padded);
+    const Bits sent = puncture(mother, rate);
+    std::vector<double> clean(sent.size());
+    for (std::size_t i = 0; i < sent.size(); ++i) {
+      clean[i] = sent[i] ? -4.0 : 4.0;
+    }
+    const Llrs full = depuncture_llrs(clean, rate, mother.size());
+    const Bits fixed = decoder.decode_fixed(full, true);
+    const Bits exact = decoder.decode(full, true);
+    ASSERT_EQ(fixed.size(), padded.size());
+    for (std::size_t i = 0; i < info.size(); ++i) {
+      ASSERT_EQ(fixed[i], info[i]) << "bit " << i;
+      ASSERT_EQ(exact[i], info[i]) << "bit " << i;
+    }
+  }
+}
+
+TEST(ViterbiFixedEquivalence, OversizeInputFallsBackToExact) {
+  // Past kMaxFixedSteps the fixed path defers to the double kernel, so
+  // the outputs must be identical to decode() on the *unquantized* LLRs.
+  const ViterbiDecoder decoder;
+  Rng rng(6);
+  const std::size_t steps = ViterbiDecoder::kMaxFixedSteps + 64;
+  std::vector<double> llrs(2 * steps);
+  for (auto& v : llrs) v = 2.0 * rng.gaussian();
+  EXPECT_EQ(decoder.decode_fixed(llrs, false), decoder.decode(llrs, false));
+}
+
+}  // namespace
+}  // namespace silence
