@@ -36,7 +36,7 @@ void ablate_k() {
       lc.noise_seed = seed * 31;
       Link link(lc);
       SessionConfig session_config;
-      session_config.bits_per_interval = k;
+      session_config.profile.bits_per_interval = k;
       CosSession session(link, session_config);
       Rng rng(seed * 100 + static_cast<std::uint64_t>(k));
       const Bytes psdu = make_test_psdu(1024, rng);
@@ -75,7 +75,7 @@ void ablate_evd() {
         append_fcs(psdu);
         const Bits control = rng.bits(400);
         CosTxConfig txc;
-        txc.mcs = &mcs;
+        txc.mcs = McsId::of(mcs);
         txc.control_subcarriers = kMidControl;
         const CosTxPacket tx = cos_transmit(psdu, control, txc);
         CxVec samples = tx.samples;
@@ -111,7 +111,7 @@ void ablate_margin() {
       FadingChannel channel(profile, seed);
       const double nv = noise_var_for_measured_snr(channel, 14.0);
       CosTxConfig txc;
-      txc.mcs = &mcs_for_rate(12);
+      txc.mcs = McsId::for_rate(12);
       txc.control_subcarriers = kMidControl;
       const Bytes psdu = make_test_psdu(512, rng);
       const CosTxPacket tx = cos_transmit(psdu, rng.bits(80), txc);
@@ -168,7 +168,7 @@ void ablate_impairments() {
         RadioImpairments radio(impairment, seed);
 
         CosTxConfig txc;
-        txc.mcs = &mcs;
+        txc.mcs = McsId::of(mcs);
         txc.control_subcarriers = {0,  2,  4,  6,  8,  10, 12, 14, 16, 18,
                                    20, 22, 24, 26, 28, 30, 32, 34, 36, 38};
         const Bytes psdu = make_test_psdu(1024, rng);

@@ -55,7 +55,7 @@ SchemeResult run_cos(double snr_db) {
     if (selected.empty()) selected = {10, 16, 22, 28};
 
     CosTxConfig txc;
-    txc.mcs = &mcs;
+    txc.mcs = McsId::of(mcs);
     txc.control_subcarriers = selected;
     const Bytes psdu = make_test_psdu(1024, rng);
     const Bits control = rng.bits(200);
@@ -96,7 +96,7 @@ SchemeResult run_flashback(double snr_db) {
     const double nv = noise_var_for_measured_snr(channel, snr_db);
 
     FlashbackConfig config;
-    config.mcs = &select_mcs_by_snr(snr_db);
+    config.mcs = McsId::for_snr(snr_db);
     const Bytes psdu = make_test_psdu(1024, rng);
     const Bits message = rng.bits(200);
     const FlashbackTxPacket tx = flashback_transmit(psdu, message, config);

@@ -101,7 +101,7 @@ bool prr_holds(double measured_snr_db, int silences_per_packet,
     const double nv = noise_var_for_measured_snr(channel, measured_snr_db);
 
     CosTxConfig tx_config;
-    tx_config.mcs = &mcs;
+    tx_config.mcs = McsId::of(mcs);
     tx_config.control_subcarriers =
         pick_subcarriers(channel, n_ctrl, placement, rng);
 

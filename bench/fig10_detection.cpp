@@ -52,10 +52,10 @@ MultipathProfile office_profile() {
 CosTrialSpec base_spec(double measured_snr_db) {
   CosTrialSpec spec;
   spec.measured_snr_db = measured_snr_db;
-  spec.rate_mbps = 12;
+  spec.mcs = McsId::for_rate(12);
   spec.psdu_octets = 256;
   spec.control_bits = 60;
-  spec.control_subcarriers = kControl;
+  spec.cos.control_subcarriers = kControl;
   spec.profile = office_profile();
   return spec;
 }
@@ -68,7 +68,7 @@ void part_a() {
   const double nv = noise_var_for_measured_snr(channel, 15.0);
 
   CosTxConfig tx_config;
-  tx_config.mcs = &mcs_for_rate(12);
+  tx_config.mcs = McsId::for_rate(12);
   // Subcarriers 10, 11 and 17 silenced in the first symbol (paper's
   // figure): interval "0101" = 5 between positions 1 and 7.
   tx_config.control_subcarriers = {9, 10, 11, 12, 13, 14, 15, 16};
@@ -106,7 +106,7 @@ runner::SweepReport part_b(const bench::BenchArgs& args) {
       grid, {.threads = args.threads, .chunk = 8},
       [&](const double& thr_db, const runner::TrialContext& ctx) {
         CosTrialSpec spec = base_spec(9.2);
-        spec.detector.fixed_threshold = std::pow(10.0, thr_db / 10.0);
+        spec.cos.detector.fixed_threshold = std::pow(10.0, thr_db / 10.0);
         // Extreme thresholds make every trial "anomalous" by design;
         // only a CRC failure is worth a flight dump here.
         spec.dump_on_control_miss = false;

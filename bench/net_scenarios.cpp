@@ -1,0 +1,102 @@
+// Network-scale CoS: one AP, N contending stations, every data frame
+// carrying a free CoS control message. Sweeps the station count 1 -> 64
+// and reports what the network gets out of the shared medium: aggregate
+// data throughput, CoS control goodput (the bits the paper gets "for
+// free"), the airtime DCF burns on overhead, and Jain fairness across
+// stations.
+//
+// Runner-based: each Monte-Carlo trial runs one full scenario seed, and
+// trials fan out across the thread pool with (base_seed, point, trial)
+// derived seeds — results are bit-identical at any --threads value.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "net/scenario.h"
+#include "runner/sinks.h"
+#include "runner/sweep.h"
+
+using namespace silence;
+
+namespace {
+
+constexpr int kDefaultTrialsPerPoint = 4;
+
+net::Scenario base_scenario() {
+  net::Scenario scenario;
+  scenario.duration_us = 20e3;
+  return scenario;
+}
+
+net::Scenario scenario_for(int num_stations) {
+  net::Scenario scenario = base_scenario();
+  scenario.num_stations = num_stations;
+  return scenario;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::BenchArgs args =
+      bench::parse_bench_args(argc, argv, "net_scenarios");
+  const int trials = args.trials > 0 ? args.trials : kDefaultTrialsPerPoint;
+
+  runner::SweepGrid<int> grid;  // points: station count
+  grid.base_seed = args.seed;
+  grid.trials = static_cast<std::size_t>(trials);
+  grid.points = {1, 2, 4, 8, 16, 32, 64};
+
+  bench::print_header("Network", "multi-STA CoS scenarios (src/net/)");
+
+  const auto outcome = runner::run_sweep(
+      grid, {.threads = args.threads, .chunk = 1},
+      [](const int& stas, const runner::TrialContext& ctx) {
+        return net::run_scenario(scenario_for(stas), ctx.seed);
+      });
+
+  runner::SweepReport report;
+  report.bench = "net_scenarios";
+  report.title = "Network";
+  report.description =
+      "aggregate throughput, control goodput, overhead and fairness vs "
+      "station count";
+  runner::Json stas_axis = runner::Json::array();
+  for (const int n : grid.points) {
+    stas_axis.push_back(static_cast<std::int64_t>(n));
+  }
+  report.grid.set("stations", std::move(stas_axis));
+  report.grid.set("trials_per_point", trials);
+  report.grid.set("base_seed", static_cast<std::int64_t>(grid.base_seed));
+  report.grid.set("scenario", base_scenario().to_json());
+  report.columns = {{"stas", 6, 0},       {"thpt_mbps", 10, 2},
+                    {"ctrl_kbps", 10, 2}, {"overhead", 9, 3},
+                    {"fairness", 9, 3},   {"coll_rate", 10, 3},
+                    {"mpdus", 8, 0}};
+  report.threads = outcome.threads;
+  report.wall_seconds = outcome.wall_seconds;
+  report.trials_run = outcome.trials_run;
+  for (std::size_t i = 0; i < grid.points.size(); ++i) {
+    const net::NetResult& r = outcome.point_results[i];
+    std::size_t mpdus = 0;
+    for (const net::StaStats& s : r.stations) mpdus += s.mpdus_delivered;
+    report.add_row({static_cast<std::int64_t>(grid.points[i]),
+                    r.aggregate_throughput_mbps(), r.control_goodput_kbps(),
+                    r.airtime_overhead(), r.jain_fairness(),
+                    r.collision_rate(),
+                    static_cast<std::int64_t>(mpdus)});
+  }
+  report.notes = {
+      "",
+      "Reading: control goodput scales with the medium's data airtime —",
+      "every won frame carries its station's control chunk for free, so",
+      "the overhead column (idle + collisions + ACKs) never grows a",
+      "control-frame component. Fairness decays as far stations at low",
+      "SNR lose airtime share to collisions and slow rates."};
+
+  runner::TableSink table;
+  table.write(report);
+  if (args.json) {
+    runner::JsonSink(args.json_path).write(report);
+  }
+  bench::finish_observability(args);
+  return 0;
+}

@@ -115,7 +115,7 @@ void BM_CosTransmit(benchmark::State& state) {
   Rng rng(4);
   const Bits control = rng.bits(96);
   CosTxConfig config;
-  config.mcs = &mcs_for_rate(24);
+  config.mcs = McsId::for_rate(24);
   config.control_subcarriers = {10, 11, 12, 13, 14, 15, 16, 17};
   for (auto _ : state) {
     benchmark::DoNotOptimize(cos_transmit(psdu, control, config));
@@ -128,7 +128,7 @@ void BM_CosReceive(benchmark::State& state) {
   Rng rng(5);
   const Bits control = rng.bits(96);
   CosTxConfig tx_config;
-  tx_config.mcs = &mcs_for_rate(24);
+  tx_config.mcs = McsId::for_rate(24);
   tx_config.control_subcarriers = {10, 11, 12, 13, 14, 15, 16, 17};
   const CosTxPacket tx = cos_transmit(psdu, control, tx_config);
   CosRxConfig rx_config;

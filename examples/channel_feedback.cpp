@@ -35,7 +35,7 @@ int main() {
     const Bytes psdu = make_test_psdu(1024, rng);
     const Bits control = rng.bits(48);
     CosTxConfig tx_config;
-    tx_config.mcs = &select_mcs_by_snr(downlink.measured_snr_db());
+    tx_config.mcs = McsId::for_snr(downlink.measured_snr_db());
     tx_config.control_subcarriers = control_subcarriers;
     const CosTxPacket data_tx = cos_transmit(psdu, control, tx_config);
     const CxVec data_rx_samples = downlink.send(data_tx.samples);
@@ -54,7 +54,7 @@ int main() {
     //     trailer symbols (immune to reverse-link fades) ---
     const std::vector<int>& selection = data_rx.next_control_subcarriers;
     CosTxConfig ack_config;
-    ack_config.mcs = &mcs_for_rate(6);  // ACKs use the basic rate
+    ack_config.mcs = McsId::for_rate(6);  // ACKs use the basic rate
     const Bytes ack_psdu = make_test_psdu(14, rng);
     CosTxPacket ack = cos_transmit(ack_psdu, {}, ack_config);
     append_selection_feedback(ack.samples, selection,

@@ -99,7 +99,7 @@ int main(int argc, char** argv) {
   Link link(link_config);
 
   SessionConfig session_config;
-  session_config.bits_per_interval = options->k;
+  session_config.profile.bits_per_interval = options->k;
   session_config.fixed_rate_mbps = options->rate_mbps;
   CosSession session(link, session_config);
 

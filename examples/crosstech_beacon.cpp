@@ -33,7 +33,7 @@ int main() {
   // Beacon-carrying packets go at a robust rate (like real beacons): the
   // rate-1/2 code shrugs off the blanked block.
   XtechTxConfig txc;
-  txc.mcs = &mcs_for_rate(12);
+  txc.mcs = McsId::for_rate(12);
 
   int heard = 0, wifi_ok = 0;
   const int packets = 8;

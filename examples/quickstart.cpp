@@ -39,7 +39,7 @@ int main() {
   //    silence symbols carry the control bits on agreed subcarriers.
   const Mcs& mcs = select_mcs_by_snr(link.measured_snr_db());
   CosTxConfig tx_config;
-  tx_config.mcs = &mcs;
+  tx_config.mcs = McsId::of(mcs);
   tx_config.control_subcarriers = {10, 11, 12, 13, 14, 15, 16, 17};
   const CosTxPacket tx = cos_transmit(psdu, control_bits, tx_config);
   std::printf("tx: %d Mbps (%.*s %.*s), %d OFDM symbols, %zu silences "

@@ -39,7 +39,7 @@ int main() {
   const Bits control = bytes_to_bits(Bytes(note.begin(), note.end()));
 
   CosTxConfig txc;
-  txc.mcs = &select_mcs_by_snr(link.measured_snr_db());
+  txc.mcs = McsId::for_snr(link.measured_snr_db());
 
   // Bootstrap: one plain packet lets the receiver pick weak-but-
   // detectable control subcarriers from its per-subcarrier EVM.

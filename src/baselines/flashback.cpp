@@ -9,7 +9,7 @@ namespace silence {
 namespace {
 
 void check_config(const FlashbackConfig& config) {
-  if (config.mcs == nullptr) {
+  if (!config.mcs.valid()) {
     throw std::invalid_argument("flashback: no MCS configured");
   }
   if (config.bits_per_flash < 1 || config.bits_per_flash > 5) {

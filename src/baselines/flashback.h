@@ -24,7 +24,7 @@
 namespace silence {
 
 struct FlashbackConfig {
-  const Mcs* mcs = nullptr;
+  McsId mcs;  // invalid when default-constructed
   // Flash tone power relative to a unit-energy data symbol. The hJam/
   // Flashback literature uses tens of dB; 64x (18 dB) per the paper.
   double flash_power = 64.0;

@@ -1,6 +1,7 @@
 #include "channel/fading.h"
 
 #include <cmath>
+#include <mutex>
 #include <numbers>
 #include <stdexcept>
 
@@ -90,13 +91,29 @@ void FadingChannel::rebuild_taps() {
   }
 }
 
+namespace {
+
+// libstdc++'s cyl_bessel_j routes through libm's lgamma, which writes the
+// process-global `signgam` — concurrent sweep trials advancing their own
+// channels race on it (TSan-visible). The return value never depends on
+// signgam, so serializing the call fixes the race without changing any
+// result bit. advance() runs once per packet, not per sample, so the lock
+// is off every hot path.
+double bessel_j0(double x) {
+  static std::mutex mu;
+  const std::scoped_lock lock(mu);
+  return std::cyl_bessel_j(0.0, x);
+}
+
+}  // namespace
+
 void FadingChannel::advance(double seconds) {
   if (seconds <= 0.0) return;
   const double x =
       2.0 * std::numbers::pi * profile_.doppler_hz * seconds;
   // Jakes autocorrelation J0(x), clamped to [0, 1): beyond the first null
   // the process is effectively decorrelated.
-  const double rho = std::max(0.0, std::cyl_bessel_j(0.0, x));
+  const double rho = std::max(0.0, bessel_j0(x));
   const double innovation = 1.0 - rho * rho;
   for (std::size_t l = 0; l < scatter_.size(); ++l) {
     scatter_[l] = rho * scatter_[l] +

@@ -30,6 +30,9 @@ struct MultipathProfile {
   // Fig. 7 observation that per-subcarrier EVM is stable over tens of
   // milliseconds; only the small scattered residue fades.
   double k_all_taps_linear = 0.0;
+
+  friend bool operator==(const MultipathProfile&,
+                         const MultipathProfile&) = default;
 };
 
 // Per-sample time-domain AWGN variance that yields `snr_db` mean

@@ -12,7 +12,7 @@ namespace silence {
 CosTxPacket cos_transmit(std::span<const std::uint8_t> psdu,
                          std::span<const std::uint8_t> control_bits,
                          const CosTxConfig& config) {
-  if (config.mcs == nullptr) {
+  if (!config.mcs.valid()) {
     throw std::invalid_argument("cos_transmit: no MCS configured");
   }
   OBS_SPAN("cos.tx");

@@ -9,6 +9,12 @@
 // the silence intervals, decode the data with the detected silences as
 // erasures, and — when the CRC passes — compute per-subcarrier EVM and
 // the control-subcarrier selection to feed back for the next packet.
+//
+// Configuration comes from one shared CosProfile (core/cos_profile.h).
+// The per-side types below are thin views of it: CosTxConfig adds the
+// data MCS the transmitter needs on top of the profile, and CosRxConfig
+// is the profile itself (the detector tuning and feedback flooring live
+// there). Both are plain values — nothing here holds a pointer.
 #pragma once
 
 #include <cstdint>
@@ -16,6 +22,7 @@
 #include <span>
 #include <vector>
 
+#include "core/cos_profile.h"
 #include "core/energy_detector.h"
 #include "core/evm.h"
 #include "core/interval_code.h"
@@ -26,14 +33,19 @@
 
 namespace silence {
 
-struct CosTxConfig {
-  const Mcs* mcs = nullptr;
-  // Logical data-subcarrier indices (0..47) agreed via feedback, in
-  // logical numbering order.
-  std::vector<int> control_subcarriers;
-  int bits_per_interval = kDefaultBitsPerInterval;
-  std::uint8_t scrambler_seed = 0x5D;
+// TX-side view of a CosProfile: the shared profile plus the data MCS of
+// this packet. (The detector fields ride along unused — the transmitter
+// only reads the control grid, interval width and scrambler seed.)
+struct CosTxConfig : CosProfile {
+  McsId mcs;  // invalid when default-constructed; cos_transmit throws
+
+  CosTxConfig() = default;
+  CosTxConfig(const CosProfile& profile, McsId mcs_id)
+      : CosProfile(profile), mcs(mcs_id) {}
 };
+
+// RX-side view: everything the receiver reads is already in the profile.
+using CosRxConfig = CosProfile;
 
 struct CosTxPacket {
   TxFrame frame;     // grid already has silences applied
@@ -47,14 +59,6 @@ struct CosTxPacket {
 CosTxPacket cos_transmit(std::span<const std::uint8_t> psdu,
                          std::span<const std::uint8_t> control_bits,
                          const CosTxConfig& config);
-
-struct CosRxConfig {
-  std::vector<int> control_subcarriers;
-  int bits_per_interval = kDefaultBitsPerInterval;
-  DetectorConfig detector;
-  // Minimum control subcarriers to request for the next packet.
-  int min_feedback_subcarriers = 6;
-};
 
 struct CosRxPacket {
   // PHY results.

@@ -1,0 +1,69 @@
+#include "core/cos_profile.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace silence {
+
+namespace {
+
+const char* mode_name(ThresholdMode mode) {
+  return mode == ThresholdMode::kNoiseMargin ? "noise_margin" : "midpoint";
+}
+
+ThresholdMode mode_from_name(const std::string& name) {
+  if (name == "noise_margin") return ThresholdMode::kNoiseMargin;
+  if (name == "midpoint") return ThresholdMode::kPerSubcarrierMidpoint;
+  throw std::runtime_error("CosProfile: unknown threshold mode '" + name +
+                           "'");
+}
+
+const runner::Json& require(const runner::Json& json, std::string_view key) {
+  const runner::Json* value = json.find(key);
+  if (value == nullptr) {
+    throw std::runtime_error("CosProfile: missing field '" +
+                             std::string(key) + "'");
+  }
+  return *value;
+}
+
+}  // namespace
+
+runner::Json CosProfile::to_json() const {
+  runner::Json root = runner::Json::object();
+  runner::Json subcarriers = runner::Json::array();
+  for (const int sc : control_subcarriers) subcarriers.push_back(sc);
+  root.set("control_subcarriers", std::move(subcarriers));
+  root.set("bits_per_interval", bits_per_interval);
+  runner::Json det = runner::Json::object();
+  det.set("mode", mode_name(detector.mode));
+  det.set("threshold_margin", detector.threshold_margin);
+  det.set("fixed_threshold", detector.fixed_threshold);
+  root.set("detector", std::move(det));
+  root.set("scrambler_seed", static_cast<std::int64_t>(scrambler_seed));
+  root.set("min_feedback_subcarriers", min_feedback_subcarriers);
+  return root;
+}
+
+CosProfile CosProfile::from_json(const runner::Json& json) {
+  CosProfile profile;
+  profile.control_subcarriers.clear();
+  for (const auto& sc : require(json, "control_subcarriers").as_array()) {
+    profile.control_subcarriers.push_back(static_cast<int>(sc.as_int()));
+  }
+  profile.bits_per_interval =
+      static_cast<int>(require(json, "bits_per_interval").as_int());
+  const runner::Json& det = require(json, "detector");
+  profile.detector.mode = mode_from_name(require(det, "mode").as_string());
+  profile.detector.threshold_margin =
+      require(det, "threshold_margin").as_double();
+  profile.detector.fixed_threshold =
+      require(det, "fixed_threshold").as_double();
+  profile.scrambler_seed =
+      static_cast<std::uint8_t>(require(json, "scrambler_seed").as_int());
+  profile.min_feedback_subcarriers =
+      static_cast<int>(require(json, "min_feedback_subcarriers").as_int());
+  return profile;
+}
+
+}  // namespace silence

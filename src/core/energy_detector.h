@@ -44,6 +44,9 @@ struct DetectorConfig {
   // Modulation of the data symbols (sets the inner-point energy for the
   // midpoint policy).
   Modulation modulation = Modulation::kQpsk;
+
+  friend bool operator==(const DetectorConfig&,
+                         const DetectorConfig&) = default;
 };
 
 // Effective energy threshold for logical data subcarrier `subcarrier`.

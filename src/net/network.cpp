@@ -1,0 +1,119 @@
+// The slotted DCF scheduler tying N Stations to one shared medium. The
+// loop is the same shape as mac/contention.cpp — DIFS + smallest backoff
+// counter of idle time, then either one winner's frame exchange or a
+// collision — but each solo winner transmits a real aggregated CoS frame
+// through its closed-loop session instead of a bare PHY packet.
+#include <algorithm>
+#include <limits>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "mac/aggregation.h"
+#include "mac/frame.h"
+#include "mac/timing.h"
+#include "net/station.h"
+#include "obs/flight/flight.h"
+#include "obs/obs.h"
+
+namespace silence::net {
+
+NetResult run_scenario(const Scenario& scenario, std::uint64_t seed) {
+  if (scenario.num_stations < 1) {
+    throw std::invalid_argument("run_scenario: need >= 1 station");
+  }
+  if (scenario.duration_us <= 0.0) {
+    throw std::invalid_argument("run_scenario: duration_us must be > 0");
+  }
+  if (scenario.mpdu_octets < 1 ||
+      scenario.mpdu_octets + kMacOverheadOctets + kDelimiterOctets >
+          kMaxAggregateOctets) {
+    throw std::invalid_argument("run_scenario: mpdu_octets out of range");
+  }
+  OBS_SPAN("net.scenario");
+
+  // Stations hold a CosSession referencing their own Link, so they are
+  // pinned in memory.
+  std::vector<std::unique_ptr<Station>> stations;
+  stations.reserve(static_cast<std::size_t>(scenario.num_stations));
+  for (int i = 0; i < scenario.num_stations; ++i) {
+    stations.push_back(std::make_unique<Station>(scenario, i, seed));
+  }
+
+  NetResult result;
+  double now_us = 0.0;
+  const auto advance_all = [&](double us, std::size_t except) {
+    for (std::size_t i = 0; i < stations.size(); ++i) {
+      if (i != except) stations[i]->advance(1e-6 * us);
+    }
+  };
+
+  while (now_us < scenario.duration_us) {
+    ++result.contention_rounds;
+    OBS_COUNT("net.rounds");
+
+    // Idle period: DIFS, then the smallest backoff counter many slots.
+    int min_counter = std::numeric_limits<int>::max();
+    for (const auto& s : stations) {
+      min_counter = std::min(min_counter, s->backoff().counter());
+    }
+    OBS_HIST("net.contended_slots", min_counter);
+    const double idle = kDifsUs + min_counter * kSlotUs;
+    now_us += idle;
+    result.airtime.idle_us += idle;
+    advance_all(idle, stations.size());
+
+    std::vector<std::size_t> winners;
+    for (std::size_t i = 0; i < stations.size(); ++i) {
+      stations[i]->backoff().consume(min_counter);
+      if (stations[i]->backoff().counter() == 0) winners.push_back(i);
+    }
+
+    if (winners.size() == 1) {
+      const std::size_t w = winners.front();
+      // The session advances the winner's own link by the frame
+      // airtime; everyone else catches up below.
+      const Station::TxOutcome tx = stations[w]->transmit();
+      const double tail = kSifsUs + ack_airtime_us();
+      now_us += tx.data_airtime_us + tail;
+      result.airtime.data_us += tx.data_airtime_us;
+      result.airtime.ack_us += ack_airtime_us();
+      result.airtime.idle_us += kSifsUs;
+      ++result.tx_rounds;
+      OBS_COUNT("net.tx_rounds");
+      if (!tx.data_ok) OBS_COUNT("net.frames_lost");
+      FLIGHT_EVENT("net.tx", w, winners.size(), now_us, tx.data_airtime_us,
+                   tx.data_ok);
+      stations[w]->advance(1e-6 * tail);
+      advance_all(tx.data_airtime_us + tail, w);
+    } else {
+      // Collision: the medium is busy for the longest collider's frame,
+      // then every collider times out waiting for its (block-)ACK.
+      double longest = 0.0;
+      for (const std::size_t i : winners) {
+        longest = std::max(longest, stations[i]->nominal_airtime_us());
+      }
+      const double busy = longest + kSifsUs + ack_airtime_us();
+      now_us += busy;
+      result.airtime.collision_us += busy;
+      ++result.collision_rounds;
+      OBS_COUNT("net.collision_rounds");
+      FLIGHT_EVENT("net.collision", -1, winners.size(), now_us, busy, 0);
+      for (const std::size_t i : winners) stations[i]->on_collision();
+      advance_all(busy, stations.size());
+    }
+  }
+
+  result.elapsed_us = now_us;
+  result.stations.reserve(stations.size());
+  for (const auto& s : stations) {
+    const StaStats& stats = s->stats();
+    OBS_HIST("net.sta.data_bits", stats.data_bits);
+    OBS_HIST("net.sta.control_bits_correct", stats.control_bits_correct);
+    OBS_HIST("net.sta.tx_rounds", stats.tx_rounds);
+    result.stations.push_back(stats);
+  }
+  return result;
+}
+
+}  // namespace silence::net

@@ -1,0 +1,67 @@
+// One contending station of a net::Scenario: its own fading link to the
+// AP, its own closed-loop CosSession, its own DCF backoff state and its
+// own traffic source. All randomness comes from the station's private
+// substreams of the scenario seed, so the scheduler never owns an RNG
+// and station behaviour is independent of evaluation order.
+#pragma once
+
+#include <cstdint>
+
+#include "mac/backoff.h"
+#include "net/scenario.h"
+#include "sim/link.h"
+#include "sim/session.h"
+
+namespace silence::net {
+
+class Station {
+ public:
+  // `index` is the station's position in the scenario (0-based); it
+  // selects the SNR interpolation point and the seed substreams.
+  Station(const Scenario& scenario, int index, std::uint64_t seed);
+
+  // Outcome of one solo medium acquisition.
+  struct TxOutcome {
+    double data_airtime_us = 0.0;
+    bool data_ok = false;
+  };
+
+  // Builds this round's A-MPDU (fresh payloads + the next control
+  // chunk), sends it through the CosSession and updates the station's
+  // tallies and backoff. The session advances this station's own link
+  // by the frame airtime; the scheduler advances everything else.
+  TxOutcome transmit();
+
+  // This station collided this round: tally it and double the window.
+  void on_collision();
+
+  // Airtime its next PPDU would occupy, at the rate the session would
+  // pick right now. Collisions are charged this much medium time without
+  // running the PHY (matching mac/contention.cpp).
+  double nominal_airtime_us() const;
+
+  // Advances the fading process by `seconds` of other-station airtime.
+  void advance(double seconds) { link_.advance(seconds); }
+
+  Backoff& backoff() { return backoff_; }
+  const Backoff& backoff() const { return backoff_; }
+  Rng& rng() { return traffic_rng_; }
+  const StaStats& stats() const { return stats_; }
+
+ private:
+  std::size_t mpdus_per_frame_;
+  std::size_t mpdu_payload_octets_;
+  std::size_t aggregate_octets_;  // constant: payload sizes never vary
+  std::size_t control_bits_per_frame_;
+  std::optional<int> fixed_rate_mbps_;
+  std::uint8_t address_;
+  std::uint16_t seq_ = 0;
+
+  Rng traffic_rng_;
+  Link link_;
+  CosSession session_;
+  Backoff backoff_;
+  StaStats stats_;
+};
+
+}  // namespace silence::net

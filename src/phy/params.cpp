@@ -111,6 +111,65 @@ const Mcs& select_mcs_by_snr(double measured_snr_db) {
   return *best;
 }
 
+McsId McsId::from_index(int index) {
+  if (index < 0 || index >= static_cast<int>(kMcsTable.size())) {
+    throw std::out_of_range("McsId::from_index: index outside the MCS table");
+  }
+  return McsId(index);
+}
+
+McsId McsId::for_rate(int mbps) {
+  for (std::size_t i = 0; i < kMcsTable.size(); ++i) {
+    if (kMcsTable[i].data_rate_mbps == mbps) {
+      return McsId(static_cast<int>(i));
+    }
+  }
+  throw std::invalid_argument("McsId::for_rate: unknown 802.11a rate");
+}
+
+McsId McsId::for_mcs(Modulation mod, CodeRate rate) {
+  for (std::size_t i = 0; i < kMcsTable.size(); ++i) {
+    if (kMcsTable[i].modulation == mod && kMcsTable[i].code_rate == rate) {
+      return McsId(static_cast<int>(i));
+    }
+  }
+  throw std::invalid_argument("McsId::for_mcs: invalid modulation/code-rate");
+}
+
+McsId McsId::for_snr(double measured_snr_db) {
+  int best = 0;
+  for (std::size_t i = 0; i < kMcsTable.size(); ++i) {
+    if (measured_snr_db >= kMcsTable[i].min_required_snr_db) {
+      best = static_cast<int>(i);
+    }
+  }
+  return McsId(best);
+}
+
+McsId McsId::of(const Mcs& mcs) {
+  if (&mcs >= kMcsTable.data() && &mcs < kMcsTable.data() + kMcsTable.size()) {
+    return McsId(static_cast<int>(&mcs - kMcsTable.data()));
+  }
+  throw std::invalid_argument("McsId::of: not a row of the static MCS table");
+}
+
+const Mcs& McsId::info() const {
+  if (!valid()) {
+    throw std::logic_error("McsId: dereferenced an invalid (default) id");
+  }
+  return kMcsTable[static_cast<std::size_t>(index_)];
+}
+
+runner::Json McsId::to_json() const {
+  if (!valid()) return runner::Json(nullptr);
+  return runner::Json(rate_mbps());
+}
+
+McsId McsId::from_json(const runner::Json& json) {
+  if (json.is_null()) return McsId();
+  return for_rate(static_cast<int>(json.as_int()));
+}
+
 std::span<const int> data_subcarrier_bins() { return kDataBins; }
 
 std::span<const int> pilot_subcarrier_bins() { return kPilotBins; }

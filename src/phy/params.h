@@ -7,6 +7,8 @@
 #include <span>
 #include <string_view>
 
+#include "runner/json.h"
+
 namespace silence {
 
 // --- OFDM dimensions (802.11a, 20 MHz) -------------------------------------
@@ -59,6 +61,47 @@ const Mcs& mcs_for(Modulation mod, CodeRate rate);
 // (SNR-based rate adaptation as in Holland et al.). Falls back to the
 // lowest rate when the SNR is below every threshold.
 const Mcs& select_mcs_by_snr(double measured_snr_db);
+
+// Value-typed handle into the static MCS table. Public config and report
+// structs carry a McsId instead of a `const Mcs*`: it cannot dangle, it
+// compares and copies like an int, and it serializes as the headline
+// rate in Mbps (stable across table reorderings as long as the 802.11a
+// rate set itself is stable — which it is). A default-constructed McsId
+// is invalid; dereferencing it throws.
+class McsId {
+ public:
+  constexpr McsId() = default;
+  // The id of a table row; throws std::out_of_range for bad indices.
+  static McsId from_index(int index);
+  // The id for a headline rate in Mbps; throws for unknown rates.
+  static McsId for_rate(int mbps);
+  // The id for a (modulation, code rate) pair; throws for invalid combos.
+  static McsId for_mcs(Modulation mod, CodeRate rate);
+  // SNR-based rate adaptation (see select_mcs_by_snr).
+  static McsId for_snr(double measured_snr_db);
+  // The id of a table row referenced by `mcs`; throws if `mcs` is not a
+  // row of the static table (bridging for code still holding references).
+  static McsId of(const Mcs& mcs);
+
+  constexpr bool valid() const { return index_ >= 0; }
+  constexpr int index() const { return index_; }
+  // The table row; throws std::logic_error when invalid.
+  const Mcs& info() const;
+  const Mcs* operator->() const { return &info(); }
+  const Mcs& operator*() const { return info(); }
+  int rate_mbps() const { return info().data_rate_mbps; }
+
+  // Wire form: the integer headline rate in Mbps (an invalid id is
+  // null). from_json(to_json(id)) == id.
+  runner::Json to_json() const;
+  static McsId from_json(const runner::Json& json);
+
+  friend constexpr bool operator==(McsId, McsId) = default;
+
+ private:
+  explicit constexpr McsId(int index) : index_(index) {}
+  int index_ = -1;
+};
 
 // --- Subcarrier layout -------------------------------------------------------
 // Logical data subcarrier index (0..47) -> FFT bin (0..63).

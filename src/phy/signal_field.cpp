@@ -75,7 +75,7 @@ std::optional<SignalField> parse_signal_bits(
     length |= (bits24[static_cast<std::size_t>(5 + i)] & 1) << i;
   }
   if (length == 0) return std::nullopt;
-  return SignalField{&mcs_for_rate(*mbps), length};
+  return SignalField{McsId::for_rate(*mbps), length};
 }
 
 }  // namespace silence

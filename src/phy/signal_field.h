@@ -11,7 +11,7 @@
 namespace silence {
 
 struct SignalField {
-  const Mcs* mcs = nullptr;
+  McsId mcs;  // invalid when default-constructed
   int length_octets = 0;  // PSDU length
 };
 

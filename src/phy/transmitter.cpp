@@ -41,7 +41,7 @@ TxFrame build_frame(std::span<const std::uint8_t> psdu, const Mcs& mcs,
   OBS_COUNT("phy.tx.frames");
 
   TxFrame frame;
-  frame.mcs = &mcs;
+  frame.mcs = McsId::of(mcs);
   frame.scrambler_seed = scrambler_seed;
   frame.psdu_octets = psdu.size();
 
@@ -92,7 +92,7 @@ TxFrame build_frame(std::span<const std::uint8_t> psdu, const Mcs& mcs,
 }
 
 CxVec frame_to_samples(const TxFrame& frame) {
-  if (frame.mcs == nullptr) {
+  if (!frame.mcs.valid()) {
     throw std::invalid_argument("frame_to_samples: empty frame");
   }
   // The preamble is a pure function of nothing; build it once.

@@ -19,7 +19,7 @@
 namespace silence {
 
 struct TxFrame {
-  const Mcs* mcs = nullptr;
+  McsId mcs;  // invalid when default-constructed
   std::uint8_t scrambler_seed = 0;
   std::size_t psdu_octets = 0;
   // Scrambled DATA bits (SERVICE + PSDU + tail + pad), tail re-zeroed.

@@ -29,8 +29,9 @@ class Link {
  public:
   explicit Link(const LinkConfig& config);
 
-  // Passes a burst through the channel; optionally advances the channel
-  // by the burst's airtime first (mobility).
+  // Passes a burst through the channel at its current fading state:
+  // multipath + AWGN, plus the configured interference and TX
+  // impairments. Callers model mobility explicitly via advance().
   CxVec send(std::span<const Cx> samples);
 
   // Advances the fading process by `seconds` (e.g. inter-packet gaps).

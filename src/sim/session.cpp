@@ -8,7 +8,7 @@ namespace silence {
 CosSession::CosSession(Link& link, const SessionConfig& config)
     : link_(link),
       config_(config),
-      control_subcarriers_(config.initial_control_subcarriers) {}
+      control_subcarriers_(config.profile.control_subcarriers) {}
 
 int CosSession::desired_control_subcarriers(int silence_budget,
                                             int num_symbols) const {
@@ -16,7 +16,7 @@ int CosSession::desired_control_subcarriers(int silence_budget,
   // Average grid positions per silence symbol: the mean interval value
   // (2^k - 1)/2 plus the silence itself.
   const double mean_positions =
-      (std::pow(2.0, config_.bits_per_interval) - 1.0) / 2.0 + 1.0;
+      (std::pow(2.0, config_.profile.bits_per_interval) - 1.0) / 2.0 + 1.0;
   const double needed = silence_budget * mean_positions;
   const int count = static_cast<int>(
       std::ceil(needed / static_cast<double>(num_symbols)));
@@ -29,10 +29,11 @@ PacketReport CosSession::send_packet(
   PacketReport report;
   report.measured_snr_db = link_.measured_snr_db();
 
-  const Mcs& mcs = config_.fixed_rate_mbps
-                       ? mcs_for_rate(*config_.fixed_rate_mbps)
-                       : select_mcs_by_snr(report.measured_snr_db);
-  report.mcs = &mcs;
+  const McsId mcs_id = config_.fixed_rate_mbps
+                           ? McsId::for_rate(*config_.fixed_rate_mbps)
+                           : McsId::for_snr(report.measured_snr_db);
+  const Mcs& mcs = *mcs_id;
+  report.mcs = mcs_id;
 
   // Control-message rate: lookup by measured SNR, or the lowest rate when
   // the previous feedback was lost (paper §III-F).
@@ -50,7 +51,7 @@ PacketReport CosSession::send_packet(
   // Bits the silence budget allows: budget silences close budget-1
   // intervals of k bits each. When the whole message fits, send it all —
   // the planner zero-pads a trailing partial interval itself.
-  const auto k = static_cast<std::size_t>(config_.bits_per_interval);
+  const auto k = static_cast<std::size_t>(config_.profile.bits_per_interval);
   const std::size_t budget_bits =
       budget > 1 ? (static_cast<std::size_t>(budget) - 1) * k : 0;
   const std::size_t bits_to_send =
@@ -58,10 +59,8 @@ PacketReport CosSession::send_packet(
           ? control_bits.size()
           : budget_bits / k * k;
 
-  CosTxConfig tx_config;
-  tx_config.mcs = &mcs;
+  CosTxConfig tx_config(config_.profile, mcs_id);
   tx_config.control_subcarriers = control_subcarriers_;
-  tx_config.bits_per_interval = config_.bits_per_interval;
   const CosTxPacket tx =
       cos_transmit(psdu, control_bits.first(bits_to_send), tx_config);
   report.silences_sent = tx.plan.silence_count;
@@ -70,10 +69,8 @@ PacketReport CosSession::send_packet(
   const CxVec received = link_.send(tx.samples);
   link_.advance(tx.frame.airtime_sec());
 
-  CosRxConfig rx_config;
+  CosRxConfig rx_config = config_.profile;
   rx_config.control_subcarriers = control_subcarriers_;
-  rx_config.bits_per_interval = config_.bits_per_interval;
-  rx_config.detector = config_.detector;
   // Size the next packet's control grid for the budget the sender will
   // have once feedback exists (the full table rate) — not this packet's
   // possibly fallback-clamped budget, or the grid never grows out of the

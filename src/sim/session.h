@@ -9,13 +9,16 @@
 
 #include "core/control_rate.h"
 #include "core/cos_link.h"
+#include "core/cos_profile.h"
 #include "sim/link.h"
 
 namespace silence {
 
 struct SessionConfig {
-  int bits_per_interval = kDefaultBitsPerInterval;
-  DetectorConfig detector;
+  // The shared CoS profile. `profile.control_subcarriers` is the
+  // bootstrap control set used before the first selection feedback
+  // arrives (the paper's Fig. 10(a) block [10..17] by default).
+  CosProfile profile;
   // Data-rate adaptation: when unset, the measured SNR picks the MCS.
   std::optional<int> fixed_rate_mbps;
   // Control-rate: when unset, the default lookup table is used.
@@ -24,15 +27,11 @@ struct SessionConfig {
   // control subcarriers (the paper's design); when false the initial set
   // is kept forever (the "random placement" ablation uses this).
   bool use_selection_feedback = true;
-  // Control subcarriers before the first feedback arrives; the paper's
-  // Fig. 10(a) uses the contiguous block [10..17].
-  std::vector<int> initial_control_subcarriers = {10, 11, 12, 13,
-                                                  14, 15, 16, 17};
 };
 
 struct PacketReport {
   bool data_ok = false;
-  const Mcs* mcs = nullptr;
+  McsId mcs;  // data MCS this packet went out at
   double measured_snr_db = 0.0;
   std::size_t silences_sent = 0;
   std::size_t control_bits_sent = 0;

@@ -20,17 +20,6 @@ std::string bits_to_string(std::span<const std::uint8_t> bits) {
   return out;
 }
 
-const char* mode_name(ThresholdMode mode) {
-  return mode == ThresholdMode::kNoiseMargin ? "noise_margin" : "midpoint";
-}
-
-ThresholdMode mode_from_name(const std::string& name) {
-  if (name == "noise_margin") return ThresholdMode::kNoiseMargin;
-  if (name == "midpoint") return ThresholdMode::kPerSubcarrierMidpoint;
-  throw std::runtime_error("CosTrialSpec: unknown threshold mode '" + name +
-                           "'");
-}
-
 const runner::Json& require(const runner::Json& json, std::string_view key) {
   const runner::Json* value = json.find(key);
   if (value == nullptr) {
@@ -45,18 +34,10 @@ const runner::Json& require(const runner::Json& json, std::string_view key) {
 runner::Json CosTrialSpec::to_json() const {
   runner::Json root = runner::Json::object();
   root.set("measured_snr_db", measured_snr_db);
-  root.set("rate_mbps", rate_mbps);
+  root.set("rate_mbps", mcs.to_json());
   root.set("psdu_octets", static_cast<std::int64_t>(psdu_octets));
   root.set("control_bits", static_cast<std::int64_t>(control_bits));
-  runner::Json subcarriers = runner::Json::array();
-  for (const int sc : control_subcarriers) subcarriers.push_back(sc);
-  root.set("control_subcarriers", std::move(subcarriers));
-  root.set("bits_per_interval", bits_per_interval);
-  runner::Json det = runner::Json::object();
-  det.set("mode", mode_name(detector.mode));
-  det.set("threshold_margin", detector.threshold_margin);
-  det.set("fixed_threshold", detector.fixed_threshold);
-  root.set("detector", std::move(det));
+  root.set("cos_profile", cos.to_json());
   runner::Json prof = runner::Json::object();
   prof.set("num_taps", profile.num_taps);
   prof.set("decay_taps", profile.decay_taps);
@@ -82,22 +63,24 @@ runner::Json CosTrialSpec::to_json() const {
 CosTrialSpec CosTrialSpec::from_json(const runner::Json& json) {
   CosTrialSpec spec;
   spec.measured_snr_db = require(json, "measured_snr_db").as_double();
-  spec.rate_mbps = static_cast<int>(require(json, "rate_mbps").as_int());
+  spec.mcs = McsId::from_json(require(json, "rate_mbps"));
   spec.psdu_octets =
       static_cast<std::size_t>(require(json, "psdu_octets").as_int());
   spec.control_bits =
       static_cast<std::size_t>(require(json, "control_bits").as_int());
-  spec.control_subcarriers.clear();
-  for (const auto& sc : require(json, "control_subcarriers").as_array()) {
-    spec.control_subcarriers.push_back(static_cast<int>(sc.as_int()));
+  if (const runner::Json* cos_profile = json.find("cos_profile")) {
+    spec.cos = CosProfile::from_json(*cos_profile);
+  } else {
+    // Legacy flat layout (pre-CosProfile flight dumps): the profile
+    // fields sat at the top level and the scrambler seed was implicit.
+    runner::Json flat = runner::Json::object();
+    flat.set("control_subcarriers", require(json, "control_subcarriers"));
+    flat.set("bits_per_interval", require(json, "bits_per_interval"));
+    flat.set("detector", require(json, "detector"));
+    flat.set("scrambler_seed", static_cast<std::int64_t>(0x5D));
+    flat.set("min_feedback_subcarriers", 6);
+    spec.cos = CosProfile::from_json(flat);
   }
-  spec.bits_per_interval =
-      static_cast<int>(require(json, "bits_per_interval").as_int());
-  const runner::Json& det = require(json, "detector");
-  spec.detector.mode = mode_from_name(require(det, "mode").as_string());
-  spec.detector.threshold_margin =
-      require(det, "threshold_margin").as_double();
-  spec.detector.fixed_threshold = require(det, "fixed_threshold").as_double();
   const runner::Json& prof = require(json, "profile");
   spec.profile.num_taps = static_cast<int>(require(prof, "num_taps").as_int());
   spec.profile.decay_taps = require(prof, "decay_taps").as_double();
@@ -138,10 +121,7 @@ CosPacket simulate_cos_packet(const CosTrialSpec& spec, std::uint64_t seed,
   FadingChannel channel(spec.profile, channel_seed);
   const double nv = noise_var_for_measured_snr(channel, spec.measured_snr_db);
 
-  CosTxConfig tx_config;
-  tx_config.mcs = &mcs_for_rate(spec.rate_mbps);
-  tx_config.control_subcarriers = spec.control_subcarriers;
-  tx_config.bits_per_interval = spec.bits_per_interval;
+  const CosTxConfig tx_config(spec.cos, spec.mcs);
   const Bytes psdu = make_test_psdu(spec.psdu_octets, rng);
   out.control = rng.bits(spec.control_bits);
   out.tx = cos_transmit(psdu, out.control, tx_config);
@@ -245,22 +225,22 @@ CosTrialResult run_cos_trial_recorded(const CosTrialSpec& spec,
   result.usable = packet.usable;
   result.control_bits_sent = packet.tx.plan.bits_sent;
 
-  const Mcs& mcs = mcs_for_rate(spec.rate_mbps);
+  const Mcs& mcs = *spec.mcs;
   if (packet.usable) {
     // The detector needs the packet's modulation for its per-subcarrier
     // thresholds, exactly as cos_receive sets it from SIGNAL.
-    DetectorConfig detector = spec.detector;
+    DetectorConfig detector = spec.cos.detector;
     detector.modulation = mcs.modulation;
     result.detected_mask =
-        detect_silences(packet.fe, spec.control_subcarriers, detector);
+        detect_silences(packet.fe, spec.cos.control_subcarriers, detector);
     result.detection = count_confusion(packet.tx.plan.mask,
                                        result.detected_mask,
-                                       spec.control_subcarriers);
+                                       spec.cos.control_subcarriers);
 
     const std::vector<int> intervals =
-        mask_to_intervals(result.detected_mask, spec.control_subcarriers);
+        mask_to_intervals(result.detected_mask, spec.cos.control_subcarriers);
     result.control_recovered =
-        intervals_to_bits_tolerant(intervals, spec.bits_per_interval);
+        intervals_to_bits_tolerant(intervals, spec.cos.bits_per_interval);
     result.control_bits_recovered = result.control_recovered.size();
     result.control_ok =
         result.control_recovered.size() == result.control_bits_sent &&

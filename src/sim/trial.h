@@ -25,15 +25,18 @@
 namespace silence {
 
 // Everything needed to reconstruct a trial. All fields serialize through
-// to_json()/from_json(); from_json(to_json(spec)) == spec.
+// to_json()/from_json(); from_json(to_json(spec)) == spec. The JSON
+// reader also accepts the legacy flat layout (rate_mbps + top-level
+// control_subcarriers/bits_per_interval/detector), so flight-recorder
+// dumps written before the CosProfile migration still replay.
 struct CosTrialSpec {
   double measured_snr_db = 10.0;  // NIC-measured SNR of the realization
-  int rate_mbps = 12;
+  McsId mcs = McsId::for_rate(12);  // data MCS (serialized as rate_mbps)
   std::size_t psdu_octets = 256;
   std::size_t control_bits = 60;  // requested control-message length
-  std::vector<int> control_subcarriers;
-  int bits_per_interval = kDefaultBitsPerInterval;
-  DetectorConfig detector;  // mode/margin/fixed; modulation follows the MCS
+  // Shared CoS profile: control subcarriers, interval width, detector
+  // tuning, scrambler seed. `cos.detector.modulation` follows the MCS.
+  CosProfile cos;
   MultipathProfile profile;
   std::optional<PulseInterferer> interferer;
   // Use the known frame geometry even when SIGNAL fails to decode (the

@@ -28,7 +28,7 @@ double signed_index(int logical) {
 XtechTxPacket xtech_transmit(std::span<const std::uint8_t> psdu,
                              std::span<const std::uint8_t> message_bits,
                              const XtechTxConfig& config) {
-  if (config.mcs == nullptr) {
+  if (!config.mcs.valid()) {
     throw std::invalid_argument("xtech_transmit: no MCS configured");
   }
   check_block(config.block_start, config.block_len);

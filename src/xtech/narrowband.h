@@ -23,7 +23,7 @@
 namespace silence {
 
 struct XtechTxConfig {
-  const Mcs* mcs = nullptr;
+  McsId mcs;  // invalid when default-constructed
   // First logical data subcarrier of the blanked block and its width.
   // 8 subcarriers = 2.5 MHz, about a ZigBee channel.
   int block_start = 20;

@@ -11,7 +11,7 @@ namespace {
 
 FlashbackConfig config_for(int mbps) {
   FlashbackConfig config;
-  config.mcs = &mcs_for_rate(mbps);
+  config.mcs = McsId::for_rate(mbps);
   return config;
 }
 

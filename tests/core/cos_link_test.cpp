@@ -20,7 +20,7 @@ Bytes test_psdu(Rng& rng, std::size_t total) {
 
 CosTxConfig tx_config(int mbps) {
   CosTxConfig config;
-  config.mcs = &mcs_for_rate(mbps);
+  config.mcs = McsId::for_rate(mbps);
   config.control_subcarriers = kControl;
   return config;
 }
@@ -95,7 +95,8 @@ TEST(CosLink, NoControlSubcarriersMeansPlainPacket) {
   Rng rng(3);
   const Bytes psdu = test_psdu(rng, 100);
   CosTxConfig config;
-  config.mcs = &mcs_for_rate(12);
+  config.mcs = McsId::for_rate(12);
+  config.control_subcarriers.clear();  // profile default is the bootstrap set
   const Bits control = rng.bits(8);
   const CosTxPacket tx = cos_transmit(psdu, control, config);
   EXPECT_EQ(tx.plan.silence_count, 0u);

@@ -1,0 +1,56 @@
+#include "core/cos_profile.h"
+
+#include <gtest/gtest.h>
+
+#include "runner/json.h"
+
+namespace silence {
+namespace {
+
+TEST(CosProfile, DefaultsMatchThePaperBootstrap) {
+  const CosProfile profile;
+  EXPECT_EQ(profile.control_subcarriers,
+            (std::vector<int>{10, 11, 12, 13, 14, 15, 16, 17}));
+  EXPECT_EQ(profile.bits_per_interval, kDefaultBitsPerInterval);
+  EXPECT_EQ(profile.scrambler_seed, 0x5D);
+  EXPECT_EQ(profile.min_feedback_subcarriers, 6);
+}
+
+TEST(CosProfile, JsonRoundTripsEveryField) {
+  CosProfile profile;
+  profile.control_subcarriers = {0, 7, 21, 40};
+  profile.bits_per_interval = 5;
+  profile.detector.mode = ThresholdMode::kPerSubcarrierMidpoint;
+  profile.detector.threshold_margin = 9.5;
+  profile.detector.fixed_threshold = 0.125;
+  profile.scrambler_seed = 0x2A;
+  profile.min_feedback_subcarriers = 3;
+
+  const CosProfile back = CosProfile::from_json(profile.to_json());
+  EXPECT_EQ(back, profile);
+  EXPECT_EQ(back.to_json().dump_compact(), profile.to_json().dump_compact());
+}
+
+TEST(CosProfile, DetectorModulationIsTransientNotSerialized) {
+  // `detector.modulation` follows the packet's SIGNAL field at RX time;
+  // two profiles differing only there must serialize identically.
+  CosProfile a;
+  CosProfile b;
+  b.detector.modulation = Modulation::kQam64;
+  EXPECT_EQ(a.to_json().dump_compact(), b.to_json().dump_compact());
+}
+
+TEST(CosProfile, FromJsonRejectsMissingFields) {
+  const runner::Json full = CosProfile{}.to_json();
+  for (const auto& [key, value] : full.as_object()) {
+    runner::Json pruned = runner::Json::object();
+    for (const auto& [k, v] : full.as_object()) {
+      if (k != key) pruned.set(k, v);
+    }
+    EXPECT_THROW(CosProfile::from_json(pruned), std::runtime_error)
+        << "missing '" << key << "' was accepted";
+  }
+}
+
+}  // namespace
+}  // namespace silence

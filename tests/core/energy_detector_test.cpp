@@ -32,7 +32,7 @@ DetectionRun run_detection(double snr_db, std::uint64_t seed,
                            const DetectorConfig& config = {}) {
   Rng rng(seed);
   CosTxConfig tx_config;
-  tx_config.mcs = &mcs_for_rate(12);
+  tx_config.mcs = McsId::for_rate(12);
   tx_config.control_subcarriers = kControl;
   const Bytes psdu = test_psdu(rng, 200);
   const Bits control = rng.bits(40);

@@ -28,7 +28,7 @@ TrialResult run_trial(int mbps, double snr_margin_db, std::size_t ctrl_bits,
   const Bits control = rng.bits(ctrl_bits);
 
   CosTxConfig tx_config;
-  tx_config.mcs = &mcs;
+  tx_config.mcs = McsId::of(mcs);
   tx_config.control_subcarriers = kControl;
   const CosTxPacket tx = cos_transmit(psdu, control, tx_config);
 
@@ -93,7 +93,7 @@ TEST(Evd, ErasedBitsPerSilenceEqualsNbpsc) {
   const Mcs& mcs = mcs_for_rate(24);
 
   CosTxConfig tx_config;
-  tx_config.mcs = &mcs;
+  tx_config.mcs = McsId::of(mcs);
   tx_config.control_subcarriers = {13};
   // One interval "0000" -> two adjacent silences on subcarrier 13.
   const Bits control = {0, 0, 0, 0};

@@ -75,7 +75,7 @@ TEST(FeedbackLoop, RobustSelectionVectorSurvivesCosTransport) {
   const std::vector<int> selection = {4, 9, 23, 30, 41};
 
   CosTxConfig tx_config;
-  tx_config.mcs = &mcs_for_rate(6);  // ACKs go at a basic rate
+  tx_config.mcs = McsId::for_rate(6);  // ACKs go at a basic rate
   const Bytes ack = make_test_psdu(20, rng);
   CosTxPacket tx = cos_transmit(ack, {}, tx_config);
   append_selection_feedback(tx.samples, selection,
@@ -102,7 +102,7 @@ TEST(FeedbackLoop, FeedbackDecodeNeedsTrailerSymbols) {
   Link link(link_config);
   Rng rng(11);
   CosTxConfig tx_config;
-  tx_config.mcs = &mcs_for_rate(6);
+  tx_config.mcs = McsId::for_rate(6);
   const Bytes ack = make_test_psdu(20, rng);
   const CosTxPacket tx = cos_transmit(ack, {}, tx_config);
   const FrontEndResult fe = receiver_front_end(link.send(tx.samples));
@@ -160,7 +160,7 @@ TEST(FeedbackLoop, WeakPlacementBeatsStrongPlacement) {
       }
 
       CosTxConfig tx_config;
-      tx_config.mcs = &mcs_for_rate(24);
+      tx_config.mcs = McsId::for_rate(24);
       tx_config.control_subcarriers = subcarriers;
       const CosTxPacket tx = cos_transmit(psdu, control, tx_config);
       const CxVec received = link.send(tx.samples);

@@ -51,7 +51,7 @@ TEST(ImpairedSession, ControlMessagesAreBroadcast) {
   const std::vector<int> subcarriers = {10, 11, 12, 13, 14, 15, 16, 17};
 
   CosTxConfig txc;
-  txc.mcs = &mcs_for_rate(12);
+  txc.mcs = McsId::for_rate(12);
   txc.control_subcarriers = subcarriers;
   const CosTxPacket tx = cos_transmit(psdu, control, txc);
 

@@ -33,7 +33,7 @@ InterferenceOutcome run(double pulse_power, double hit_probability) {
     const Bits control = rng.bits(300);
 
     CosTxConfig tx_config;
-    tx_config.mcs = &mcs_for_rate(24);
+    tx_config.mcs = McsId::for_rate(24);
     tx_config.control_subcarriers = {10, 11, 12, 13, 14, 15, 16, 17};
     const CosTxPacket tx = cos_transmit(psdu, control, tx_config);
     const CxVec received = link.send(tx.samples);

@@ -1,0 +1,69 @@
+// MAC-layer invariants the net/ scheduler leans on: the backoff
+// counter's slot distribution (contention probabilities) and the BEB
+// window trajectory under collisions.
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "common/rng.h"
+#include "mac/backoff.h"
+#include "mac/timing.h"
+
+namespace silence {
+namespace {
+
+// A fresh counter is uniform over [0, CWmin]: each of the 16 slots gets
+// ~1/16 of the draws. 16k draws, loose +-30% bound per bin (a broken
+// uniform would be far outside).
+TEST(MacInvariants, BackoffSlotCountsAreUniformOverCwMin) {
+  Rng rng(42);
+  Backoff backoff;
+  constexpr int kDraws = 16000;
+  std::array<int, kCwMin + 1> histogram{};
+  for (int i = 0; i < kDraws; ++i) {
+    backoff.restart(rng);
+    ASSERT_GE(backoff.counter(), 0);
+    ASSERT_LE(backoff.counter(), kCwMin);
+    ++histogram[static_cast<std::size_t>(backoff.counter())];
+  }
+  const double expected = static_cast<double>(kDraws) / (kCwMin + 1);
+  for (int slot = 0; slot <= kCwMin; ++slot) {
+    EXPECT_GT(histogram[static_cast<std::size_t>(slot)], 0.7 * expected)
+        << "slot " << slot;
+    EXPECT_LT(histogram[static_cast<std::size_t>(slot)], 1.3 * expected)
+        << "slot " << slot;
+  }
+}
+
+// Collisions double the window up to CWmax; success snaps back to CWmin.
+TEST(MacInvariants, WindowDoublesOnCollisionAndResetsOnSuccess) {
+  Rng rng(7);
+  Backoff backoff;
+  backoff.restart(rng);
+  EXPECT_EQ(backoff.window(), kCwMin);
+  int expected = kCwMin;
+  for (int i = 0; i < 10; ++i) {
+    backoff.on_collision(rng);
+    expected = std::min(2 * expected + 1, kCwMax);
+    EXPECT_EQ(backoff.window(), expected);
+    EXPECT_LE(backoff.counter(), backoff.window());
+  }
+  EXPECT_EQ(backoff.window(), kCwMax);
+  backoff.on_success(rng);
+  EXPECT_EQ(backoff.window(), kCwMin);
+}
+
+// consume() never underflows and reaches zero exactly when told to.
+TEST(MacInvariants, ConsumeDrainsTheCounter) {
+  Rng rng(3);
+  Backoff backoff;
+  for (int i = 0; i < 200; ++i) {
+    backoff.restart(rng);
+    const int counter = backoff.counter();
+    backoff.consume(counter);
+    EXPECT_EQ(backoff.counter(), 0);
+  }
+}
+
+}  // namespace
+}  // namespace silence

@@ -175,7 +175,7 @@ TEST(AllocCount, CosReceiveAllocationsIndependentOfSymbolCount) {
   if (kSanitized) GTEST_SKIP() << "allocation counts unreliable under sanitizers";
   Rng rng(9);
   CosTxConfig tx_config;
-  tx_config.mcs = &mcs_for_rate(24);
+  tx_config.mcs = McsId::for_rate(24);
   tx_config.control_subcarriers = {10, 11, 12, 13, 14, 15, 16, 17};
   const Bits control = rng.bits(48);
   const CosTxPacket tx_small =

@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "phy/params.h"
+#include "runner/json.h"
+
+namespace silence {
+namespace {
+
+TEST(McsId, DefaultConstructedIsInvalid) {
+  const McsId id;
+  EXPECT_FALSE(id.valid());
+  EXPECT_EQ(id.index(), -1);
+  EXPECT_THROW(id.info(), std::logic_error);
+}
+
+TEST(McsId, ForRateFindsEveryTableRate) {
+  for (const int rate : {6, 9, 12, 18, 24, 36, 48, 54}) {
+    const McsId id = McsId::for_rate(rate);
+    ASSERT_TRUE(id.valid());
+    EXPECT_EQ(id->data_rate_mbps, rate);
+    EXPECT_EQ(id.rate_mbps(), rate);
+    // Value semantics: the handle always resolves to the static table
+    // row the old `const Mcs*` pointed at.
+    EXPECT_EQ(&id.info(), &mcs_for_rate(rate));
+  }
+  EXPECT_THROW(McsId::for_rate(11), std::invalid_argument);
+}
+
+TEST(McsId, ForSnrMatchesSelectMcsBySnr) {
+  for (double snr = 0.0; snr <= 30.0; snr += 0.5) {
+    EXPECT_EQ(&McsId::for_snr(snr).info(), &select_mcs_by_snr(snr));
+  }
+}
+
+TEST(McsId, OfRoundTripsTableReferences) {
+  const Mcs& mcs = mcs_for_rate(36);
+  const McsId id = McsId::of(mcs);
+  EXPECT_TRUE(id.valid());
+  EXPECT_EQ((*id).data_rate_mbps, 36);
+  // A reference from outside the static table is rejected.
+  const Mcs rogue = mcs;
+  EXPECT_THROW(McsId::of(rogue), std::invalid_argument);
+}
+
+TEST(McsId, FromIndexBoundsChecked) {
+  EXPECT_TRUE(McsId::from_index(0).valid());
+  EXPECT_THROW(McsId::from_index(-1), std::out_of_range);
+  EXPECT_THROW(McsId::from_index(1000), std::out_of_range);
+}
+
+TEST(McsId, JsonRoundTripsAsHeadlineRate) {
+  const McsId id = McsId::for_rate(48);
+  const runner::Json json = id.to_json();
+  EXPECT_TRUE(json.is_int());
+  EXPECT_EQ(json.as_int(), 48);
+  EXPECT_EQ(McsId::from_json(json), id);
+
+  // Invalid serializes as null and round-trips back to invalid.
+  const McsId invalid;
+  EXPECT_TRUE(invalid.to_json().is_null());
+  EXPECT_FALSE(McsId::from_json(invalid.to_json()).valid());
+}
+
+TEST(McsId, EqualityIsIndexEquality) {
+  EXPECT_EQ(McsId::for_rate(24), McsId::for_mcs(Modulation::kQam16,
+                                                CodeRate::kRate1of2));
+  EXPECT_NE(McsId::for_rate(24), McsId::for_rate(36));
+  EXPECT_EQ(McsId(), McsId());
+}
+
+}  // namespace
+}  // namespace silence

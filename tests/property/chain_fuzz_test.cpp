@@ -56,7 +56,7 @@ TEST_P(ChainFuzz, CosRoundTripsOnBenignChannel) {
     const Bits control = rng.bits(rng.uniform_int(0, 120));
 
     CosTxConfig txc;
-    txc.mcs = &mcs;
+    txc.mcs = McsId::of(mcs);
     txc.control_subcarriers = subcarriers;
     txc.bits_per_interval = k;
     const CosTxPacket tx = cos_transmit(psdu, control, txc);

@@ -31,7 +31,7 @@ TEST_P(RateKSweep, CleanRoundTrip) {
       rng.bits(static_cast<std::size_t>(k) * static_cast<std::size_t>(intervals));
 
   CosTxConfig txc;
-  txc.mcs = &mcs_for_rate(rate);
+  txc.mcs = McsId::for_rate(rate);
   txc.control_subcarriers = k >= 5 ? std::vector<int>{7, 19, 31, 43}
                                     : std::vector<int>{7, 23, 39};
   txc.bits_per_interval = k;

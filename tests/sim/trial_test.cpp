@@ -18,10 +18,10 @@ using runner::Json;
 CosTrialSpec test_spec() {
   CosTrialSpec spec;
   spec.measured_snr_db = 12.0;
-  spec.rate_mbps = 12;
+  spec.mcs = McsId::for_rate(12);
   spec.psdu_octets = 128;
   spec.control_bits = 40;
-  spec.control_subcarriers = {9, 10, 11, 12, 13, 14, 15, 16};
+  spec.cos.control_subcarriers = {9, 10, 11, 12, 13, 14, 15, 16};
   spec.profile.rician_k_linear = 10.0;
   spec.profile.decay_taps = 1.5;
   return spec;
@@ -29,8 +29,8 @@ CosTrialSpec test_spec() {
 
 TEST(CosTrialSpec, JsonRoundTripsEveryField) {
   CosTrialSpec spec = test_spec();
-  spec.detector.mode = ThresholdMode::kPerSubcarrierMidpoint;
-  spec.detector.threshold_margin = 6.5;
+  spec.cos.detector.mode = ThresholdMode::kPerSubcarrierMidpoint;
+  spec.cos.detector.threshold_margin = 6.5;
   spec.interferer = PulseInterferer{.symbol_hit_probability = 0.25,
                                     .pulse_power = 1.5};
   spec.ground_truth_framing = true;
@@ -40,7 +40,7 @@ TEST(CosTrialSpec, JsonRoundTripsEveryField) {
   // The serializer is deterministic, so field equality reduces to JSON
   // equality — including every double's exact bit pattern.
   EXPECT_EQ(back.to_json().dump_compact(), spec.to_json().dump_compact());
-  EXPECT_EQ(back.detector.mode, ThresholdMode::kPerSubcarrierMidpoint);
+  EXPECT_EQ(back.cos.detector.mode, ThresholdMode::kPerSubcarrierMidpoint);
   ASSERT_TRUE(back.interferer.has_value());
   EXPECT_EQ(back.interferer->symbol_hit_probability, 0.25);
   EXPECT_TRUE(back.ground_truth_framing);
@@ -58,7 +58,7 @@ TEST(CosTrialSpec, FromJsonRejectsMissingFields) {
   Json broken = test_spec().to_json();
   Json pruned = Json::object();
   for (const auto& [key, value] : broken.as_object()) {
-    if (key != "detector") pruned.set(key, value);
+    if (key != "profile") pruned.set(key, value);
   }
   EXPECT_THROW(CosTrialSpec::from_json(pruned), std::runtime_error);
 }
@@ -83,10 +83,10 @@ TEST(CosTrial, CountDetectionMatchesTrialConfusionCounts) {
   const CosTrialSpec spec = test_spec();
   const CosPacket packet = simulate_cos_packet(spec, 999);
   ASSERT_TRUE(packet.usable);
-  DetectorConfig detector = spec.detector;
-  detector.modulation = mcs_for_rate(spec.rate_mbps).modulation;
+  DetectorConfig detector = spec.cos.detector;
+  detector.modulation = spec.mcs->modulation;
   const DetectionCounts direct =
-      count_detection(packet, spec.control_subcarriers, detector);
+      count_detection(packet, spec.cos.control_subcarriers, detector);
   const CosTrialResult trial = run_cos_trial_recorded(spec, 999);
   EXPECT_EQ(direct.active, trial.detection.active);
   EXPECT_EQ(direct.silent, trial.detection.silent);
@@ -100,7 +100,7 @@ TEST(CosTrial, CountDetectionMatchesTrialConfusionCounts) {
 // message), i.e. a deterministic anomaly for the dump path.
 CosTrialSpec anomalous_spec() {
   CosTrialSpec spec = test_spec();
-  spec.detector.fixed_threshold = 1e9;
+  spec.cos.detector.fixed_threshold = 1e9;
   return spec;
 }
 

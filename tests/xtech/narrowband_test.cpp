@@ -20,7 +20,7 @@ Bytes test_psdu(Rng& rng, std::size_t total) {
 
 XtechTxConfig tx_config(int mbps) {
   XtechTxConfig config;
-  config.mcs = &mcs_for_rate(mbps);
+  config.mcs = McsId::for_rate(mbps);
   return config;
 }
 

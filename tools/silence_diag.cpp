@@ -108,6 +108,7 @@ int main(int argc, char** argv) {
   if (dump_path.empty()) return usage(argv[0], 2);
 
   Json dump;
+  Json recorded_spec;
   CosTrialSpec spec;
   std::uint64_t seed = 0;
   flight::TrialLabel label;
@@ -123,6 +124,7 @@ int main(int argc, char** argv) {
     }
     const Json* spec_json = field(dump, "spec");
     if (spec_json == nullptr) throw std::runtime_error("missing 'spec'");
+    recorded_spec = *spec_json;
     spec = CosTrialSpec::from_json(*spec_json);
     seed = flight::seed_from_string(string_field(dump, "seed"));
     label.sweep = string_field(dump, "sweep");
@@ -148,8 +150,11 @@ int main(int argc, char** argv) {
 
   // The replay: same spec, same seed, fresh recording. The trial's
   // outcome is a pure function of (spec, seed), so every stage below
-  // must reproduce the dump exactly.
-  flight::TrialRecording rec(label, seed, spec.to_json());
+  // must reproduce the dump exactly. The recording keeps the dump's spec
+  // JSON verbatim — a dump in the legacy flat layout parses to the same
+  // trial but would re-serialize in the current layout, and the strict
+  // byte comparison below must not punish that.
+  flight::TrialRecording rec(label, seed, recorded_spec);
   const CosTrialResult result = silence::run_cos_trial_recorded(spec, seed);
   // In SILENCE_OBS=OFF builds the in-trial hook is compiled out; setting
   // the digest here is idempotent under ON (same value, same bytes).
