@@ -160,6 +160,22 @@ PointResult run_point(const SweepPoint& point, std::uint64_t base_seed,
   return result;
 }
 
+// Shard-artifact codec (fabric/fabric.h): both fields are integers, so
+// the round trip is trivially exact.
+runner::Json point_to_json(const PointResult& r) {
+  runner::Json row = runner::Json::object();
+  row.set("feasible", r.feasible);
+  row.set("budget", r.budget);
+  return row;
+}
+
+PointResult point_from_json(const runner::Json& row) {
+  PointResult r;
+  r.feasible = row.find("feasible")->as_bool();
+  r.budget = static_cast<int>(row.find("budget")->as_int());
+  return r;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -182,13 +198,15 @@ int main(int argc, char** argv) {
     ++snr_index;
   }
 
-  const auto outcome = runner::run_sweep(
-      grid, {.threads = args.threads, .chunk = 1},
+  fabric::Fabric fab(bench::fabric_config(args));
+  const auto outcome = fab.run(
+      "fig09_capacity", grid, {.threads = args.threads, .chunk = 1},
       [&](const SweepPoint& point, const runner::TrialContext& ctx) {
         return run_point(point, grid.base_seed, ctx.seed, packets,
                          max_failures);
       },
-      [](PointResult&, PointResult&&) {});
+      point_to_json, point_from_json, [](PointResult&, PointResult&&) {});
+  if (fab.worker_mode()) return fab.finish_worker();
 
   runner::SweepReport report;
   report.bench = "fig09_capacity";
@@ -245,6 +263,7 @@ int main(int argc, char** argv) {
   table.write(report);
   if (args.json) {
     runner::JsonSink(args.json_path).write(report);
+    if (fab.fabric_mode()) fab.write_metrics_sidecar(args.json_path);
   }
   bench::finish_observability(args);
   return 0;

@@ -20,6 +20,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <stdexcept>
 #include <vector>
 
 #include "bench_util.h"
@@ -93,7 +94,32 @@ void part_a() {
   }
 }
 
-runner::SweepReport part_b(const bench::BenchArgs& args) {
+// Shard-artifact codecs (fabric/fabric.h): detector counts are plain
+// unsigned tallies, shipped as compact 4-int arrays — exact round trip.
+runner::Json detection_to_json(const DetectionCounts& c) {
+  runner::Json row = runner::Json::array();
+  row.push_back(static_cast<std::int64_t>(c.active));
+  row.push_back(static_cast<std::int64_t>(c.silent));
+  row.push_back(static_cast<std::int64_t>(c.false_pos));
+  row.push_back(static_cast<std::int64_t>(c.false_neg));
+  return row;
+}
+
+DetectionCounts detection_from_json(const runner::Json& row) {
+  const runner::Json::Array& a = row.as_array();
+  if (a.size() != 4) {
+    throw std::runtime_error("DetectionCounts: expected 4 fields");
+  }
+  DetectionCounts c;
+  c.active = static_cast<std::size_t>(a[0].as_int());
+  c.silent = static_cast<std::size_t>(a[1].as_int());
+  c.false_pos = static_cast<std::size_t>(a[2].as_int());
+  c.false_neg = static_cast<std::size_t>(a[3].as_int());
+  return c;
+}
+
+runner::SweepReport part_b(const bench::BenchArgs& args,
+                           fabric::Fabric& fab) {
   const int packets = args.trials > 0 ? args.trials : 150;
   runner::SweepGrid<double> grid;  // points: threshold in dB
   grid.base_seed = runner::substream_seed(args.seed, 0xb);
@@ -102,8 +128,8 @@ runner::SweepReport part_b(const bench::BenchArgs& args) {
     grid.points.push_back(thr_db);
   }
 
-  const auto outcome = runner::run_sweep(
-      grid, {.threads = args.threads, .chunk = 8},
+  const auto outcome = fab.run(
+      "fig10_detection.b", grid, {.threads = args.threads, .chunk = 8},
       [&](const double& thr_db, const runner::TrialContext& ctx) {
         CosTrialSpec spec = base_spec(9.2);
         spec.cos.detector.fixed_threshold = std::pow(10.0, thr_db / 10.0);
@@ -117,7 +143,8 @@ runner::SweepReport part_b(const bench::BenchArgs& args) {
                               .trial_index = ctx.trial_index},
                              ctx.seed)
             .detection;
-      });
+      },
+      detection_to_json, detection_from_json);
 
   runner::SweepReport report;
   report.bench = "fig10_detection.b";
@@ -152,15 +179,34 @@ struct AdaptiveCounts {
   }
 };
 
-runner::SweepReport part_c(const bench::BenchArgs& args) {
+runner::Json adaptive_to_json(const AdaptiveCounts& c) {
+  runner::Json row = runner::Json::array();
+  row.push_back(detection_to_json(c.noise_margin));
+  row.push_back(detection_to_json(c.midpoint));
+  return row;
+}
+
+AdaptiveCounts adaptive_from_json(const runner::Json& row) {
+  const runner::Json::Array& a = row.as_array();
+  if (a.size() != 2) {
+    throw std::runtime_error("AdaptiveCounts: expected 2 fields");
+  }
+  AdaptiveCounts c;
+  c.noise_margin = detection_from_json(a[0]);
+  c.midpoint = detection_from_json(a[1]);
+  return c;
+}
+
+runner::SweepReport part_c(const bench::BenchArgs& args,
+                           fabric::Fabric& fab) {
   const int packets = args.trials > 0 ? args.trials : 1000;
   runner::SweepGrid<double> grid;  // points: measured SNR in dB
   grid.base_seed = runner::substream_seed(args.seed, 0xc);
   grid.trials = static_cast<std::size_t>(packets);
   grid.points = {3.2, 4.0, 6.0, 8.0, 10.0, 12.0, 14.0, 16.0, 18.0, 20.0};
 
-  const auto outcome = runner::run_sweep(
-      grid, {.threads = args.threads, .chunk = 16},
+  const auto outcome = fab.run(
+      "fig10_detection.c", grid, {.threads = args.threads, .chunk = 16},
       [&](const double& snr, const runner::TrialContext& ctx) {
         const CosPacket packet =
             simulate_cos_packet(base_spec(snr), ctx.seed);
@@ -175,7 +221,8 @@ runner::SweepReport part_c(const bench::BenchArgs& args) {
         counts.midpoint =
             count_detection(packet, kControl, midpoint_config);
         return counts;
-      });
+      },
+      adaptive_to_json, adaptive_from_json);
 
   runner::SweepReport report;
   report.bench = "fig10_detection.c";
@@ -214,7 +261,26 @@ struct InterferenceCounts {
   }
 };
 
-runner::SweepReport part_d(const bench::BenchArgs& args) {
+runner::Json interference_to_json(const InterferenceCounts& c) {
+  runner::Json row = runner::Json::array();
+  row.push_back(detection_to_json(c.interfered));
+  row.push_back(detection_to_json(c.clean));
+  return row;
+}
+
+InterferenceCounts interference_from_json(const runner::Json& row) {
+  const runner::Json::Array& a = row.as_array();
+  if (a.size() != 2) {
+    throw std::runtime_error("InterferenceCounts: expected 2 fields");
+  }
+  InterferenceCounts c;
+  c.interfered = detection_from_json(a[0]);
+  c.clean = detection_from_json(a[1]);
+  return c;
+}
+
+runner::SweepReport part_d(const bench::BenchArgs& args,
+                           fabric::Fabric& fab) {
   const int packets = args.trials > 0 ? args.trials : 200;
   runner::SweepGrid<double> grid;  // points: measured SNR in dB
   grid.base_seed = runner::substream_seed(args.seed, 0xd);
@@ -223,8 +289,8 @@ runner::SweepReport part_d(const bench::BenchArgs& args) {
   const PulseInterferer strong{.symbol_hit_probability = 0.6,
                                .pulse_power = 1.0};
 
-  const auto outcome = runner::run_sweep(
-      grid, {.threads = args.threads, .chunk = 8},
+  const auto outcome = fab.run(
+      "fig10_detection.d", grid, {.threads = args.threads, .chunk = 8},
       [&](const double& snr, const runner::TrialContext& ctx) {
         CosTrialSpec interfered = base_spec(snr);
         interfered.ground_truth_framing = true;
@@ -244,7 +310,8 @@ runner::SweepReport part_d(const bench::BenchArgs& args) {
         counts.clean = count_detection(simulate_cos_packet(clean, ctx.seed),
                                        kControl, DetectorConfig{});
         return counts;
-      });
+      },
+      interference_to_json, interference_from_json);
 
   runner::SweepReport report;
   report.bench = "fig10_detection.d";
@@ -272,12 +339,18 @@ runner::SweepReport part_d(const bench::BenchArgs& args) {
 int main(int argc, char** argv) {
   const bench::BenchArgs args =
       bench::parse_bench_args(argc, argv, "fig10_detection");
-  bench::print_header("Fig. 10", "silence-symbol detection accuracy");
-  part_a();
+  fabric::Fabric fab(bench::fabric_config(args));
+  if (!fab.worker_mode()) {
+    bench::print_header("Fig. 10", "silence-symbol detection accuracy");
+    part_a();
+  }
 
-  const runner::SweepReport b = part_b(args);
-  const runner::SweepReport c = part_c(args);
-  const runner::SweepReport d = part_d(args);
+  // In worker mode only the sweep named by the shard spec runs; the
+  // other two parts return immediately with empty results.
+  const runner::SweepReport b = part_b(args, fab);
+  const runner::SweepReport c = part_c(args, fab);
+  const runner::SweepReport d = part_d(args, fab);
+  if (fab.worker_mode()) return fab.finish_worker();
   runner::TableSink table;
   table.write(b);
   table.write(c);
@@ -313,11 +386,10 @@ int main(int argc, char** argv) {
     runner::write_json_file(runner::timing_sidecar_path(args.json_path),
                             timing);
 
-    const obs::MetricsSnapshot snapshot = obs::Registry::global().snapshot();
-    if (!snapshot.empty()) {
-      runner::write_json_file(runner::metrics_sidecar_path(args.json_path),
-                              runner::metrics_json(snapshot));
-    }
+    // In fabric mode this merges every worker's shard metrics with the
+    // supervisor's own snapshot; otherwise it reduces to the plain
+    // single-snapshot sidecar.
+    fab.write_metrics_sidecar(args.json_path);
   }
   bench::finish_observability(args);
   return 0;

@@ -7,7 +7,15 @@
 //
 // Runner-based: each Monte-Carlo trial runs one full scenario seed, and
 // trials fan out across the thread pool with (base_seed, point, trial)
-// derived seeds — results are bit-identical at any --threads value.
+// derived seeds — results are bit-identical at any --threads value, and
+// `--fabric N` shards the same sweep over N worker processes with
+// byte-identical output (NetResult's JSON codec round-trips every trial
+// bit-exactly through the shard artifacts).
+//
+// Besides the console table, every run writes `results/BENCH_net.json`:
+// seed-deterministic goodput/collision numbers per station count in the
+// same `stages` shape as BENCH_phy.json, so tools/bench_compare can gate
+// network-level regressions in CI with a tight tolerance.
 #include <cstdio>
 
 #include "bench_util.h"
@@ -45,13 +53,19 @@ int main(int argc, char** argv) {
   grid.trials = static_cast<std::size_t>(trials);
   grid.points = {1, 2, 4, 8, 16, 32, 64};
 
-  bench::print_header("Network", "multi-STA CoS scenarios (src/net/)");
+  fabric::Fabric fab(bench::fabric_config(args));
+  if (!fab.worker_mode()) {
+    bench::print_header("Network", "multi-STA CoS scenarios (src/net/)");
+  }
 
-  const auto outcome = runner::run_sweep(
-      grid, {.threads = args.threads, .chunk = 1},
+  const auto outcome = fab.run(
+      "net_scenarios", grid, {.threads = args.threads, .chunk = 1},
       [](const int& stas, const runner::TrialContext& ctx) {
         return net::run_scenario(scenario_for(stas), ctx.seed);
-      });
+      },
+      [](const net::NetResult& r) { return r.to_json(); },
+      [](const runner::Json& j) { return net::NetResult::from_json(j); });
+  if (fab.worker_mode()) return fab.finish_worker();
 
   runner::SweepReport report;
   report.bench = "net_scenarios";
@@ -96,7 +110,50 @@ int main(int argc, char** argv) {
   table.write(report);
   if (args.json) {
     runner::JsonSink(args.json_path).write(report);
+    if (fab.fabric_mode()) {
+      // Replace the supervisor-only sidecar JsonSink just wrote with the
+      // merge of every worker's shard metrics plus our own snapshot.
+      fab.write_metrics_sidecar(args.json_path);
+    }
   }
+
+  // Machine-readable perf/behavior baseline for tools/bench_compare.
+  // Only seed-deterministic quantities (no wall-clock), so the CI gate
+  // can use a tight tolerance: goodput as items/sec (bits per simulated
+  // second of medium time) per station count.
+  runner::Json bench_json = runner::Json::object();
+  bench_json.set("bench", "net_scenarios");
+  bench_json.set("schema_version", 1);
+  runner::Json stages = runner::Json::array();
+  runner::Json net_points = runner::Json::array();
+  for (std::size_t i = 0; i < grid.points.size(); ++i) {
+    const net::NetResult& r = outcome.point_results[i];
+    const std::string suffix = "/stas=" + std::to_string(grid.points[i]);
+    runner::Json thpt = runner::Json::object();
+    thpt.set("name", "NET/goodput" + suffix);
+    thpt.set("items_per_second", r.aggregate_throughput_mbps() * 1e6);
+    stages.push_back(std::move(thpt));
+    runner::Json ctrl = runner::Json::object();
+    ctrl.set("name", "NET/ctrl_goodput" + suffix);
+    ctrl.set("items_per_second", r.control_goodput_kbps() * 1e3);
+    stages.push_back(std::move(ctrl));
+
+    std::size_t mpdus = 0;
+    for (const net::StaStats& s : r.stations) mpdus += s.mpdus_delivered;
+    runner::Json point = runner::Json::object();
+    point.set("stas", static_cast<std::int64_t>(grid.points[i]));
+    point.set("thpt_mbps", r.aggregate_throughput_mbps());
+    point.set("ctrl_kbps", r.control_goodput_kbps());
+    point.set("overhead", r.airtime_overhead());
+    point.set("fairness", r.jain_fairness());
+    point.set("coll_rate", r.collision_rate());
+    point.set("mpdus", static_cast<std::int64_t>(mpdus));
+    net_points.push_back(std::move(point));
+  }
+  bench_json.set("stages", std::move(stages));
+  bench_json.set("net_points", std::move(net_points));
+  runner::write_json_file("results/BENCH_net.json", bench_json);
+
   bench::finish_observability(args);
   return 0;
 }

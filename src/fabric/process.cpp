@@ -1,0 +1,127 @@
+#include "fabric/process.h"
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <filesystem>
+#include <stdexcept>
+#include <string_view>
+#include <sys/wait.h>
+#include <unistd.h>
+
+extern char** environ;
+
+namespace silence::fabric {
+
+namespace {
+
+// "KEY=VALUE" -> "KEY=". Used to drop inherited entries that extra_env
+// overrides, so the child sees exactly one value per key.
+std::string_view env_key(std::string_view entry) {
+  const std::size_t eq = entry.find('=');
+  return entry.substr(0, eq == std::string_view::npos ? entry.size() : eq + 1);
+}
+
+ExitStatus status_from_wait(int wait_status) {
+  ExitStatus status;
+  if (WIFEXITED(wait_status)) {
+    status.exited = true;
+    status.code = WEXITSTATUS(wait_status);
+  } else if (WIFSIGNALED(wait_status)) {
+    status.exited = false;
+    status.code = WTERMSIG(wait_status);
+  }
+  return status;
+}
+
+}  // namespace
+
+std::string ExitStatus::describe() const {
+  if (exited) return "exit code " + std::to_string(code);
+  return "signal " + std::to_string(code);
+}
+
+std::string self_executable_path(const std::string& fallback) {
+  std::error_code ec;
+  const std::filesystem::path self =
+      std::filesystem::read_symlink("/proc/self/exe", ec);
+  if (!ec && !self.empty()) return self.string();
+  return fallback;
+}
+
+pid_t spawn_process(const std::vector<std::string>& argv,
+                    const std::vector<std::string>& extra_env) {
+  if (argv.empty()) throw std::runtime_error("spawn_process: empty argv");
+
+  // Build argv/envp arrays BEFORE forking — only async-signal-safe calls
+  // are allowed between fork and exec.
+  std::vector<char*> argv_ptrs;
+  argv_ptrs.reserve(argv.size() + 1);
+  for (const std::string& arg : argv) {
+    argv_ptrs.push_back(const_cast<char*>(arg.c_str()));
+  }
+  argv_ptrs.push_back(nullptr);
+
+  std::vector<std::string> env_storage;
+  for (char** e = environ; e != nullptr && *e != nullptr; ++e) {
+    const std::string_view entry(*e);
+    bool overridden = false;
+    for (const std::string& extra : extra_env) {
+      if (env_key(entry) == env_key(extra)) {
+        overridden = true;
+        break;
+      }
+    }
+    if (!overridden) env_storage.emplace_back(entry);
+  }
+  for (const std::string& extra : extra_env) env_storage.push_back(extra);
+  std::vector<char*> env_ptrs;
+  env_ptrs.reserve(env_storage.size() + 1);
+  for (const std::string& entry : env_storage) {
+    env_ptrs.push_back(const_cast<char*>(entry.c_str()));
+  }
+  env_ptrs.push_back(nullptr);
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    throw std::runtime_error(std::string("spawn_process: fork failed: ") +
+                             std::strerror(errno));
+  }
+  if (pid == 0) {
+    ::execve(argv_ptrs[0], argv_ptrs.data(), env_ptrs.data());
+    // Exec failed; 127 is the shell convention for "command not found".
+    ::_exit(127);
+  }
+  return pid;
+}
+
+std::optional<ExitStatus> poll_process(pid_t pid) {
+  int wait_status = 0;
+  const pid_t reaped = ::waitpid(pid, &wait_status, WNOHANG);
+  if (reaped == 0) return std::nullopt;
+  if (reaped < 0) {
+    throw std::runtime_error(std::string("poll_process: waitpid failed: ") +
+                             std::strerror(errno));
+  }
+  return status_from_wait(wait_status);
+}
+
+ExitStatus wait_process(pid_t pid) {
+  int wait_status = 0;
+  for (;;) {
+    const pid_t reaped = ::waitpid(pid, &wait_status, 0);
+    if (reaped >= 0) break;
+    if (errno != EINTR) {
+      throw std::runtime_error(std::string("wait_process: waitpid failed: ") +
+                               std::strerror(errno));
+    }
+  }
+  return status_from_wait(wait_status);
+}
+
+ExitStatus kill_process(pid_t pid) {
+  ::kill(pid, SIGKILL);
+  return wait_process(pid);
+}
+
+}  // namespace silence::fabric

@@ -1,0 +1,46 @@
+// Minimal child-process management for the fabric supervisor and the
+// campaign driver: spawn an argv with extra environment variables, poll
+// or block for exit, kill a straggler. Linux-only (fork/execve), which
+// is the only platform this repo targets.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <sys/types.h>
+#include <vector>
+
+namespace silence::fabric {
+
+// How a child ended. `exited` distinguishes a normal exit (code holds
+// the exit status) from death by signal (code holds the signal number).
+struct ExitStatus {
+  bool exited = false;
+  int code = 0;
+
+  bool ok() const { return exited && code == 0; }
+  std::string describe() const;
+};
+
+// The path of the currently running executable (/proc/self/exe), for
+// re-exec'ing the current binary as a shard worker. Falls back to
+// `fallback` (typically argv[0]) if the proc link cannot be read.
+std::string self_executable_path(const std::string& fallback);
+
+// Spawns `argv` (argv[0] is the executable path) with the parent's
+// environment plus `extra_env` ("KEY=VALUE" entries override inherited
+// ones). Returns the child pid; throws std::runtime_error if the fork
+// fails. An exec failure inside the child surfaces as exit code 127.
+pid_t spawn_process(const std::vector<std::string>& argv,
+                    const std::vector<std::string>& extra_env);
+
+// Non-blocking reap: the child's status if it has exited, std::nullopt
+// while it is still running.
+std::optional<ExitStatus> poll_process(pid_t pid);
+
+// Blocking reap.
+ExitStatus wait_process(pid_t pid);
+
+// SIGKILLs the child and reaps it (used for shard timeouts).
+ExitStatus kill_process(pid_t pid);
+
+}  // namespace silence::fabric

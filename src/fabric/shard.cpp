@@ -1,0 +1,92 @@
+#include "fabric/shard.h"
+
+#include <charconv>
+#include <stdexcept>
+
+namespace silence::fabric {
+
+namespace {
+
+[[noreturn]] void bad_spec(std::string_view text, const char* why) {
+  throw std::invalid_argument("ShardSpec::parse: " + std::string(why) +
+                              " in '" + std::string(text) + "'");
+}
+
+std::size_t parse_size(std::string_view text, std::string_view token,
+                       const char* what) {
+  std::size_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), value);
+  if (ec != std::errc() || ptr != token.data() + token.size()) {
+    bad_spec(text, what);
+  }
+  return value;
+}
+
+}  // namespace
+
+std::string ShardSpec::to_string() const {
+  return sweep + ":" + std::to_string(index) + "/" + std::to_string(count) +
+         ":" + std::to_string(begin) + "-" + std::to_string(end);
+}
+
+ShardSpec ShardSpec::parse(std::string_view text) {
+  // The sweep name may itself contain dots/underscores but never ':', so
+  // split on the LAST two colons to be unambiguous.
+  const std::size_t second_colon = text.rfind(':');
+  if (second_colon == std::string_view::npos || second_colon == 0) {
+    bad_spec(text, "missing ':' separators");
+  }
+  const std::size_t first_colon = text.rfind(':', second_colon - 1);
+  if (first_colon == std::string_view::npos || first_colon == 0) {
+    bad_spec(text, "missing sweep name");
+  }
+
+  ShardSpec spec;
+  spec.sweep = std::string(text.substr(0, first_colon));
+  const std::string_view shard_part =
+      text.substr(first_colon + 1, second_colon - first_colon - 1);
+  const std::string_view range_part = text.substr(second_colon + 1);
+
+  const std::size_t slash = shard_part.find('/');
+  if (slash == std::string_view::npos) bad_spec(text, "missing '/'");
+  spec.index = parse_size(text, shard_part.substr(0, slash), "bad shard index");
+  spec.count = parse_size(text, shard_part.substr(slash + 1), "bad shard count");
+
+  const std::size_t dash = range_part.find('-');
+  if (dash == std::string_view::npos) bad_spec(text, "missing '-'");
+  spec.begin = parse_size(text, range_part.substr(0, dash), "bad slot begin");
+  spec.end = parse_size(text, range_part.substr(dash + 1), "bad slot end");
+
+  if (spec.count == 0) bad_spec(text, "zero shard count");
+  if (spec.index >= spec.count) bad_spec(text, "shard index out of range");
+  if (spec.begin >= spec.end) bad_spec(text, "empty slot range");
+  return spec;
+}
+
+std::vector<ShardSpec> plan_shards(std::string_view sweep,
+                                   std::size_t total_slots,
+                                   std::size_t shard_count) {
+  if (total_slots == 0) return {};
+  if (shard_count == 0) shard_count = 1;
+  if (shard_count > total_slots) shard_count = total_slots;
+
+  const std::size_t base = total_slots / shard_count;
+  const std::size_t remainder = total_slots % shard_count;
+  std::vector<ShardSpec> plan;
+  plan.reserve(shard_count);
+  std::size_t cursor = 0;
+  for (std::size_t i = 0; i < shard_count; ++i) {
+    ShardSpec spec;
+    spec.sweep = std::string(sweep);
+    spec.index = i;
+    spec.count = shard_count;
+    spec.begin = cursor;
+    cursor += base + (i < remainder ? 1 : 0);
+    spec.end = cursor;
+    plan.push_back(std::move(spec));
+  }
+  return plan;
+}
+
+}  // namespace silence::fabric

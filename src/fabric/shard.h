@@ -1,0 +1,48 @@
+// Deterministic shard planning for the multi-process sweep fabric.
+//
+// A sweep's (point x trial) space is a linear slot space of size
+// points * trials, where slot i maps to (point = i / trials,
+// trial = i % trials) — exactly the indexing runner::run_sweep uses.
+// plan_shards() splits [0, total) into contiguous slot ranges, one per
+// shard, so a shard is always a contiguous (point, trial-range) block.
+// Because every slot's RNG seed is a pure function of its coordinates
+// (runner/seed.h), any shard re-run — on another process, another
+// machine, or after a crash — reproduces its slot results bit-exactly.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace silence::fabric {
+
+// One shard of one named sweep: slots [begin, end) of the linear
+// (point x trial) space, shard `index` of `count` total.
+struct ShardSpec {
+  std::string sweep;      // sweep name, e.g. "fig10_detection.b"
+  std::size_t index = 0;  // shard number, 0-based
+  std::size_t count = 1;  // total shards in the plan
+  std::size_t begin = 0;  // first linear slot (inclusive)
+  std::size_t end = 0;    // past-the-last linear slot
+
+  std::size_t slots() const { return end - begin; }
+
+  // Compact CLI form: "<sweep>:<index>/<count>:<begin>-<end>".
+  // parse(to_string(s)) == s; parse throws std::invalid_argument on any
+  // malformed input (the supervisor/worker handshake must be exact).
+  std::string to_string() const;
+  static ShardSpec parse(std::string_view text);
+
+  friend bool operator==(const ShardSpec&, const ShardSpec&) = default;
+};
+
+// Splits `total_slots` into `shard_count` contiguous shards (clamped to
+// [1, total_slots] so no shard is empty). Slot counts differ by at most
+// one and earlier shards take the remainder, so the plan is a pure
+// function of (total_slots, shard_count).
+std::vector<ShardSpec> plan_shards(std::string_view sweep,
+                                   std::size_t total_slots,
+                                   std::size_t shard_count);
+
+}  // namespace silence::fabric

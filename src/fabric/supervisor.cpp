@@ -1,0 +1,161 @@
+#include "fabric/supervisor.h"
+
+#include <chrono>
+#include <cstdio>
+#include <deque>
+#include <optional>
+#include <stdexcept>
+#include <thread>
+
+#include "fabric/process.h"
+#include "fabric/transport.h"
+#include "obs/obs.h"
+
+namespace silence::fabric {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct PendingShard {
+  std::size_t plan_index = 0;
+  int attempts = 0;             // completed (failed) attempts so far
+  Clock::time_point eligible;   // earliest next launch (backoff)
+};
+
+struct RunningShard {
+  std::size_t plan_index = 0;
+  int attempts = 0;             // attempts BEFORE this one
+  pid_t pid = -1;
+  Clock::time_point deadline;   // meaningful only when timeout is on
+  std::string artifact_path;
+};
+
+}  // namespace
+
+std::vector<runner::Json> run_shards(const std::vector<ShardSpec>& plan,
+                                     const std::string& spool_dir,
+                                     std::uint64_t base_seed,
+                                     std::size_t points, std::size_t trials,
+                                     const ShardCommandFn& command_for,
+                                     const SupervisorOptions& options) {
+  std::vector<runner::Json> artifacts(plan.size());
+  if (plan.empty()) return artifacts;
+  const int max_workers = options.max_workers > 0 ? options.max_workers : 1;
+  const int max_attempts = options.max_attempts > 0 ? options.max_attempts : 1;
+
+  OBS_COUNT_N("fabric.shards", plan.size());
+
+  std::deque<PendingShard> pending;
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    pending.push_back({i, 0, Clock::now()});
+  }
+  std::vector<RunningShard> running;
+  std::size_t completed = 0;
+
+  // A failed attempt either requeues the shard with backoff or, once
+  // attempts are exhausted, aborts the whole run (after killing any
+  // in-flight workers so nothing leaks).
+  const auto handle_failure = [&](std::size_t plan_index, int prior_attempts,
+                                  const std::string& why) {
+    const int attempts = prior_attempts + 1;
+    if (attempts >= max_attempts) {
+      for (const RunningShard& r : running) kill_process(r.pid);
+      throw std::runtime_error("fabric: shard " +
+                               plan[plan_index].to_string() + " failed after " +
+                               std::to_string(attempts) + " attempt(s): " +
+                               why);
+    }
+    OBS_COUNT("fabric.retries");
+    const double backoff =
+        options.backoff_seconds * static_cast<double>(1 << prior_attempts);
+    std::fprintf(stderr, "fabric: retrying shard %s (%s), backoff %.2fs\n",
+                 plan[plan_index].to_string().c_str(), why.c_str(), backoff);
+    pending.push_back({plan_index, attempts,
+                       Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                          std::chrono::duration<double>(
+                                              backoff))});
+  };
+
+  while (completed < plan.size()) {
+    bool progressed = false;
+
+    // Launch while there is capacity and an eligible shard.
+    while (static_cast<int>(running.size()) < max_workers && !pending.empty()) {
+      // Pick the first eligible entry (backoff may hold some back).
+      std::optional<std::size_t> pick;
+      for (std::size_t i = 0; i < pending.size(); ++i) {
+        if (pending[i].eligible <= Clock::now()) {
+          pick = i;
+          break;
+        }
+      }
+      if (!pick) break;
+      const PendingShard job = pending[*pick];
+      pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(*pick));
+
+      const ShardSpec& spec = plan[job.plan_index];
+      RunningShard run;
+      run.plan_index = job.plan_index;
+      run.attempts = job.attempts;
+      run.artifact_path = shard_artifact_path(spool_dir, spec);
+      run.pid = spawn_process(
+          command_for(spec, run.artifact_path),
+          {"SILENCE_FABRIC_ATTEMPT=" + std::to_string(job.attempts)});
+      run.deadline = Clock::now() +
+                     std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(
+                             options.timeout_seconds > 0.0
+                                 ? options.timeout_seconds
+                                 : 0.0));
+      running.push_back(std::move(run));
+      progressed = true;
+    }
+
+    // Reap exits and enforce timeouts.
+    for (std::size_t i = 0; i < running.size();) {
+      RunningShard& run = running[i];
+      const std::optional<ExitStatus> status = poll_process(run.pid);
+      if (!status) {
+        if (options.timeout_seconds > 0.0 && Clock::now() >= run.deadline) {
+          OBS_COUNT("fabric.timeouts");
+          kill_process(run.pid);
+          const auto plan_index = run.plan_index;
+          const auto attempts = run.attempts;
+          running.erase(running.begin() + static_cast<std::ptrdiff_t>(i));
+          handle_failure(plan_index, attempts, "timed out (straggler killed)");
+          progressed = true;
+          continue;
+        }
+        ++i;
+        continue;
+      }
+
+      const RunningShard done = std::move(run);
+      running.erase(running.begin() + static_cast<std::ptrdiff_t>(i));
+      progressed = true;
+      if (!status->ok()) {
+        OBS_COUNT("fabric.worker_failures");
+        handle_failure(done.plan_index, done.attempts,
+                       "worker " + status->describe());
+        continue;
+      }
+      try {
+        artifacts[done.plan_index] =
+            read_shard_artifact(done.artifact_path, plan[done.plan_index],
+                                base_seed, points, trials);
+        ++completed;
+      } catch (const std::exception& e) {
+        OBS_COUNT("fabric.artifact_rejects");
+        handle_failure(done.plan_index, done.attempts, e.what());
+      }
+    }
+
+    if (!progressed) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  }
+  return artifacts;
+}
+
+}  // namespace silence::fabric

@@ -1,0 +1,50 @@
+// Fault-tolerant shard supervision: spawn local worker processes, keep
+// at most `max_workers` in flight, and guarantee that every shard either
+// produces a validated artifact or the whole run fails loudly.
+//
+// Failure handling leans on the determinism contract: a shard's result
+// is a pure function of (sweep, base_seed, slot range), so a worker that
+// crashes, hangs past its timeout (straggler), or writes a corrupt
+// artifact can simply be re-dispatched — the retry reproduces the exact
+// bytes the first attempt would have produced. Retries are bounded
+// (`max_attempts`) with exponential backoff, and a shard that exhausts
+// them throws, naming the shard and the last failure.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "fabric/shard.h"
+#include "runner/json.h"
+
+namespace silence::fabric {
+
+struct SupervisorOptions {
+  int max_workers = 2;           // worker processes in flight at once
+  double timeout_seconds = 0.0;  // per attempt; 0 disables the timeout
+  int max_attempts = 3;          // 1 initial run + (max_attempts-1) retries
+  double backoff_seconds = 0.25; // doubles per retry of the same shard
+};
+
+// Builds the worker argv for one shard; `artifact_path` is where the
+// worker must write its result (passed as --shard-out by the callers in
+// bench_util.h).
+using ShardCommandFn = std::function<std::vector<std::string>(
+    const ShardSpec&, const std::string& artifact_path)>;
+
+// Runs every shard of `plan` through a worker process and returns the
+// validated artifacts in shard order. `base_seed`/`points`/`trials`
+// identify the grid the artifacts must match. Each spawn exports
+// SILENCE_FABRIC_ATTEMPT=<attempt> to the child (the crash-injection
+// hook keys off it; see fabric.h). Throws std::runtime_error when a
+// shard exhausts its attempts.
+std::vector<runner::Json> run_shards(const std::vector<ShardSpec>& plan,
+                                     const std::string& spool_dir,
+                                     std::uint64_t base_seed,
+                                     std::size_t points, std::size_t trials,
+                                     const ShardCommandFn& command_for,
+                                     const SupervisorOptions& options);
+
+}  // namespace silence::fabric

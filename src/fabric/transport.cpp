@@ -1,0 +1,142 @@
+#include "fabric/transport.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+#include "runner/sinks.h"
+
+namespace silence::fabric {
+
+namespace {
+
+const runner::Json& require(const runner::Json& json, std::string_view key,
+                            const std::string& path) {
+  const runner::Json* value = json.find(key);
+  if (value == nullptr) {
+    throw std::runtime_error("shard artifact " + path + ": missing field '" +
+                             std::string(key) + "'");
+  }
+  return *value;
+}
+
+void check(bool ok, const std::string& path, const std::string& what) {
+  if (!ok) {
+    throw std::runtime_error("shard artifact " + path + ": " + what);
+  }
+}
+
+}  // namespace
+
+std::uint64_t fnv1a64(std::string_view text) {
+  std::uint64_t hash = 0xcbf29ce484222325ull;
+  for (const char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+std::string digest_hex(std::uint64_t digest) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(digest));
+  return buf;
+}
+
+std::string shard_artifact_path(const std::string& spool_dir,
+                                const ShardSpec& spec) {
+  return spool_dir + "/" + spec.sweep + ".shard" +
+         std::to_string(spec.index) + ".json";
+}
+
+runner::Json make_shard_artifact(const ShardSpec& spec,
+                                 std::uint64_t base_seed, std::size_t points,
+                                 std::size_t trials, runner::Json slots) {
+  runner::Json artifact = runner::Json::object();
+  artifact.set("fabric_schema", kFabricSchemaVersion);
+  artifact.set("sweep", spec.sweep);
+  runner::Json shard = runner::Json::object();
+  shard.set("index", static_cast<std::int64_t>(spec.index));
+  shard.set("count", static_cast<std::int64_t>(spec.count));
+  shard.set("begin", static_cast<std::int64_t>(spec.begin));
+  shard.set("end", static_cast<std::int64_t>(spec.end));
+  artifact.set("shard", std::move(shard));
+  // u64 seeds ride as their int64 bit pattern — the cast round-trips
+  // exactly (tests/runner/json_test.cpp pins this).
+  artifact.set("base_seed", static_cast<std::int64_t>(base_seed));
+  artifact.set("points", static_cast<std::int64_t>(points));
+  artifact.set("trials", static_cast<std::int64_t>(trials));
+  artifact.set("digest", digest_hex(fnv1a64(slots.dump_compact())));
+  artifact.set("slots", std::move(slots));
+  return artifact;
+}
+
+void write_shard_artifact(const std::string& path,
+                          const runner::Json& artifact) {
+  const std::filesystem::path target(path);
+  if (target.has_parent_path()) {
+    std::filesystem::create_directories(target.parent_path());
+  }
+  const std::filesystem::path tmp = target.string() + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw std::runtime_error("write_shard_artifact: cannot open " +
+                               tmp.string());
+    }
+    out << artifact.dump();
+    out.flush();
+    if (!out) {
+      throw std::runtime_error("write_shard_artifact: write failed on " +
+                               tmp.string());
+    }
+  }
+  std::filesystem::rename(tmp, target);  // the commit point
+}
+
+runner::Json read_shard_artifact(const std::string& path,
+                                 const ShardSpec& spec,
+                                 std::uint64_t base_seed, std::size_t points,
+                                 std::size_t trials) {
+  runner::Json artifact = runner::read_json_file(path);
+  check(require(artifact, "fabric_schema", path).as_int() ==
+            kFabricSchemaVersion,
+        path, "unsupported fabric_schema");
+  check(require(artifact, "sweep", path).as_string() == spec.sweep, path,
+        "sweep name mismatch (expected '" + spec.sweep + "')");
+
+  const runner::Json& shard = require(artifact, "shard", path);
+  check(static_cast<std::size_t>(require(shard, "index", path).as_int()) ==
+                spec.index &&
+            static_cast<std::size_t>(require(shard, "count", path).as_int()) ==
+                spec.count &&
+            static_cast<std::size_t>(require(shard, "begin", path).as_int()) ==
+                spec.begin &&
+            static_cast<std::size_t>(require(shard, "end", path).as_int()) ==
+                spec.end,
+        path, "shard coordinates mismatch (expected " + spec.to_string() + ")");
+
+  check(static_cast<std::uint64_t>(
+            require(artifact, "base_seed", path).as_int()) == base_seed,
+        path, "base_seed mismatch");
+  check(static_cast<std::size_t>(require(artifact, "points", path).as_int()) ==
+            points,
+        path, "grid point count mismatch");
+  check(static_cast<std::size_t>(require(artifact, "trials", path).as_int()) ==
+            trials,
+        path, "grid trial count mismatch");
+
+  const runner::Json& slots = require(artifact, "slots", path);
+  check(slots.is_array(), path, "slots is not an array");
+  check(slots.size() == spec.slots(), path,
+        "slot count mismatch (" + std::to_string(slots.size()) + " vs " +
+            std::to_string(spec.slots()) + " expected)");
+  check(require(artifact, "digest", path).as_string() ==
+            digest_hex(fnv1a64(slots.dump_compact())),
+        path, "payload digest mismatch");
+  return artifact;
+}
+
+}  // namespace silence::fabric

@@ -1,0 +1,58 @@
+// Shard-result transport: self-contained JSON artifacts moved through a
+// spool directory.
+//
+// A worker writes exactly one artifact per shard. The file carries its
+// own coordinates (sweep name, shard index/count, slot range), the grid
+// identity (base_seed, points, trials) and a digest of the payload, so
+// the supervisor can verify — before merging anything — that the bytes
+// on disk are the complete result of the shard it asked for. Writes are
+// atomic (tmp file + rename), so a crashed or killed worker can never
+// leave a half-written artifact where the supervisor would read it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "fabric/shard.h"
+#include "runner/json.h"
+
+namespace silence::fabric {
+
+inline constexpr int kFabricSchemaVersion = 1;
+
+// FNV-1a 64-bit over `text` — the artifact payload digest. Chosen for
+// being trivially portable and dependency-free; this is a transport
+// integrity check, not a cryptographic one.
+std::uint64_t fnv1a64(std::string_view text);
+
+// 16-hex-digit form of the digest (zero padded, lowercase).
+std::string digest_hex(std::uint64_t digest);
+
+// `<spool_dir>/<sweep>.shard<index>.json`.
+std::string shard_artifact_path(const std::string& spool_dir,
+                                const ShardSpec& spec);
+
+// Assembles a shard artifact: header (schema, sweep, shard coordinates,
+// base_seed as the int64 bit-cast of the u64 seed, points, trials), the
+// digest of `slots` (FNV-1a over its compact dump), then the slots
+// array itself — one encoded result per linear slot in [begin, end).
+runner::Json make_shard_artifact(const ShardSpec& spec,
+                                 std::uint64_t base_seed, std::size_t points,
+                                 std::size_t trials, runner::Json slots);
+
+// Writes `artifact` to `path` atomically: serialize to `<path>.tmp`,
+// then rename over `path`. Creates parent directories.
+void write_shard_artifact(const std::string& path,
+                          const runner::Json& artifact);
+
+// Reads and structurally validates a shard artifact against the shard
+// the supervisor expects: schema version, sweep name, shard coordinates,
+// grid identity, slot count == spec.slots(), and the payload digest.
+// Throws std::runtime_error naming the first mismatch.
+runner::Json read_shard_artifact(const std::string& path,
+                                 const ShardSpec& spec,
+                                 std::uint64_t base_seed, std::size_t points,
+                                 std::size_t trials);
+
+}  // namespace silence::fabric

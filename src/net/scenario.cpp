@@ -189,4 +189,45 @@ runner::Json NetResult::to_json() const {
   return root;
 }
 
+NetResult NetResult::from_json(const runner::Json& json) {
+  NetResult r;
+  r.elapsed_us = require(json, "elapsed_us").as_double();
+  r.contention_rounds =
+      static_cast<std::size_t>(require(json, "contention_rounds").as_int());
+  r.tx_rounds = static_cast<std::size_t>(require(json, "tx_rounds").as_int());
+  r.collision_rounds =
+      static_cast<std::size_t>(require(json, "collision_rounds").as_int());
+  const runner::Json& air = require(json, "airtime");
+  r.airtime.data_us = require(air, "data_us").as_double();
+  r.airtime.ack_us = require(air, "ack_us").as_double();
+  r.airtime.control_us = require(air, "control_us").as_double();
+  r.airtime.idle_us = require(air, "idle_us").as_double();
+  r.airtime.collision_us = require(air, "collision_us").as_double();
+  const runner::Json& stas = require(json, "stations");
+  if (!stas.is_array()) {
+    throw std::runtime_error("NetResult::from_json: stations is not an array");
+  }
+  r.stations.reserve(stas.size());
+  for (const runner::Json& row : stas.as_array()) {
+    StaStats s;
+    s.tx_rounds = static_cast<std::size_t>(require(row, "tx_rounds").as_int());
+    s.collisions =
+        static_cast<std::size_t>(require(row, "collisions").as_int());
+    s.frames_delivered =
+        static_cast<std::size_t>(require(row, "frames_delivered").as_int());
+    s.frames_lost =
+        static_cast<std::size_t>(require(row, "frames_lost").as_int());
+    s.mpdus_delivered =
+        static_cast<std::size_t>(require(row, "mpdus_delivered").as_int());
+    s.data_bits = static_cast<std::size_t>(require(row, "data_bits").as_int());
+    s.control_bits_sent =
+        static_cast<std::size_t>(require(row, "control_bits_sent").as_int());
+    s.control_bits_correct = static_cast<std::size_t>(
+        require(row, "control_bits_correct").as_int());
+    s.data_airtime_us = require(row, "data_airtime_us").as_double();
+    r.stations.push_back(s);
+  }
+  return r;
+}
+
 }  // namespace silence::net

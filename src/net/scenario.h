@@ -113,6 +113,12 @@ struct NetResult {
   // Deterministic digest of the run (used by the determinism tests and
   // the bench's JSON rows).
   runner::Json to_json() const;
+  // Bit-exact inverse of to_json() — integers are exact and doubles are
+  // written in shortest-round-trip form, so from_json(to_json(r))
+  // reproduces every field bit-for-bit. This is what lets the sweep
+  // fabric ship per-trial NetResults through shard artifacts without
+  // perturbing the merged output.
+  static NetResult from_json(const runner::Json& json);
 };
 
 // Runs the slotted DCF + CoS scenario for `scenario.duration_us` of

@@ -113,6 +113,13 @@ class Parser {
     while (true) {
       skip_ws();
       std::string key = parse_string();
+      // RFC 8259 leaves duplicate-key behavior implementation-defined;
+      // every producer in this repo writes unique keys, so a duplicate
+      // can only mean a corrupt or hand-mangled artifact — reject it
+      // rather than let one of the two values win silently.
+      for (const auto& [existing, value] : obj) {
+        if (existing == key) fail("duplicate object key '" + key + "'");
+      }
       skip_ws();
       expect(':');
       obj.emplace_back(std::move(key), parse_value(depth + 1));

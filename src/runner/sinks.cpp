@@ -5,6 +5,7 @@
 #include <filesystem>
 #include <fstream>
 #include <iterator>
+#include <map>
 #include <stdexcept>
 #include <variant>
 
@@ -140,6 +141,74 @@ Json metrics_json(const obs::MetricsSnapshot& snapshot) {
   }
   root.set("histograms", std::move(histograms));
   return root;
+}
+
+Json merge_metrics_json(const std::vector<Json>& docs) {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, std::int64_t> gauges;
+  std::map<std::string, obs::HistogramSnapshot> histograms;
+
+  const auto section = [](const Json& doc, std::string_view key) {
+    static const Json empty = Json::object();
+    const Json* value = doc.find(key);
+    if (value == nullptr) return &empty;
+    if (!value->is_object()) {
+      throw std::runtime_error("merge_metrics_json: '" + std::string(key) +
+                               "' is not an object");
+    }
+    return value;
+  };
+
+  for (const Json& doc : docs) {
+    for (const auto& [name, value] : section(doc, "counters")->as_object()) {
+      counters[name] += static_cast<std::uint64_t>(value.as_int());
+    }
+    for (const auto& [name, value] : section(doc, "gauges")->as_object()) {
+      const std::int64_t v = value.as_int();
+      const auto [it, inserted] = gauges.emplace(name, v);
+      if (!inserted && v > it->second) it->second = v;
+    }
+    for (const auto& [name, value] : section(doc, "histograms")->as_object()) {
+      const auto field = [&](std::string_view key) -> const Json& {
+        const Json* f = value.find(key);
+        if (f == nullptr) {
+          throw std::runtime_error("merge_metrics_json: histogram '" + name +
+                                   "' missing '" + std::string(key) + "'");
+        }
+        return *f;
+      };
+      obs::HistogramSnapshot& h = histograms[name];
+      h.name = name;
+      h.buckets.resize(obs::kHistogramBuckets, 0);
+      const std::uint64_t count =
+          static_cast<std::uint64_t>(field("count").as_int());
+      if (count == 0) continue;
+      const std::uint64_t min =
+          static_cast<std::uint64_t>(field("min").as_int());
+      const std::uint64_t max =
+          static_cast<std::uint64_t>(field("max").as_int());
+      if (h.count == 0 || min < h.min) h.min = min;
+      if (h.count == 0 || max > h.max) h.max = max;
+      h.count += count;
+      h.sum += static_cast<std::uint64_t>(field("sum").as_int());
+      // metrics_json trims trailing zero buckets, so position == bucket
+      // index for everything it kept.
+      const Json::Array& buckets = field("buckets").as_array();
+      if (buckets.size() > obs::kHistogramBuckets) {
+        throw std::runtime_error("merge_metrics_json: histogram '" + name +
+                                 "' has too many buckets");
+      }
+      for (std::size_t b = 0; b < buckets.size(); ++b) {
+        h.buckets[b] += static_cast<std::uint64_t>(buckets[b].as_int());
+      }
+    }
+  }
+
+  obs::MetricsSnapshot merged;
+  for (auto& [name, value] : counters) merged.counters.push_back({name, value});
+  for (auto& [name, value] : gauges) merged.gauges.push_back({name, value});
+  for (auto& [name, h] : histograms) merged.histograms.push_back(std::move(h));
+  return metrics_json(merged);
 }
 
 void JsonSink::write(const SweepReport& report) {

@@ -87,4 +87,12 @@ std::string metrics_sidecar_path(const std::string& json_path);
 // perf_phy's stage-throughput record.
 Json metrics_json(const obs::MetricsSnapshot& snapshot);
 
+// Deterministic merge of several metrics_json() documents (e.g. one per
+// fabric worker plus the supervisor's own snapshot): counters are summed,
+// gauges take the maximum, histograms are merged bucket-wise with mean /
+// p50 / p95 / p99 recomputed from the combined buckets. Output follows
+// the metrics_json() schema with every section sorted by name. Throws
+// std::runtime_error on a malformed document.
+Json merge_metrics_json(const std::vector<Json>& docs);
+
 }  // namespace silence::runner

@@ -1,0 +1,347 @@
+// Sweep-fabric tests. This binary is its own worker: the supervisor
+// tests re-exec it (via /proc/self/exe) with `--fabric-test-child
+// --shard-spec ... --shard-out ...`, and the custom main() at the bottom
+// routes such invocations into run_test_child() instead of gtest. That
+// is why this target defines its own main and must NOT link gtest_main.
+//
+// Fault-injection hooks (children inherit the test's environment):
+//   SILENCE_FABRIC_CRASH_SHARD=<i>  the fabric's own hook — shard i dies
+//                                   mid-shard on attempt 0 (fabric.h)
+//   FABRIC_TEST_STALL_SHARD=<i>     shard i sleeps forever on attempt 0,
+//                                   exercising the straggler timeout
+//   FABRIC_TEST_CRASH_ALWAYS=1      every worker exits 7 on every
+//                                   attempt, exercising retry exhaustion
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+#include "fabric/fabric.h"
+#include "fabric/process.h"
+#include "fabric/shard.h"
+#include "fabric/transport.h"
+#include "runner/sweep.h"
+
+namespace silence::fabric {
+namespace testsupport {
+
+// Ships an integer and a double so byte-identity covers both the exact
+// and the shortest-round-trip codec paths; += sums a double, making the
+// reduction order observable (FP addition is not associative).
+struct Sample {
+  std::int64_t tally = 0;
+  double weight = 0.0;
+  Sample& operator+=(const Sample& o) {
+    tally += o.tally;
+    weight += o.weight;
+    return *this;
+  }
+};
+
+runner::SweepGrid<int> test_grid() {
+  runner::SweepGrid<int> grid;
+  grid.base_seed = 0x5eedULL;
+  grid.trials = 5;
+  grid.points = {3, 1, 4, 1, 5, 9, 2, 6};
+  return grid;
+}
+
+Sample run_trial(const int& point, const runner::TrialContext& ctx) {
+  Sample s;
+  s.tally = static_cast<std::int64_t>(ctx.seed % 100000) + point;
+  s.weight = 1.0 / (1.0 + static_cast<double>(ctx.seed % 997));
+  return s;
+}
+
+runner::Json sample_to_json(const Sample& s) {
+  runner::Json row = runner::Json::array();
+  row.push_back(s.tally);
+  row.push_back(s.weight);
+  return row;
+}
+
+Sample sample_from_json(const runner::Json& row) {
+  const runner::Json::Array& a = row.as_array();
+  if (a.size() != 2) throw std::runtime_error("Sample: expected 2 fields");
+  Sample s;
+  s.tally = a[0].as_int();
+  s.weight = a[1].as_double();
+  return s;
+}
+
+template <typename FabricT>
+auto run_test_sweep(FabricT& fab) {
+  return fab.run("fabric_test", test_grid(), {.threads = 2, .chunk = 1},
+                 run_trial, sample_to_json, sample_from_json);
+}
+
+// The worker entry point for `--fabric-test-child` invocations.
+int run_test_child(int argc, char** argv) {
+  FabricConfig config;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--shard-spec") && i + 1 < argc) {
+      config.shard = ShardSpec::parse(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--shard-out") && i + 1 < argc) {
+      config.shard_out = argv[++i];
+    }
+  }
+  if (!config.shard) {
+    std::fprintf(stderr, "fabric test child: missing --shard-spec\n");
+    return 2;
+  }
+  if (std::getenv("FABRIC_TEST_CRASH_ALWAYS") != nullptr) std::_Exit(7);
+  if (const char* stall = std::getenv("FABRIC_TEST_STALL_SHARD")) {
+    const char* attempt = std::getenv("SILENCE_FABRIC_ATTEMPT");
+    const bool first = attempt == nullptr || std::strtol(attempt, nullptr, 10) == 0;
+    if (first &&
+        std::strtoull(stall, nullptr, 10) == config.shard->index) {
+      // Straggle until the supervisor's timeout kills us.
+      std::this_thread::sleep_for(std::chrono::seconds(300));
+    }
+  }
+  Fabric fab(std::move(config));
+  run_test_sweep(fab);
+  return fab.finish_worker();
+}
+
+}  // namespace testsupport
+
+namespace {
+
+using testsupport::run_test_sweep;
+using testsupport::Sample;
+using testsupport::sample_to_json;
+using testsupport::test_grid;
+
+TEST(ShardPlanner, CoversSlotSpaceContiguously) {
+  for (const std::size_t total : {1u, 7u, 40u, 41u, 1000u}) {
+    for (const std::size_t count : {1u, 2u, 3u, 8u, 64u}) {
+      const std::vector<ShardSpec> plan = plan_shards("s", total, count);
+      ASSERT_FALSE(plan.empty());
+      EXPECT_LE(plan.size(), std::min(total, count));
+      std::size_t cursor = 0;
+      for (std::size_t i = 0; i < plan.size(); ++i) {
+        EXPECT_EQ(plan[i].sweep, "s");
+        EXPECT_EQ(plan[i].index, i);
+        EXPECT_EQ(plan[i].count, plan.size());
+        EXPECT_EQ(plan[i].begin, cursor);       // contiguous, in order
+        EXPECT_GT(plan[i].end, plan[i].begin);  // never empty
+        cursor = plan[i].end;
+      }
+      EXPECT_EQ(cursor, total);  // full coverage, no overlap
+    }
+  }
+}
+
+TEST(ShardPlanner, SpreadsRemainderOverEarlierShards) {
+  const std::vector<ShardSpec> plan = plan_shards("s", 10, 4);
+  ASSERT_EQ(plan.size(), 4u);
+  EXPECT_EQ(plan[0].slots(), 3u);
+  EXPECT_EQ(plan[1].slots(), 3u);
+  EXPECT_EQ(plan[2].slots(), 2u);
+  EXPECT_EQ(plan[3].slots(), 2u);
+}
+
+TEST(ShardSpec, RoundTripsThroughString) {
+  const ShardSpec spec{"fig10_detection.c", 2, 7, 40, 55};
+  EXPECT_EQ(spec.to_string(), "fig10_detection.c:2/7:40-55");
+  EXPECT_EQ(ShardSpec::parse(spec.to_string()), spec);
+}
+
+TEST(ShardSpec, ParseRejectsMalformedSpecs) {
+  EXPECT_THROW(ShardSpec::parse(""), std::invalid_argument);
+  EXPECT_THROW(ShardSpec::parse("sweep"), std::invalid_argument);
+  EXPECT_THROW(ShardSpec::parse("sweep:0/2"), std::invalid_argument);
+  EXPECT_THROW(ShardSpec::parse("sweep:2/2:0-4"), std::invalid_argument);
+  EXPECT_THROW(ShardSpec::parse("sweep:0/0:0-4"), std::invalid_argument);
+  EXPECT_THROW(ShardSpec::parse("sweep:0/2:4-4"), std::invalid_argument);
+  EXPECT_THROW(ShardSpec::parse("sweep:0/2:x-4"), std::invalid_argument);
+  EXPECT_THROW(ShardSpec::parse(":0/2:0-4"), std::invalid_argument);
+}
+
+std::string fresh_dir(const std::string& name) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("fabric_test_" + std::to_string(::getpid())) / name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir.string();
+}
+
+TEST(Transport, ArtifactRoundTripsAndValidates) {
+  const std::string dir = fresh_dir("transport");
+  const ShardSpec spec{"sweep", 1, 3, 10, 14};
+  runner::Json slots = runner::Json::array();
+  for (int i = 0; i < 4; ++i) {
+    slots.push_back(sample_to_json({i * 7, 1.0 / (i + 1)}));
+  }
+  const std::string path = shard_artifact_path(dir, spec);
+  write_shard_artifact(path,
+                       make_shard_artifact(spec, 0xfeedULL, 5, 4, slots));
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));  // atomic rename
+  const runner::Json loaded = read_shard_artifact(path, spec, 0xfeedULL, 5, 4);
+  EXPECT_EQ(loaded.find("slots")->dump_compact(), slots.dump_compact());
+
+  // Every header mismatch is rejected before any merging could happen.
+  ShardSpec other = spec;
+  other.begin = 11;
+  other.end = 15;
+  EXPECT_THROW(read_shard_artifact(path, other, 0xfeedULL, 5, 4),
+               std::runtime_error);
+  EXPECT_THROW(read_shard_artifact(path, spec, 0xdeadULL, 5, 4),
+               std::runtime_error);
+  EXPECT_THROW(read_shard_artifact(path, spec, 0xfeedULL, 6, 4),
+               std::runtime_error);
+}
+
+TEST(Transport, RejectsTamperedPayload) {
+  const std::string dir = fresh_dir("tamper");
+  const ShardSpec spec{"sweep", 0, 1, 0, 2};
+  runner::Json slots = runner::Json::array();
+  slots.push_back(sample_to_json({1, 0.5}));
+  slots.push_back(sample_to_json({2, 0.25}));
+  runner::Json artifact = make_shard_artifact(spec, 1, 1, 2, slots);
+  // Flip one slot value after the digest was computed.
+  runner::Json tampered_slots = runner::Json::array();
+  tampered_slots.push_back(sample_to_json({1, 0.5}));
+  tampered_slots.push_back(sample_to_json({3, 0.25}));
+  artifact.set("slots", std::move(tampered_slots));
+  const std::string path = shard_artifact_path(dir, spec);
+  write_shard_artifact(path, artifact);
+  try {
+    read_shard_artifact(path, spec, 1, 1, 2);
+    FAIL() << "digest mismatch must throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("digest"), std::string::npos);
+  }
+}
+
+FabricConfig supervisor_config(int workers, const std::string& spool,
+                               int shard_count = 0) {
+  FabricConfig config;
+  config.workers = workers;
+  config.shard_count = shard_count;
+  config.spool_dir = spool;
+  config.self = self_executable_path("");
+  config.passthrough_args = {"--fabric-test-child"};
+  config.supervisor.backoff_seconds = 0.05;
+  return config;
+}
+
+void expect_outcomes_identical(
+    const runner::SweepOutcome<Sample>& single,
+    const runner::SweepOutcome<Sample>& fabric) {
+  ASSERT_EQ(fabric.point_results.size(), single.point_results.size());
+  for (std::size_t i = 0; i < single.point_results.size(); ++i) {
+    EXPECT_EQ(fabric.point_results[i].tally, single.point_results[i].tally);
+    // Bit-exact double equality — the whole point of per-slot shipping
+    // plus ordered reduction.
+    EXPECT_EQ(fabric.point_results[i].weight, single.point_results[i].weight);
+    EXPECT_EQ(sample_to_json(fabric.point_results[i]).dump_compact(),
+              sample_to_json(single.point_results[i]).dump_compact());
+  }
+  EXPECT_EQ(fabric.trials_run, single.trials_run);
+}
+
+runner::SweepOutcome<Sample> single_process_outcome() {
+  Fabric inline_fab(FabricConfig{});  // workers = 0 -> plain run_sweep
+  return run_test_sweep(inline_fab);
+}
+
+TEST(FabricE2E, ByteIdenticalToSingleProcess) {
+  const auto single = single_process_outcome();
+  for (const int workers : {2, 3}) {
+    FabricConfig config = supervisor_config(
+        workers, fresh_dir("e2e_w" + std::to_string(workers)));
+    Fabric fab(std::move(config));
+    expect_outcomes_identical(single, run_test_sweep(fab));
+  }
+}
+
+TEST(FabricE2E, MoreShardsThanWorkersStillIdentical) {
+  const auto single = single_process_outcome();
+  // 7 shards over 40 slots on 2 workers: uneven ranges, shard reuse.
+  FabricConfig config =
+      supervisor_config(2, fresh_dir("e2e_shards"), /*shard_count=*/7);
+  Fabric fab(std::move(config));
+  expect_outcomes_identical(single, run_test_sweep(fab));
+}
+
+TEST(FabricE2E, CrashInjectedShardRetriesByteIdentical) {
+  const auto single = single_process_outcome();
+  ::setenv("SILENCE_FABRIC_CRASH_SHARD", "1", 1);
+  FabricConfig config = supervisor_config(3, fresh_dir("e2e_crash"));
+  Fabric fab(std::move(config));
+  const auto outcome = run_test_sweep(fab);
+  ::unsetenv("SILENCE_FABRIC_CRASH_SHARD");
+  expect_outcomes_identical(single, outcome);
+}
+
+TEST(FabricE2E, StragglerIsKilledAndRedispatchedIdentically) {
+  const auto single = single_process_outcome();
+  ::setenv("FABRIC_TEST_STALL_SHARD", "0", 1);
+  FabricConfig config = supervisor_config(2, fresh_dir("e2e_straggler"));
+  config.supervisor.timeout_seconds = 1.0;
+  Fabric fab(std::move(config));
+  const auto outcome = run_test_sweep(fab);
+  ::unsetenv("FABRIC_TEST_STALL_SHARD");
+  expect_outcomes_identical(single, outcome);
+}
+
+TEST(FabricE2E, RetryExhaustionThrowsNamingTheShard) {
+  ::setenv("FABRIC_TEST_CRASH_ALWAYS", "1", 1);
+  FabricConfig config = supervisor_config(2, fresh_dir("e2e_exhaust"));
+  config.supervisor.max_attempts = 2;
+  Fabric fab(std::move(config));
+  try {
+    run_test_sweep(fab);
+    ::unsetenv("FABRIC_TEST_CRASH_ALWAYS");
+    FAIL() << "exhausted retries must throw";
+  } catch (const std::runtime_error& e) {
+    ::unsetenv("FABRIC_TEST_CRASH_ALWAYS");
+    const std::string what = e.what();
+    EXPECT_NE(what.find("fabric_test"), std::string::npos) << what;
+    EXPECT_NE(what.find("failed after 2 attempt"), std::string::npos) << what;
+  }
+}
+
+TEST(FabricE2E, WorkerRefusesShardRangeBeyondGrid) {
+  FabricConfig config;
+  config.shard = ShardSpec{"fabric_test", 0, 1, 0, 1000};  // grid has 40
+  config.shard_out = fresh_dir("e2e_badrange") + "/out.json";
+  Fabric fab(std::move(config));
+  EXPECT_THROW(run_test_sweep(fab), std::runtime_error);
+}
+
+TEST(FabricE2E, WorkerOnForeignSweepReportsUnsatisfied) {
+  FabricConfig config;
+  config.shard = ShardSpec{"some_other_sweep", 0, 1, 0, 4};
+  config.shard_out = fresh_dir("e2e_foreign") + "/out.json";
+  Fabric fab(std::move(config));
+  const auto outcome = run_test_sweep(fab);
+  // The mismatched run() returns placeholder results...
+  EXPECT_EQ(outcome.point_results.size(), test_grid().points.size());
+  EXPECT_EQ(outcome.trials_run, 0u);
+  // ...and the epilogue reports failure so the supervisor retries/aborts.
+  EXPECT_NE(fab.finish_worker(), 0);
+}
+
+}  // namespace
+}  // namespace silence::fabric
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--fabric-test-child")) {
+      return silence::fabric::testsupport::run_test_child(argc, argv);
+    }
+  }
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

@@ -52,5 +52,64 @@ TEST(Executor, RethrowsWorkerException) {
   EXPECT_THROW(parallel_for(64, 1, 1, boom), std::runtime_error);
 }
 
+TEST(Executor, RethrownExceptionPreservesTypeAndMessage) {
+  // The worker's exception must surface on the caller thread with its
+  // original type and payload, not be flattened into a generic failure.
+  try {
+    parallel_for(64, 4, 4, [](std::size_t i) {
+      if (i == 17) throw std::invalid_argument("trial 17 failed");
+    });
+    FAIL() << "parallel_for must rethrow";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_STREQ(e.what(), "trial 17 failed");
+  }
+}
+
+TEST(Executor, FirstExceptionWinsWhenSeveralWorkersThrow) {
+  // Every thrown message must be one of the injected ones (never mixed
+  // or corrupted), and exactly one surfaces per call.
+  try {
+    parallel_for(64, 8, 1, [](std::size_t i) {
+      throw std::runtime_error("boom " + std::to_string(i));
+    });
+    FAIL() << "parallel_for must rethrow";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_EQ(what.rfind("boom ", 0), 0u) << what;
+  }
+}
+
+TEST(Executor, WorkersAreJoinedBeforeRethrow) {
+  // By the time parallel_for returns (by throwing), every worker must
+  // have left the body: the balance of enter/leave counts equals exactly
+  // the one call that threw. A still-running worker would race these
+  // (non-atomic) reads under TSan and break the balance here.
+  std::atomic<int> in_flight{0};
+  EXPECT_THROW(
+      parallel_for(256, 8, 1,
+                   [&](std::size_t i) {
+                     in_flight.fetch_add(1);
+                     if (i == 3) throw std::runtime_error("die");
+                     in_flight.fetch_sub(1);
+                   }),
+      std::runtime_error);
+  EXPECT_EQ(in_flight.load(), 1);  // only the throwing call never decremented
+}
+
+TEST(Executor, IndicesBeforeFailurePointAllRan) {
+  // A failing trial must not silently skip earlier chunks: everything
+  // the cursor handed out before the failure still executes or is
+  // abandoned cleanly, never double-executed.
+  std::vector<std::atomic<int>> visits(64);
+  EXPECT_THROW(parallel_for(visits.size(), 4, 4,
+                            [&](std::size_t i) {
+                              visits[i].fetch_add(1);
+                              if (i == 17) throw std::runtime_error("x");
+                            }),
+               std::runtime_error);
+  for (const auto& v : visits) EXPECT_LE(v.load(), 1);
+  EXPECT_EQ(visits[17].load(), 1);
+}
+
 }  // namespace
 }  // namespace silence::runner

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <limits>
 
 namespace silence::runner {
@@ -143,6 +144,47 @@ TEST(JsonParse, RejectsMalformedInput) {
   EXPECT_THROW(Json::parse("01"), std::runtime_error);
   EXPECT_THROW(Json::parse("1 trailing"), std::runtime_error);
   EXPECT_THROW(Json::parse(R"("\ud83d")"), std::runtime_error);  // lone hi
+}
+
+TEST(JsonParse, RejectsDuplicateObjectKeys) {
+  // Every producer in this repo writes unique keys, so a duplicate can
+  // only mean a corrupt artifact; the parser must refuse rather than
+  // silently pick a winner.
+  EXPECT_THROW(Json::parse(R"({"a": 1, "a": 2})"), std::runtime_error);
+  EXPECT_THROW(Json::parse(R"({"a": 1, "b": 2, "a": 3})"),
+               std::runtime_error);
+  // Same key at different nesting levels is fine.
+  const Json nested = Json::parse(R"({"a": {"a": 1}, "b": [{"a": 2}]})");
+  EXPECT_EQ(nested.find("a")->find("a")->as_int(), 1);
+  // Escapes are resolved before the uniqueness check: "a\u0062" IS "ab".
+  EXPECT_THROW(Json::parse(R"({"a\u0062": 1, "ab": 2})"),
+               std::runtime_error);
+}
+
+TEST(JsonParse, LargeSeedsRoundTripAsInt64BitPattern) {
+  // The fabric ships u64 base seeds as their int64 bit-cast; the round
+  // trip must reproduce every bit, including seeds above 2^63.
+  for (const std::uint64_t seed :
+       {std::uint64_t{0}, std::uint64_t{1} << 53, ~std::uint64_t{0},
+        std::uint64_t{0x9e3779b97f4a7c15ull}}) {
+    Json root = Json::object();
+    root.set("seed", static_cast<std::int64_t>(seed));
+    const Json parsed = Json::parse(root.dump_compact());
+    EXPECT_EQ(static_cast<std::uint64_t>(parsed.find("seed")->as_int()),
+              seed);
+  }
+  // int64 extremes survive verbatim.
+  EXPECT_EQ(Json::parse("9223372036854775807").as_int(),
+            std::numeric_limits<std::int64_t>::max());
+  EXPECT_EQ(Json::parse("-9223372036854775808").as_int(),
+            std::numeric_limits<std::int64_t>::min());
+}
+
+TEST(JsonParse, IntegersBeyondInt64FallThroughToDouble) {
+  const Json big = Json::parse("18446744073709551616");  // 2^64
+  EXPECT_FALSE(big.is_int());
+  EXPECT_TRUE(big.is_number());
+  EXPECT_EQ(big.as_double(), 18446744073709551616.0);
 }
 
 TEST(JsonParse, RejectsRunawayNesting) {

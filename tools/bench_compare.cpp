@@ -8,10 +8,14 @@
 // registry). A benchmark or stage regresses when the candidate is slower
 // than baseline by more than the relative tolerance (default 10%).
 //
-// Exit status: 0 = no regression, 1 = at least one regression, 2 =
-// usage/input error. Entries present on only one side are reported but
-// are not failures (benchmarks come and go); speedups are reported as
-// informational.
+// Exit status: 0 = no regression, 1 = at least one regression OR a
+// baseline entry missing from the candidate, 2 = usage/input error. A
+// benchmark that exists in the committed baseline but not in the new run
+// is a failure — a silently dropped benchmark would otherwise disable
+// its gate forever. Candidate-only entries stay informational (new
+// benchmarks land before their baseline), as does a candidate lacking
+// the whole stage_throughput section (legitimate SILENCE_OBS=OFF
+// builds); speedups are reported as informational.
 #include <cmath>
 #include <cstdio>
 #include <cstring>
@@ -29,9 +33,10 @@ int usage(const char* argv0, int code) {
   std::fprintf(stderr,
                "usage: %s <baseline.json> <candidate.json> "
                "[--tolerance FRAC]\n"
-               "  compares two results/BENCH_phy.json files; exits 1 when\n"
+               "  compares two results/BENCH_*.json files; exits 1 when\n"
                "  any benchmark or pipeline stage slowed down by more than\n"
-               "  FRAC (default 0.10 = 10%%)\n",
+               "  FRAC (default 0.10 = 10%%), or when an entry present in\n"
+               "  the baseline is missing from the candidate\n",
                argv0);
   return code;
 }
@@ -50,7 +55,7 @@ struct Comparison {
   std::size_t compared = 0;
   std::size_t regressions = 0;
   std::size_t improvements = 0;
-  std::size_t only_baseline = 0;
+  std::size_t missing = 0;  // in baseline, absent from candidate: a failure
   std::size_t only_candidate = 0;
 };
 
@@ -82,8 +87,16 @@ void compare_benchmarks(const Json& base_root, const Json& cand_root,
                         double tolerance, Comparison& summary) {
   const Json* base = field(base_root, "stages");
   const Json* cand = field(cand_root, "stages");
-  if (base == nullptr || cand == nullptr || !base->is_array() ||
-      !cand->is_array()) {
+  if (base == nullptr || !base->is_array()) return;
+  if (cand == nullptr || !cand->is_array()) {
+    // The baseline has benchmarks the candidate file lost wholesale.
+    for (const Json& base_entry : base->as_array()) {
+      const Json* name = field(base_entry, "name");
+      if (name == nullptr || !name->is_string()) continue;
+      ++summary.missing;
+      std::printf("MISSING     benchmark %s absent from candidate\n",
+                  name->as_string().c_str());
+    }
     return;
   }
   const auto find_by_name = [](const Json& stages, const std::string& name)
@@ -102,8 +115,8 @@ void compare_benchmarks(const Json& base_root, const Json& cand_root,
     if (name == nullptr || !name->is_string()) continue;
     const Json* cand_entry = find_by_name(*cand, name->as_string());
     if (cand_entry == nullptr) {
-      ++summary.only_baseline;
-      std::printf("only in baseline: benchmark %s\n",
+      ++summary.missing;
+      std::printf("MISSING     benchmark %s absent from candidate\n",
                   name->as_string().c_str());
       continue;
     }
@@ -143,8 +156,9 @@ void compare_stage_throughput(const Json& base_root, const Json& cand_root,
   for (const auto& [stage, base_entry] : base->as_object()) {
     const Json* cand_entry = cand->find(stage);
     if (cand_entry == nullptr) {
-      ++summary.only_baseline;
-      std::printf("only in baseline: stage %s\n", stage.c_str());
+      ++summary.missing;
+      std::printf("MISSING     stage %s absent from candidate\n",
+                  stage.c_str());
       continue;
     }
     compare_metric("stage " + stage, "mitems_per_second",
@@ -201,13 +215,13 @@ int main(int argc, char** argv) {
 
   std::printf(
       "%zu metric(s) compared: %zu regression(s), %zu improvement(s), "
-      "%zu baseline-only, %zu candidate-only\n",
+      "%zu missing from candidate, %zu candidate-only\n",
       summary.compared, summary.regressions, summary.improvements,
-      summary.only_baseline, summary.only_candidate);
-  if (summary.compared == 0) {
+      summary.missing, summary.only_candidate);
+  if (summary.compared == 0 && summary.missing == 0) {
     std::fprintf(stderr, "%s: nothing comparable between the two files\n",
                  argv[0]);
     return 2;
   }
-  return summary.regressions > 0 ? 1 : 0;
+  return summary.regressions > 0 || summary.missing > 0 ? 1 : 0;
 }
