@@ -9,7 +9,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
 #include <string>
+#include <vector>
 
 #include "fabric/fabric.h"
 #include "obs/flight/flight.h"
@@ -46,10 +48,21 @@ struct BenchArgs {
   std::string self;            // argv[0], the re-exec fallback
 };
 
+// A bench-specific flag rides along in parse_bench_args: `flag` takes
+// one value, `help` is a usage line, `parse` receives the value. A bench
+// that shards over the fabric must append its extra flags to
+// FabricConfig::passthrough_args itself so workers rebuild the same grid.
+struct ExtraFlag {
+  const char* flag;
+  const char* help;
+  std::function<void(const char* value)> parse;
+};
+
 // Parses the shared flags; exits with a usage message on --help or any
 // unknown/malformed argument. `bench_name` names the default JSON path.
 inline BenchArgs parse_bench_args(int argc, char** argv,
-                                  const char* bench_name) {
+                                  const char* bench_name,
+                                  const std::vector<ExtraFlag>& extras = {}) {
   const auto usage = [&](int code) {
     std::printf(
         "usage: %s [--threads N] [--trials N] [--seed S] [--json [PATH]]\n"
@@ -76,6 +89,9 @@ inline BenchArgs parse_bench_args(int argc, char** argv,
         "  --shard-spec/--shard-out    internal: run one shard (set by the\n"
         "                supervisor when it re-execs this binary)\n",
         argv[0], bench_name);
+    for (const ExtraFlag& extra : extras) {
+      std::printf("  %s  %s\n", extra.flag, extra.help);
+    }
     std::exit(code);
   };
   const auto numeric_value = [&](int& i) -> const char* {
@@ -124,8 +140,18 @@ inline BenchArgs parse_bench_args(int argc, char** argv,
     } else if (!std::strcmp(argv[i], "--shard-out")) {
       args.shard_out = numeric_value(i);
     } else {
-      std::fprintf(stderr, "%s: unknown argument '%s'\n", argv[0], argv[i]);
-      usage(2);
+      bool matched = false;
+      for (const ExtraFlag& extra : extras) {
+        if (!std::strcmp(argv[i], extra.flag)) {
+          extra.parse(numeric_value(i));
+          matched = true;
+          break;
+        }
+      }
+      if (!matched) {
+        std::fprintf(stderr, "%s: unknown argument '%s'\n", argv[0], argv[i]);
+        usage(2);
+      }
     }
   }
   if (args.json && args.json_path.empty()) {

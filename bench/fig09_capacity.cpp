@@ -263,7 +263,7 @@ int main(int argc, char** argv) {
   table.write(report);
   if (args.json) {
     runner::JsonSink(args.json_path).write(report);
-    if (fab.fabric_mode()) fab.write_metrics_sidecar(args.json_path);
+    if (fab.fabric_mode()) fab.write_sidecars(args.json_path);
   }
   bench::finish_observability(args);
   return 0;

@@ -389,7 +389,7 @@ int main(int argc, char** argv) {
     // In fabric mode this merges every worker's shard metrics with the
     // supervisor's own snapshot; otherwise it reduces to the plain
     // single-snapshot sidecar.
-    fab.write_metrics_sidecar(args.json_path);
+    fab.write_sidecars(args.json_path);
   }
   bench::finish_observability(args);
   return 0;

@@ -17,6 +17,9 @@
 // same `stages` shape as BENCH_phy.json, so tools/bench_compare can gate
 // network-level regressions in CI with a tight tolerance.
 #include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
 
 #include "bench_util.h"
 #include "net/scenario.h"
@@ -28,6 +31,45 @@ using namespace silence;
 namespace {
 
 constexpr int kDefaultTrialsPerPoint = 4;
+
+// --stas "1,2,16": the sweep's station-count axis. Lets CI (and anyone
+// chasing one scenario's MAC timeline) run a single point — with one
+// point and --trials 1 the --trace timeline is bit-stable at any thread
+// count, because exactly one run_scenario claims the simulation tracks.
+std::vector<int> parse_stas(const std::string& csv) {
+  std::vector<int> points;
+  const char* p = csv.c_str();
+  while (*p != '\0') {
+    char* end = nullptr;
+    const long v = std::strtol(p, &end, 10);
+    if (end == p || v < 1 || (*end != ',' && *end != '\0')) {
+      std::fprintf(stderr, "net_scenarios: bad --stas list '%s'\n",
+                   csv.c_str());
+      std::exit(2);
+    }
+    points.push_back(static_cast<int>(v));
+    p = *end == ',' ? end + 1 : end;
+  }
+  if (points.empty()) {
+    std::fprintf(stderr, "net_scenarios: empty --stas list\n");
+    std::exit(2);
+  }
+  return points;
+}
+
+// Latency percentiles reported per point: every station's head-of-line
+// wait histogram merged into one distribution (same for inter-TX gaps).
+net::SlotHist merged_hol(const net::NetResult& r) {
+  net::SlotHist h;
+  for (const net::StaStats& s : r.stations) h += s.hol_wait_slots;
+  return h;
+}
+
+net::SlotHist merged_gap(const net::NetResult& r) {
+  net::SlotHist h;
+  for (const net::StaStats& s : r.stations) h += s.inter_tx_gap_slots;
+  return h;
+}
 
 net::Scenario base_scenario() {
   net::Scenario scenario;
@@ -44,16 +86,29 @@ net::Scenario scenario_for(int num_stations) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bench::BenchArgs args =
-      bench::parse_bench_args(argc, argv, "net_scenarios");
+  std::string stas_csv;
+  const bench::BenchArgs args = bench::parse_bench_args(
+      argc, argv, "net_scenarios",
+      {{"--stas",
+        "comma-separated station counts for the sweep axis\n"
+        "                (default 1,2,4,8,16,32,64)",
+        [&stas_csv](const char* v) { stas_csv = v; }}});
   const int trials = args.trials > 0 ? args.trials : kDefaultTrialsPerPoint;
 
   runner::SweepGrid<int> grid;  // points: station count
   grid.base_seed = args.seed;
   grid.trials = static_cast<std::size_t>(trials);
-  grid.points = {1, 2, 4, 8, 16, 32, 64};
+  grid.points =
+      stas_csv.empty() ? std::vector<int>{1, 2, 4, 8, 16, 32, 64}
+                       : parse_stas(stas_csv);
 
-  fabric::Fabric fab(bench::fabric_config(args));
+  fabric::FabricConfig fab_config = bench::fabric_config(args);
+  if (!stas_csv.empty()) {
+    // Workers must rebuild the identical grid.
+    fab_config.passthrough_args.push_back("--stas");
+    fab_config.passthrough_args.push_back(stas_csv);
+  }
+  fabric::Fabric fab(std::move(fab_config));
   if (!fab.worker_mode()) {
     bench::print_header("Network", "multi-STA CoS scenarios (src/net/)");
   }
@@ -84,7 +139,8 @@ int main(int argc, char** argv) {
   report.columns = {{"stas", 6, 0},       {"thpt_mbps", 10, 2},
                     {"ctrl_kbps", 10, 2}, {"overhead", 9, 3},
                     {"fairness", 9, 3},   {"coll_rate", 10, 3},
-                    {"mpdus", 8, 0}};
+                    {"mpdus", 8, 0},      {"hol_p50", 8, 1},
+                    {"hol_p95", 8, 1},    {"hol_p99", 8, 1}};
   report.threads = outcome.threads;
   report.wall_seconds = outcome.wall_seconds;
   report.trials_run = outcome.trials_run;
@@ -92,11 +148,13 @@ int main(int argc, char** argv) {
     const net::NetResult& r = outcome.point_results[i];
     std::size_t mpdus = 0;
     for (const net::StaStats& s : r.stations) mpdus += s.mpdus_delivered;
+    const net::SlotHist hol = merged_hol(r);
     report.add_row({static_cast<std::int64_t>(grid.points[i]),
                     r.aggregate_throughput_mbps(), r.control_goodput_kbps(),
                     r.airtime_overhead(), r.jain_fairness(),
                     r.collision_rate(),
-                    static_cast<std::int64_t>(mpdus)});
+                    static_cast<std::int64_t>(mpdus), hol.quantile(0.50),
+                    hol.quantile(0.95), hol.quantile(0.99)});
   }
   report.notes = {
       "",
@@ -104,7 +162,9 @@ int main(int argc, char** argv) {
       "every won frame carries its station's control chunk for free, so",
       "the overhead column (idle + collisions + ACKs) never grows a",
       "control-frame component. Fairness decays as far stations at low",
-      "SNR lose airtime share to collisions and slow rates."};
+      "SNR lose airtime share to collisions and slow rates. hol_p* are",
+      "head-of-line wait percentiles in 9 us slots, merged over stations",
+      "(per-station distributions live in the .metrics.json sidecar)."};
 
   runner::TableSink table;
   table.write(report);
@@ -112,8 +172,9 @@ int main(int argc, char** argv) {
     runner::JsonSink(args.json_path).write(report);
     if (fab.fabric_mode()) {
       // Replace the supervisor-only sidecar JsonSink just wrote with the
-      // merge of every worker's shard metrics plus our own snapshot.
-      fab.write_metrics_sidecar(args.json_path);
+      // merge of every worker's shard metrics plus our own snapshot, and
+      // drop the supervisor's shard-lifecycle telemetry alongside.
+      fab.write_sidecars(args.json_path);
     }
   }
 
@@ -148,6 +209,13 @@ int main(int argc, char** argv) {
     point.set("fairness", r.jain_fairness());
     point.set("coll_rate", r.collision_rate());
     point.set("mpdus", static_cast<std::int64_t>(mpdus));
+    const net::SlotHist hol = merged_hol(r);
+    const net::SlotHist gap = merged_gap(r);
+    point.set("hol_wait_slots_p50", hol.quantile(0.50));
+    point.set("hol_wait_slots_p95", hol.quantile(0.95));
+    point.set("hol_wait_slots_p99", hol.quantile(0.99));
+    point.set("inter_tx_gap_slots_p50", gap.quantile(0.50));
+    point.set("inter_tx_gap_slots_p95", gap.quantile(0.95));
     net_points.push_back(std::move(point));
   }
   bench_json.set("stages", std::move(stages));

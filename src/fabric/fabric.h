@@ -28,17 +28,22 @@
 //
 // Fault injection for tests/CI: when SILENCE_FABRIC_CRASH_SHARD=<index>
 // is set, the worker running that shard aborts mid-shard (after half its
-// slots) on its first attempt. The supervisor exports
-// SILENCE_FABRIC_ATTEMPT=<n> to every child, so the retry — attempt 1 —
-// runs to completion and must reproduce the uninjected bytes.
+// slots) on its first attempt; when SILENCE_FABRIC_HANG_SHARD=<index> is
+// set, that shard's first attempt sleeps forever instead, so a run with
+// --fabric-timeout exercises the straggler-kill + re-dispatch path. The
+// supervisor exports SILENCE_FABRIC_ATTEMPT=<n> to every child, so the
+// retry — attempt 1 — runs to completion and must reproduce the
+// uninjected bytes.
 #pragma once
 
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <optional>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <unistd.h>
 #include <utility>
 #include <vector>
@@ -46,6 +51,7 @@
 #include "fabric/process.h"
 #include "fabric/shard.h"
 #include "fabric/supervisor.h"
+#include "fabric/telemetry.h"
 #include "fabric/transport.h"
 #include "obs/obs.h"
 #include "runner/sinks.h"
@@ -143,18 +149,27 @@ class Fabric {
                [](auto& into, auto&& part) { into += part; });
   }
 
-  // Writes the bench's `.metrics.json` sidecar as the deterministic merge
-  // of every worker's shard sidecar plus this (supervisor) process's own
-  // registry snapshot — so fabric runs report the same counter totals a
-  // single-process run would. No-op when there is nothing to write.
-  void write_metrics_sidecar(const std::string& json_path) const {
+  // Writes the bench's sidecars next to `json_path`: the `.metrics.json`
+  // sidecar as the deterministic merge of every worker's shard sidecar
+  // plus this (supervisor) process's own registry snapshot — so fabric
+  // runs report the same counter totals a single-process run would —
+  // and, when the supervisor drove any shards, the `.telemetry.json`
+  // shard-lifecycle log. No-op when there is nothing to write.
+  void write_sidecars(const std::string& json_path) const {
     std::vector<runner::Json> docs = worker_metrics_;
     const obs::MetricsSnapshot snapshot = obs::Registry::global().snapshot();
     if (!snapshot.empty()) docs.push_back(runner::metrics_json(snapshot));
-    if (docs.empty()) return;
-    runner::write_json_file(runner::metrics_sidecar_path(json_path),
-                            runner::merge_metrics_json(docs));
+    if (!docs.empty()) {
+      runner::write_json_file(runner::metrics_sidecar_path(json_path),
+                              runner::merge_metrics_json(docs));
+    }
+    if (!telemetry_.empty()) {
+      runner::write_json_file(runner::telemetry_sidecar_path(json_path),
+                              telemetry_.to_json());
+    }
   }
+
+  const Telemetry& telemetry() const { return telemetry_; }
 
  private:
   // True when this worker must die mid-shard (test/CI fault injection).
@@ -162,6 +177,18 @@ class Fabric {
   // with SILENCE_FABRIC_ATTEMPT, so the retry completes.
   static bool crash_injected(std::size_t shard_index) {
     const char* target = std::getenv("SILENCE_FABRIC_CRASH_SHARD");
+    if (target == nullptr) return false;
+    const char* attempt = std::getenv("SILENCE_FABRIC_ATTEMPT");
+    if (attempt != nullptr && std::strtol(attempt, nullptr, 10) > 0) {
+      return false;
+    }
+    return std::strtoull(target, nullptr, 10) == shard_index;
+  }
+
+  // True when this worker must hang (straggler injection). Same attempt-0
+  // rule as crash_injected; the supervisor's timeout reaps the sleeper.
+  static bool hang_injected(std::size_t shard_index) {
+    const char* target = std::getenv("SILENCE_FABRIC_HANG_SHARD");
     if (target == nullptr) return false;
     const char* attempt = std::getenv("SILENCE_FABRIC_ATTEMPT");
     if (attempt != nullptr && std::strtol(attempt, nullptr, 10) > 0) {
@@ -183,6 +210,14 @@ class Fabric {
       throw std::runtime_error("fabric: shard " + spec.to_string() +
                                " exceeds the grid's " + std::to_string(total) +
                                " slots");
+    }
+
+    if (hang_injected(spec.index)) {
+      std::fprintf(stderr,
+                   "fabric: SILENCE_FABRIC_HANG_SHARD=%zu — sleeping as an "
+                   "injected straggler\n",
+                   spec.index);
+      std::this_thread::sleep_for(std::chrono::seconds(600));
     }
 
     runner::SweepOutcome<Result> outcome;
@@ -263,9 +298,11 @@ class Fabric {
       argv.push_back(artifact_path);
       return argv;
     };
+    telemetry_.set_workers(config_.workers);
     const std::vector<runner::Json> artifacts =
         run_shards(plan, config_.spool_dir, grid.base_seed,
-                   grid.points.size(), trials, command_for, sup);
+                   grid.points.size(), trials, command_for, sup,
+                   &telemetry_);
 
     for (const ShardSpec& spec : plan) {
       const std::string sidecar = runner::metrics_sidecar_path(
@@ -304,6 +341,7 @@ class Fabric {
   FabricConfig config_;
   bool worker_satisfied_ = false;
   std::vector<runner::Json> worker_metrics_;
+  Telemetry telemetry_;
 };
 
 }  // namespace silence::fabric

@@ -27,9 +27,14 @@ struct RunningShard {
   std::size_t plan_index = 0;
   int attempts = 0;             // attempts BEFORE this one
   pid_t pid = -1;
+  Clock::time_point launched;
   Clock::time_point deadline;   // meaningful only when timeout is on
   std::string artifact_path;
 };
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
 
 }  // namespace
 
@@ -38,13 +43,15 @@ std::vector<runner::Json> run_shards(const std::vector<ShardSpec>& plan,
                                      std::uint64_t base_seed,
                                      std::size_t points, std::size_t trials,
                                      const ShardCommandFn& command_for,
-                                     const SupervisorOptions& options) {
+                                     const SupervisorOptions& options,
+                                     Telemetry* telemetry) {
   std::vector<runner::Json> artifacts(plan.size());
   if (plan.empty()) return artifacts;
   const int max_workers = options.max_workers > 0 ? options.max_workers : 1;
   const int max_attempts = options.max_attempts > 0 ? options.max_attempts : 1;
 
   OBS_COUNT_N("fabric.shards", plan.size());
+  if (telemetry != nullptr) telemetry->add_shards(plan.size());
 
   std::deque<PendingShard> pending;
   for (std::size_t i = 0; i < plan.size(); ++i) {
@@ -69,6 +76,10 @@ std::vector<runner::Json> run_shards(const std::vector<ShardSpec>& plan,
     OBS_COUNT("fabric.retries");
     const double backoff =
         options.backoff_seconds * static_cast<double>(1 << prior_attempts);
+    if (telemetry != nullptr) {
+      telemetry->record(Telemetry::kRetry, plan[plan_index].to_string(),
+                        attempts, backoff, why);
+    }
     std::fprintf(stderr, "fabric: retrying shard %s (%s), backoff %.2fs\n",
                  plan[plan_index].to_string().c_str(), why.c_str(), backoff);
     pending.push_back({plan_index, attempts,
@@ -102,6 +113,11 @@ std::vector<runner::Json> run_shards(const std::vector<ShardSpec>& plan,
       run.pid = spawn_process(
           command_for(spec, run.artifact_path),
           {"SILENCE_FABRIC_ATTEMPT=" + std::to_string(job.attempts)});
+      run.launched = Clock::now();
+      if (telemetry != nullptr) {
+        telemetry->record(Telemetry::kDispatch, spec.to_string(),
+                          job.attempts);
+      }
       run.deadline = Clock::now() +
                      std::chrono::duration_cast<Clock::duration>(
                          std::chrono::duration<double>(
@@ -122,6 +138,12 @@ std::vector<runner::Json> run_shards(const std::vector<ShardSpec>& plan,
           kill_process(run.pid);
           const auto plan_index = run.plan_index;
           const auto attempts = run.attempts;
+          if (telemetry != nullptr) {
+            telemetry->record(Telemetry::kStragglerKill,
+                              plan[plan_index].to_string(), attempts,
+                              seconds_since(run.launched),
+                              "timed out (straggler killed)");
+          }
           running.erase(running.begin() + static_cast<std::ptrdiff_t>(i));
           handle_failure(plan_index, attempts, "timed out (straggler killed)");
           progressed = true;
@@ -134,8 +156,14 @@ std::vector<runner::Json> run_shards(const std::vector<ShardSpec>& plan,
       const RunningShard done = std::move(run);
       running.erase(running.begin() + static_cast<std::ptrdiff_t>(i));
       progressed = true;
+      const double attempt_seconds = seconds_since(done.launched);
       if (!status->ok()) {
         OBS_COUNT("fabric.worker_failures");
+        if (telemetry != nullptr) {
+          telemetry->record(Telemetry::kWorkerFailure,
+                            plan[done.plan_index].to_string(), done.attempts,
+                            attempt_seconds, status->describe());
+        }
         handle_failure(done.plan_index, done.attempts,
                        "worker " + status->describe());
         continue;
@@ -145,8 +173,18 @@ std::vector<runner::Json> run_shards(const std::vector<ShardSpec>& plan,
             read_shard_artifact(done.artifact_path, plan[done.plan_index],
                                 base_seed, points, trials);
         ++completed;
+        if (telemetry != nullptr) {
+          telemetry->record(Telemetry::kComplete,
+                            plan[done.plan_index].to_string(), done.attempts,
+                            attempt_seconds);
+        }
       } catch (const std::exception& e) {
         OBS_COUNT("fabric.artifact_rejects");
+        if (telemetry != nullptr) {
+          telemetry->record(Telemetry::kArtifactReject,
+                            plan[done.plan_index].to_string(), done.attempts,
+                            attempt_seconds, e.what());
+        }
         handle_failure(done.plan_index, done.attempts, e.what());
       }
     }

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "fabric/shard.h"
+#include "fabric/telemetry.h"
 #include "runner/json.h"
 
 namespace silence::fabric {
@@ -39,12 +40,15 @@ using ShardCommandFn = std::function<std::vector<std::string>(
 // identify the grid the artifacts must match. Each spawn exports
 // SILENCE_FABRIC_ATTEMPT=<attempt> to the child (the crash-injection
 // hook keys off it; see fabric.h). Throws std::runtime_error when a
-// shard exhausts its attempts.
+// shard exhausts its attempts. When `telemetry` is non-null every
+// lifecycle transition (dispatch, complete, failure, straggler kill,
+// retry) is recorded with its attempt duration.
 std::vector<runner::Json> run_shards(const std::vector<ShardSpec>& plan,
                                      const std::string& spool_dir,
                                      std::uint64_t base_seed,
                                      std::size_t points, std::size_t trials,
                                      const ShardCommandFn& command_for,
-                                     const SupervisorOptions& options);
+                                     const SupervisorOptions& options,
+                                     Telemetry* telemetry = nullptr);
 
 }  // namespace silence::fabric

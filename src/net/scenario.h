@@ -66,6 +66,33 @@ struct Scenario {
   friend bool operator==(const Scenario&, const Scenario&) = default;
 };
 
+// Fixed-bucket histogram of slot-time latencies, carried inside the
+// deterministic result itself (unlike obs histograms, these exist — and
+// merge identically — with observability compiled out, so sweep JSONs
+// stay byte-identical ON vs OFF). Buckets follow obs::histogram_bucket's
+// power-of-two scheme, and quantile() gives the same bucket-interpolated
+// p50/p95/p99 estimate as obs::HistogramSnapshot.
+struct SlotHist {
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t min = 0;  // meaningful only when count > 0
+  std::uint64_t max = 0;
+  std::vector<std::uint64_t> buckets;  // kHistogramBuckets entries, or
+                                       // empty while count == 0
+
+  void record(std::uint64_t value);
+  double mean() const;
+  double quantile(double q) const;
+
+  SlotHist& operator+=(const SlotHist& o);
+
+  // Integers only (buckets trailing-zero trimmed): exact round trip.
+  runner::Json to_json() const;
+  static SlotHist from_json(const runner::Json& json);
+
+  friend bool operator==(const SlotHist&, const SlotHist&) = default;
+};
+
 // Per-station tallies; mergeable across trials with +=.
 struct StaStats {
   std::size_t tx_rounds = 0;    // contention wins transmitted solo
@@ -77,6 +104,12 @@ struct StaStats {
   std::size_t control_bits_sent = 0;
   std::size_t control_bits_correct = 0;
   double data_airtime_us = 0.0;  // medium time under this station's PPDUs
+  // Queueing view of the same run, in whole 9 µs slots: how long each
+  // frame sat at the head of the line before its winning TX started
+  // (collisions extend the wait, they don't reset it), and the spacing
+  // between consecutive winning TX starts.
+  SlotHist hol_wait_slots;
+  SlotHist inter_tx_gap_slots;
 
   StaStats& operator+=(const StaStats& o);
 };

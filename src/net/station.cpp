@@ -109,6 +109,9 @@ Station::TxOutcome Station::transmit() {
   TxOutcome out;
   out.data_airtime_us = psdu_airtime_us(aggregate.size(), *report.mcs);
   out.data_ok = report.data_ok;
+  out.mpdus_sent = mpdus_per_frame_;
+  out.control_bits_sent = report.control_bits_sent;
+  out.control_bits_correct = report.control_bits_correct;
 
   ++stats_.tx_rounds;
   stats_.data_airtime_us += out.data_airtime_us;
@@ -125,10 +128,12 @@ Station::TxOutcome Station::transmit() {
     for (const DeaggregatedMpdu& sub : deaggregate_mpdus(body)) {
       if (!sub.delimiter_ok) continue;
       if (const auto parsed = parse_frame(sub.mpdu)) {
-        ++stats_.mpdus_delivered;
-        stats_.data_bits += 8 * parsed->payload.size();
+        ++out.mpdus_delivered;
+        out.data_bits += 8 * parsed->payload.size();
       }
     }
+    stats_.mpdus_delivered += out.mpdus_delivered;
+    stats_.data_bits += out.data_bits;
     backoff_.on_success(traffic_rng_);
   } else {
     ++stats_.frames_lost;

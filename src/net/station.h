@@ -20,10 +20,17 @@ class Station {
   // selects the SNR interpolation point and the seed substreams.
   Station(const Scenario& scenario, int index, std::uint64_t seed);
 
-  // Outcome of one solo medium acquisition.
+  // Outcome of one solo medium acquisition. The per-MPDU/control fields
+  // let the scheduler narrate the exchange on the MAC timeline without
+  // re-deriving them from the station's cumulative stats.
   struct TxOutcome {
     double data_airtime_us = 0.0;
     bool data_ok = false;
+    std::size_t mpdus_sent = 0;
+    std::size_t mpdus_delivered = 0;
+    std::size_t data_bits = 0;  // payload bits delivered by this frame
+    std::size_t control_bits_sent = 0;
+    std::size_t control_bits_correct = 0;
   };
 
   // Builds this round's A-MPDU (fresh payloads + the next control
@@ -34,6 +41,15 @@ class Station {
 
   // This station collided this round: tally it and double the window.
   void on_collision();
+
+  // Scheduler-computed latency samples (whole slots), recorded into the
+  // station's deterministic stats at each winning TX start.
+  void record_hol_wait(std::uint64_t slots) {
+    stats_.hol_wait_slots.record(slots);
+  }
+  void record_tx_gap(std::uint64_t slots) {
+    stats_.inter_tx_gap_slots.record(slots);
+  }
 
   // Airtime its next PPDU would occupy, at the rate the session would
   // pick right now. Collisions are charged this much medium time without

@@ -1,0 +1,163 @@
+// MAC-timeline instrumentation for run_scenario: one named simulation
+// track per station plus the shared medium, rendered under pid 2 of the
+// Chrome/Perfetto trace (obs/trace.h), with timestamps in deterministic
+// simulated microseconds. A second helper interns per-station registry
+// histograms (net.sta.NN.*) so .metrics.json carries per-station latency
+// percentiles next to the aggregate ones.
+//
+// Exactly one scenario per capture owns the simulation timeline (the
+// first run_scenario to claim it); a single-scenario run — the CI smoke
+// uses --stas 16 --trials 1 — therefore produces a bit-stable timeline
+// at any thread count. Everything here compiles to inert no-ops under
+// SILENCE_OBS=OFF: `on()` is constant false, so call sites guarded by
+// `if (timeline.on())` fold away and never build their args strings.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/obs.h"
+
+namespace silence::net {
+
+#if SILENCE_OBS_ON
+
+class Timeline {
+ public:
+  explicit Timeline(std::size_t num_stations) {
+    auto& tracer = obs::Tracer::global();
+    if (!tracer.claim_sim_session()) return;
+    on_ = true;
+    medium_ = tracer.sim_track("medium");
+    sta_.reserve(num_stations);
+    for (std::size_t i = 0; i < num_stations; ++i) {
+      sta_.push_back(tracer.sim_track("STA " + std::to_string(i)));
+    }
+  }
+
+  bool on() const { return on_; }
+
+  void sta_begin(std::size_t i, const char* name, double ts_us,
+                 std::string args = "") {
+    if (on_) {
+      obs::Tracer::global().sim_begin(sta_[i], name, ts_us, std::move(args));
+    }
+  }
+  void sta_end(std::size_t i, const char* name, double ts_us) {
+    if (on_) obs::Tracer::global().sim_end(sta_[i], name, ts_us);
+  }
+  void sta_instant(std::size_t i, const char* name, double ts_us,
+                   std::string args = "") {
+    if (on_) {
+      obs::Tracer::global().sim_instant(sta_[i], name, ts_us,
+                                        std::move(args));
+    }
+  }
+  void medium_begin(const char* name, double ts_us, std::string args = "") {
+    if (on_) {
+      obs::Tracer::global().sim_begin(medium_, name, ts_us, std::move(args));
+    }
+  }
+  void medium_end(const char* name, double ts_us) {
+    if (on_) obs::Tracer::global().sim_end(medium_, name, ts_us);
+  }
+
+ private:
+  bool on_ = false;
+  std::uint32_t medium_ = 0;
+  std::vector<std::uint32_t> sta_;
+};
+
+// Per-station registry metrics, interned once per scenario. Capped at
+// kMaxTracked stations so huge future scenarios cannot exhaust the
+// registry's fixed histogram/counter capacity — past the cap only the
+// aggregate net.sta.* histograms are recorded.
+class StationMetrics {
+ public:
+  static constexpr std::size_t kMaxTracked = 64;
+
+  explicit StationMetrics(std::size_t num_stations) {
+    if (num_stations > kMaxTracked) return;
+    auto& reg = obs::Registry::global();
+    hol_.reserve(num_stations);
+    gap_.reserve(num_stations);
+    bits_.reserve(num_stations);
+    coll_.reserve(num_stations);
+    for (std::size_t i = 0; i < num_stations; ++i) {
+      const std::string base = "net.sta." + station_label(i);
+      hol_.push_back(reg.histogram_id(base + ".hol_wait_slots"));
+      gap_.push_back(reg.histogram_id(base + ".inter_tx_gap_slots"));
+      bits_.push_back(reg.histogram_id(base + ".tx_data_bits"));
+      coll_.push_back(reg.counter_id(base + ".collisions"));
+    }
+  }
+
+  // Zero-padded two-digit station index: stable lexicographic order in
+  // sorted snapshots ("net.sta.02" < "net.sta.10").
+  static std::string station_label(std::size_t i) {
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%02zu", i);
+    return buf;
+  }
+
+  void hol_wait(std::size_t i, std::uint64_t slots) {
+    if (i < hol_.size()) {
+      obs::Registry::global().histogram_record(hol_[i], slots);
+    }
+  }
+  void tx_gap(std::size_t i, std::uint64_t slots) {
+    if (i < gap_.size()) {
+      obs::Registry::global().histogram_record(gap_[i], slots);
+    }
+  }
+  void tx_data_bits(std::size_t i, std::uint64_t bits) {
+    if (i < bits_.size()) {
+      obs::Registry::global().histogram_record(bits_[i], bits);
+    }
+  }
+  void collision(std::size_t i) {
+    if (i < coll_.size()) obs::Registry::global().counter_add(coll_[i], 1);
+  }
+
+ private:
+  std::vector<std::uint32_t> hol_;
+  std::vector<std::uint32_t> gap_;
+  std::vector<std::uint32_t> bits_;
+  std::vector<std::uint32_t> coll_;
+};
+
+#else  // SILENCE_OBS_ON
+
+class Timeline {
+ public:
+  explicit Timeline(std::size_t) {}
+  bool on() const { return false; }
+  void sta_begin(std::size_t, const char*, double, std::string = "") {}
+  void sta_end(std::size_t, const char*, double) {}
+  void sta_instant(std::size_t, const char*, double, std::string = "") {}
+  void medium_begin(const char*, double, std::string = "") {}
+  void medium_end(const char*, double) {}
+};
+
+class StationMetrics {
+ public:
+  static constexpr std::size_t kMaxTracked = 64;
+  explicit StationMetrics(std::size_t) {}
+  static std::string station_label(std::size_t i) {
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%02zu", i);
+    return buf;
+  }
+  void hol_wait(std::size_t, std::uint64_t) {}
+  void tx_gap(std::size_t, std::uint64_t) {}
+  void tx_data_bits(std::size_t, std::uint64_t) {}
+  void collision(std::size_t) {}
+};
+
+#endif  // SILENCE_OBS_ON
+
+}  // namespace silence::net

@@ -34,7 +34,7 @@ namespace silence::obs {
 // Hard caps keep thread blocks fixed-size (no hot-path growth/locking).
 inline constexpr std::size_t kMaxCounters = 256;
 inline constexpr std::size_t kMaxGauges = 64;
-inline constexpr std::size_t kMaxHistograms = 128;
+inline constexpr std::size_t kMaxHistograms = 512;
 
 // Power-of-two buckets: bucket 0 counts value 0, bucket b >= 1 counts
 // values with bit_width b, i.e. [2^(b-1), 2^b); the last bucket is

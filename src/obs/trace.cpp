@@ -1,6 +1,7 @@
 #include "obs/trace.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -38,6 +39,9 @@ Tracer& Tracer::global() {
 void Tracer::start() {
   std::lock_guard lock(mutex_);
   events_.clear();
+  sim_events_.clear();
+  sim_tracks_.clear();
+  sim_claimed_.store(false, std::memory_order_relaxed);
   dropped_ = 0;
   t0_ = now_ns();
   active_.store(true, std::memory_order_relaxed);
@@ -69,6 +73,53 @@ std::size_t Tracer::event_count() const {
   return events_.size();
 }
 
+bool Tracer::claim_sim_session() {
+  if (!active()) return false;
+  return !sim_claimed_.exchange(true, std::memory_order_relaxed);
+}
+
+std::uint32_t Tracer::sim_track(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  for (std::size_t i = 0; i < sim_tracks_.size(); ++i) {
+    if (sim_tracks_[i] == name) return static_cast<std::uint32_t>(i + 1);
+  }
+  sim_tracks_.push_back(name);
+  return static_cast<std::uint32_t>(sim_tracks_.size());
+}
+
+void Tracer::sim_push(char phase, std::uint32_t track, const char* name,
+                      double ts_us, std::string args) {
+  if (!active()) return;
+  // Simulated µs map exactly onto the ns grid for slot-quantized times;
+  // llround keeps fractional airtimes deterministic (pure fn of ts_us).
+  const auto ts = static_cast<std::uint64_t>(std::llround(ts_us * 1000.0));
+  std::lock_guard lock(mutex_);
+  if (sim_events_.size() >= kMaxTraceEvents) {
+    ++dropped_;
+    return;
+  }
+  sim_events_.push_back({name, std::move(args), ts, track, phase});
+}
+
+void Tracer::sim_begin(std::uint32_t track, const char* name, double ts_us,
+                       std::string args) {
+  sim_push('B', track, name, ts_us, std::move(args));
+}
+
+void Tracer::sim_end(std::uint32_t track, const char* name, double ts_us) {
+  sim_push('E', track, name, ts_us, "");
+}
+
+void Tracer::sim_instant(std::uint32_t track, const char* name, double ts_us,
+                         std::string args) {
+  sim_push('i', track, name, ts_us, std::move(args));
+}
+
+std::size_t Tracer::sim_event_count() const {
+  std::lock_guard lock(mutex_);
+  return sim_events_.size();
+}
+
 std::size_t Tracer::dropped() const {
   std::lock_guard lock(mutex_);
   return dropped_;
@@ -77,10 +128,14 @@ std::size_t Tracer::dropped() const {
 std::string Tracer::to_json() {
   stop();
   std::vector<Event> events;
+  std::vector<SimEvent> sim_events;
+  std::vector<std::string> sim_tracks;
   std::size_t dropped = 0;
   {
     std::lock_guard lock(mutex_);
     events = events_;
+    sim_events = sim_events_;
+    sim_tracks = sim_tracks_;
     dropped = dropped_;
   }
   // Buffer order is real-time lock-acquisition order, so a stable sort
@@ -120,14 +175,55 @@ std::string Tracer::to_json() {
     }
   }
 
+  // Same discipline for the simulation tracks: stable sort on simulated
+  // time, then matched B/E per track with synthetic closes at the last
+  // simulated timestamp. Instants pass through untouched.
+  std::stable_sort(
+      sim_events.begin(), sim_events.end(),
+      [](const SimEvent& a, const SimEvent& b) { return a.ts < b.ts; });
+  std::vector<std::pair<std::uint32_t, std::vector<const char*>>> sim_stacks;
+  const auto sim_stack_for =
+      [&](std::uint32_t tid) -> std::vector<const char*>& {
+    for (auto& [id, stack] : sim_stacks) {
+      if (id == tid) return stack;
+    }
+    return sim_stacks.emplace_back(tid, std::vector<const char*>{}).second;
+  };
+  std::uint64_t sim_last_ts = 0;
+  std::vector<SimEvent> sim_cleaned;
+  sim_cleaned.reserve(sim_events.size());
+  for (SimEvent& e : sim_events) {
+    if (e.phase != 'i') {
+      auto& stack = sim_stack_for(e.tid);
+      if (e.phase == 'E') {
+        if (stack.empty()) continue;  // stray end: drop
+        stack.pop_back();
+      } else {
+        stack.push_back(e.name);
+      }
+    }
+    sim_last_ts = std::max(sim_last_ts, e.ts);
+    sim_cleaned.push_back(std::move(e));
+  }
+  for (auto& [tid, stack] : sim_stacks) {
+    while (!stack.empty()) {
+      sim_cleaned.push_back({stack.back(), "", sim_last_ts, tid, 'E'});
+      stack.pop_back();
+    }
+  }
+
   std::string out = "{\n  \"displayTimeUnit\": \"ns\",\n";
   if (dropped > 0) {
     out += "  \"droppedEvents\": " + std::to_string(dropped) + ",\n";
   }
   out += "  \"traceEvents\": [";
-  for (std::size_t i = 0; i < cleaned.size(); ++i) {
-    const Event& e = cleaned[i];
-    out += i == 0 ? "\n" : ",\n";
+  bool first = true;
+  const auto sep = [&] {
+    out += first ? "\n" : ",\n";
+    first = false;
+  };
+  for (const Event& e : cleaned) {
+    sep();
     out += "    {\"name\": \"";
     out += e.name;  // site names are controlled literals, no escaping needed
     out += "\", \"cat\": \"cos\", \"ph\": \"";
@@ -136,7 +232,38 @@ std::string Tracer::to_json() {
     append_ts_us(out, e.ts);
     out += "}";
   }
-  out += cleaned.empty() ? "],\n" : "\n  ],\n";
+  if (!sim_tracks.empty()) {
+    // Metadata names the simulation process and one track per station /
+    // medium so Perfetto labels them; sort_index pins the track order.
+    sep();
+    out +=
+        "    {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 2, "
+        "\"tid\": 0, \"args\": {\"name\": \"net-sim\"}}";
+    for (std::size_t i = 0; i < sim_tracks.size(); ++i) {
+      const std::string tid = std::to_string(i + 1);
+      sep();
+      out += "    {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 2, "
+             "\"tid\": " + tid + ", \"args\": {\"name\": \"" + sim_tracks[i] +
+             "\"}}";
+      sep();
+      out += "    {\"name\": \"thread_sort_index\", \"ph\": \"M\", "
+             "\"pid\": 2, \"tid\": " + tid + ", \"args\": {\"sort_index\": " +
+             tid + "}}";
+    }
+  }
+  for (const SimEvent& e : sim_cleaned) {
+    sep();
+    out += "    {\"name\": \"";
+    out += e.name;
+    out += "\", \"cat\": \"net\", \"ph\": \"";
+    out += e.phase;
+    out += "\", \"pid\": 2, \"tid\": " + std::to_string(e.tid) + ", \"ts\": ";
+    append_ts_us(out, e.ts);
+    if (e.phase == 'i') out += ", \"s\": \"t\"";
+    if (!e.args.empty()) out += ", \"args\": " + e.args;
+    out += "}";
+  }
+  out += first ? "],\n" : "\n  ],\n";
   out += "  \"metrics\": ";
   out += metrics_to_json(Registry::global().snapshot());
   out += "\n}\n";

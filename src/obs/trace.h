@@ -43,6 +43,37 @@ class Tracer {
   std::size_t event_count() const;
   std::size_t dropped() const;
 
+  // --- Simulation-time tracks ---------------------------------------
+  //
+  // Events on these tracks carry caller-supplied timestamps in simulated
+  // microseconds (deterministic slot time), not wall clock. They render
+  // under a second trace process (pid 2, "net-sim") with one named track
+  // per station plus the shared medium, so Perfetto shows the MAC
+  // timeline side by side with the wall-clock PHY spans.
+  //
+  // Exactly one scenario may own the simulation timeline per capture —
+  // parallel trials would interleave on shared tracks otherwise. The
+  // first run_scenario to claim it wins; start() clears the claim.
+
+  // Claims the simulation timeline for this capture. Returns false when
+  // the tracer is inactive or another scenario already owns it.
+  bool claim_sim_session();
+
+  // Interns a named simulation track (idempotent per name) and returns
+  // its tid under pid 2.
+  std::uint32_t sim_track(const std::string& name);
+
+  // Record a span boundary / instant on a simulation track. `name` must
+  // have static storage duration; `args`, when non-empty, must be a
+  // complete JSON object (emitted verbatim as the event's "args").
+  void sim_begin(std::uint32_t track, const char* name, double ts_us,
+                 std::string args = "");
+  void sim_end(std::uint32_t track, const char* name, double ts_us);
+  void sim_instant(std::uint32_t track, const char* name, double ts_us,
+                   std::string args = "");
+
+  std::size_t sim_event_count() const;
+
   // Stops capturing and renders the trace: events sorted by timestamp
   // (ties keep buffer order, so per-thread nesting is preserved), spans
   // still open at render time closed with synthetic E events, metrics
@@ -59,9 +90,18 @@ class Tracer {
     std::uint32_t tid;
     char phase;  // 'B' or 'E'
   };
+  struct SimEvent {
+    const char* name;
+    std::string args;  // complete JSON object, or empty
+    std::uint64_t ts;  // simulated ns (µs * 1000, exact for slot times)
+    std::uint32_t tid;
+    char phase;  // 'B', 'E' or 'i'
+  };
 
   Tracer() = default;
   void push(char phase, const char* name);
+  void sim_push(char phase, std::uint32_t track, const char* name,
+                double ts_us, std::string args);
 
   std::atomic<bool> active_{false};
   std::uint64_t t0_ = 0;
@@ -69,6 +109,9 @@ class Tracer {
   std::vector<Event> events_;
   std::size_t dropped_ = 0;
   std::atomic<std::uint32_t> next_tid_{1};
+  std::atomic<bool> sim_claimed_{false};
+  std::vector<std::string> sim_tracks_;  // index + 1 == tid under pid 2
+  std::vector<SimEvent> sim_events_;
 };
 
 }  // namespace silence::obs

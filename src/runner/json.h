@@ -74,8 +74,18 @@ class Json {
   Json& set(std::string_view key, Json value);
   const Json* find(std::string_view key) const;
 
-  // Array access.
+  // Array access. GCC 12 issues -Wmaybe-uninitialized false positives
+  // when this inlines a freshly-constructed variant temporary into the
+  // caller (the inactive string/vector alternatives look "read" to the
+  // uninit pass); suppress locally rather than in every caller.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
   void push_back(Json value) { std::get<Array>(value_).push_back(std::move(value)); }
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
   std::size_t size() const;
 
   // Serializes with 2-space indentation and a trailing newline at the

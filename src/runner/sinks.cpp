@@ -101,6 +101,14 @@ std::string metrics_sidecar_path(const std::string& json_path) {
   return path + ".metrics.json";
 }
 
+std::string telemetry_sidecar_path(const std::string& json_path) {
+  std::string path = json_path;
+  if (path.size() >= 5 && path.compare(path.size() - 5, 5, ".json") == 0) {
+    path.resize(path.size() - 5);
+  }
+  return path + ".telemetry.json";
+}
+
 Json metrics_json(const obs::MetricsSnapshot& snapshot) {
   Json root = Json::object();
   Json counters = Json::object();

@@ -82,6 +82,10 @@ std::string timing_sidecar_path(const std::string& json_path);
 // `results/foo.json` -> `results/foo.metrics.json`.
 std::string metrics_sidecar_path(const std::string& json_path);
 
+// `results/foo.json` -> `results/foo.telemetry.json` (fabric supervisor
+// shard-lifecycle telemetry; see fabric/telemetry.h).
+std::string telemetry_sidecar_path(const std::string& json_path);
+
 // The obs snapshot rendered as a runner::Json object (counters, gauges,
 // histograms keyed by metric name). Used for the metrics sidecar and by
 // perf_phy's stage-throughput record.

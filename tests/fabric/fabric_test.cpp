@@ -27,7 +27,9 @@
 #include "fabric/fabric.h"
 #include "fabric/process.h"
 #include "fabric/shard.h"
+#include "fabric/telemetry.h"
 #include "fabric/transport.h"
+#include "runner/sinks.h"
 #include "runner/sweep.h"
 
 namespace silence::fabric {
@@ -318,6 +320,109 @@ TEST(FabricE2E, WorkerRefusesShardRangeBeyondGrid) {
   config.shard_out = fresh_dir("e2e_badrange") + "/out.json";
   Fabric fab(std::move(config));
   EXPECT_THROW(run_test_sweep(fab), std::runtime_error);
+}
+
+// ---------------------------------------------------------------------
+// Supervisor telemetry (fabric/telemetry.h): the shard-lifecycle journal
+// behind the .telemetry.json sidecar.
+
+TEST(Telemetry, RecordsEventsAndSummarizes) {
+  Telemetry t;
+  EXPECT_TRUE(t.empty());
+  t.set_workers(2);
+  t.add_shards(2);
+  t.record(Telemetry::kDispatch, "sweep:0/2:0-4", 0);
+  t.record(Telemetry::kDispatch, "sweep:1/2:4-8", 0);
+  t.record(Telemetry::kWorkerFailure, "sweep:0/2:0-4", 0, 0.5, "exit code 7");
+  t.record(Telemetry::kRetry, "sweep:0/2:0-4", 1, 0.05, "worker exit code 7");
+  t.record(Telemetry::kComplete, "sweep:1/2:4-8", 0, 1.0);
+  t.record(Telemetry::kComplete, "sweep:0/2:0-4", 1, 2.0);
+  EXPECT_FALSE(t.empty());
+  EXPECT_EQ(t.count(Telemetry::kDispatch), 2u);
+  EXPECT_EQ(t.count(Telemetry::kComplete), 2u);
+  EXPECT_EQ(t.count(Telemetry::kRetry), 1u);
+
+  const runner::Json doc = t.to_json();
+  EXPECT_EQ(doc.find("workers")->as_int(), 2);
+  EXPECT_EQ(doc.find("shards")->as_int(), 2);
+  EXPECT_EQ(doc.find("events")->size(), 6u);
+  const runner::Json* summary = doc.find("summary");
+  ASSERT_NE(summary, nullptr);
+  EXPECT_EQ(summary->find("dispatches")->as_int(), 2);
+  EXPECT_EQ(summary->find("completes")->as_int(), 2);
+  EXPECT_EQ(summary->find("retries")->as_int(), 1);
+  EXPECT_EQ(summary->find("worker_failures")->as_int(), 1);
+  // Attempt durations: the failure (0.5) + both completes (1.0, 2.0);
+  // the retry's backoff is not worker busy time.
+  EXPECT_DOUBLE_EQ(summary->find("busy_seconds")->as_double(), 3.5);
+  const runner::Json* attempts = summary->find("attempt_seconds");
+  ASSERT_NE(attempts, nullptr);
+  EXPECT_EQ(attempts->find("count")->as_int(), 3);
+  EXPECT_DOUBLE_EQ(attempts->find("min")->as_double(), 0.5);
+  EXPECT_DOUBLE_EQ(attempts->find("max")->as_double(), 2.0);
+  EXPECT_DOUBLE_EQ(attempts->find("p50")->as_double(), 1.0);
+  EXPECT_EQ(summary->find("attempt_seconds_list")->size(), 3u);
+}
+
+TEST(FabricE2E, TelemetryJournalsCleanRun) {
+  FabricConfig config = supervisor_config(2, fresh_dir("telemetry_clean"));
+  Fabric fab(std::move(config));
+  run_test_sweep(fab);
+  const Telemetry& t = fab.telemetry();
+  EXPECT_EQ(t.count(Telemetry::kDispatch), 2u);
+  EXPECT_EQ(t.count(Telemetry::kComplete), 2u);
+  EXPECT_EQ(t.count(Telemetry::kRetry), 0u);
+  EXPECT_EQ(t.count(Telemetry::kStragglerKill), 0u);
+  EXPECT_EQ(t.count(Telemetry::kWorkerFailure), 0u);
+}
+
+TEST(FabricE2E, TelemetryJournalsCrashRetry) {
+  ::setenv("SILENCE_FABRIC_CRASH_SHARD", "1", 1);
+  FabricConfig config = supervisor_config(3, fresh_dir("telemetry_crash"));
+  Fabric fab(std::move(config));
+  run_test_sweep(fab);
+  ::unsetenv("SILENCE_FABRIC_CRASH_SHARD");
+  const Telemetry& t = fab.telemetry();
+  EXPECT_EQ(t.count(Telemetry::kWorkerFailure), 1u);
+  EXPECT_EQ(t.count(Telemetry::kRetry), 1u);
+  EXPECT_EQ(t.count(Telemetry::kComplete), 3u);
+  EXPECT_EQ(t.count(Telemetry::kDispatch), 4u);  // 3 shards + 1 redispatch
+}
+
+TEST(FabricE2E, TelemetryJournalsStragglerKill) {
+  ::setenv("FABRIC_TEST_STALL_SHARD", "0", 1);
+  FabricConfig config = supervisor_config(2, fresh_dir("telemetry_stall"));
+  config.supervisor.timeout_seconds = 1.0;
+  Fabric fab(std::move(config));
+  run_test_sweep(fab);
+  ::unsetenv("FABRIC_TEST_STALL_SHARD");
+  const Telemetry& t = fab.telemetry();
+  EXPECT_EQ(t.count(Telemetry::kStragglerKill), 1u);
+  EXPECT_EQ(t.count(Telemetry::kRetry), 1u);
+  EXPECT_EQ(t.count(Telemetry::kComplete), 2u);
+}
+
+TEST(FabricE2E, WriteSidecarsEmitsTelemetryJson) {
+  FabricConfig config = supervisor_config(2, fresh_dir("telemetry_sidecar"));
+  Fabric fab(std::move(config));
+  run_test_sweep(fab);
+  const std::string base = fresh_dir("telemetry_sidecar_out") + "/run.json";
+  fab.write_sidecars(base);
+  const std::string path = runner::telemetry_sidecar_path(base);
+  ASSERT_TRUE(std::filesystem::exists(path));
+  const runner::Json doc = runner::read_json_file(path);
+  EXPECT_EQ(doc.find("schema_version")->as_int(), 1);
+  EXPECT_EQ(doc.find("summary")->find("completes")->as_int(), 2);
+}
+
+TEST(FabricE2E, SingleProcessRunWritesNoTelemetrySidecar) {
+  Fabric fab(FabricConfig{});  // workers = 0 -> no supervisor, no journal
+  run_test_sweep(fab);
+  EXPECT_TRUE(fab.telemetry().empty());
+  const std::string base = fresh_dir("telemetry_none") + "/run.json";
+  fab.write_sidecars(base);
+  EXPECT_FALSE(
+      std::filesystem::exists(runner::telemetry_sidecar_path(base)));
 }
 
 TEST(FabricE2E, WorkerOnForeignSweepReportsUnsatisfied) {

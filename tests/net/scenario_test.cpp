@@ -152,6 +152,100 @@ TEST(NetResult, MergeAccumulatesAndChecksShape) {
   EXPECT_THROW(wrong += a, std::invalid_argument);
 }
 
+TEST(SlotHist, RecordTracksCountSumMinMax) {
+  SlotHist h;
+  EXPECT_TRUE(h.buckets.empty());  // empty until the first sample
+  h.record(5);
+  h.record(100);
+  h.record(1);
+  EXPECT_EQ(h.count, 3u);
+  EXPECT_EQ(h.sum, 106u);
+  EXPECT_EQ(h.min, 1u);
+  EXPECT_EQ(h.max, 100u);
+  EXPECT_FALSE(h.buckets.empty());
+  EXPECT_NEAR(h.mean(), 106.0 / 3.0, 1e-12);
+}
+
+TEST(SlotHist, JsonRoundTripsExactly) {
+  SlotHist h;
+  for (std::uint64_t v : {0ull, 1ull, 7ull, 63ull, 4096ull}) h.record(v);
+  const SlotHist back = SlotHist::from_json(h.to_json());
+  EXPECT_EQ(back, h);
+  EXPECT_EQ(back.to_json().dump_compact(), h.to_json().dump_compact());
+  // Empty histograms round-trip too (no buckets array content).
+  const SlotHist empty;
+  EXPECT_EQ(SlotHist::from_json(empty.to_json()), empty);
+}
+
+TEST(SlotHist, MergeMatchesRecordingEverythingIntoOne) {
+  SlotHist a, b, all;
+  for (std::uint64_t v : {3ull, 17ull, 200ull}) {
+    a.record(v);
+    all.record(v);
+  }
+  for (std::uint64_t v : {1ull, 900ull}) {
+    b.record(v);
+    all.record(v);
+  }
+  SlotHist merged = a;
+  merged += b;
+  EXPECT_EQ(merged, all);
+  // Merging an empty side is the identity, both directions.
+  SlotHist empty;
+  merged += empty;
+  EXPECT_EQ(merged, all);
+  empty += all;
+  EXPECT_EQ(empty, all);
+}
+
+TEST(SlotHist, QuantilesAreOrderedAndBracketed) {
+  SlotHist h;
+  for (std::uint64_t v = 1; v <= 500; ++v) h.record(v);
+  const double p50 = h.quantile(0.50);
+  const double p95 = h.quantile(0.95);
+  const double p99 = h.quantile(0.99);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_GE(p50, static_cast<double>(h.min));
+  EXPECT_LE(p99, static_cast<double>(h.max));
+}
+
+TEST(SlotHist, FromJsonRejectsMalformedDocs) {
+  SlotHist h;
+  h.record(9);
+  const runner::Json full = h.to_json();
+  for (const auto& [key, value] : full.as_object()) {
+    runner::Json pruned = runner::Json::object();
+    for (const auto& [k, v] : full.as_object()) {
+      if (k != key) pruned.set(k, v);
+    }
+    EXPECT_THROW(SlotHist::from_json(pruned), std::runtime_error)
+        << "missing '" << key << "' was accepted";
+  }
+  // More buckets than the fixed layout holds.
+  runner::Json too_many = runner::Json::object();
+  for (const auto& [k, v] : full.as_object()) {
+    if (k != "buckets") too_many.set(k, v);
+  }
+  runner::Json buckets = runner::Json::array();
+  for (int i = 0; i < 64; ++i) buckets.push_back(1);
+  too_many.set("buckets", std::move(buckets));
+  EXPECT_THROW(SlotHist::from_json(too_many), std::runtime_error);
+}
+
+// The queueing view must be consistent with the scheduler tallies:
+// every winning TX records one head-of-line wait, and consecutive wins
+// of one station are one fewer than its TX count.
+TEST(RunScenario, LatencyHistogramsMatchSchedulerCounts) {
+  const NetResult r = run_scenario(test_scenario(6), 13);
+  ASSERT_GT(r.tx_rounds, 0u);
+  for (const StaStats& s : r.stations) {
+    EXPECT_EQ(s.hol_wait_slots.count, s.tx_rounds);
+    EXPECT_EQ(s.inter_tx_gap_slots.count,
+              s.tx_rounds > 0 ? s.tx_rounds - 1 : 0u);
+  }
+}
+
 // The determinism regression the runner contract promises: a 16-station
 // scenario swept at 1, 2 and 8 threads reduces to byte-identical JSON.
 TEST(RunScenario, SweepIsBitIdenticalAcrossThreadCounts) {

@@ -258,6 +258,81 @@ TEST(TraceTest, WriteCreatesParentDirectories) {
   EXPECT_NE(contents.find("obs_test.file_span"), std::string::npos);
 }
 
+TEST(TraceTest, SimSessionClaimIsExclusivePerCapture) {
+  Tracer& tracer = Tracer::global();
+  tracer.stop();
+  // No active capture: nothing to claim.
+  EXPECT_FALSE(tracer.claim_sim_session());
+  tracer.start();
+  EXPECT_TRUE(tracer.claim_sim_session());
+  EXPECT_FALSE(tracer.claim_sim_session());  // second claimant loses
+  tracer.start();                            // a new capture resets the claim
+  EXPECT_TRUE(tracer.claim_sim_session());
+}
+
+TEST(TraceTest, SimTracksRenderUnderPidTwo) {
+  Tracer& tracer = Tracer::global();
+  tracer.start();
+  ASSERT_TRUE(tracer.claim_sim_session());
+  const std::uint32_t medium = tracer.sim_track("medium");
+  const std::uint32_t sta = tracer.sim_track("STA 0");
+  EXPECT_NE(medium, sta);
+  EXPECT_EQ(tracer.sim_track("medium"), medium);  // interned, not duplicated
+  tracer.sim_begin(medium, "medium.busy", 100.0);
+  tracer.sim_end(medium, "medium.busy", 200.0);
+  tracer.sim_begin(sta, "mac.backoff", 0.0, "{\"counter\": 3}");
+  tracer.sim_end(sta, "mac.backoff", 100.0);
+  tracer.sim_instant(sta, "mac.win", 100.0);
+  EXPECT_EQ(tracer.sim_event_count(), 5u);
+  const std::string json = tracer.to_json();
+  EXPECT_TRUE(JsonValidator(json).valid()) << json;
+  // pid-2 track metadata names the simulation process and both tracks.
+  EXPECT_NE(json.find("\"net-sim\""), std::string::npos);
+  EXPECT_NE(json.find("\"medium\""), std::string::npos);
+  EXPECT_NE(json.find("\"STA 0\""), std::string::npos);
+  // Sim events carry the "net" category and deterministic timestamps.
+  EXPECT_NE(json.find("\"cat\": \"net\""), std::string::npos);
+  EXPECT_NE(json.find("\"mac.win\""), std::string::npos);
+  EXPECT_NE(json.find("{\"counter\": 3}"), std::string::npos);
+}
+
+TEST(TraceTest, OpenSimSpansGetSyntheticCloses) {
+  Tracer& tracer = Tracer::global();
+  tracer.start();
+  ASSERT_TRUE(tracer.claim_sim_session());
+  const std::uint32_t track = tracer.sim_track("STA 0");
+  tracer.sim_begin(track, "mac.backoff", 0.0);
+  tracer.sim_begin(track, "mac.tx", 50.0);  // both left open
+  const std::string json = tracer.to_json();
+  EXPECT_TRUE(JsonValidator(json).valid()) << json;
+  // Every sim B has a matching E on the same track.
+  std::size_t begins = 0, ends = 0, pos = 0;
+  while ((pos = json.find("\"cat\": \"net\", \"ph\": \"B\"", pos)) !=
+         std::string::npos) {
+    ++begins;
+    ++pos;
+  }
+  pos = 0;
+  while ((pos = json.find("\"cat\": \"net\", \"ph\": \"E\"", pos)) !=
+         std::string::npos) {
+    ++ends;
+    ++pos;
+  }
+  EXPECT_EQ(begins, 2u);
+  EXPECT_EQ(begins, ends);
+}
+
+TEST(TraceTest, InactiveTracerIgnoresSimEvents) {
+  Tracer& tracer = Tracer::global();
+  tracer.start();
+  tracer.stop();
+  EXPECT_FALSE(tracer.claim_sim_session());
+  const std::uint32_t track = tracer.sim_track("STA 0");
+  tracer.sim_begin(track, "mac.tx", 0.0);
+  tracer.sim_end(track, "mac.tx", 10.0);
+  EXPECT_EQ(tracer.sim_event_count(), 0u);
+}
+
 #if SILENCE_OBS_ON
 // The macro path: OBS_SPAN must emit a B/E pair on the tracer AND record
 // a `<name>.ns` histogram in the registry.

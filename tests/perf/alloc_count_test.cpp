@@ -91,11 +91,12 @@ Bytes test_psdu(std::uint64_t seed, std::size_t total) {
 TEST(AllocCount, HookIsLive) {
   // The sink keeps the allocation observable so the compiler cannot elide
   // the new/delete pair outright.
-  static volatile const void* sink;
+  static const void* volatile sink;
   const std::size_t n = allocations_during([] {
     std::vector<int> v(16, 42);
     sink = v.data();
   });
+  EXPECT_NE(sink, nullptr);
   EXPECT_GE(n, 1u);
 }
 

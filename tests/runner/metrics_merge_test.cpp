@@ -124,6 +124,52 @@ TEST(MetricsMerge, EmptyHistogramEntriesAreSkipped) {
   EXPECT_EQ(h.find("max")->as_int(), 7);
 }
 
+TEST(MetricsMerge, EmptySidecarMergeIsIdentity) {
+  // Merging a real sidecar with a fully empty document (an OFF-build
+  // worker that recorded nothing at all) must reproduce the real one
+  // byte-for-byte — the fabric pads its merge list with the
+  // supervisor's own (possibly empty) snapshot.
+  obs::MetricsSnapshot a;
+  a.counters.push_back({"runner.trials", 12});
+  a.gauges.push_back({"runner.threads", 4});
+  a.histograms.push_back(make_hist("h.ns", {{1, 3}, {6, 9}}, 2, 100, 640));
+  const Json doc = metrics_json(a);
+  const Json empty = metrics_json(obs::MetricsSnapshot{});
+  EXPECT_EQ(merge_metrics_json({doc, empty}).dump_compact(),
+            doc.dump_compact());
+  EXPECT_EQ(merge_metrics_json({empty, doc}).dump_compact(),
+            doc.dump_compact());
+}
+
+TEST(MetricsMerge, SingletonNegativeGaugeSurvives) {
+  // max() over one all-negative gauge must keep its value, not clamp at
+  // an implicit zero.
+  const Json merged =
+      merge_metrics_json({doc_with_counters({}, {{"queue.headroom", -17}})});
+  EXPECT_EQ(merged.find("gauges")->find("queue.headroom")->as_int(), -17);
+}
+
+TEST(MetricsMerge, RejectsHistogramWithTooManyBuckets) {
+  // A sidecar claiming more buckets than the fixed layout holds is
+  // corrupt; merging it positionally would silently misbin, so it must
+  // throw instead.
+  Json entry = Json::object();
+  entry.set("count", 4);
+  entry.set("sum", 10);
+  entry.set("min", 1);
+  entry.set("max", 4);
+  Json buckets = Json::array();
+  for (std::size_t b = 0; b < obs::kHistogramBuckets + 1; ++b) {
+    buckets.push_back(1);
+  }
+  entry.set("buckets", std::move(buckets));
+  Json histograms = Json::object();
+  histograms.set("h.ns", std::move(entry));
+  Json doc = Json::object();
+  doc.set("histograms", std::move(histograms));
+  EXPECT_THROW(merge_metrics_json({doc}), std::runtime_error);
+}
+
 TEST(MetricsMerge, MalformedDocsAreRejected) {
   Json bad_section = Json::object();
   bad_section.set("counters", Json::array());

@@ -32,11 +32,14 @@ using silence::runner::Json;
 int usage(const char* argv0, int code) {
   std::fprintf(stderr,
                "usage: %s <baseline.json> <candidate.json> "
-               "[--tolerance FRAC]\n"
+               "[--tolerance FRAC] [--report FILE]\n"
                "  compares two results/BENCH_*.json files; exits 1 when\n"
                "  any benchmark or pipeline stage slowed down by more than\n"
                "  FRAC (default 0.10 = 10%%), or when an entry present in\n"
-               "  the baseline is missing from the candidate\n",
+               "  the baseline is missing from the candidate\n"
+               "  --report FILE  also write the comparison as machine-\n"
+               "  readable JSON (every compared metric, not just the\n"
+               "  out-of-tolerance ones)\n",
                argv0);
   return code;
 }
@@ -51,12 +54,34 @@ double number_field(const Json& entry, const char* key, double fallback) {
                                                 : fallback;
 }
 
+// One row of the machine-readable report: a compared metric, a baseline
+// entry missing from the candidate, or a candidate-only entry.
+struct ReportEntry {
+  std::string name;
+  std::string metric;      // empty for missing / candidate_only rows
+  double base = 0.0;
+  double cand = 0.0;
+  double ratio = 0.0;      // cand / base (0 when not comparable)
+  std::string status;      // ok | regression | improvement | missing |
+                           // candidate_only
+};
+
 struct Comparison {
   std::size_t compared = 0;
   std::size_t regressions = 0;
   std::size_t improvements = 0;
   std::size_t missing = 0;  // in baseline, absent from candidate: a failure
   std::size_t only_candidate = 0;
+  std::vector<ReportEntry> entries;
+
+  void add_missing(const std::string& name) {
+    ++missing;
+    entries.push_back({name, "", 0.0, 0.0, 0.0, "missing"});
+  }
+  void add_candidate_only(const std::string& name) {
+    ++only_candidate;
+    entries.push_back({name, "", 0.0, 0.0, 0.0, "candidate_only"});
+  }
 };
 
 // One metric of one entry. `higher_is_better` flips the regression
@@ -69,17 +94,21 @@ void compare_metric(const std::string& label, const char* metric,
   // Relative slowdown, positive = worse.
   const double slowdown = higher_is_better ? 1.0 - ratio : ratio - 1.0;
   ++summary.compared;
+  std::string status = "ok";
   if (slowdown > tolerance) {
+    status = "regression";
     ++summary.regressions;
     std::printf("REGRESSION  %-40s %-18s %12.4g -> %12.4g  (%+.1f%%)\n",
                 label.c_str(), metric, base, cand,
                 100.0 * (ratio - 1.0));
   } else if (slowdown < -tolerance) {
+    status = "improvement";
     ++summary.improvements;
     std::printf("improved    %-40s %-18s %12.4g -> %12.4g  (%+.1f%%)\n",
                 label.c_str(), metric, base, cand,
                 100.0 * (ratio - 1.0));
   }
+  summary.entries.push_back({label, metric, base, cand, ratio, status});
 }
 
 // "stages" is an array of google-benchmark runs keyed by "name".
@@ -93,7 +122,7 @@ void compare_benchmarks(const Json& base_root, const Json& cand_root,
     for (const Json& base_entry : base->as_array()) {
       const Json* name = field(base_entry, "name");
       if (name == nullptr || !name->is_string()) continue;
-      ++summary.missing;
+      summary.add_missing(name->as_string());
       std::printf("MISSING     benchmark %s absent from candidate\n",
                   name->as_string().c_str());
     }
@@ -115,7 +144,7 @@ void compare_benchmarks(const Json& base_root, const Json& cand_root,
     if (name == nullptr || !name->is_string()) continue;
     const Json* cand_entry = find_by_name(*cand, name->as_string());
     if (cand_entry == nullptr) {
-      ++summary.missing;
+      summary.add_missing(name->as_string());
       std::printf("MISSING     benchmark %s absent from candidate\n",
                   name->as_string().c_str());
       continue;
@@ -133,7 +162,7 @@ void compare_benchmarks(const Json& base_root, const Json& cand_root,
     const Json* name = field(cand_entry, "name");
     if (name == nullptr || !name->is_string()) continue;
     if (find_by_name(*base, name->as_string()) == nullptr) {
-      ++summary.only_candidate;
+      summary.add_candidate_only(name->as_string());
       std::printf("only in candidate: benchmark %s\n",
                   name->as_string().c_str());
     }
@@ -156,7 +185,7 @@ void compare_stage_throughput(const Json& base_root, const Json& cand_root,
   for (const auto& [stage, base_entry] : base->as_object()) {
     const Json* cand_entry = cand->find(stage);
     if (cand_entry == nullptr) {
-      ++summary.missing;
+      summary.add_missing("stage " + stage);
       std::printf("MISSING     stage %s absent from candidate\n",
                   stage.c_str());
       continue;
@@ -169,7 +198,7 @@ void compare_stage_throughput(const Json& base_root, const Json& cand_root,
   for (const auto& [stage, cand_entry] : cand->as_object()) {
     (void)cand_entry;
     if (base->find(stage) == nullptr) {
-      ++summary.only_candidate;
+      summary.add_candidate_only("stage " + stage);
       std::printf("only in candidate: stage %s\n", stage.c_str());
     }
   }
@@ -177,9 +206,46 @@ void compare_stage_throughput(const Json& base_root, const Json& cand_root,
 
 }  // namespace
 
+// The machine-readable comparison: what the console printout says, but
+// with every compared metric included so dashboards can plot ratios
+// that stayed inside tolerance too.
+Json report_json(const std::string& baseline, const std::string& candidate,
+                 double tolerance, const Comparison& summary, bool pass) {
+  Json root = Json::object();
+  root.set("schema_version", 1);
+  root.set("baseline", baseline);
+  root.set("candidate", candidate);
+  root.set("tolerance", tolerance);
+  root.set("pass", pass);
+  Json counts = Json::object();
+  counts.set("compared", static_cast<std::int64_t>(summary.compared));
+  counts.set("regressions", static_cast<std::int64_t>(summary.regressions));
+  counts.set("improvements", static_cast<std::int64_t>(summary.improvements));
+  counts.set("missing", static_cast<std::int64_t>(summary.missing));
+  counts.set("candidate_only",
+             static_cast<std::int64_t>(summary.only_candidate));
+  root.set("summary", std::move(counts));
+  Json entries = Json::array();
+  for (const ReportEntry& e : summary.entries) {
+    Json row = Json::object();
+    row.set("name", e.name);
+    row.set("status", e.status);
+    if (!e.metric.empty()) {
+      row.set("metric", e.metric);
+      row.set("base", e.base);
+      row.set("cand", e.cand);
+      row.set("ratio", e.ratio);
+    }
+    entries.push_back(std::move(row));
+  }
+  root.set("entries", std::move(entries));
+  return root;
+}
+
 int main(int argc, char** argv) {
   std::vector<std::string> paths;
   double tolerance = 0.10;
+  std::string report_path;
   for (int i = 1; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--help") || !std::strcmp(argv[i], "-h")) {
       return usage(argv[0], 0);
@@ -191,6 +257,9 @@ int main(int argc, char** argv) {
                      argv[0]);
         return 2;
       }
+    } else if (!std::strcmp(argv[i], "--report")) {
+      if (i + 1 >= argc) return usage(argv[0], 2);
+      report_path = argv[++i];
     } else {
       paths.emplace_back(argv[i]);
     }
@@ -218,10 +287,23 @@ int main(int argc, char** argv) {
       "%zu missing from candidate, %zu candidate-only\n",
       summary.compared, summary.regressions, summary.improvements,
       summary.missing, summary.only_candidate);
-  if (summary.compared == 0 && summary.missing == 0) {
+  const bool comparable = summary.compared > 0 || summary.missing > 0;
+  const bool pass = summary.regressions == 0 && summary.missing == 0;
+  if (!report_path.empty()) {
+    try {
+      silence::runner::write_json_file(
+          report_path,
+          report_json(paths[0], paths[1], tolerance, summary, pass));
+      std::printf("report written to %s\n", report_path.c_str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
+      return 2;
+    }
+  }
+  if (!comparable) {
     std::fprintf(stderr, "%s: nothing comparable between the two files\n",
                  argv[0]);
     return 2;
   }
-  return summary.regressions > 0 || summary.missing > 0 ? 1 : 0;
+  return pass ? 0 : 1;
 }

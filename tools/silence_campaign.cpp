@@ -31,6 +31,7 @@
 //
 // Exit status: 0 = campaign complete and dashboard written; 1 = a sweep
 // failed; 2 = usage/manifest error.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -118,6 +119,86 @@ std::string join(const std::vector<std::string>& argv) {
   return line;
 }
 
+// Exact quantile over a sorted sample list (linear interpolation between
+// order statistics) — mirrors fabric::Telemetry, so the campaign-level
+// attempt-duration quantiles are recomputed from the pooled samples
+// instead of averaging per-sweep percentiles.
+double quantile_of(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  if (sorted.size() == 1) return sorted.front();
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+// Rolls the per-sweep fabric .telemetry.json sidecars up into one
+// campaign-level view: event counts summed, attempt durations pooled
+// (quantiles recomputed), utilization weighted by each sweep's
+// workers × wall capacity.
+Json merge_fabric_telemetry(const std::vector<Json>& docs) {
+  std::int64_t shards = 0, dispatches = 0, completes = 0, retries = 0;
+  std::int64_t straggler_kills = 0, worker_failures = 0, artifact_rejects = 0;
+  std::int64_t max_workers = 0;
+  double wall = 0.0, busy = 0.0, capacity = 0.0;
+  std::vector<double> attempt_seconds;
+  const auto int_field = [](const Json& doc, const char* key) -> std::int64_t {
+    const Json* v = doc.find(key);
+    return v == nullptr ? 0 : v->as_int();
+  };
+  const auto dbl_field = [](const Json& doc, const char* key) -> double {
+    const Json* v = doc.find(key);
+    return v == nullptr ? 0.0 : v->as_double();
+  };
+  for (const Json& doc : docs) {
+    const std::int64_t workers = int_field(doc, "workers");
+    const double sweep_wall = dbl_field(doc, "wall_seconds");
+    max_workers = std::max(max_workers, workers);
+    shards += int_field(doc, "shards");
+    wall += sweep_wall;
+    capacity += static_cast<double>(workers) * sweep_wall;
+    const Json* summary = doc.find("summary");
+    if (summary == nullptr) continue;
+    dispatches += int_field(*summary, "dispatches");
+    completes += int_field(*summary, "completes");
+    retries += int_field(*summary, "retries");
+    straggler_kills += int_field(*summary, "straggler_kills");
+    worker_failures += int_field(*summary, "worker_failures");
+    artifact_rejects += int_field(*summary, "artifact_rejects");
+    busy += dbl_field(*summary, "busy_seconds");
+    if (const Json* list = summary->find("attempt_seconds_list")) {
+      for (const Json& s : list->as_array()) {
+        attempt_seconds.push_back(s.as_double());
+      }
+    }
+  }
+  std::sort(attempt_seconds.begin(), attempt_seconds.end());
+
+  Json out = Json::object();
+  out.set("sweeps", static_cast<std::int64_t>(docs.size()));
+  out.set("workers", max_workers);
+  out.set("shards", shards);
+  out.set("wall_seconds", wall);
+  out.set("dispatches", dispatches);
+  out.set("completes", completes);
+  out.set("retries", retries);
+  out.set("straggler_kills", straggler_kills);
+  out.set("worker_failures", worker_failures);
+  out.set("artifact_rejects", artifact_rejects);
+  out.set("busy_seconds", busy);
+  out.set("worker_utilization", capacity > 0.0 ? busy / capacity : 0.0);
+  Json quant = Json::object();
+  quant.set("count", static_cast<std::int64_t>(attempt_seconds.size()));
+  quant.set("min", attempt_seconds.empty() ? 0.0 : attempt_seconds.front());
+  quant.set("max", attempt_seconds.empty() ? 0.0 : attempt_seconds.back());
+  quant.set("p50", quantile_of(attempt_seconds, 0.50));
+  quant.set("p95", quantile_of(attempt_seconds, 0.95));
+  quant.set("p99", quantile_of(attempt_seconds, 0.99));
+  out.set("attempt_seconds", std::move(quant));
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -158,6 +239,7 @@ int main(int argc, char** argv) {
 
   Json dashboard_sweeps = Json::array();
   std::vector<Json> metric_docs;
+  std::vector<Json> telemetry_docs;
   double total_wall = 0.0;
   std::int64_t total_trials = 0;
 
@@ -213,6 +295,12 @@ int main(int argc, char** argv) {
       metric_docs.push_back(silence::runner::read_json_file(metrics_path));
       entry.set("metrics", metrics_path);
     }
+    const std::string telemetry_path =
+        silence::runner::telemetry_sidecar_path(sweep.json_path);
+    if (std::filesystem::exists(telemetry_path)) {
+      telemetry_docs.push_back(silence::runner::read_json_file(telemetry_path));
+      entry.set("telemetry", telemetry_path);
+    }
     dashboard_sweeps.push_back(std::move(entry));
   }
   if (dry_run) return 0;
@@ -233,6 +321,13 @@ int main(int argc, char** argv) {
   // run already merged).
   if (!metric_docs.empty()) {
     dashboard.set("metrics", silence::runner::merge_metrics_json(metric_docs));
+  }
+  // The fleet-health rollup from the supervisors' .telemetry.json
+  // sidecars: shard lifecycle counts (dispatch/retry/straggler-kill/
+  // complete), pooled attempt-duration quantiles, and worker-pool
+  // utilization across every fabric run of the campaign.
+  if (!telemetry_docs.empty()) {
+    dashboard.set("fabric_telemetry", merge_fabric_telemetry(telemetry_docs));
   }
   silence::runner::write_json_file(manifest.output, dashboard);
   std::printf("campaign dashboard written to %s (%zu sweep(s), %lld trials, "
