@@ -160,11 +160,17 @@ runner::SweepReport part_b(const bench::BenchArgs& args,
   report.threads = outcome.threads;
   report.wall_seconds = outcome.wall_seconds;
   report.trials_run = outcome.trials_run;
+  // Raw confusion totals (summed over every point) ride in the grid
+  // metadata so the .health.json detector counters can be cross-checked
+  // against the sweep's own tallies, count for count.
+  DetectionCounts totals;
   for (std::size_t i = 0; i < grid.points.size(); ++i) {
     const DetectionCounts& counts = outcome.point_results[i];
+    totals += counts;
     report.add_row({grid.points[i], counts.positive_rate(),
                     counts.negative_rate()});
   }
+  report.grid.set("confusion_totals", detection_to_json(totals));
   return report;
 }
 
@@ -239,13 +245,20 @@ runner::SweepReport part_c(const bench::BenchArgs& args,
   report.threads = outcome.threads;
   report.wall_seconds = outcome.wall_seconds;
   report.trials_run = outcome.trials_run;
+  // Both detector variants score the same packets, and both evaluations
+  // record into the health registry — so the cross-checkable total is
+  // their sum.
+  DetectionCounts totals;
   for (std::size_t i = 0; i < grid.points.size(); ++i) {
     const AdaptiveCounts& counts = outcome.point_results[i];
+    totals += counts.noise_margin;
+    totals += counts.midpoint;
     report.add_row({grid.points[i], counts.noise_margin.positive_rate(),
                     counts.noise_margin.negative_rate(),
                     counts.midpoint.positive_rate(),
                     counts.midpoint.negative_rate()});
   }
+  report.grid.set("confusion_totals", detection_to_json(totals));
   return report;
 }
 
@@ -326,11 +339,16 @@ runner::SweepReport part_d(const bench::BenchArgs& args,
   report.threads = outcome.threads;
   report.wall_seconds = outcome.wall_seconds;
   report.trials_run = outcome.trials_run;
+  // Interfered and clean runs of the same realization both record.
+  DetectionCounts totals;
   for (std::size_t i = 0; i < grid.points.size(); ++i) {
     const InterferenceCounts& counts = outcome.point_results[i];
+    totals += counts.interfered;
+    totals += counts.clean;
     report.add_row({grid.points[i], counts.interfered.negative_rate(),
                     counts.clean.negative_rate()});
   }
+  report.grid.set("confusion_totals", detection_to_json(totals));
   return report;
 }
 

@@ -5,7 +5,9 @@
 
 #include "core/interval_code.h"
 #include "obs/flight/flight.h"
+#include "obs/health/health.h"
 #include "obs/obs.h"
+#include "phy/modulation.h"
 
 namespace silence {
 
@@ -72,6 +74,9 @@ CosRxPacket cos_receive(std::span<const Cx> samples,
         mask_to_intervals(packet.detected_mask, config.control_subcarriers);
     packet.control_bits =
         intervals_to_bits_tolerant(intervals, config.bits_per_interval);
+    HEALTH_COUNT(kDecodeRounds);
+    HEALTH_COUNT_N(kIntervalsDetected, intervals.size());
+    HEALTH_COUNT_N(kBitsDecoded, packet.control_bits.size());
   }
   OBS_COUNT_N("cos.control_bits_recovered", packet.control_bits.size());
   std::size_t detected_silences = 0;
@@ -109,7 +114,31 @@ CosRxPacket cos_receive(std::span<const Cx> samples,
     packet.next_control_subcarriers = select_control_subcarriers(
         packet.evm, next, config.min_feedback_subcarriers,
         kNumDataSubcarriers, detectable);
+#if SILENCE_OBS_ON
+    // Health: post-CRC EVM waterfall plus the selection audit — how many
+    // subcarriers the detector could discriminate on, and how many were
+    // actually erroneous under the selection's own criterion (EVM above
+    // half the next modulation's minimum constellation distance).
+    const double half_dm = min_constellation_distance(next) / 2.0;
+    std::uint64_t n_detectable = 0;
+    std::uint64_t n_erroneous = 0;
+    for (int sc = 0; sc < kNumDataSubcarriers; ++sc) {
+      const double evm = packet.evm[static_cast<std::size_t>(sc)];
+      HEALTH_WATERFALL(kEvm, sc,
+                       obs::health::quantize(evm, obs::health::kEvmScale));
+      n_detectable += detectable[static_cast<std::size_t>(sc)] != 0;
+      n_erroneous += evm > half_dm;
+    }
+    HEALTH_COUNT(kSelectionRounds);
+    HEALTH_COUNT_N(kSubcarriersSelected,
+                   packet.next_control_subcarriers.size());
+    HEALTH_COUNT_N(kSubcarriersDetectable, n_detectable);
+    HEALTH_COUNT_N(kSubcarriersErroneous, n_erroneous);
+#endif
   }
+  // Sampled pid-3 counter tracks for armed traces; a relaxed-load no-op
+  // otherwise. Per received packet, like the sim/net layer hooks.
+  obs::health::maybe_trace_counters();
   return packet;
 }
 

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "obs/flight/flight.h"
+#include "obs/health/health.h"
 #include "obs/obs.h"
 #include "phy/modulation.h"
 #include "phy/ofdm.h"
@@ -47,8 +48,13 @@ double detection_threshold(const DetectorConfig& config,
 
 SilenceMask detect_silences(const FrontEndResult& fe,
                             std::span<const int> control_subcarriers,
-                            const DetectorConfig& config) {
+                            const DetectorConfig& config,
+                            DetectionScores* scores) {
   OBS_SPAN("cos.detect");
+  if (scores != nullptr) {
+    scores->clear();
+    scores->reserve(fe.data_bins.size() * control_subcarriers.size());
+  }
   const auto bins = data_subcarrier_bins();
   SilenceMask mask(fe.data_bins.size(),
                    std::vector<std::uint8_t>(kNumDataSubcarriers, 0));
@@ -77,6 +83,11 @@ SilenceMask detect_silences(const FrontEndResult& fe,
       // u = 1 when declared silent), one event per control cell.
       FLIGHT_EVENT("det.score", s, sc, e, thresholds[c],
                    e < thresholds[c] ? 1 : 0);
+      if (scores != nullptr) {
+        scores->push_back({static_cast<std::uint32_t>(s),
+                           static_cast<std::uint16_t>(sc),
+                           obs::health::quantize_score(e, thresholds[c])});
+      }
       if (e < thresholds[c]) {
         mask[s][static_cast<std::size_t>(sc)] = 1;
         ++detected;

@@ -20,6 +20,7 @@
 //    subcarrier is strong.
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -55,12 +56,26 @@ double detection_threshold(const DetectorConfig& config,
                            const std::array<Cx, kFftSize>& channel,
                            int subcarrier);
 
+// One detector evaluation: the control cell visited and its quantized
+// score (obs::health::quantize_score units — 1/256 of the threshold with
+// the decision folded in, so score < 256 iff the cell was declared
+// silent). Purely observational.
+struct DetectionScore {
+  std::uint32_t symbol;
+  std::uint16_t subcarrier;
+  std::uint64_t score_x256;
+};
+using DetectionScores = std::vector<DetectionScore>;
+
 // Scans every data symbol of the front end and flags control-subcarrier
 // positions whose bin energy falls below the threshold. Non-control
-// subcarriers are never flagged.
+// subcarriers are never flagged. When `scores` is non-null it is filled
+// with one entry per control cell in scan order (symbol-major); this
+// never alters the decisions.
 SilenceMask detect_silences(const FrontEndResult& fe,
                             std::span<const int> control_subcarriers,
-                            const DetectorConfig& config = {});
+                            const DetectorConfig& config = {},
+                            DetectionScores* scores = nullptr);
 
 // True when silence-vs-active discrimination is reliable on a subcarrier:
 // the weakest active symbol clears the detection threshold with headroom.

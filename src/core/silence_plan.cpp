@@ -4,6 +4,7 @@
 
 #include "core/interval_code.h"
 #include "obs/flight/flight.h"
+#include "obs/health/health.h"
 #include "obs/obs.h"
 #include "phy/params.h"
 
@@ -80,6 +81,10 @@ SilencePlan plan_silences(std::span<const std::uint8_t> control_bits,
   OBS_COUNT("cos.plans");
   OBS_COUNT_N("cos.silences_planned", plan.silence_count);
   OBS_COUNT_N("cos.control_bits_sent", plan.bits_sent);
+  HEALTH_COUNT(kPlans);
+  HEALTH_COUNT_N(kIntervalsPlanned, plan.intervals.size());
+  HEALTH_COUNT_N(kSilencesPlanned, plan.silence_count);
+  HEALTH_COUNT_N(kBitsPlanned, plan.bits_sent);
   return plan;
 }
 

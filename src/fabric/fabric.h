@@ -53,6 +53,7 @@
 #include "fabric/supervisor.h"
 #include "fabric/telemetry.h"
 #include "fabric/transport.h"
+#include "obs/health/health.h"
 #include "obs/obs.h"
 #include "runner/sinks.h"
 #include "runner/sweep.h"
@@ -167,6 +168,19 @@ class Fabric {
       runner::write_json_file(runner::telemetry_sidecar_path(json_path),
                               telemetry_.to_json());
     }
+    // Health sidecar, same shard-merge discipline as the metrics one.
+    // Every merged quantity is an integer sum, so the fabric file is
+    // byte-identical to the single-process run's.
+    std::vector<runner::Json> health_docs = worker_health_;
+    const obs::health::HealthSnapshot health =
+        obs::health::Registry::global().snapshot();
+    if (!health.empty()) {
+      health_docs.push_back(obs::health::health_json(health));
+    }
+    if (!health_docs.empty()) {
+      runner::write_json_file(runner::health_sidecar_path(json_path),
+                              obs::health::merge_health_json(health_docs));
+    }
   }
 
   const Telemetry& telemetry() const { return telemetry_; }
@@ -257,6 +271,12 @@ class Fabric {
       runner::write_json_file(runner::metrics_sidecar_path(config_.shard_out),
                               runner::metrics_json(snapshot));
     }
+    const obs::health::HealthSnapshot health =
+        obs::health::Registry::global().snapshot();
+    if (!health.empty()) {
+      runner::write_json_file(runner::health_sidecar_path(config_.shard_out),
+                              obs::health::health_json(health));
+    }
     write_shard_artifact(
         config_.shard_out,
         make_shard_artifact(spec, grid.base_seed, grid.points.size(), trials,
@@ -305,10 +325,15 @@ class Fabric {
                    &telemetry_);
 
     for (const ShardSpec& spec : plan) {
-      const std::string sidecar = runner::metrics_sidecar_path(
-          shard_artifact_path(config_.spool_dir, spec));
+      const std::string artifact =
+          shard_artifact_path(config_.spool_dir, spec);
+      const std::string sidecar = runner::metrics_sidecar_path(artifact);
       if (std::filesystem::exists(sidecar)) {
         worker_metrics_.push_back(runner::read_json_file(sidecar));
+      }
+      const std::string health = runner::health_sidecar_path(artifact);
+      if (std::filesystem::exists(health)) {
+        worker_health_.push_back(runner::read_json_file(health));
       }
     }
 
@@ -341,6 +366,7 @@ class Fabric {
   FabricConfig config_;
   bool worker_satisfied_ = false;
   std::vector<runner::Json> worker_metrics_;
+  std::vector<runner::Json> worker_health_;
   Telemetry telemetry_;
 };
 

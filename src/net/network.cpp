@@ -18,6 +18,7 @@
 #include "net/station.h"
 #include "net/timeline.h"
 #include "obs/flight/flight.h"
+#include "obs/health/health.h"
 #include "obs/obs.h"
 
 namespace silence::net {
@@ -75,7 +76,11 @@ NetResult run_scenario(const Scenario& scenario, std::uint64_t seed) {
   // previous exchange ends (or at t = 0) and waits until its winning TX
   // starts; collisions lengthen the wait, they don't reset it.
   Timeline timeline(stations.size());
-  StationMetrics sta_metrics(stations.size());
+  StationMetrics sta_metrics(
+      stations.size(),
+      scenario.metrics_station_cap > 0
+          ? static_cast<std::size_t>(scenario.metrics_station_cap)
+          : StationMetrics::kDefaultCap);
   std::vector<double> hol_since(stations.size(), 0.0);
   std::vector<double> last_tx_start(stations.size(), -1.0);
 
@@ -204,6 +209,7 @@ NetResult run_scenario(const Scenario& scenario, std::uint64_t seed) {
     OBS_HIST("net.sta.tx_rounds", stats.tx_rounds);
     result.stations.push_back(stats);
   }
+  obs::health::maybe_trace_counters();
   return result;
 }
 

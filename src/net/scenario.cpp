@@ -46,6 +46,8 @@ runner::Json Scenario::to_json() const {
     root.set("fixed_rate_mbps", nullptr);
   }
   root.set("use_selection_feedback", use_selection_feedback);
+  root.set("metrics_station_cap",
+           static_cast<std::int64_t>(metrics_station_cap));
   return root;
 }
 
@@ -77,6 +79,8 @@ Scenario Scenario::from_json(const runner::Json& json) {
   }
   sc.use_selection_feedback =
       require(json, "use_selection_feedback").as_bool();
+  sc.metrics_station_cap =
+      static_cast<int>(require(json, "metrics_station_cap").as_int());
   return sc;
 }
 

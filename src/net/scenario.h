@@ -58,6 +58,11 @@ struct Scenario {
   // Whether receiver EVM selection feedback steers each session's
   // control subcarriers (the paper's design).
   bool use_selection_feedback = true;
+  // Stations tracked with their own net.sta.NN.* registry metrics;
+  // stations past the cap fold into net.sta.overflow.* (timeline.h).
+  // Bounds the obs registry's fixed histogram capacity, not the
+  // simulation itself.
+  int metrics_station_cap = 64;
 
   // Strict-JSON round trip: from_json(to_json(s)) == s.
   runner::Json to_json() const;

@@ -72,55 +72,89 @@ class Timeline {
   std::vector<std::uint32_t> sta_;
 };
 
-// Per-station registry metrics, interned once per scenario. Capped at
-// kMaxTracked stations so huge future scenarios cannot exhaust the
-// registry's fixed histogram/counter capacity — past the cap only the
-// aggregate net.sta.* histograms are recorded.
+// Per-station registry metrics, interned once per scenario. Stations up
+// to the configurable cap (Scenario::metrics_station_cap; default
+// kDefaultCap) get their own net.sta.NN.* family; stations past the cap
+// fold into the shared net.sta.overflow.* family instead of being
+// dropped, so totals stay complete while the registry's fixed histogram
+// capacity (obs::kMaxHistograms) stays bounded: a cap of C interns at
+// most 3*C + 3 histograms and C + 1 counters.
 class StationMetrics {
  public:
-  static constexpr std::size_t kMaxTracked = 64;
+  static constexpr std::size_t kDefaultCap = 64;
 
-  explicit StationMetrics(std::size_t num_stations) {
-    if (num_stations > kMaxTracked) return;
+  explicit StationMetrics(std::size_t num_stations,
+                          std::size_t cap = kDefaultCap) {
     auto& reg = obs::Registry::global();
-    hol_.reserve(num_stations);
-    gap_.reserve(num_stations);
-    bits_.reserve(num_stations);
-    coll_.reserve(num_stations);
-    for (std::size_t i = 0; i < num_stations; ++i) {
-      const std::string base = "net.sta." + station_label(i);
+    const std::size_t tracked = num_stations < cap ? num_stations : cap;
+    const int width = label_width(cap);
+    hol_.reserve(tracked);
+    gap_.reserve(tracked);
+    bits_.reserve(tracked);
+    coll_.reserve(tracked);
+    for (std::size_t i = 0; i < tracked; ++i) {
+      const std::string base = "net.sta." + station_label(i, width);
       hol_.push_back(reg.histogram_id(base + ".hol_wait_slots"));
       gap_.push_back(reg.histogram_id(base + ".inter_tx_gap_slots"));
       bits_.push_back(reg.histogram_id(base + ".tx_data_bits"));
       coll_.push_back(reg.counter_id(base + ".collisions"));
     }
+    // Overflow family interned only when the cap is actually exceeded,
+    // so sub-cap runs keep their exact per-station metric inventory.
+    if (num_stations > tracked) {
+      overflow_ = true;
+      over_hol_ = reg.histogram_id("net.sta.overflow.hol_wait_slots");
+      over_gap_ = reg.histogram_id("net.sta.overflow.inter_tx_gap_slots");
+      over_bits_ = reg.histogram_id("net.sta.overflow.tx_data_bits");
+      over_coll_ = reg.counter_id("net.sta.overflow.collisions");
+    }
   }
 
-  // Zero-padded two-digit station index: stable lexicographic order in
-  // sorted snapshots ("net.sta.02" < "net.sta.10").
-  static std::string station_label(std::size_t i) {
-    char buf[24];
-    std::snprintf(buf, sizeof(buf), "%02zu", i);
-    return buf;
+  // Zero-pad width for station indices under `cap`: the digit count of
+  // the largest index, floored at 2 for compatibility with the historic
+  // "%02zu" labels ("net.sta.02" < "net.sta.10" lexicographically).
+  static int label_width(std::size_t cap) {
+    int width = 1;
+    for (std::size_t v = cap > 0 ? cap - 1 : 0; v >= 10; v /= 10) ++width;
+    return width < 2 ? 2 : width;
+  }
+
+  // Zero-padded station index at the given width.
+  static std::string station_label(std::size_t i, int width = 2) {
+    std::string label = std::to_string(i);
+    if (label.size() < static_cast<std::size_t>(width)) {
+      label.insert(0, static_cast<std::size_t>(width) - label.size(), '0');
+    }
+    return label;
   }
 
   void hol_wait(std::size_t i, std::uint64_t slots) {
     if (i < hol_.size()) {
       obs::Registry::global().histogram_record(hol_[i], slots);
+    } else if (overflow_) {
+      obs::Registry::global().histogram_record(over_hol_, slots);
     }
   }
   void tx_gap(std::size_t i, std::uint64_t slots) {
     if (i < gap_.size()) {
       obs::Registry::global().histogram_record(gap_[i], slots);
+    } else if (overflow_) {
+      obs::Registry::global().histogram_record(over_gap_, slots);
     }
   }
   void tx_data_bits(std::size_t i, std::uint64_t bits) {
     if (i < bits_.size()) {
       obs::Registry::global().histogram_record(bits_[i], bits);
+    } else if (overflow_) {
+      obs::Registry::global().histogram_record(over_bits_, bits);
     }
   }
   void collision(std::size_t i) {
-    if (i < coll_.size()) obs::Registry::global().counter_add(coll_[i], 1);
+    if (i < coll_.size()) {
+      obs::Registry::global().counter_add(coll_[i], 1);
+    } else if (overflow_) {
+      obs::Registry::global().counter_add(over_coll_, 1);
+    }
   }
 
  private:
@@ -128,6 +162,11 @@ class StationMetrics {
   std::vector<std::uint32_t> gap_;
   std::vector<std::uint32_t> bits_;
   std::vector<std::uint32_t> coll_;
+  bool overflow_ = false;
+  std::uint32_t over_hol_ = 0;
+  std::uint32_t over_gap_ = 0;
+  std::uint32_t over_bits_ = 0;
+  std::uint32_t over_coll_ = 0;
 };
 
 #else  // SILENCE_OBS_ON
@@ -145,12 +184,19 @@ class Timeline {
 
 class StationMetrics {
  public:
-  static constexpr std::size_t kMaxTracked = 64;
-  explicit StationMetrics(std::size_t) {}
-  static std::string station_label(std::size_t i) {
-    char buf[24];
-    std::snprintf(buf, sizeof(buf), "%02zu", i);
-    return buf;
+  static constexpr std::size_t kDefaultCap = 64;
+  explicit StationMetrics(std::size_t, std::size_t = kDefaultCap) {}
+  static int label_width(std::size_t cap) {
+    int width = 1;
+    for (std::size_t v = cap > 0 ? cap - 1 : 0; v >= 10; v /= 10) ++width;
+    return width < 2 ? 2 : width;
+  }
+  static std::string station_label(std::size_t i, int width = 2) {
+    std::string label = std::to_string(i);
+    if (label.size() < static_cast<std::size_t>(width)) {
+      label.insert(0, static_cast<std::size_t>(width) - label.size(), '0');
+    }
+    return label;
   }
   void hol_wait(std::size_t, std::uint64_t) {}
   void tx_gap(std::size_t, std::uint64_t) {}

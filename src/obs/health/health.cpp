@@ -1,0 +1,427 @@
+#include "obs/health/health.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "obs/trace.h"
+
+namespace silence::obs::health {
+namespace {
+
+// Single-writer cells, same discipline as the metrics registry: plain
+// load+store beats fetch_add and is still tear-free for snapshot readers.
+inline void cell_add(std::atomic<std::uint64_t>& cell, std::uint64_t delta) {
+  cell.store(cell.load(std::memory_order_relaxed) + delta,
+             std::memory_order_relaxed);
+}
+
+constexpr std::size_t kNumCounters = static_cast<std::size_t>(Counter::kCount);
+constexpr std::size_t kNumWaterfalls =
+    static_cast<std::size_t>(Waterfall::kCount);
+constexpr std::size_t kNumTruths = static_cast<std::size_t>(Truth::kCount);
+
+constexpr const char* kCounterNames[kNumCounters] = {
+    "plan.calls",
+    "plan.intervals",
+    "plan.silences",
+    "plan.bits",
+    "decode.rounds",
+    "decode.intervals",
+    "decode.bits",
+    "select.rounds",
+    "select.selected",
+    "select.detectable",
+    "select.erroneous",
+    "detector.truth_active",
+    "detector.truth_silent",
+    "detector.false_alarms",
+    "detector.misses",
+};
+
+constexpr const char* kWaterfallNames[kNumWaterfalls] = {
+    "snr_x256",
+    "evm_x4096",
+    "chan_mag_x1024",
+};
+
+constexpr const char* kTruthNames[kNumTruths] = {"active", "silent"};
+
+const runner::Json& require(const runner::Json& json, std::string_view key) {
+  const runner::Json* value = json.find(key);
+  if (value == nullptr) {
+    throw std::runtime_error("health: missing field '" + std::string(key) +
+                             "'");
+  }
+  return *value;
+}
+
+runner::Json hist_json(const HealthHist& h) {
+  runner::Json root = runner::Json::object();
+  root.set("count", static_cast<std::int64_t>(h.count));
+  root.set("sum", static_cast<std::int64_t>(h.sum));
+  root.set("min", static_cast<std::int64_t>(h.min));
+  root.set("max", static_cast<std::int64_t>(h.max));
+  std::size_t last = h.buckets.size();
+  while (last > 0 && h.buckets[last - 1] == 0) --last;
+  runner::Json tallies = runner::Json::array();
+  for (std::size_t b = 0; b < last; ++b) {
+    tallies.push_back(static_cast<std::int64_t>(h.buckets[b]));
+  }
+  root.set("buckets", std::move(tallies));
+  return root;
+}
+
+HealthHist hist_from_json(const runner::Json& json) {
+  HealthHist h;
+  h.count = static_cast<std::uint64_t>(require(json, "count").as_int());
+  h.sum = static_cast<std::uint64_t>(require(json, "sum").as_int());
+  h.min = static_cast<std::uint64_t>(require(json, "min").as_int());
+  h.max = static_cast<std::uint64_t>(require(json, "max").as_int());
+  const runner::Json& tallies = require(json, "buckets");
+  if (!tallies.is_array() || tallies.size() > kHistogramBuckets) {
+    throw std::runtime_error("health: malformed histogram buckets");
+  }
+  for (std::size_t b = 0; b < tallies.size(); ++b) {
+    h.buckets[b] =
+        static_cast<std::uint64_t>(tallies.as_array()[b].as_int());
+  }
+  return h;
+}
+
+runner::Json hist_row_json(const std::array<HealthHist, kSubcarriers>& row) {
+  runner::Json cells = runner::Json::array();
+  for (const HealthHist& h : row) cells.push_back(hist_json(h));
+  return cells;
+}
+
+void hist_row_from_json(const runner::Json& cells,
+                        std::array<HealthHist, kSubcarriers>& row) {
+  if (!cells.is_array() || cells.size() != kSubcarriers) {
+    throw std::runtime_error("health: subcarrier row must have 48 cells");
+  }
+  for (std::size_t i = 0; i < kSubcarriers; ++i) {
+    row[i] = hist_from_json(cells.as_array()[i]);
+  }
+}
+
+}  // namespace
+
+const char* counter_name(Counter c) {
+  return kCounterNames[static_cast<std::size_t>(c)];
+}
+
+const char* waterfall_name(Waterfall w) {
+  return kWaterfallNames[static_cast<std::size_t>(w)];
+}
+
+const char* truth_name(Truth t) {
+  return kTruthNames[static_cast<std::size_t>(t)];
+}
+
+HealthHist& HealthHist::operator+=(const HealthHist& o) {
+  if (o.count == 0) return *this;
+  if (count == 0 || o.min < min) min = o.min;
+  if (count == 0 || o.max > max) max = o.max;
+  count += o.count;
+  sum += o.sum;
+  for (std::size_t b = 0; b < buckets.size(); ++b) buckets[b] += o.buckets[b];
+  return *this;
+}
+
+bool HealthSnapshot::empty() const {
+  for (const std::uint64_t c : counters) {
+    if (c != 0) return false;
+  }
+  for (const auto& kind : waterfalls) {
+    for (const HealthHist& h : kind) {
+      if (h.count != 0) return false;
+    }
+  }
+  for (const auto& truth : scores) {
+    for (const HealthHist& h : truth) {
+      if (h.count != 0) return false;
+    }
+  }
+  return nabla_evm.count == 0;
+}
+
+HealthSnapshot& HealthSnapshot::operator+=(const HealthSnapshot& o) {
+  for (std::size_t i = 0; i < counters.size(); ++i) counters[i] += o.counters[i];
+  for (std::size_t w = 0; w < waterfalls.size(); ++w) {
+    for (std::size_t s = 0; s < kSubcarriers; ++s) {
+      waterfalls[w][s] += o.waterfalls[w][s];
+    }
+  }
+  for (std::size_t t = 0; t < scores.size(); ++t) {
+    for (std::size_t s = 0; s < kSubcarriers; ++s) {
+      scores[t][s] += o.scores[t][s];
+    }
+  }
+  nabla_evm += o.nabla_evm;
+  return *this;
+}
+
+Registry& Registry::global() {
+  static Registry* instance = new Registry();  // leaked, like the metrics
+  return *instance;                            // registry
+}
+
+// Ties a pooled block to one thread's lifetime; returned to the free
+// list on thread exit so totals survive thread death and memory stays
+// bounded at O(peak concurrent threads).
+struct HealthBlockLease {
+  Registry* registry = nullptr;
+  Registry::ThreadBlock* block = nullptr;
+
+  Registry::ThreadBlock& acquire(Registry& reg) {
+    if (block == nullptr) {
+      registry = &reg;
+      std::lock_guard lock(reg.mutex_);
+      if (!reg.free_blocks_.empty()) {
+        block = reg.free_blocks_.back();
+        reg.free_blocks_.pop_back();
+      } else {
+        block = &reg.blocks_.emplace_back();
+      }
+    }
+    return *block;
+  }
+
+  ~HealthBlockLease() {
+    if (block != nullptr) {
+      std::lock_guard lock(registry->mutex_);
+      registry->free_blocks_.push_back(block);
+    }
+  }
+};
+
+Registry::ThreadBlock& Registry::local_block() {
+  thread_local HealthBlockLease lease;
+  return lease.acquire(*this);
+}
+
+void Registry::record_cell(HistCells& cell, std::uint64_t value) {
+  const std::uint64_t count = cell.count.load(std::memory_order_relaxed);
+  if (count == 0 || value < cell.min.load(std::memory_order_relaxed)) {
+    cell.min.store(value, std::memory_order_relaxed);
+  }
+  if (count == 0 || value > cell.max.load(std::memory_order_relaxed)) {
+    cell.max.store(value, std::memory_order_relaxed);
+  }
+  cell.count.store(count + 1, std::memory_order_relaxed);
+  cell_add(cell.sum, value);
+  cell_add(cell.buckets[histogram_bucket(value)], 1);
+}
+
+void Registry::count(Counter c, std::uint64_t delta) {
+  cell_add(local_block().counters[static_cast<std::size_t>(c)], delta);
+}
+
+void Registry::waterfall(Waterfall kind, std::size_t subcarrier,
+                         std::uint64_t value) {
+  if (subcarrier >= kSubcarriers) return;
+  record_cell(
+      local_block().waterfalls[static_cast<std::size_t>(kind)][subcarrier],
+      value);
+}
+
+void Registry::score(Truth truth, std::size_t subcarrier,
+                     std::uint64_t value) {
+  if (subcarrier >= kSubcarriers) return;
+  record_cell(local_block().scores[static_cast<std::size_t>(truth)][subcarrier],
+              value);
+}
+
+void Registry::record_nabla_evm(std::uint64_t value) {
+  record_cell(local_block().nabla_evm, value);
+}
+
+HealthSnapshot Registry::snapshot() const {
+  std::lock_guard lock(mutex_);
+  HealthSnapshot snap;
+  const auto merge_cell = [](HealthHist& into, const HistCells& cells) {
+    const std::uint64_t count = cells.count.load(std::memory_order_relaxed);
+    if (count == 0) return;
+    const std::uint64_t mn = cells.min.load(std::memory_order_relaxed);
+    const std::uint64_t mx = cells.max.load(std::memory_order_relaxed);
+    if (into.count == 0 || mn < into.min) into.min = mn;
+    if (into.count == 0 || mx > into.max) into.max = mx;
+    into.count += count;
+    into.sum += cells.sum.load(std::memory_order_relaxed);
+    for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+      into.buckets[b] += cells.buckets[b].load(std::memory_order_relaxed);
+    }
+  };
+  for (const ThreadBlock& block : blocks_) {
+    for (std::size_t i = 0; i < kNumCounters; ++i) {
+      snap.counters[i] += block.counters[i].load(std::memory_order_relaxed);
+    }
+    for (std::size_t w = 0; w < kNumWaterfalls; ++w) {
+      for (std::size_t s = 0; s < kSubcarriers; ++s) {
+        merge_cell(snap.waterfalls[w][s], block.waterfalls[w][s]);
+      }
+    }
+    for (std::size_t t = 0; t < kNumTruths; ++t) {
+      for (std::size_t s = 0; s < kSubcarriers; ++s) {
+        merge_cell(snap.scores[t][s], block.scores[t][s]);
+      }
+    }
+    merge_cell(snap.nabla_evm, block.nabla_evm);
+  }
+  return snap;
+}
+
+void Registry::reset() {
+  std::lock_guard lock(mutex_);
+  const auto clear_cell = [](HistCells& cell) {
+    cell.count.store(0, std::memory_order_relaxed);
+    cell.sum.store(0, std::memory_order_relaxed);
+    cell.min.store(0, std::memory_order_relaxed);
+    cell.max.store(0, std::memory_order_relaxed);
+    for (auto& b : cell.buckets) b.store(0, std::memory_order_relaxed);
+  };
+  for (ThreadBlock& block : blocks_) {
+    for (auto& c : block.counters) c.store(0, std::memory_order_relaxed);
+    for (auto& kind : block.waterfalls) {
+      for (auto& cell : kind) clear_cell(cell);
+    }
+    for (auto& truth : block.scores) {
+      for (auto& cell : truth) clear_cell(cell);
+    }
+    clear_cell(block.nabla_evm);
+  }
+}
+
+std::uint64_t quantize(double value, double scale) {
+  if (!(value > 0.0)) return 0;  // negatives and NaN quantize to 0
+  const double scaled = value * scale;
+  // Cap below 2^53 so quantized values survive a double-typed JSON
+  // round trip exactly.
+  constexpr double kCap = 4503599627370496.0;  // 2^52
+  if (!(scaled < kCap)) return static_cast<std::uint64_t>(kCap);
+  return static_cast<std::uint64_t>(scaled);
+}
+
+std::uint64_t quantize_score(double energy, double threshold) {
+  std::uint64_t q = 0;
+  if (threshold > 0.0) {
+    q = quantize(energy / threshold, kScoreScale);
+  } else if (energy > 0.0) {
+    q = std::uint64_t{1} << 52;
+  }
+  // Fold the detector's decision into the quantization so the histogram
+  // boundary at 256 reproduces the mask-derived counts exactly, immune
+  // to the floating-point edge where energy/threshold rounds across it.
+  if (energy < threshold) {
+    if (q >= kScoreThreshold) q = kScoreThreshold - 1;
+  } else if (q < kScoreThreshold) {
+    q = kScoreThreshold;
+  }
+  return q;
+}
+
+runner::Json health_json(const HealthSnapshot& snapshot) {
+  runner::Json root = runner::Json::object();
+  root.set("schema", "cos.health.v1");
+  runner::Json counters = runner::Json::object();
+  for (std::size_t i = 0; i < kNumCounters; ++i) {
+    counters.set(kCounterNames[i],
+                 static_cast<std::int64_t>(snapshot.counters[i]));
+  }
+  root.set("counters", std::move(counters));
+  runner::Json waterfalls = runner::Json::object();
+  for (std::size_t w = 0; w < kNumWaterfalls; ++w) {
+    runner::Json kind = runner::Json::object();
+    kind.set("subcarriers", hist_row_json(snapshot.waterfalls[w]));
+    waterfalls.set(kWaterfallNames[w], std::move(kind));
+  }
+  root.set("waterfalls", std::move(waterfalls));
+  runner::Json detector = runner::Json::object();
+  detector.set("scale", static_cast<std::int64_t>(kScoreScale));
+  detector.set("threshold_score", static_cast<std::int64_t>(kScoreThreshold));
+  for (std::size_t t = 0; t < kNumTruths; ++t) {
+    detector.set(kTruthNames[t], hist_row_json(snapshot.scores[t]));
+  }
+  root.set("detector", std::move(detector));
+  root.set("nabla_evm_x4096", hist_json(snapshot.nabla_evm));
+  return root;
+}
+
+HealthSnapshot health_from_json(const runner::Json& doc) {
+  const runner::Json& schema = require(doc, "schema");
+  if (schema.as_string() != "cos.health.v1") {
+    throw std::runtime_error("health: unsupported schema '" +
+                             schema.as_string() + "'");
+  }
+  HealthSnapshot snap;
+  const runner::Json& counters = require(doc, "counters");
+  for (std::size_t i = 0; i < kNumCounters; ++i) {
+    snap.counters[i] =
+        static_cast<std::uint64_t>(require(counters, kCounterNames[i]).as_int());
+  }
+  const runner::Json& waterfalls = require(doc, "waterfalls");
+  for (std::size_t w = 0; w < kNumWaterfalls; ++w) {
+    const runner::Json& kind = require(waterfalls, kWaterfallNames[w]);
+    hist_row_from_json(require(kind, "subcarriers"), snap.waterfalls[w]);
+  }
+  const runner::Json& detector = require(doc, "detector");
+  for (std::size_t t = 0; t < kNumTruths; ++t) {
+    hist_row_from_json(require(detector, kTruthNames[t]), snap.scores[t]);
+  }
+  snap.nabla_evm = hist_from_json(require(doc, "nabla_evm_x4096"));
+  return snap;
+}
+
+runner::Json merge_health_json(const std::vector<runner::Json>& docs) {
+  HealthSnapshot merged;
+  for (const runner::Json& doc : docs) merged += health_from_json(doc);
+  return health_json(merged);
+}
+
+void maybe_trace_counters() {
+  auto& tracer = Tracer::global();
+  if (!tracer.active()) return;
+  static std::atomic<std::uint64_t> calls{0};
+  if (calls.fetch_add(1, std::memory_order_relaxed) % kTraceSampleEvery != 0) {
+    return;
+  }
+  const HealthSnapshot snap = Registry::global().snapshot();
+  std::uint64_t evm_count = 0, evm_sum = 0;
+  for (const HealthHist& h :
+       snap.waterfalls[static_cast<std::size_t>(Waterfall::kEvm)]) {
+    evm_count += h.count;
+    evm_sum += h.sum;
+  }
+  if (evm_count > 0) {
+    tracer.counter("health.mean_evm", static_cast<double>(evm_sum) /
+                                          static_cast<double>(evm_count) /
+                                          kEvmScale);
+  }
+  std::uint64_t score_count = 0, score_sum = 0;
+  for (const auto& truth : snap.scores) {
+    for (const HealthHist& h : truth) {
+      score_count += h.count;
+      score_sum += h.sum;
+    }
+  }
+  if (score_count > 0) {
+    // Mean energy/threshold ratio across all detector evaluations: the
+    // margin the score stream sits at relative to the decision boundary.
+    tracer.counter("health.detector_margin",
+                   static_cast<double>(score_sum) /
+                       static_cast<double>(score_count) / kScoreScale);
+  }
+  const std::uint64_t rounds =
+      snap.counters[static_cast<std::size_t>(Counter::kSelectionRounds)];
+  if (rounds > 0) {
+    tracer.counter(
+        "health.selected_subcarriers",
+        static_cast<double>(
+            snap.counters[static_cast<std::size_t>(
+                Counter::kSubcarriersSelected)]) /
+            static_cast<double>(rounds));
+  }
+}
+
+}  // namespace silence::obs::health

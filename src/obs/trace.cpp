@@ -8,6 +8,7 @@
 #include <stdexcept>
 
 #include "obs/metrics.h"
+#include "runner/json.h"
 
 namespace silence::obs {
 namespace {
@@ -41,6 +42,7 @@ void Tracer::start() {
   events_.clear();
   sim_events_.clear();
   sim_tracks_.clear();
+  counter_events_.clear();
   sim_claimed_.store(false, std::memory_order_relaxed);
   dropped_ = 0;
   t0_ = now_ns();
@@ -120,6 +122,22 @@ std::size_t Tracer::sim_event_count() const {
   return sim_events_.size();
 }
 
+void Tracer::counter(const char* name, double value) {
+  if (!active()) return;
+  const std::uint64_t ts = now_ns() - t0_;
+  std::lock_guard lock(mutex_);
+  if (counter_events_.size() >= kMaxTraceEvents) {
+    ++dropped_;
+    return;
+  }
+  counter_events_.push_back({name, value, ts});
+}
+
+std::size_t Tracer::counter_count() const {
+  std::lock_guard lock(mutex_);
+  return counter_events_.size();
+}
+
 std::size_t Tracer::dropped() const {
   std::lock_guard lock(mutex_);
   return dropped_;
@@ -130,12 +148,14 @@ std::string Tracer::to_json() {
   std::vector<Event> events;
   std::vector<SimEvent> sim_events;
   std::vector<std::string> sim_tracks;
+  std::vector<CounterEvent> counter_events;
   std::size_t dropped = 0;
   {
     std::lock_guard lock(mutex_);
     events = events_;
     sim_events = sim_events_;
     sim_tracks = sim_tracks_;
+    counter_events = counter_events_;
     dropped = dropped_;
   }
   // Buffer order is real-time lock-acquisition order, so a stable sort
@@ -262,6 +282,25 @@ std::string Tracer::to_json() {
     if (e.phase == 'i') out += ", \"s\": \"t\"";
     if (!e.args.empty()) out += ", \"args\": " + e.args;
     out += "}";
+  }
+  if (!counter_events.empty()) {
+    std::stable_sort(counter_events.begin(), counter_events.end(),
+                     [](const CounterEvent& a, const CounterEvent& b) {
+                       return a.ts < b.ts;
+                     });
+    sep();
+    out +=
+        "    {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 3, "
+        "\"tid\": 0, \"args\": {\"name\": \"phy-health\"}}";
+    for (const CounterEvent& e : counter_events) {
+      sep();
+      out += "    {\"name\": \"";
+      out += e.name;
+      out += "\", \"cat\": \"health\", \"ph\": \"C\", \"pid\": 3, "
+             "\"tid\": 0, \"ts\": ";
+      append_ts_us(out, e.ts);
+      out += ", \"args\": {\"value\": " + runner::format_double(e.value) + "}}";
+    }
   }
   out += first ? "],\n" : "\n  ],\n";
   out += "  \"metrics\": ";

@@ -74,6 +74,17 @@ class Tracer {
 
   std::size_t sim_event_count() const;
 
+  // --- PHY-health counter tracks ------------------------------------
+  //
+  // Sampled scalar series (mean EVM, detector margin, ...) rendered as
+  // Chrome "C" counter events under a third trace process (pid 3,
+  // "phy-health"). Wall-clock timestamps; diagnostic only, never part
+  // of the determinism contract. `name` must have static storage
+  // duration. No-op when the tracer is inactive.
+  void counter(const char* name, double value);
+
+  std::size_t counter_count() const;
+
   // Stops capturing and renders the trace: events sorted by timestamp
   // (ties keep buffer order, so per-thread nesting is preserved), spans
   // still open at render time closed with synthetic E events, metrics
@@ -97,6 +108,11 @@ class Tracer {
     std::uint32_t tid;
     char phase;  // 'B', 'E' or 'i'
   };
+  struct CounterEvent {
+    const char* name;
+    double value;
+    std::uint64_t ts;  // ns since start()
+  };
 
   Tracer() = default;
   void push(char phase, const char* name);
@@ -112,6 +128,7 @@ class Tracer {
   std::atomic<bool> sim_claimed_{false};
   std::vector<std::string> sim_tracks_;  // index + 1 == tid under pid 2
   std::vector<SimEvent> sim_events_;
+  std::vector<CounterEvent> counter_events_;
 };
 
 }  // namespace silence::obs

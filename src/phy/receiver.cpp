@@ -5,6 +5,7 @@
 
 #include "common/crc32.h"
 #include "obs/flight/flight.h"
+#include "obs/health/health.h"
 #include "obs/obs.h"
 #include "phy/convolutional.h"
 #include "phy/interleaver.h"
@@ -161,16 +162,26 @@ FrontEndResult receiver_front_end(std::span<const Cx> raw_samples,
   OBS_COUNT_N("phy.rx.symbols", n_sym);
 
 #if SILENCE_OBS_ON
-  // Flight: the channel estimate the whole decode runs on (a = |H|^2 per
+  // Health waterfalls (every packet) and, when a flight recording is
+  // active, the channel estimate the whole decode runs on (a = |H|^2 per
   // logical data subcarrier, b = the resulting bin SNR).
-  if (obs::flight::TrialRecording::active() != nullptr) {
+  {
+    const bool flight_on = obs::flight::TrialRecording::active() != nullptr;
     const auto dbins = data_subcarrier_bins();
     for (int i = 0; i < kNumDataSubcarriers; ++i) {
       const double h2 = std::norm(
           fe.channel[static_cast<std::size_t>(
               dbins[static_cast<std::size_t>(i)])]);
-      FLIGHT_EVENT("rx.csi", obs::flight::kNoIndex, i, h2,
-                   h2 / fe.noise_var, 0);
+      HEALTH_WATERFALL(
+          kSnr, i,
+          obs::health::quantize(h2 / fe.noise_var, obs::health::kSnrScale));
+      HEALTH_WATERFALL(
+          kChanMag, i,
+          obs::health::quantize(std::sqrt(h2), obs::health::kChanScale));
+      if (flight_on) {
+        FLIGHT_EVENT("rx.csi", obs::flight::kNoIndex, i, h2,
+                     h2 / fe.noise_var, 0);
+      }
     }
   }
 #endif

@@ -9,6 +9,8 @@
 #include <stdexcept>
 #include <variant>
 
+#include "obs/health/health.h"
+
 namespace silence::runner {
 
 namespace {
@@ -107,6 +109,14 @@ std::string telemetry_sidecar_path(const std::string& json_path) {
     path.resize(path.size() - 5);
   }
   return path + ".telemetry.json";
+}
+
+std::string health_sidecar_path(const std::string& json_path) {
+  std::string path = json_path;
+  if (path.size() >= 5 && path.compare(path.size() - 5, 5, ".json") == 0) {
+    path.resize(path.size() - 5);
+  }
+  return path + ".health.json";
 }
 
 Json metrics_json(const obs::MetricsSnapshot& snapshot) {
@@ -236,6 +246,15 @@ void JsonSink::write(const SweepReport& report) {
   const obs::MetricsSnapshot snapshot = obs::Registry::global().snapshot();
   if (!snapshot.empty()) {
     write_json_file(metrics_sidecar_path(path_), metrics_json(snapshot));
+  }
+
+  // Health sidecar: every quantity seed-deterministic, so the file is
+  // byte-identical at any thread count. Empty under SILENCE_OBS=OFF (the
+  // macros compile away) and for benches that never touch the CoS path.
+  const obs::health::HealthSnapshot health =
+      obs::health::Registry::global().snapshot();
+  if (!health.empty()) {
+    write_json_file(health_sidecar_path(path_), obs::health::health_json(health));
   }
 }
 

@@ -86,6 +86,11 @@ std::string metrics_sidecar_path(const std::string& json_path);
 // shard-lifecycle telemetry; see fabric/telemetry.h).
 std::string telemetry_sidecar_path(const std::string& json_path);
 
+// `results/foo.json` -> `results/foo.health.json` (PHY signal-health
+// snapshot; see obs/health/health.h). Written only when the health
+// registry recorded anything, i.e. never under SILENCE_OBS=OFF.
+std::string health_sidecar_path(const std::string& json_path);
+
 // The obs snapshot rendered as a runner::Json object (counters, gauges,
 // histograms keyed by metric name). Used for the metrics sidecar and by
 // perf_phy's stage-throughput record.

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/health/health.h"
+
 namespace silence {
 
 CosSession::CosSession(Link& link, const SessionConfig& config)
@@ -96,6 +98,16 @@ PacketReport CosSession::send_packet(
   // selection; a failed packet means the sender hears nothing.
   if (report.data_ok) {
     have_feedback_ = true;
+#if SILENCE_OBS_ON
+    if (report.rx.evm_valid) {
+      if (prev_evm_) {
+        HEALTH_NABLA_EVM(obs::health::quantize(
+            evm_change(*prev_evm_, report.rx.evm),
+            obs::health::kNablaEvmScale));
+      }
+      prev_evm_ = report.rx.evm;
+    }
+#endif
     if (config_.use_selection_feedback) {
       // An empty selection means no subcarrier currently supports
       // reliable silence detection: CoS falls silent on the next packet

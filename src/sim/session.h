@@ -10,6 +10,7 @@
 #include "core/control_rate.h"
 #include "core/cos_link.h"
 #include "core/cos_profile.h"
+#include "obs/obs.h"
 #include "sim/link.h"
 
 namespace silence {
@@ -60,6 +61,11 @@ class CosSession {
   SessionConfig config_;
   std::vector<int> control_subcarriers_;
   bool have_feedback_ = false;
+#if SILENCE_OBS_ON
+  // Previous decoded round's EVM snapshot, for the health layer's
+  // nabla-EVM drift series (paper Eq. 2 between feedback rounds).
+  std::optional<SubcarrierEvm> prev_evm_;
+#endif
 
   int desired_control_subcarriers(int silence_budget, int num_symbols) const;
 };

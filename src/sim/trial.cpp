@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "common/hex.h"
+#include "obs/health/health.h"
 #include "phy/ofdm.h"
 #include "phy/preamble.h"
 #include "runner/seed.h"
@@ -28,6 +29,33 @@ const runner::Json& require(const runner::Json& json, std::string_view key) {
   }
   return *value;
 }
+
+#if SILENCE_OBS_ON
+// Health: label each detector score with the planned ground truth (known
+// only here in the sim layer) and tally the same confusion counts
+// count_confusion() derives from the masks. Uses the identical skip rule
+// (symbol-count mismatch after a SIGNAL mis-decode), so the score-stream
+// totals stay in 1:1 correspondence with the reported confusion counts.
+void record_labeled_scores(const SilenceMask& planned,
+                           std::size_t detected_symbols,
+                           const DetectionScores& scores) {
+  if (detected_symbols != planned.size()) return;
+  for (const DetectionScore& s : scores) {
+    const bool truth_silent =
+        planned[s.symbol][static_cast<std::size_t>(s.subcarrier)] != 0;
+    HEALTH_SCORE(truth_silent, s.subcarrier, s.score_x256);
+    const bool declared_silent =
+        s.score_x256 < obs::health::kScoreThreshold;
+    if (truth_silent) {
+      HEALTH_COUNT(kTruthSilent);
+      if (!declared_silent) HEALTH_COUNT(kMisses);
+    } else {
+      HEALTH_COUNT(kTruthActive);
+      if (declared_silent) HEALTH_COUNT(kFalseAlarms);
+    }
+  }
+}
+#endif
 
 }  // namespace
 
@@ -184,8 +212,15 @@ DetectionCounts count_detection(const CosPacket& packet,
                                 std::span<const int> control_subcarriers,
                                 const DetectorConfig& detector) {
   if (!packet.usable) return {};
+#if SILENCE_OBS_ON
+  DetectionScores scores;
+  const SilenceMask detected =
+      detect_silences(packet.fe, control_subcarriers, detector, &scores);
+  record_labeled_scores(packet.tx.plan.mask, detected.size(), scores);
+#else
   const SilenceMask detected =
       detect_silences(packet.fe, control_subcarriers, detector);
+#endif
   return count_confusion(packet.tx.plan.mask, detected, control_subcarriers);
 }
 
@@ -231,8 +266,16 @@ CosTrialResult run_cos_trial_recorded(const CosTrialSpec& spec,
     // thresholds, exactly as cos_receive sets it from SIGNAL.
     DetectorConfig detector = spec.cos.detector;
     detector.modulation = mcs.modulation;
+#if SILENCE_OBS_ON
+    DetectionScores scores;
+    result.detected_mask = detect_silences(
+        packet.fe, spec.cos.control_subcarriers, detector, &scores);
+    record_labeled_scores(packet.tx.plan.mask, result.detected_mask.size(),
+                          scores);
+#else
     result.detected_mask =
         detect_silences(packet.fe, spec.cos.control_subcarriers, detector);
+#endif
     result.detection = count_confusion(packet.tx.plan.mask,
                                        result.detected_mask,
                                        spec.cos.control_subcarriers);
@@ -268,6 +311,7 @@ CosTrialResult run_cos_trial_recorded(const CosTrialSpec& spec,
     rec->set_result(result.summary());
   }
 #endif
+  obs::health::maybe_trace_counters();
   return result;
 }
 

@@ -1,5 +1,6 @@
 #include "core/energy_detector.h"
 
+#include <cmath>
 #include <gtest/gtest.h>
 
 #include "channel/fading.h"
@@ -7,6 +8,7 @@
 #include "common/rng.h"
 #include "core/cos_link.h"
 #include "core/silence_plan.h"
+#include "obs/health/health.h"
 #include "phy/receiver.h"
 #include "phy/transmitter.h"
 
@@ -171,6 +173,112 @@ TEST(EnergyDetector, FalseRatesSmallInWorkingSnrRegion) {
   ASSERT_GT(active, 500u);
   EXPECT_LT(static_cast<double>(false_neg) / silent, 0.01);
   EXPECT_LT(static_cast<double>(false_pos) / active, 0.01);
+}
+
+// Confusion tallies of one truth/detected mask pair over the control
+// subcarriers (the count_confusion() rule, inlined to keep this test at
+// the detector layer).
+struct Confusion {
+  std::size_t silent = 0, active = 0, misses = 0, false_alarms = 0;
+  void add(const DetectionRun& run) {
+    if (run.detected.size() != run.truth.size()) return;
+    for (std::size_t s = 0; s < run.truth.size(); ++s) {
+      for (int sc : kControl) {
+        const auto idx = static_cast<std::size_t>(sc);
+        if (run.truth[s][idx]) {
+          ++silent;
+          if (!run.detected[s][idx]) ++misses;
+        } else {
+          ++active;
+          if (run.detected[s][idx]) ++false_alarms;
+        }
+      }
+    }
+  }
+};
+
+TEST(EnergyDetector, ErrorRatesMonotoneInThresholdMargin) {
+  // Property: on FIXED packets (same seeds -> identical channel/noise
+  // realizations), raising threshold_margin only raises the threshold,
+  // so each cell's declared-silent indicator flips monotonically — the
+  // miss count is nonincreasing and the false-alarm count nondecreasing
+  // across the whole margin sweep, not just on average.
+  const double margins[] = {0.5, 1.0, 2.0, 4.0, 7.0, 12.0, 20.0, 40.0};
+  std::size_t prev_misses = 0, prev_false_alarms = 0;
+  bool first = true;
+  for (const double margin : margins) {
+    DetectorConfig config;
+    config.threshold_margin = margin;
+    Confusion totals;
+    for (std::uint64_t seed = 0; seed < 12; ++seed) {
+      totals.add(run_detection(12.0, 300 + seed, config));
+    }
+    ASSERT_GT(totals.silent, 100u);
+    ASSERT_GT(totals.active, 1000u);
+    if (!first) {
+      EXPECT_LE(totals.misses, prev_misses) << "margin " << margin;
+      EXPECT_GE(totals.false_alarms, prev_false_alarms)
+          << "margin " << margin;
+    }
+    first = false;
+    prev_misses = totals.misses;
+    prev_false_alarms = totals.false_alarms;
+  }
+}
+
+TEST(EnergyDetector, MissRateTracksExponentialBound) {
+  // A silence cell carries only noise, whose bin energy is exponential
+  // with mean eta — so margin m leaves P(miss) = e^-m. Checked at small
+  // margins where the rate is large enough to estimate tightly.
+  for (const double margin : {1.0, 2.0}) {
+    DetectorConfig config;
+    config.threshold_margin = margin;
+    Confusion totals;
+    for (std::uint64_t seed = 0; seed < 120; ++seed) {
+      totals.add(run_detection(15.0, 700 + seed, config));
+    }
+    ASSERT_GT(totals.silent, 1000u);
+    const double miss_rate =
+        static_cast<double>(totals.misses) /
+        static_cast<double>(totals.silent);
+    EXPECT_NEAR(miss_rate, std::exp(-margin), 0.06) << "margin " << margin;
+  }
+}
+
+TEST(EnergyDetector, ScoreQuantizationCarriesTheDecision) {
+  // The observational score stream must agree with the returned mask on
+  // every cell: score < 256 iff the cell was declared silent (the
+  // decision is clamped into the quantization, so there is no rounding
+  // edge), and the stream covers every (symbol, control subcarrier) cell
+  // exactly once in scan order.
+  Rng rng(11);
+  CosTxConfig tx_config;
+  tx_config.mcs = McsId::for_rate(12);
+  tx_config.control_subcarriers = kControl;
+  const Bytes psdu = test_psdu(rng, 200);
+  const CosTxPacket tx = cos_transmit(psdu, rng.bits(40), tx_config);
+  CxVec samples = tx.samples;
+  const double nv = noise_var_for_snr_db(10.0);
+  for (auto& x : samples) x += rng.complex_gaussian(nv);
+  const FrontEndResult fe = receiver_front_end(samples);
+  ASSERT_TRUE(fe.signal);
+
+  DetectionScores scores;
+  const SilenceMask detected = detect_silences(fe, kControl, {}, &scores);
+  ASSERT_EQ(scores.size(), detected.size() * kControl.size());
+  std::size_t i = 0;
+  for (std::size_t s = 0; s < detected.size(); ++s) {
+    for (int sc : kControl) {
+      const DetectionScore& score = scores[i++];
+      EXPECT_EQ(score.symbol, s);
+      EXPECT_EQ(score.subcarrier, static_cast<std::uint16_t>(sc));
+      const bool declared = detected[s][static_cast<std::size_t>(sc)] != 0;
+      EXPECT_EQ(score.score_x256 < obs::health::kScoreThreshold, declared);
+    }
+  }
+
+  // The scores out-param never alters the decisions.
+  EXPECT_EQ(detect_silences(fe, kControl, {}), detected);
 }
 
 TEST(EnergyDetector, DataBinEnergiesLayout) {

@@ -76,6 +76,24 @@ TEST(Evm, ExcludedSilencePositionsIgnored) {
   EXPECT_GT(no_mask[5], 0.4);
 }
 
+TEST(Evm, FullyExcludedSubcarrierStaysZeroWhileOthersMeasure) {
+  // Subcarrier 11 is silenced in EVERY symbol (count == 0 for its
+  // accumulator): its EVM must come back exactly 0, not NaN, while an
+  // unmasked distorted subcarrier still measures.
+  const auto ideal = constant_grid(4, Cx{1.0, 0.0});
+  auto received = ideal;
+  SilenceMask mask(4, std::vector<std::uint8_t>(kNumDataSubcarriers, 0));
+  for (std::size_t s = 0; s < 4; ++s) {
+    received[s][11] = Cx{0.0, 0.0};  // would be a huge error if counted
+    mask[s][11] = 1;
+    received[s][12] += Cx{0.05, 0.0};
+  }
+  const auto evm =
+      per_subcarrier_evm(received, ideal, Modulation::kBpsk, &mask);
+  EXPECT_DOUBLE_EQ(evm[11], 0.0);
+  EXPECT_NEAR(evm[12], 0.05, 1e-12);
+}
+
 TEST(Evm, AllSymbolsExcludedGivesZero) {
   const auto ideal = constant_grid(2, Cx{1.0, 0.0});
   SilenceMask mask(2, std::vector<std::uint8_t>(kNumDataSubcarriers, 1));

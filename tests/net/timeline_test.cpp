@@ -175,6 +175,75 @@ TEST(NetTimeline, StationLabelZeroPadsToTwoDigits) {
   EXPECT_EQ(StationMetrics::station_label(63), "63");
 }
 
+TEST(NetTimeline, LabelWidthFollowsTheCap) {
+  // Width = digit count of the largest tracked index (cap - 1), floored
+  // at 2 to keep the historic "%02zu" names lexicographically sorted.
+  EXPECT_EQ(StationMetrics::label_width(1), 2);
+  EXPECT_EQ(StationMetrics::label_width(64), 2);
+  EXPECT_EQ(StationMetrics::label_width(100), 2);   // max index 99
+  EXPECT_EQ(StationMetrics::label_width(101), 3);   // max index 100
+  EXPECT_EQ(StationMetrics::label_width(1000), 3);
+  EXPECT_EQ(StationMetrics::label_width(1001), 4);
+  EXPECT_EQ(StationMetrics::station_label(7, 3), "007");
+  EXPECT_EQ(StationMetrics::station_label(123, 3), "123");
+}
+
+TEST(NetTimeline, OverCapStationsFoldIntoOverflowFamily) {
+  obs::Registry::global().reset();
+  // 6 stations, cap 4: stations 0..3 get their own families, 4 and 5
+  // fold into net.sta.overflow.* instead of being dropped.
+  StationMetrics metrics(6, 4);
+  for (std::size_t i = 0; i < 6; ++i) {
+    metrics.hol_wait(i, 10 + i);
+    metrics.tx_gap(i, 20 + i);
+    metrics.tx_data_bits(i, 30 + i);
+    metrics.collision(i);
+  }
+  const obs::MetricsSnapshot snap = obs::Registry::global().snapshot();
+  for (std::size_t i = 0; i < 4; ++i) {
+    const std::string base = "net.sta." + StationMetrics::station_label(i);
+    const auto* hol = snap.histogram(base + ".hol_wait_slots");
+    ASSERT_NE(hol, nullptr) << base;
+    EXPECT_EQ(hol->count, 1u);
+  }
+  EXPECT_EQ(snap.histogram("net.sta.04.hol_wait_slots"), nullptr);
+  const auto* over = snap.histogram("net.sta.overflow.hol_wait_slots");
+  ASSERT_NE(over, nullptr);
+  EXPECT_EQ(over->count, 2u);  // stations 4 and 5
+  EXPECT_EQ(over->sum, 14u + 15u);
+  const auto* over_coll = snap.counter("net.sta.overflow.collisions");
+  ASSERT_NE(over_coll, nullptr);
+  EXPECT_EQ(over_coll->value, 2u);
+  obs::Registry::global().reset();
+}
+
+TEST(NetTimeline, SubCapRunsInternNoOverflowFamily) {
+  obs::Registry::global().reset();
+  StationMetrics metrics(4, 64);
+  metrics.hol_wait(0, 1);
+  const obs::MetricsSnapshot snap = obs::Registry::global().snapshot();
+  // The overflow family is interned lazily, only when the cap is
+  // actually exceeded — sub-cap runs keep their exact metric inventory
+  // (the CI smoke counts per-station families).
+  EXPECT_EQ(snap.histogram("net.sta.overflow.hol_wait_slots"), nullptr);
+  EXPECT_EQ(snap.counter("net.sta.overflow.collisions"), nullptr);
+  obs::Registry::global().reset();
+}
+
+TEST(NetTimeline, ScenarioCapCarriesThroughRunScenario) {
+  obs::Registry::global().reset();
+  obs::Tracer::global().stop();
+  Scenario sc = test_scenario();  // 4 stations
+  sc.metrics_station_cap = 2;
+  (void)run_scenario(sc, 11);
+  const obs::MetricsSnapshot snap = obs::Registry::global().snapshot();
+  EXPECT_NE(snap.histogram("net.sta.00.hol_wait_slots"), nullptr);
+  EXPECT_NE(snap.histogram("net.sta.01.hol_wait_slots"), nullptr);
+  EXPECT_EQ(snap.histogram("net.sta.02.hol_wait_slots"), nullptr);
+  EXPECT_NE(snap.histogram("net.sta.overflow.hol_wait_slots"), nullptr);
+  obs::Registry::global().reset();
+}
+
 }  // namespace
 }  // namespace silence::net
 

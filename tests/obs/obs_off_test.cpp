@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include "obs/flight/flight.h"
+#include "obs/health/health.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -62,6 +63,23 @@ TEST(ObsOffTest, FlightEventCompilesOutAndDoesNotEvaluate) {
   rec.record(event);
   EXPECT_EQ(rec.size(), 1u);
   EXPECT_EQ(flight::TrialRecording::active(), &rec);
+}
+
+TEST(ObsOffTest, HealthMacrosCompileOutAndDoNotEvaluate) {
+  int evaluations = 0;
+  HEALTH_COUNT(kPlans);
+  HEALTH_COUNT_N(kBitsPlanned, ++evaluations);
+  HEALTH_WATERFALL(kSnr, ++evaluations, ++evaluations);
+  HEALTH_SCORE(++evaluations != 0, ++evaluations, ++evaluations);
+  HEALTH_NABLA_EVM(++evaluations);
+  EXPECT_EQ(evaluations, 0);
+  // The health registry runtime still links (the runner's sidecar
+  // plumbing calls it unconditionally) but stays empty, so no
+  // .health.json is ever written in an OFF build.
+  EXPECT_TRUE(health::Registry::global().snapshot().empty());
+  // Pure helpers keep working — tooling parses sidecars in OFF builds.
+  EXPECT_EQ(health::quantize(0.5, 256.0), 128u);
+  EXPECT_GE(health::quantize_score(2.0, 1.0), health::kScoreThreshold);
 }
 
 TEST(ObsOffTest, SpansAreScopelessStatements) {

@@ -5,6 +5,7 @@
 #include <filesystem>
 
 #include "obs/flight/flight.h"
+#include "obs/health/health.h"
 #include "runner/sinks.h"
 
 namespace silence {
@@ -95,6 +96,58 @@ TEST(CosTrial, CountDetectionMatchesTrialConfusionCounts) {
 }
 
 #if SILENCE_OBS_ON
+TEST(CosTrialHealth, ScoreHistogramsReproduceConfusionCountsExactly) {
+  // The tentpole exactness contract: the health registry's per-truth
+  // score histograms and confusion counters, filled from the same score
+  // walk the detector performed, must reproduce the mask-derived
+  // DetectionCounts bit-for-bit — the quantization clamps the decision
+  // into the score, so the bucket boundary at 256 IS the threshold.
+  namespace health = obs::health;
+  auto& reg = health::Registry::global();
+  reg.reset();
+
+  const CosTrialSpec spec = test_spec();
+  DetectionCounts totals;
+  for (std::uint64_t seed = 100; seed < 130; ++seed) {
+    totals += run_cos_trial_recorded(spec, seed).detection;
+  }
+  const health::HealthSnapshot snap = reg.snapshot();
+  reg.reset();
+
+  const auto counter = [&snap](health::Counter c) {
+    return snap.counters[static_cast<std::size_t>(c)];
+  };
+  EXPECT_EQ(counter(health::Counter::kTruthSilent), totals.silent);
+  EXPECT_EQ(counter(health::Counter::kTruthActive), totals.active);
+  EXPECT_EQ(counter(health::Counter::kMisses), totals.false_neg);
+  EXPECT_EQ(counter(health::Counter::kFalseAlarms), totals.false_pos);
+
+  // Independently from the histograms: buckets 0..8 hold exactly the
+  // scores 0..255, i.e. the declared-silent cells.
+  const std::size_t boundary =
+      obs::histogram_bucket(health::kScoreThreshold - 1);
+  std::uint64_t silent_total = 0, silent_below = 0;
+  std::uint64_t active_total = 0, active_below = 0;
+  for (std::size_t sc = 0; sc < health::kSubcarriers; ++sc) {
+    const health::HealthHist& s =
+        snap.scores[static_cast<std::size_t>(health::Truth::kSilent)][sc];
+    const health::HealthHist& a =
+        snap.scores[static_cast<std::size_t>(health::Truth::kActive)][sc];
+    silent_total += s.count;
+    active_total += a.count;
+    for (std::size_t b = 0; b <= boundary; ++b) {
+      silent_below += s.buckets[b];
+      active_below += a.buckets[b];
+    }
+  }
+  EXPECT_EQ(silent_total, totals.silent);
+  EXPECT_EQ(active_total, totals.active);
+  EXPECT_EQ(silent_total - silent_below, totals.false_neg);  // misses
+  EXPECT_EQ(active_below, totals.false_pos);  // false alarms
+  ASSERT_GT(silent_total, 0u);
+  ASSERT_GT(active_total, 0u);
+}
+
 // A detector threshold far above any active symbol's energy marks every
 // control cell silent: guaranteed false alarms (and a garbage control
 // message), i.e. a deterministic anomaly for the dump path.

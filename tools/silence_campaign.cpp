@@ -27,7 +27,8 @@
 // campaign. Afterwards the dashboard aggregates across sweeps: counters
 // summed, gauges maxed, histograms merged bucket-wise with p50/p95/p99
 // recomputed from the combined buckets (runner::merge_metrics_json),
-// plus per-sweep wall-clock/trial totals from the .timing.json sidecars.
+// plus per-sweep wall-clock/trial totals from the .timing.json sidecars
+// and an exact integer merge of the .health.json PHY-health sidecars.
 //
 // Exit status: 0 = campaign complete and dashboard written; 1 = a sweep
 // failed; 2 = usage/manifest error.
@@ -41,6 +42,7 @@
 #include <vector>
 
 #include "fabric/process.h"
+#include "obs/health/health.h"
 #include "runner/json.h"
 #include "runner/sinks.h"
 
@@ -240,6 +242,7 @@ int main(int argc, char** argv) {
   Json dashboard_sweeps = Json::array();
   std::vector<Json> metric_docs;
   std::vector<Json> telemetry_docs;
+  std::vector<Json> health_docs;
   double total_wall = 0.0;
   std::int64_t total_trials = 0;
 
@@ -301,6 +304,12 @@ int main(int argc, char** argv) {
       telemetry_docs.push_back(silence::runner::read_json_file(telemetry_path));
       entry.set("telemetry", telemetry_path);
     }
+    const std::string health_path =
+        silence::runner::health_sidecar_path(sweep.json_path);
+    if (std::filesystem::exists(health_path)) {
+      health_docs.push_back(silence::runner::read_json_file(health_path));
+      entry.set("health", health_path);
+    }
     dashboard_sweeps.push_back(std::move(entry));
   }
   if (dry_run) return 0;
@@ -328,6 +337,13 @@ int main(int argc, char** argv) {
   // utilization across every fabric run of the campaign.
   if (!telemetry_docs.empty()) {
     dashboard.set("fabric_telemetry", merge_fabric_telemetry(telemetry_docs));
+  }
+  // PHY signal-health rollup: the .health.json documents are integer-only
+  // snapshots, so summing them across sweeps is exact — the campaign view
+  // is the same document one process recording every sweep would write.
+  if (!health_docs.empty()) {
+    dashboard.set("health", silence::obs::health::merge_health_json(
+                                health_docs));
   }
   silence::runner::write_json_file(manifest.output, dashboard);
   std::printf("campaign dashboard written to %s (%zu sweep(s), %lld trials, "

@@ -1,0 +1,335 @@
+// silence_health — renders a `.health.json` PHY signal-health sidecar
+// (obs/health) into human-readable tables.
+//
+//   silence_health <file.health.json> [--md FILE] [--csv FILE] [--verify]
+//
+//   (default)     markdown digest to stdout: audit counters, the
+//                 per-subcarrier waterfall table (SNR / EVM / |H| means
+//                 plus detector counts), an empirical ROC sweep, and the
+//                 nabla-EVM drift summary
+//   --md FILE     write the same markdown to FILE instead of stdout
+//   --csv FILE    write the per-subcarrier waterfall as CSV
+//   --verify      cross-check the histogram-derived detection counts at
+//                 the configured threshold (score 256) against the
+//                 confusion counters recorded by the sim layer
+//
+// The ROC sweep is exact, not interpolated: scores are quantized into
+// power-of-two histogram buckets, so "declared silent at threshold 2^b"
+// is a plain bucket sum. At the configured threshold (score 256 = the
+// detector's actual decision, clamped into the quantization) the sweep
+// row must reproduce the kMisses/kFalseAlarms counters bit-for-bit —
+// that is what --verify asserts.
+//
+// Exit status: 0 = ok, 1 = --verify mismatch, 2 = usage error or
+// unreadable/malformed input.
+#include <array>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "obs/health/health.h"
+#include "runner/json.h"
+#include "runner/sinks.h"
+
+namespace {
+
+namespace health = silence::obs::health;
+using health::HealthHist;
+using health::HealthSnapshot;
+
+int usage(const char* argv0, int code) {
+  std::fprintf(
+      stderr,
+      "usage: %s <file.health.json> [--md FILE] [--csv FILE] [--verify]\n"
+      "  renders a PHY signal-health sidecar as markdown (stdout or\n"
+      "  --md FILE) and optionally CSV; --verify cross-checks the\n"
+      "  histogram-derived ROC at the configured threshold against the\n"
+      "  recorded confusion counters (exit 1 on mismatch)\n",
+      argv0);
+  return code;
+}
+
+std::string fmt(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.4g", v);
+  return buf;
+}
+
+std::uint64_t counter(const HealthSnapshot& h, health::Counter c) {
+  return h.counters[static_cast<std::size_t>(c)];
+}
+
+const std::array<HealthHist, health::kSubcarriers>& waterfall_row(
+    const HealthSnapshot& h, health::Waterfall w) {
+  return h.waterfalls[static_cast<std::size_t>(w)];
+}
+
+const std::array<HealthHist, health::kSubcarriers>& score_row(
+    const HealthSnapshot& h, health::Truth t) {
+  return h.scores[static_cast<std::size_t>(t)];
+}
+
+// Scores strictly below bucket boundary 2^b (buckets 0..b hold exactly
+// the values 0..2^b - 1), summed over the whole band.
+std::uint64_t band_below(const std::array<HealthHist, health::kSubcarriers>&
+                             row,
+                         std::size_t boundary_bucket) {
+  std::uint64_t n = 0;
+  for (const HealthHist& h : row) {
+    for (std::size_t b = 0; b <= boundary_bucket && b < h.buckets.size();
+         ++b) {
+      n += h.buckets[b];
+    }
+  }
+  return n;
+}
+
+std::uint64_t band_count(
+    const std::array<HealthHist, health::kSubcarriers>& row) {
+  std::uint64_t n = 0;
+  for (const HealthHist& h : row) n += h.count;
+  return n;
+}
+
+// Largest non-empty bucket index across both truth rows — bounds the
+// ROC sweep so the table stops once every score is below the threshold.
+std::size_t max_score_bucket(const HealthSnapshot& h) {
+  std::size_t top = 0;
+  for (const auto truth : {health::Truth::kActive, health::Truth::kSilent}) {
+    for (const HealthHist& cell : score_row(h, truth)) {
+      for (std::size_t b = 0; b < cell.buckets.size(); ++b) {
+        if (cell.buckets[b] > 0 && b > top) top = b;
+      }
+    }
+  }
+  return top;
+}
+
+std::string md_render(const HealthSnapshot& h) {
+  std::string md;
+  md += "# PHY signal health\n\n## Audit counters\n\n"
+        "| counter | value |\n| --- | --- |\n";
+  for (std::size_t c = 0; c < static_cast<std::size_t>(health::Counter::kCount);
+       ++c) {
+    md += std::string("| ") +
+          health::counter_name(static_cast<health::Counter>(c)) + " | " +
+          std::to_string(h.counters[c]) + " |\n";
+  }
+
+  md += "\n## Per-subcarrier waterfalls\n\n"
+        "Means in physical units (SNR linear, EVM rms fraction, |H| "
+        "magnitude); `-` = no samples.\n\n"
+        "| sc | SNR n | SNR mean | EVM n | EVM mean | \\|H\\| n | "
+        "\\|H\\| mean | silent n | active n |\n"
+        "| --- | --- | --- | --- | --- | --- | --- | --- | --- |\n";
+  const auto& snr = waterfall_row(h, health::Waterfall::kSnr);
+  const auto& evm = waterfall_row(h, health::Waterfall::kEvm);
+  const auto& mag = waterfall_row(h, health::Waterfall::kChanMag);
+  const auto& silent = score_row(h, health::Truth::kSilent);
+  const auto& active = score_row(h, health::Truth::kActive);
+  const auto cell = [](const HealthHist& hist, double scale) {
+    return std::to_string(hist.count) + " | " +
+           (hist.count == 0 ? std::string("-") : fmt(hist.mean() / scale));
+  };
+  for (std::size_t sc = 0; sc < health::kSubcarriers; ++sc) {
+    md += "| " + std::to_string(sc) + " | " +
+          cell(snr[sc], health::kSnrScale) + " | " +
+          cell(evm[sc], health::kEvmScale) + " | " +
+          cell(mag[sc], health::kChanScale) + " | " +
+          std::to_string(silent[sc].count) + " | " +
+          std::to_string(active[sc].count) + " |\n";
+  }
+
+  md += "\n## Empirical ROC\n\n";
+  const std::uint64_t silent_total = band_count(silent);
+  const std::uint64_t active_total = band_count(active);
+  if (silent_total + active_total == 0) {
+    md += "_no ground-truth labelled detector scores (network runs don't "
+          "label; run fig10)_\n";
+  } else {
+    md += "Exact bucket sums at power-of-two score thresholds (score "
+          "256 = the configured detector threshold).\n\n"
+          "| threshold (x256) | misses | miss rate | false alarms | "
+          "false-alarm rate |\n| --- | --- | --- | --- | --- |\n";
+    const std::size_t top = max_score_bucket(h);
+    for (std::size_t b = 0; b <= top; ++b) {
+      // Buckets 0..b hold exactly the values 0..2^b - 1, so this row is
+      // the operating point "declare silent when score < 2^b".
+      const std::uint64_t silent_below = band_below(silent, b);
+      const std::uint64_t active_below = band_below(active, b);
+      const std::uint64_t misses = silent_total - silent_below;
+      const std::uint64_t threshold = std::uint64_t{1} << b;
+      md += "| " + std::to_string(threshold) +
+            (threshold == health::kScoreThreshold ? " (configured)" : "") +
+            " | " + std::to_string(misses) + " | " +
+            fmt(silent_total == 0
+                    ? 0.0
+                    : static_cast<double>(misses) /
+                          static_cast<double>(silent_total)) +
+            " | " + std::to_string(active_below) + " | " +
+            fmt(active_total == 0
+                    ? 0.0
+                    : static_cast<double>(active_below) /
+                          static_cast<double>(active_total)) +
+            " |\n";
+    }
+  }
+
+  md += "\n## nabla-EVM drift\n\n";
+  if (h.nabla_evm.count == 0) {
+    md += "_no drift samples (needs >= 2 decoded feedback rounds per "
+          "session)_\n";
+  } else {
+    md += std::to_string(h.nabla_evm.count) + " sample(s), mean " +
+          fmt(h.nabla_evm.mean() / health::kNablaEvmScale) + ", max " +
+          fmt(static_cast<double>(h.nabla_evm.max) /
+              health::kNablaEvmScale) +
+          "\n";
+  }
+  return md;
+}
+
+std::string csv_render(const HealthSnapshot& h) {
+  std::string csv =
+      "subcarrier,snr_count,snr_mean,evm_count,evm_mean,chan_mag_count,"
+      "chan_mag_mean,silent_scores,silent_detected,active_scores,"
+      "active_declared_silent\n";
+  const auto& snr = waterfall_row(h, health::Waterfall::kSnr);
+  const auto& evm = waterfall_row(h, health::Waterfall::kEvm);
+  const auto& mag = waterfall_row(h, health::Waterfall::kChanMag);
+  const auto& silent = score_row(h, health::Truth::kSilent);
+  const auto& active = score_row(h, health::Truth::kActive);
+  const std::size_t boundary =
+      silence::obs::histogram_bucket(health::kScoreThreshold - 1);
+  const auto below = [boundary](const HealthHist& hist) {
+    std::uint64_t n = 0;
+    for (std::size_t b = 0; b <= boundary; ++b) n += hist.buckets[b];
+    return n;
+  };
+  for (std::size_t sc = 0; sc < health::kSubcarriers; ++sc) {
+    csv += std::to_string(sc) + "," + std::to_string(snr[sc].count) + "," +
+           fmt(snr[sc].mean() / health::kSnrScale) + "," +
+           std::to_string(evm[sc].count) + "," +
+           fmt(evm[sc].mean() / health::kEvmScale) + "," +
+           std::to_string(mag[sc].count) + "," +
+           fmt(mag[sc].mean() / health::kChanScale) + "," +
+           std::to_string(silent[sc].count) + "," +
+           std::to_string(below(silent[sc])) + "," +
+           std::to_string(active[sc].count) + "," +
+           std::to_string(below(active[sc])) + "\n";
+  }
+  return csv;
+}
+
+// The cross-check --verify asserts: the quantization clamps the decision
+// into the score, so the bucket sums at the configured threshold must
+// reproduce the sim layer's confusion counters exactly.
+int verify(const HealthSnapshot& h) {
+  const std::size_t boundary =
+      silence::obs::histogram_bucket(health::kScoreThreshold - 1);
+  const auto& silent = score_row(h, health::Truth::kSilent);
+  const auto& active = score_row(h, health::Truth::kActive);
+  const std::uint64_t silent_total = band_count(silent);
+  const std::uint64_t active_total = band_count(active);
+  const std::uint64_t hist_misses =
+      silent_total - band_below(silent, boundary);
+  const std::uint64_t hist_false_alarms = band_below(active, boundary);
+
+  struct Check {
+    const char* what;
+    std::uint64_t histogram;
+    std::uint64_t counters;
+  };
+  const Check checks[] = {
+      {"truth-silent cells", silent_total,
+       counter(h, health::Counter::kTruthSilent)},
+      {"truth-active cells", active_total,
+       counter(h, health::Counter::kTruthActive)},
+      {"misses @256", hist_misses, counter(h, health::Counter::kMisses)},
+      {"false alarms @256", hist_false_alarms,
+       counter(h, health::Counter::kFalseAlarms)},
+  };
+  int bad = 0;
+  for (const Check& c : checks) {
+    if (c.histogram == c.counters) {
+      std::printf("verify: %-18s %llu == %llu  OK\n", c.what,
+                  static_cast<unsigned long long>(c.histogram),
+                  static_cast<unsigned long long>(c.counters));
+    } else {
+      std::printf("verify: %-18s histogram %llu != counter %llu  MISMATCH\n",
+                  c.what, static_cast<unsigned long long>(c.histogram),
+                  static_cast<unsigned long long>(c.counters));
+      ++bad;
+    }
+  }
+  return bad == 0 ? 0 : 1;
+}
+
+bool write_text(const std::string& path, const std::string& text,
+                const char* argv0) {
+  try {
+    const std::filesystem::path p(path);
+    if (p.has_parent_path()) {
+      std::filesystem::create_directories(p.parent_path());
+    }
+    std::ofstream out(p, std::ios::binary | std::ios::trunc);
+    if (!out) throw std::runtime_error("cannot open " + path);
+    out << text;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s: %s\n", argv0, e.what());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string input_path, md_path, csv_path;
+  bool do_verify = false;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--help") || !std::strcmp(argv[i], "-h")) {
+      return usage(argv[0], 0);
+    } else if (!std::strcmp(argv[i], "--md")) {
+      if (i + 1 >= argc) return usage(argv[0], 2);
+      md_path = argv[++i];
+    } else if (!std::strcmp(argv[i], "--csv")) {
+      if (i + 1 >= argc) return usage(argv[0], 2);
+      csv_path = argv[++i];
+    } else if (!std::strcmp(argv[i], "--verify")) {
+      do_verify = true;
+    } else if (input_path.empty()) {
+      input_path = argv[i];
+    } else {
+      return usage(argv[0], 2);
+    }
+  }
+  if (input_path.empty()) return usage(argv[0], 2);
+
+  HealthSnapshot snapshot;
+  try {
+    snapshot =
+        health::health_from_json(silence::runner::read_json_file(input_path));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s: %s: %s\n", argv[0], input_path.c_str(),
+                 e.what());
+    return 2;
+  }
+
+  const std::string md = md_render(snapshot);
+  if (md_path.empty()) {
+    if (!do_verify) std::fputs(md.c_str(), stdout);
+  } else if (!write_text(md_path, md, argv[0])) {
+    return 2;
+  }
+  if (!csv_path.empty() && !write_text(csv_path, csv_render(snapshot),
+                                       argv[0])) {
+    return 2;
+  }
+  return do_verify ? verify(snapshot) : 0;
+}

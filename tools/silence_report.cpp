@@ -1,25 +1,35 @@
 // silence_report — fuses one sweep run's artifacts into a single human
 // + machine readable report.
 //
-//   silence_report <result.json> [--trace FILE] [--out BASE]
+//   silence_report <result.json> [--trace FILE] [--timing FILE]
+//                  [--metrics FILE] [--telemetry FILE] [--health FILE]
+//                  [--out BASE]
 //
-// Inputs (all but the result file optional — missing ones are noted,
-// never fatal):
+// Inputs:
 //   <result.json>            the deterministic sweep result (JsonSink)
 //   <stem>.timing.json       wall-clock / thread-count sidecar
 //   <stem>.metrics.json      obs counters + latency histograms
 //   <stem>.telemetry.json    fabric supervisor shard-lifecycle telemetry
+//   <stem>.health.json       PHY signal-health sidecar (obs/health)
 //   --trace FILE             Chrome/Perfetto trace (wall spans under
 //                            pid 1, per-station MAC timelines under
-//                            pid 2; see net/timeline.h)
+//                            pid 2, phy-health counters under pid 3)
+//
+// Sidecars are auto-discovered next to the result file; an absent
+// auto-discovered sidecar degrades to a note in the report. Naming an
+// input explicitly on the CLI (--trace/--timing/--metrics/--telemetry/
+// --health) makes it REQUIRED: if it is missing or unparseable the tool
+// prints what went wrong and exits nonzero instead of silently omitting
+// the section.
 //
 // Output: BASE.md (markdown digest: results table, latency percentiles,
-// per-station MAC table, trace track inventory, fleet telemetry) and
-// BASE.json (the same data structured). BASE defaults to the result
-// stem + ".report", i.e. results/net_scenarios.json ->
+// per-station MAC table, PHY health, trace track inventory, fleet
+// telemetry) and BASE.json (the same data structured). BASE defaults to
+// the result stem + ".report", i.e. results/net_scenarios.json ->
 // results/net_scenarios.report.{md,json}.
 //
-// Exit status: 0 = report written, 2 = usage error or unreadable result.
+// Exit status: 0 = report written, 2 = usage error, unreadable result,
+// or a missing/unparseable explicitly requested input.
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
@@ -31,19 +41,26 @@
 #include <string>
 #include <vector>
 
+#include "obs/health/health.h"
 #include "runner/json.h"
 #include "runner/sinks.h"
 
 namespace {
 
 using silence::runner::Json;
+namespace health = silence::obs::health;
 
 int usage(const char* argv0, int code) {
   std::fprintf(stderr,
-               "usage: %s <result.json> [--trace FILE] [--out BASE]\n"
-               "  fuses the result file, its .timing/.metrics/.telemetry\n"
-               "  sidecars and (optionally) a Chrome trace into BASE.md +\n"
-               "  BASE.json (default BASE: result stem + '.report')\n",
+               "usage: %s <result.json> [--trace FILE] [--timing FILE]\n"
+               "       [--metrics FILE] [--telemetry FILE] [--health FILE]\n"
+               "       [--out BASE]\n"
+               "  fuses the result file, its .timing/.metrics/.telemetry/\n"
+               "  .health sidecars and (optionally) a Chrome trace into\n"
+               "  BASE.md + BASE.json (default BASE: result stem +\n"
+               "  '.report'). Sidecars are auto-discovered next to the\n"
+               "  result; naming one explicitly makes it required\n"
+               "  (missing or unparseable => exit 2).\n",
                argv0);
   return code;
 }
@@ -245,21 +262,221 @@ void md_results_table(std::string& md, const Json& result) {
   }
 }
 
+// ---------------------------------------------------------------------
+// PHY health: .health.json sidecar rollup (obs/health).
+
+// Cells the detector declared silent: scores are decision-clamped below
+// kScoreThreshold (= 256 = 2^8), and buckets 0..8 hold exactly the
+// values 0..255, so the bucket sum is exact, not an estimate.
+std::uint64_t declared_silent(const health::HealthHist& h) {
+  const std::size_t boundary =
+      silence::obs::histogram_bucket(health::kScoreThreshold - 1);
+  std::uint64_t n = 0;
+  for (std::size_t b = 0; b <= boundary; ++b) n += h.buckets[b];
+  return n;
+}
+
+// Whole-band rollup of one waterfall kind (or one truth's score row).
+struct BandSummary {
+  std::uint64_t active_cells = 0;  // subcarriers with >= 1 sample
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t min = 0;
+  std::uint64_t max = 0;
+
+  void add(const health::HealthHist& h) {
+    if (h.count == 0) return;
+    if (active_cells == 0 || h.min < min) min = h.min;
+    if (active_cells == 0 || h.max > max) max = h.max;
+    ++active_cells;
+    count += h.count;
+    sum += h.sum;
+  }
+  double mean() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+};
+
+BandSummary band_summary(
+    const std::array<health::HealthHist, health::kSubcarriers>& row) {
+  BandSummary out;
+  for (const health::HealthHist& h : row) out.add(h);
+  return out;
+}
+
+// The detector operating point at the configured threshold, computed two
+// independent ways: from the confusion counters and from the per-truth
+// score histograms. The quantization makes them equal by construction;
+// `consistent` is the cross-check.
+struct OperatingPoint {
+  std::uint64_t truth_silent = 0, truth_active = 0;
+  std::uint64_t misses = 0, false_alarms = 0;
+  std::uint64_t hist_misses = 0, hist_false_alarms = 0;
+  bool consistent = false;
+
+  double miss_rate() const {
+    return truth_silent == 0 ? 0.0
+                             : static_cast<double>(misses) /
+                                   static_cast<double>(truth_silent);
+  }
+  double false_alarm_rate() const {
+    return truth_active == 0 ? 0.0
+                             : static_cast<double>(false_alarms) /
+                                   static_cast<double>(truth_active);
+  }
+};
+
+OperatingPoint operating_point(const health::HealthSnapshot& h) {
+  const auto counter = [&h](health::Counter c) {
+    return h.counters[static_cast<std::size_t>(c)];
+  };
+  OperatingPoint out;
+  out.truth_silent = counter(health::Counter::kTruthSilent);
+  out.truth_active = counter(health::Counter::kTruthActive);
+  out.misses = counter(health::Counter::kMisses);
+  out.false_alarms = counter(health::Counter::kFalseAlarms);
+  std::uint64_t silent_total = 0, silent_detected = 0, active_silent = 0;
+  const auto& silent =
+      h.scores[static_cast<std::size_t>(health::Truth::kSilent)];
+  const auto& active =
+      h.scores[static_cast<std::size_t>(health::Truth::kActive)];
+  for (std::size_t sc = 0; sc < health::kSubcarriers; ++sc) {
+    silent_total += silent[sc].count;
+    silent_detected += declared_silent(silent[sc]);
+    active_silent += declared_silent(active[sc]);
+  }
+  out.hist_misses = silent_total - silent_detected;
+  out.hist_false_alarms = active_silent;
+  out.consistent = out.hist_misses == out.misses &&
+                   out.hist_false_alarms == out.false_alarms &&
+                   silent_total == out.truth_silent;
+  return out;
+}
+
+void md_health_section(std::string& md, const health::HealthSnapshot& h) {
+  const auto counter = [&h](health::Counter c) {
+    return static_cast<unsigned long long>(
+        h.counters[static_cast<std::size_t>(c)]);
+  };
+  char line[256];
+
+  // Silence-plan audit: planned vs detected vs decoded.
+  std::snprintf(line, sizeof(line),
+                "- plan: %llu call(s), %llu interval(s), %llu silence(s), "
+                "%llu bit(s)\n",
+                counter(health::Counter::kPlans),
+                counter(health::Counter::kIntervalsPlanned),
+                counter(health::Counter::kSilencesPlanned),
+                counter(health::Counter::kBitsPlanned));
+  md += line;
+  std::snprintf(line, sizeof(line),
+                "- decode: %llu round(s), %llu interval(s) detected, "
+                "%llu bit(s) decoded\n",
+                counter(health::Counter::kDecodeRounds),
+                counter(health::Counter::kIntervalsDetected),
+                counter(health::Counter::kBitsDecoded));
+  md += line;
+  const std::uint64_t rounds =
+      h.counters[static_cast<std::size_t>(health::Counter::kSelectionRounds)];
+  if (rounds > 0) {
+    const double n = static_cast<double>(rounds);
+    std::snprintf(
+        line, sizeof(line),
+        "- selection: %llu round(s); per round %s selected, %s detectable, "
+        "%s erroneous\n",
+        counter(health::Counter::kSelectionRounds),
+        fmt(counter(health::Counter::kSubcarriersSelected) / n).c_str(),
+        fmt(counter(health::Counter::kSubcarriersDetectable) / n).c_str(),
+        fmt(counter(health::Counter::kSubcarriersErroneous) / n).c_str());
+    md += line;
+  } else {
+    md += "- selection: no feedback rounds recorded\n";
+  }
+  if (h.nabla_evm.count > 0) {
+    std::snprintf(line, sizeof(line),
+                  "- nabla-EVM drift: %llu sample(s), mean %s\n",
+                  static_cast<unsigned long long>(h.nabla_evm.count),
+                  fmt(h.nabla_evm.mean() / health::kNablaEvmScale).c_str());
+    md += line;
+  }
+
+  // Waterfalls, scaled back to physical units.
+  md += "\n| waterfall | subcarriers | samples | mean | min | max |\n"
+        "| --- | --- | --- | --- | --- | --- |\n";
+  static constexpr struct {
+    health::Waterfall kind;
+    const char* label;
+    double scale;
+  } kKinds[] = {
+      {health::Waterfall::kSnr, "bin SNR (linear)", health::kSnrScale},
+      {health::Waterfall::kEvm, "EVM", health::kEvmScale},
+      {health::Waterfall::kChanMag, "|H|", health::kChanScale},
+  };
+  for (const auto& kind : kKinds) {
+    const BandSummary band =
+        band_summary(h.waterfalls[static_cast<std::size_t>(kind.kind)]);
+    if (band.count == 0) {
+      md += std::string("| ") + kind.label + " | 0 | 0 | - | - | - |\n";
+      continue;
+    }
+    md += std::string("| ") + kind.label + " | " +
+          std::to_string(band.active_cells) + " | " +
+          std::to_string(band.count) + " | " +
+          fmt(band.mean() / kind.scale) + " | " +
+          fmt(static_cast<double>(band.min) / kind.scale) + " | " +
+          fmt(static_cast<double>(band.max) / kind.scale) + " |\n";
+  }
+
+  // Detector operating point at the configured threshold (score 256).
+  const OperatingPoint op = operating_point(h);
+  if (op.truth_silent + op.truth_active > 0) {
+    std::snprintf(
+        line, sizeof(line),
+        "\nDetector @ configured threshold: %llu silent cell(s) "
+        "(miss rate %s), %llu active cell(s) (false-alarm rate %s)\n",
+        static_cast<unsigned long long>(op.truth_silent),
+        fmt(op.miss_rate()).c_str(),
+        static_cast<unsigned long long>(op.truth_active),
+        fmt(op.false_alarm_rate()).c_str());
+    md += line;
+    md += op.consistent
+              ? "ROC histogram vs confusion counters: consistent\n"
+              : "ROC histogram vs confusion counters: **MISMATCH**\n";
+  } else {
+    md += "\nDetector: no ground-truth labelled scores (network runs "
+          "don't label; see fig10)\n";
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string result_path;
   std::string trace_path;
   std::string out_base;
+  // Explicitly named sidecar paths (empty = auto-discover, tolerant).
+  std::string timing_path, metrics_path, telemetry_path, health_path;
+  const auto take_value = [&](int& i, std::string& into) {
+    if (i + 1 >= argc) return false;
+    into = argv[++i];
+    return true;
+  };
   for (int i = 1; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--help") || !std::strcmp(argv[i], "-h")) {
       return usage(argv[0], 0);
     } else if (!std::strcmp(argv[i], "--trace")) {
-      if (i + 1 >= argc) return usage(argv[0], 2);
-      trace_path = argv[++i];
+      if (!take_value(i, trace_path)) return usage(argv[0], 2);
+    } else if (!std::strcmp(argv[i], "--timing")) {
+      if (!take_value(i, timing_path)) return usage(argv[0], 2);
+    } else if (!std::strcmp(argv[i], "--metrics")) {
+      if (!take_value(i, metrics_path)) return usage(argv[0], 2);
+    } else if (!std::strcmp(argv[i], "--telemetry")) {
+      if (!take_value(i, telemetry_path)) return usage(argv[0], 2);
+    } else if (!std::strcmp(argv[i], "--health")) {
+      if (!take_value(i, health_path)) return usage(argv[0], 2);
     } else if (!std::strcmp(argv[i], "--out")) {
-      if (i + 1 >= argc) return usage(argv[0], 2);
-      out_base = argv[++i];
+      if (!take_value(i, out_base)) return usage(argv[0], 2);
     } else if (result_path.empty()) {
       result_path = argv[i];
     } else {
@@ -277,30 +494,72 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  // Sidecars: absent ones degrade to a note in the report.
-  const auto load_optional = [](const std::string& path, Json& into) {
-    if (!std::filesystem::exists(path)) return false;
-    into = silence::runner::read_json_file(path);
+  // Sidecars. Auto-discovered ones that are absent degrade to a note in
+  // the report; an input the user explicitly asked for must load, so a
+  // missing file fails loudly instead of producing a silently thinner
+  // report. Parse errors are fatal either way — a sidecar that exists
+  // but doesn't parse is a broken artifact, not an optional one.
+  bool load_failed = false;
+  const auto load_sidecar = [&](const std::string& explicit_path,
+                                const std::string& auto_path,
+                                const char* what, Json& into) {
+    const bool required = !explicit_path.empty();
+    const std::string& path = required ? explicit_path : auto_path;
+    if (!std::filesystem::exists(path)) {
+      if (required) {
+        std::fprintf(stderr, "%s: requested %s sidecar does not exist: %s\n",
+                     argv[0], what, path.c_str());
+        load_failed = true;
+      }
+      return false;
+    }
+    try {
+      into = silence::runner::read_json_file(path);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s: cannot parse %s sidecar %s: %s\n", argv[0],
+                   what, path.c_str(), e.what());
+      load_failed = true;
+      return false;
+    }
     return true;
   };
-  Json timing, metrics, telemetry;
-  bool have_timing = false, have_metrics = false, have_telemetry = false;
-  try {
-    have_timing =
-        load_optional(silence::runner::timing_sidecar_path(result_path),
-                      timing);
-    have_metrics =
-        load_optional(silence::runner::metrics_sidecar_path(result_path),
-                      metrics);
-    have_telemetry =
-        load_optional(silence::runner::telemetry_sidecar_path(result_path),
-                      telemetry);
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
-    return 2;
+  Json timing, metrics, telemetry, health_doc;
+  const bool have_timing = load_sidecar(
+      timing_path, silence::runner::timing_sidecar_path(result_path),
+      "timing", timing);
+  const bool have_metrics = load_sidecar(
+      metrics_path, silence::runner::metrics_sidecar_path(result_path),
+      "metrics", metrics);
+  const bool have_telemetry = load_sidecar(
+      telemetry_path, silence::runner::telemetry_sidecar_path(result_path),
+      "telemetry", telemetry);
+  const bool have_health = load_sidecar(
+      health_path, silence::runner::health_sidecar_path(result_path),
+      "health", health_doc);
+  if (load_failed) return 2;
+
+  health::HealthSnapshot health_snapshot;
+  if (have_health) {
+    try {
+      health_snapshot = health::health_from_json(health_doc);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s: malformed health sidecar: %s\n", argv[0],
+                   e.what());
+      return 2;
+    }
   }
+
   TraceSummary trace;
-  if (!trace_path.empty()) trace = summarize_trace(trace_path);
+  if (!trace_path.empty()) {
+    trace = summarize_trace(trace_path);
+    // --trace is always an explicit request: an unreadable trace is an
+    // error, not a report footnote.
+    if (!trace.loaded) {
+      std::fprintf(stderr, "%s: cannot read trace %s: %s\n", argv[0],
+                   trace_path.c_str(), trace.error.c_str());
+      return 2;
+    }
+  }
 
   const std::string bench = string_field(result, "bench", "(unknown)");
   const std::vector<StationRow> stations =
@@ -364,11 +623,17 @@ int main(int argc, char** argv) {
     }
   }
 
+  md += "\n## PHY health\n\n";
+  if (!have_health) {
+    md += "_no .health.json sidecar (run with --json under "
+          "SILENCE_OBS=ON)_\n";
+  } else {
+    md_health_section(md, health_snapshot);
+  }
+
   md += "\n## Trace\n\n";
   if (trace_path.empty()) {
     md += "_no trace supplied (--trace FILE)_\n";
-  } else if (!trace.loaded) {
-    md += "_could not read `" + trace_path + "`: " + trace.error + "_\n";
   } else {
     md += "`" + trace_path + "`: " + std::to_string(trace.total_events) +
           " event(s), " + std::to_string(trace.tracks.size()) +
@@ -461,6 +726,19 @@ int main(int argc, char** argv) {
     report.set("stations", std::move(sta_rows));
   }
   if (have_telemetry) report.set("fabric_telemetry", telemetry);
+  if (have_health) {
+    report.set("health", health_doc);
+    const OperatingPoint op = operating_point(health_snapshot);
+    Json roc = Json::object();
+    roc.set("truth_silent", static_cast<std::int64_t>(op.truth_silent));
+    roc.set("truth_active", static_cast<std::int64_t>(op.truth_active));
+    roc.set("misses", static_cast<std::int64_t>(op.misses));
+    roc.set("false_alarms", static_cast<std::int64_t>(op.false_alarms));
+    roc.set("miss_rate", op.miss_rate());
+    roc.set("false_alarm_rate", op.false_alarm_rate());
+    roc.set("histogram_consistent", op.consistent);
+    report.set("detector_operating_point", std::move(roc));
+  }
   if (!trace_path.empty() && trace.loaded) {
     Json t = Json::object();
     t.set("path", trace.path);
