@@ -1,5 +1,5 @@
 // Network-scale CoS: one AP, N contending stations, every data frame
-// carrying a free CoS control message. Sweeps the station count 1 -> 64
+// carrying a free CoS control message. Sweeps the station count 1 -> 256
 // and reports what the network gets out of the shared medium: aggregate
 // data throughput, CoS control goodput (the bits the paper gets "for
 // free"), the airtime DCF burns on overhead, and Jain fairness across
@@ -23,6 +23,7 @@
 
 #include "bench_util.h"
 #include "net/scenario.h"
+#include "phy/batch.h"
 #include "runner/sinks.h"
 #include "runner/sweep.h"
 
@@ -87,19 +88,27 @@ net::Scenario scenario_for(int num_stations) {
 
 int main(int argc, char** argv) {
   std::string stas_csv;
+  bool no_phy_batch = false;
   const bench::BenchArgs args = bench::parse_bench_args(
       argc, argv, "net_scenarios",
       {{"--stas",
         "comma-separated station counts for the sweep axis\n"
-        "                (default 1,2,4,8,16,32,64)",
-        [&stas_csv](const char* v) { stas_csv = v; }}});
+        "                (default 1,2,4,8,16,32,64,128,256)",
+        [&stas_csv](const char* v) { stas_csv = v; }},
+       {"--no-phy-batch",
+        "route every packet through the scalar PHY chain instead of\n"
+        "                the batched SoA engine (CI A/Bs the two paths for\n"
+        "                byte-identical output)",
+        [&no_phy_batch](const char*) { no_phy_batch = true; },
+        /*takes_value=*/false}});
+  if (no_phy_batch) set_phy_batch_enabled(false);
   const int trials = args.trials > 0 ? args.trials : kDefaultTrialsPerPoint;
 
   runner::SweepGrid<int> grid;  // points: station count
   grid.base_seed = args.seed;
   grid.trials = static_cast<std::size_t>(trials);
   grid.points =
-      stas_csv.empty() ? std::vector<int>{1, 2, 4, 8, 16, 32, 64}
+      stas_csv.empty() ? std::vector<int>{1, 2, 4, 8, 16, 32, 64, 128, 256}
                        : parse_stas(stas_csv);
 
   fabric::FabricConfig fab_config = bench::fabric_config(args);
@@ -107,6 +116,10 @@ int main(int argc, char** argv) {
     // Workers must rebuild the identical grid.
     fab_config.passthrough_args.push_back("--stas");
     fab_config.passthrough_args.push_back(stas_csv);
+  }
+  if (no_phy_batch) {
+    // Workers must run the same engine.
+    fab_config.passthrough_args.push_back("--no-phy-batch");
   }
   fabric::Fabric fab(std::move(fab_config));
   if (!fab.worker_mode()) {

@@ -123,14 +123,28 @@ void FadingChannel::advance(double seconds) {
 }
 
 CxVec FadingChannel::apply_multipath(std::span<const Cx> samples) const {
+  // Tap-outer form of the FIR convolution. Every out[n] still sums
+  // taps_[l] * samples[n - l] in ascending-l order — the same additions
+  // in the same order as the sample-outer loop, so the result is
+  // bit-identical — but the inner loop now walks the sample dimension
+  // contiguously with a loop-invariant tap, which vectorizes instead of
+  // serializing on a per-sample accumulator. Split-double pointers keep
+  // the complex multiply in the (ac - bd, ad + bc) form libstdc++
+  // inlines for finite values.
   CxVec out(samples.size(), Cx{0.0, 0.0});
-  for (std::size_t n = 0; n < samples.size(); ++n) {
-    Cx acc{0.0, 0.0};
-    const std::size_t max_l = std::min(taps_.size(), n + 1);
-    for (std::size_t l = 0; l < max_l; ++l) {
-      acc += taps_[l] * samples[n - l];
+  const std::size_t count = samples.size();
+  const auto* __restrict s = reinterpret_cast<const double*>(samples.data());
+  auto* __restrict o = reinterpret_cast<double*>(out.data());
+  for (std::size_t l = 0; l < taps_.size() && l < count; ++l) {
+    const double tr = taps_[l].real();
+    const double ti = taps_[l].imag();
+    double* __restrict ol = o + 2 * l;
+    for (std::size_t n = 0; n < count - l; ++n) {
+      const double sr = s[2 * n];
+      const double si = s[2 * n + 1];
+      ol[2 * n] += tr * sr - ti * si;
+      ol[2 * n + 1] += tr * si + ti * sr;
     }
-    out[n] = acc;
   }
   return out;
 }

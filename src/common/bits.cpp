@@ -16,16 +16,21 @@ Bits bytes_to_bits(std::span<const std::uint8_t> bytes) {
 }
 
 Bytes bits_to_bytes(std::span<const std::uint8_t> bits) {
+  Bytes bytes;
+  bits_to_bytes_into(bits, bytes);
+  return bytes;
+}
+
+void bits_to_bytes_into(std::span<const std::uint8_t> bits, Bytes& bytes) {
   if (bits.size() % 8 != 0) {
     throw std::invalid_argument("bits_to_bytes: bit count not a multiple of 8");
   }
-  Bytes bytes(bits.size() / 8, 0);
+  bytes.assign(bits.size() / 8, 0);
   for (std::size_t i = 0; i < bits.size(); ++i) {
     if (bits[i] & 1U) {
       bytes[i / 8] |= static_cast<std::uint8_t>(1U << (i % 8));
     }
   }
-  return bytes;
 }
 
 std::uint64_t bits_to_uint(std::span<const std::uint8_t> bits) {

@@ -23,6 +23,10 @@ Bits bytes_to_bits(std::span<const std::uint8_t> bytes);
 // multiple of 8.
 Bytes bits_to_bytes(std::span<const std::uint8_t> bits);
 
+// Same packing into a caller buffer (resized; capacity reused across
+// calls). The bit count must be a multiple of 8.
+void bits_to_bytes_into(std::span<const std::uint8_t> bits, Bytes& bytes);
+
 // Interprets up to 64 bits as an unsigned integer, MSB first.
 std::uint64_t bits_to_uint(std::span<const std::uint8_t> bits);
 

@@ -37,6 +37,14 @@ class FftPlan {
     for (Cx& x : data) x *= scale;
   }
 
+  // Table access for external kernels (the batched SoA engine) that must
+  // replay the exact butterfly sequence on their own storage layout.
+  // Stage-major layout: the stage with butterfly span `len` stores its
+  // len/2 factors at offset len/2 - 1.
+  std::span<const Cx> forward_twiddles() const { return twiddle_fwd_; }
+  std::span<const Cx> inverse_twiddles() const { return twiddle_inv_; }
+  std::span<const std::uint32_t> bit_reversal() const { return bitrev_; }
+
  private:
   void run(std::span<Cx> data, const std::vector<Cx>& twiddle) const;
 

@@ -54,11 +54,17 @@ NetResult run_scenario(const Scenario& scenario, std::uint64_t seed) {
   OBS_SPAN("net.scenario");
 
   // Stations hold a CosSession referencing their own Link, so they are
-  // pinned in memory.
+  // pinned in memory. They share one batched-PHY workspace: the slotted
+  // scheduler runs at most one frame exchange at a time, and the batch
+  // facades are bit-identical to the scalar chain, so slot ordering and
+  // per-station RNG substreams are untouched. `--no-phy-batch` (via
+  // set_phy_batch_enabled) reverts every session to the scalar path.
+  auto phy_batch = std::make_unique<PhyBatch>();
   std::vector<std::unique_ptr<Station>> stations;
   stations.reserve(static_cast<std::size_t>(scenario.num_stations));
   for (int i = 0; i < scenario.num_stations; ++i) {
-    stations.push_back(std::make_unique<Station>(scenario, i, seed));
+    stations.push_back(
+        std::make_unique<Station>(scenario, i, seed, phy_batch.get()));
   }
 
   NetResult result;

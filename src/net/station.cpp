@@ -39,11 +39,13 @@ LinkConfig link_config_for(const Scenario& scenario, int index,
   return config;
 }
 
-SessionConfig session_config_for(const Scenario& scenario) {
+SessionConfig session_config_for(const Scenario& scenario,
+                                 PhyBatch* phy_batch) {
   SessionConfig config;
   config.profile = scenario.cos;
   config.fixed_rate_mbps = scenario.fixed_rate_mbps;
   config.use_selection_feedback = scenario.use_selection_feedback;
+  config.phy_batch = phy_batch;
   return config;
 }
 
@@ -65,7 +67,8 @@ std::size_t planned_aggregate_octets(std::size_t mpdus,
 
 }  // namespace
 
-Station::Station(const Scenario& scenario, int index, std::uint64_t seed)
+Station::Station(const Scenario& scenario, int index, std::uint64_t seed,
+                 PhyBatch* phy_batch)
     : mpdus_per_frame_(
           clamp_mpdus(scenario, scenario.mpdu_octets + kMacOverheadOctets)),
       mpdu_payload_octets_(scenario.mpdu_octets),
@@ -77,7 +80,7 @@ Station::Station(const Scenario& scenario, int index, std::uint64_t seed)
       traffic_rng_(runner::substream_seed(
           seed, kTrafficStream + static_cast<std::uint64_t>(index))),
       link_(link_config_for(scenario, index, seed)),
-      session_(link_, session_config_for(scenario)) {
+      session_(link_, session_config_for(scenario, phy_batch)) {
   backoff_.restart(traffic_rng_);
 }
 

@@ -18,7 +18,12 @@ class Station {
  public:
   // `index` is the station's position in the scenario (0-based); it
   // selects the SNR interpolation point and the seed substreams.
-  Station(const Scenario& scenario, int index, std::uint64_t seed);
+  // `phy_batch` optionally routes this station's PHY through the batched
+  // SoA engine (bit-identical results); the scheduler shares one
+  // workspace across all stations, which is safe because transmissions
+  // are strictly sequential in slot order.
+  Station(const Scenario& scenario, int index, std::uint64_t seed,
+          PhyBatch* phy_batch = nullptr);
 
   // Outcome of one solo medium acquisition. The per-MPDU/control fields
   // let the scheduler narrate the exchange on the MAC timeline without

@@ -27,6 +27,13 @@ int conv_next_state(int state, int input_bit) {
 
 Bits convolutional_encode(std::span<const std::uint8_t> bits) {
   Bits out;
+  convolutional_encode_into(bits, out);
+  return out;
+}
+
+void convolutional_encode_into(std::span<const std::uint8_t> bits,
+                               Bits& out) {
+  out.clear();
   out.reserve(bits.size() * 2);
   int state = 0;
   for (std::uint8_t bit : bits) {
@@ -35,7 +42,6 @@ Bits convolutional_encode(std::span<const std::uint8_t> bits) {
     out.push_back(static_cast<std::uint8_t>((ab >> 1) & 1U));
     state = conv_next_state(state, bit);
   }
-  return out;
 }
 
 }  // namespace silence

@@ -19,6 +19,10 @@ inline constexpr std::uint8_t kGeneratorB = 0b1111001;           // 171 octal
 // caller appends >= 6 tail zeros) ends in the all-zero state.
 Bits convolutional_encode(std::span<const std::uint8_t> bits);
 
+// Same encoding into a caller buffer (resized; capacity reused across
+// calls, so warm hot-path callers stay allocation-free).
+void convolutional_encode_into(std::span<const std::uint8_t> bits, Bits& out);
+
 // Coded output pair for one input bit from a given 6-bit encoder state.
 // Bit 0 of the result is output A, bit 1 is output B.
 std::uint8_t conv_output(int state, int input_bit);

@@ -1,5 +1,7 @@
 #include "phy/preamble.h"
 
+#include <algorithm>
+#include <array>
 #include <cmath>
 #include <stdexcept>
 
@@ -72,8 +74,15 @@ std::array<Cx, kFftSize> estimate_channel(std::span<const Cx> ltf_samples) {
   if (ltf_samples.size() != static_cast<std::size_t>(kLtfSamples)) {
     throw std::invalid_argument("estimate_channel: need 160 LTF samples");
   }
-  const CxVec first = fft(ltf_samples.subspan(32, kFftSize));
-  const CxVec second = fft(ltf_samples.subspan(32 + kFftSize, kFftSize));
+  // Stack copies keep the estimator allocation-free (it runs once per
+  // received packet on the hot path); the in-place transform replays the
+  // identical butterfly sequence fft() would.
+  std::array<Cx, kFftSize> first;
+  std::array<Cx, kFftSize> second;
+  std::copy_n(ltf_samples.begin() + 32, kFftSize, first.begin());
+  std::copy_n(ltf_samples.begin() + 32 + kFftSize, kFftSize, second.begin());
+  fft_in_place(first, /*inverse=*/false);
+  fft_in_place(second, /*inverse=*/false);
   const CxVec& known = ltf_frequency_bins();
 
   std::array<Cx, kFftSize> channel{};

@@ -22,14 +22,23 @@ std::span<const std::uint8_t> pattern_for(CodeRate rate) {
 }  // namespace
 
 Bits puncture(std::span<const std::uint8_t> coded, CodeRate rate) {
-  const auto pattern = pattern_for(rate);
-  if (pattern.empty()) return Bits(coded.begin(), coded.end());
   Bits out;
+  puncture_into(coded, rate, out);
+  return out;
+}
+
+void puncture_into(std::span<const std::uint8_t> coded, CodeRate rate,
+                   Bits& out) {
+  const auto pattern = pattern_for(rate);
+  if (pattern.empty()) {
+    out.assign(coded.begin(), coded.end());
+    return;
+  }
+  out.clear();
   out.reserve(coded.size());
   for (std::size_t i = 0; i < coded.size(); ++i) {
     if (pattern[i % pattern.size()]) out.push_back(coded[i]);
   }
-  return out;
 }
 
 void depuncture_llrs_into(std::span<const double> llrs, CodeRate rate,

@@ -21,6 +21,10 @@ using Llrs = std::vector<double>;
 // this).
 Bits puncture(std::span<const std::uint8_t> coded, CodeRate rate);
 
+// Same puncturing into a caller buffer (capacity reused across calls).
+void puncture_into(std::span<const std::uint8_t> coded, CodeRate rate,
+                   Bits& out);
+
 // Re-inserts zero LLRs at punctured positions, restoring the mother-code
 // stream of exactly `mother_bits` soft values (2*N for N information
 // bits). Throws if `llrs` does not hold exactly the surviving positions.

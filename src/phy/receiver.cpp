@@ -30,7 +30,9 @@ const ViterbiDecoder& shared_decoder() {
   return decoder;
 }
 
-std::optional<SignalField> decode_signal(
+}  // namespace
+
+std::optional<SignalField> decode_signal_symbol(
     std::span<const Cx> signal_bins, const std::array<Cx, kFftSize>& channel,
     double noise_var, PhyWorkspace& ws) {
   std::array<Cx, kNumDataSubcarriers> points;
@@ -50,8 +52,6 @@ std::optional<SignalField> decode_signal(
                           ws.scrambled);
   return parse_signal_bits(std::span(ws.scrambled).first(24));
 }
-
-}  // namespace
 
 void equalize_data_points_into(std::span<const Cx> bins64,
                                const std::array<Cx, kFftSize>& channel,
@@ -126,7 +126,7 @@ FrontEndResult receiver_front_end(std::span<const Cx> raw_samples,
 
   {
     OBS_SPAN("phy.rx.signal");
-    fe.signal = decode_signal(signal_bins, fe.channel, fe.noise_var, ws);
+    fe.signal = decode_signal_symbol(signal_bins, fe.channel, fe.noise_var, ws);
   }
   if (!fe.signal) return fe;
 
@@ -318,8 +318,9 @@ DecodeResult decode_data_symbols(const FrontEndResult& fe, const Mcs& mcs,
     // decoder's output re-encoded and compared with the hard decisions it
     // was fed — mismatches at non-erased positions are the channel errors
     // plus silence erasures the code absorbed.
-    const Bits recoded =
-        puncture(convolutional_encode(scrambled), mcs.code_rate);
+    convolutional_encode_into(scrambled, ws.recode_mother);
+    puncture_into(ws.recode_mother, mcs.code_rate, ws.recoded);
+    const Bits& recoded = ws.recoded;
     std::uint64_t corrected = 0;
     const std::size_t n = std::min(recoded.size(), ws.deint.size());
     for (std::size_t i = 0; i < n; ++i) {

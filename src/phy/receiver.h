@@ -87,6 +87,13 @@ RxPacket receive_packet(std::span<const Cx> samples, PhyWorkspace& ws);
 // (preceded by noise/idle): runs STF/LTF timing acquisition first.
 RxPacket receive_packet_unaligned(std::span<const Cx> samples);
 
+// Decodes the SIGNAL symbol from its raw (unequalized) 64-bin FFT output
+// using the LTF channel estimate. Shared by the scalar and batched front
+// ends (phy/batch.h).
+std::optional<SignalField> decode_signal_symbol(
+    std::span<const Cx> signal_bins, const std::array<Cx, kFftSize>& channel,
+    double noise_var, PhyWorkspace& ws);
+
 // Equalizes one raw 64-bin symbol to the 48 logical data points.
 // Bins with a near-zero channel estimate equalize to 0.
 CxVec equalize_data_points(std::span<const Cx> bins64,

@@ -1,5 +1,9 @@
 #include "phy/scrambler.h"
 
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <mutex>
 #include <stdexcept>
 
 namespace silence {
@@ -31,6 +35,44 @@ Bits Scrambler::sequence(std::uint8_t seed, std::size_t length) {
   Bits out(length);
   for (auto& b : out) b = s.next();
   return out;
+}
+
+std::span<const std::uint8_t> Scrambler::period_cached(std::uint8_t seed) {
+  constexpr std::size_t kPeriod = 127;
+  // One slot per 7-bit seed, built once under the mutex and published
+  // with release semantics (same pattern as fft_plan's cache).
+  static std::array<std::atomic<const Bits*>, 128> slots{};
+  static std::mutex build_mutex;
+  const auto idx = static_cast<std::size_t>(seed & 0x7FU);
+  if (idx == 0) {
+    throw std::invalid_argument("Scrambler: seed must be non-zero");
+  }
+  const Bits* period = slots[idx].load(std::memory_order_acquire);
+  if (period == nullptr) {
+    const std::lock_guard<std::mutex> lock(build_mutex);
+    period = slots[idx].load(std::memory_order_acquire);
+    if (period == nullptr) {
+      period = new Bits(sequence(seed, kPeriod));
+      slots[idx].store(period, std::memory_order_release);
+    }
+  }
+  return *period;
+}
+
+void Scrambler::apply_with_seed_into(std::uint8_t seed,
+                                     std::span<const std::uint8_t> bits,
+                                     Bits& out) {
+  const auto period = period_cached(seed);
+  out.resize(bits.size());
+  std::size_t i = 0;
+  while (i < bits.size()) {
+    const std::size_t chunk = std::min(period.size(), bits.size() - i);
+    for (std::size_t j = 0; j < chunk; ++j) {
+      out[i + j] =
+          static_cast<std::uint8_t>((bits[i + j] ^ period[j]) & 1U);
+    }
+    i += chunk;
+  }
 }
 
 std::uint8_t Scrambler::recover_seed(std::span<const std::uint8_t> first7) {

@@ -27,6 +27,19 @@ class Scrambler {
   // for the pilot polarity sequence).
   static Bits sequence(std::uint8_t seed, std::size_t length);
 
+  // One period (127 bits) of the PN sequence for `seed`, served from a
+  // process-wide table built lazily per seed. The span stays valid for
+  // the process lifetime.
+  static std::span<const std::uint8_t> period_cached(std::uint8_t seed);
+
+  // XORs the `seed` PN sequence onto `bits` without stepping the register
+  // bit by bit (the period table plus a block XOR). Bit-identical to
+  // Scrambler(seed).apply(bits); `out` is resized to match and its
+  // capacity is reused across calls.
+  static void apply_with_seed_into(std::uint8_t seed,
+                                   std::span<const std::uint8_t> bits,
+                                   Bits& out);
+
   // Recovers the transmitter seed from the first 7 descrambler-input bits,
   // assuming the plaintext bits were zero (the SERVICE field's scrambler
   //-init bits). Returns the state that generates those 7 bits.

@@ -91,7 +91,7 @@ TxFrame build_frame(std::span<const std::uint8_t> psdu, const Mcs& mcs,
   return frame;
 }
 
-CxVec frame_to_samples(const TxFrame& frame) {
+CxVec frame_samples_prefix(const TxFrame& frame) {
   if (!frame.mcs.valid()) {
     throw std::invalid_argument("frame_to_samples: empty frame");
   }
@@ -116,9 +116,16 @@ CxVec frame_to_samples(const TxFrame& frame) {
   std::array<Cx, kFftSize> bins;
   assemble_frequency_bins_into(signal_points, 0, bins);
   bins_to_time_into(bins, out.subspan(kPreambleSamples, kSymbolSamples));
+  return samples;
+}
+
+CxVec frame_to_samples(const TxFrame& frame) {
+  CxVec samples = frame_samples_prefix(frame);
+  const std::span<Cx> out(samples);
 
   // Data symbols: pilot indices 1..n, written straight into the output
   // burst (the IFFT runs in place on the destination span).
+  std::array<Cx, kFftSize> bins;
   {
     OBS_SPAN("phy.tx.ifft");
     for (int s = 0; s < frame.num_symbols(); ++s) {

@@ -33,6 +33,9 @@ struct PhyWorkspace {
   Llrs mother;
   // RX: decoder output before descrambling.
   Bits scrambled;
+  // RX: re-encoded decoder output (observability's corrected-bit count).
+  Bits recode_mother;
+  Bits recoded;
   // RX/TX: Viterbi survivor storage and quantized branch metrics.
   ViterbiWorkspace viterbi;
 };

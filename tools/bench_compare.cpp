@@ -33,13 +33,18 @@ int usage(const char* argv0, int code) {
   std::fprintf(stderr,
                "usage: %s <baseline.json> <candidate.json> "
                "[--tolerance FRAC] [--report FILE]\n"
+               "       [--gate-ratio NUM:DEN:MIN]...\n"
                "  compares two results/BENCH_*.json files; exits 1 when\n"
                "  any benchmark or pipeline stage slowed down by more than\n"
                "  FRAC (default 0.10 = 10%%), or when an entry present in\n"
                "  the baseline is missing from the candidate\n"
                "  --report FILE  also write the comparison as machine-\n"
                "  readable JSON (every compared metric, not just the\n"
-               "  out-of-tolerance ones)\n",
+               "  out-of-tolerance ones)\n"
+               "  --gate-ratio NUM:DEN:MIN  require benchmark NUM's\n"
+               "  items_per_second to be at least MIN x benchmark DEN's,\n"
+               "  both read from the candidate file (a within-run speedup\n"
+               "  gate, e.g. batch vs scalar, immune to machine speed)\n",
                argv0);
   return code;
 }
@@ -204,6 +209,79 @@ void compare_stage_throughput(const Json& base_root, const Json& cand_root,
   }
 }
 
+// A within-candidate speedup gate: numerator benchmark must deliver at
+// least `min_ratio` times the denominator's items_per_second. Because
+// both numbers come from the same run on the same machine, the gate is
+// insensitive to absolute host speed, unlike baseline-vs-candidate.
+struct RatioGate {
+  std::string numerator;
+  std::string denominator;
+  double min_ratio = 0.0;
+};
+
+bool parse_ratio_gate(const std::string& spec, RatioGate& gate) {
+  const std::size_t first = spec.find(':');
+  const std::size_t second =
+      first == std::string::npos ? std::string::npos
+                                 : spec.find(':', first + 1);
+  if (second == std::string::npos) return false;
+  gate.numerator = spec.substr(0, first);
+  gate.denominator = spec.substr(first + 1, second - first - 1);
+  char* end = nullptr;
+  const std::string min_str = spec.substr(second + 1);
+  gate.min_ratio = std::strtod(min_str.c_str(), &end);
+  return !gate.numerator.empty() && !gate.denominator.empty() &&
+         end != min_str.c_str() && std::isfinite(gate.min_ratio) &&
+         gate.min_ratio > 0.0;
+}
+
+double candidate_items_per_second(const Json& cand_root,
+                                  const std::string& name) {
+  const Json* stages = field(cand_root, "stages");
+  if (stages == nullptr || !stages->is_array()) return 0.0;
+  for (const Json& entry : stages->as_array()) {
+    const Json* entry_name = field(entry, "name");
+    if (entry_name != nullptr && entry_name->is_string() &&
+        entry_name->as_string() == name) {
+      return number_field(entry, "items_per_second", 0.0);
+    }
+  }
+  return 0.0;
+}
+
+void check_ratio_gates(const Json& cand_root,
+                       const std::vector<RatioGate>& gates,
+                       Comparison& summary) {
+  for (const RatioGate& gate : gates) {
+    const std::string label = gate.numerator + " vs " + gate.denominator;
+    const double num = candidate_items_per_second(cand_root, gate.numerator);
+    const double den =
+        candidate_items_per_second(cand_root, gate.denominator);
+    if (num <= 0.0 || den <= 0.0) {
+      summary.add_missing("ratio gate " + label);
+      std::printf(
+          "MISSING     ratio gate %s: items_per_second not found in "
+          "candidate\n",
+          label.c_str());
+      continue;
+    }
+    const double ratio = num / den;
+    ++summary.compared;
+    std::string status = "ok";
+    if (ratio < gate.min_ratio) {
+      status = "regression";
+      ++summary.regressions;
+      std::printf("REGRESSION  %-40s ratio %.3f below required %.3f\n",
+                  label.c_str(), ratio, gate.min_ratio);
+    } else {
+      std::printf("ratio gate  %-40s %.3fx (required >= %.3fx)\n",
+                  label.c_str(), ratio, gate.min_ratio);
+    }
+    summary.entries.push_back(
+        {label, "items_ratio", gate.min_ratio, ratio, ratio, status});
+  }
+}
+
 }  // namespace
 
 // The machine-readable comparison: what the console printout says, but
@@ -246,6 +324,7 @@ int main(int argc, char** argv) {
   std::vector<std::string> paths;
   double tolerance = 0.10;
   std::string report_path;
+  std::vector<RatioGate> gates;
   for (int i = 1; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--help") || !std::strcmp(argv[i], "-h")) {
       return usage(argv[0], 0);
@@ -260,6 +339,16 @@ int main(int argc, char** argv) {
     } else if (!std::strcmp(argv[i], "--report")) {
       if (i + 1 >= argc) return usage(argv[0], 2);
       report_path = argv[++i];
+    } else if (!std::strcmp(argv[i], "--gate-ratio")) {
+      if (i + 1 >= argc) return usage(argv[0], 2);
+      RatioGate gate;
+      if (!parse_ratio_gate(argv[++i], gate)) {
+        std::fprintf(stderr,
+                     "%s: --gate-ratio expects NUM:DEN:MIN with MIN > 0\n",
+                     argv[0]);
+        return 2;
+      }
+      gates.push_back(std::move(gate));
     } else {
       paths.emplace_back(argv[i]);
     }
@@ -281,6 +370,7 @@ int main(int argc, char** argv) {
   Comparison summary;
   compare_benchmarks(base_root, cand_root, tolerance, summary);
   compare_stage_throughput(base_root, cand_root, tolerance, summary);
+  check_ratio_gates(cand_root, gates, summary);
 
   std::printf(
       "%zu metric(s) compared: %zu regression(s), %zu improvement(s), "
