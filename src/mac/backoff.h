@@ -19,6 +19,11 @@ class Backoff {
   // Consumes `slots` idle slots; the caller guarantees slots <= counter().
   void consume(int slots);
 
+  // Whether the counter has reached zero — i.e. this station transmits
+  // at the end of the current idle period (the event engine's
+  // backoff-expiry condition).
+  bool expired() const { return counter_ == 0; }
+
   int counter() const { return counter_; }
   int window() const { return window_; }
   int retries() const { return retries_; }

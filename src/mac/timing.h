@@ -15,6 +15,14 @@ inline constexpr int kCwMin = 15;
 inline constexpr int kCwMax = 1023;
 inline constexpr int kRetryLimit = 7;
 
+// Idle time before the smallest pending backoff counter of `slots`
+// expires: the DIFS deference plus the counted-down slots. This is the
+// delay the event engine schedules between a round's start and its
+// backoff-expiry event.
+inline double backoff_expiry_delay_us(int slots) {
+  return kDifsUs + slots * kSlotUs;
+}
+
 // Airtime of a PSDU of `octets` at `mcs`, in microseconds (preamble +
 // SIGNAL + data symbols).
 inline double psdu_airtime_us(std::size_t octets, const Mcs& mcs) {

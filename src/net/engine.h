@@ -1,0 +1,165 @@
+// The event-driven network core behind run_scenario: a stateful NetSim
+// that replaces the old slotted single-AP loop with a calendar queue of
+// timestamped arrival / round-start / backoff-expiry / TX-end events
+// (net/events.h), so multiple BSSs contend concurrently, their PPDUs
+// overlap in simulated time, and open-loop traffic models drive per-
+// station queues.
+//
+// Per BSS the DCF round structure is unchanged — DIFS + smallest backoff
+// counter of idle, then one winner's frame exchange or a collision — and
+// on a single-BSS saturated scenario the engine reproduces the legacy
+// slotted loop's NetResult byte-for-byte: identical arithmetic
+// expressions, identical per-station fading-advance call sequences,
+// and zero extra RNG draws (arrival streams exist only for open-loop
+// traffic; interference draws only when an overlap actually lands).
+//
+// What multi-BSS adds on top:
+//  - OBSS interference: every in-flight PPDU registers a (channel,
+//    interval) on a shared registry; when a winner's exchange completes,
+//    the overlap fraction from other cells' PPDUs (weighted 1 for
+//    co-channel, Topology::adjacent_leak for adjacent channels) becomes
+//    a PulseInterferer on that one exchange — the paper's Fig. 10(d)
+//    threat model, now emergent from topology instead of injected.
+//  - Hidden terminals: a same-BSS contender that cannot hear the winner
+//    (Topology::carrier_sense) keeps counting down and blind-fires into
+//    the winner's PPDU; the victim sees the overlap as interference,
+//    the firer burns a collision, and the round extends to cover the
+//    stray PPDU.
+//  - Traffic: saturated stations contend always; poisson / on-off
+//    stations contend while their arrival queue is non-empty, and a BSS
+//    with nothing to send sleeps until an arrival wakes it. Queueing
+//    delay flows into the existing hol_wait_slots percentiles (the HOL
+//    clock starts when a frame reaches the head of an empty queue).
+//
+// Determinism: the calendar queue pops in (timestamp, kind, bss, sta,
+// FIFO) order and every handler is sequential, so the whole simulation
+// is a pure function of (scenario, seed) at any thread or fabric count.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "net/events.h"
+#include "net/scenario.h"
+#include "net/station.h"
+#include "net/timeline.h"
+
+namespace silence::net {
+
+class NetSim {
+ public:
+  NetSim() = default;
+  NetSim(const Scenario& scenario, std::uint64_t seed) {
+    init(scenario, seed);
+  }
+
+  // Builds stations, seeds the arrival streams and schedules the first
+  // round of every BSS. Throws std::invalid_argument on a malformed
+  // scenario. Re-initializing an already-used sim throws.
+  void init(const Scenario& scenario, std::uint64_t seed);
+
+  // Processes events until simulated time passes `t_us` (every event
+  // with timestamp <= t_us runs), leaving mid-run state observable via
+  // the accessors below. Rate controllers (ROADMAP item 2) hook in
+  // here: step, read, adjust, repeat.
+  void step_until(double t_us);
+
+  // Runs the scenario to completion (duration reached on every BSS).
+  void run();
+
+  bool done() const;
+  // Timestamp of the last processed event.
+  double now_us() const { return now_us_; }
+  std::uint64_t events_processed() const { return events_; }
+
+  int num_stations() const { return static_cast<int>(stations_.size()); }
+  int num_bss() const { return static_cast<int>(bss_.size()); }
+  // Mid-run per-station views (valid after init()).
+  const StaStats& station_stats(int i) const {
+    return stations_[static_cast<std::size_t>(i)]->stats();
+  }
+  std::size_t station_queue_len(int i) const {
+    return queue_len_[static_cast<std::size_t>(i)];
+  }
+
+  // Completes the run if needed, finalizes the per-station metrics
+  // (idempotent) and returns the result.
+  NetResult result();
+
+ private:
+  struct BlindFire {
+    int sta = -1;        // the hidden contender
+    double t_fire = 0.0; // when its counter would have expired
+    double air_us = 0.0; // its stray PPDU's airtime
+  };
+
+  // Per-BSS scheduler state: the current round (between round-start and
+  // backoff-expiry), the in-flight exchange (between expiry and TX-end)
+  // and the dormancy/completion lifecycle.
+  struct BssState {
+    int channel = 0;
+    std::vector<int> members;     // global station indices, ascending
+    std::vector<int> contenders;  // this round's backlogged members
+    int min_counter = 0;
+    double idle_us = 0.0;
+    int winner = -1;
+    double tx_start = 0.0;
+    double air_us = 0.0;
+    std::vector<BlindFire> blind;
+    bool dormant = false;
+    bool wake_pending = false;
+    double dormant_since = 0.0;
+    bool finished = false;
+    double end_us = 0.0;
+  };
+
+  // A PPDU currently on the air, visible to other BSSs as potential
+  // OBSS interference. `sta` is -1 for a collision burst.
+  struct TxInterval {
+    int bss = 0;
+    int sta = -1;
+    int channel = 0;
+    double start_us = 0.0;
+    double end_us = 0.0;
+  };
+
+  void step();  // process exactly one event
+  void start_round(int b, double t);
+  void on_backoff_expiry(int b, double t);
+  void on_tx_end(int b, double t);
+  void on_arrival(int sta, double t);
+  void finish_dormant();
+
+  bool has_frame(int sta) const {
+    return saturated_ || queue_len_[static_cast<std::size_t>(sta)] > 0;
+  }
+  void advance_members(const BssState& bss, double us, int except);
+  // Weighted overlap of other cells' PPDUs with [start, start + air);
+  // returns the interference fraction and accumulates obss_overlap_us.
+  double obss_fraction(int b, double start, double air_us);
+  void prune_intervals(double t);
+  void pregenerate_arrivals(std::uint64_t seed);
+
+  Scenario scenario_;
+  std::unique_ptr<PhyBatch> phy_batch_;
+  std::vector<std::unique_ptr<Station>> stations_;
+  std::vector<int> station_bss_;
+  std::vector<BssState> bss_;
+  std::unique_ptr<CalendarQueue> queue_;
+  std::unique_ptr<Timeline> timeline_;
+  std::unique_ptr<StationMetrics> sta_metrics_;
+  std::vector<double> hol_since_;
+  std::vector<double> last_tx_start_;
+  std::vector<std::size_t> queue_len_;
+  std::vector<TxInterval> live_tx_;
+  NetResult result_;
+  double now_us_ = 0.0;
+  std::uint64_t events_ = 0;
+  bool saturated_ = true;
+  bool initialized_ = false;
+  bool finalized_ = false;
+};
+
+}  // namespace silence::net

@@ -1,222 +1,18 @@
-// The slotted DCF scheduler tying N Stations to one shared medium. The
-// loop is the same shape as mac/contention.cpp — DIFS + smallest backoff
-// counter of idle time, then either one winner's frame exchange or a
-// collision — but each solo winner transmits a real aggregated CoS frame
-// through its closed-loop session instead of a bare PHY packet.
-#include <algorithm>
-#include <cmath>
-#include <cstdio>
-#include <limits>
-#include <memory>
-#include <stdexcept>
-#include <string>
-#include <vector>
-
-#include "mac/aggregation.h"
-#include "mac/frame.h"
-#include "mac/timing.h"
-#include "net/station.h"
-#include "net/timeline.h"
-#include "obs/flight/flight.h"
-#include "obs/health/health.h"
+// run_scenario as a thin wrapper over the event-driven net::NetSim
+// (net/engine.h): construct, run to completion, return the finalized
+// result. Kept as the one-shot entry point for benches and the fabric;
+// callers that need mid-run state (step_until + per-station accessors)
+// use NetSim directly.
+#include "net/engine.h"
 #include "obs/obs.h"
 
 namespace silence::net {
 
-namespace {
-
-// Simulated-µs quantities rendered into timeline args: fixed three
-// decimals, locale-free, deterministic.
-std::string fmt_us(double us) {
-  char buf[40];
-  std::snprintf(buf, sizeof buf, "%.3f", us);
-  return buf;
-}
-
-std::uint64_t to_slots(double us) {
-  return static_cast<std::uint64_t>(std::llround(us / kSlotUs));
-}
-
-}  // namespace
-
 NetResult run_scenario(const Scenario& scenario, std::uint64_t seed) {
-  if (scenario.num_stations < 1) {
-    throw std::invalid_argument("run_scenario: need >= 1 station");
-  }
-  if (scenario.duration_us <= 0.0) {
-    throw std::invalid_argument("run_scenario: duration_us must be > 0");
-  }
-  if (scenario.mpdu_octets < 1 ||
-      scenario.mpdu_octets + kMacOverheadOctets + kDelimiterOctets >
-          kMaxAggregateOctets) {
-    throw std::invalid_argument("run_scenario: mpdu_octets out of range");
-  }
   OBS_SPAN("net.scenario");
-
-  // Stations hold a CosSession referencing their own Link, so they are
-  // pinned in memory. They share one batched-PHY workspace: the slotted
-  // scheduler runs at most one frame exchange at a time, and the batch
-  // facades are bit-identical to the scalar chain, so slot ordering and
-  // per-station RNG substreams are untouched. `--no-phy-batch` (via
-  // set_phy_batch_enabled) reverts every session to the scalar path.
-  auto phy_batch = std::make_unique<PhyBatch>();
-  std::vector<std::unique_ptr<Station>> stations;
-  stations.reserve(static_cast<std::size_t>(scenario.num_stations));
-  for (int i = 0; i < scenario.num_stations; ++i) {
-    stations.push_back(
-        std::make_unique<Station>(scenario, i, seed, phy_batch.get()));
-  }
-
-  NetResult result;
-  double now_us = 0.0;
-  const auto advance_all = [&](double us, std::size_t except) {
-    for (std::size_t i = 0; i < stations.size(); ++i) {
-      if (i != except) stations[i]->advance(1e-6 * us);
-    }
-  };
-
-  // MAC timeline (pid-2 trace tracks) and per-station registry metrics —
-  // both inert under SILENCE_OBS=OFF. Head-of-line and inter-TX times
-  // are part of the deterministic result, so they are tracked
-  // unconditionally: a frame becomes head-of-line when the station's
-  // previous exchange ends (or at t = 0) and waits until its winning TX
-  // starts; collisions lengthen the wait, they don't reset it.
-  Timeline timeline(stations.size());
-  StationMetrics sta_metrics(
-      stations.size(),
-      scenario.metrics_station_cap > 0
-          ? static_cast<std::size_t>(scenario.metrics_station_cap)
-          : StationMetrics::kDefaultCap);
-  std::vector<double> hol_since(stations.size(), 0.0);
-  std::vector<double> last_tx_start(stations.size(), -1.0);
-
-  while (now_us < scenario.duration_us) {
-    ++result.contention_rounds;
-    OBS_COUNT("net.rounds");
-
-    // Idle period: DIFS, then the smallest backoff counter many slots.
-    int min_counter = std::numeric_limits<int>::max();
-    for (const auto& s : stations) {
-      min_counter = std::min(min_counter, s->backoff().counter());
-    }
-    OBS_HIST("net.contended_slots", min_counter);
-    const double idle = kDifsUs + min_counter * kSlotUs;
-    const double round_start = now_us;
-    if (timeline.on()) {
-      timeline.medium_begin("medium.idle", round_start);
-      timeline.medium_end("medium.idle", round_start + idle);
-      for (std::size_t i = 0; i < stations.size(); ++i) {
-        timeline.sta_begin(
-            i, "mac.backoff", round_start,
-            "{\"counter\": " +
-                std::to_string(stations[i]->backoff().counter()) + "}");
-        timeline.sta_end(i, "mac.backoff", round_start + idle);
-      }
-    }
-    now_us += idle;
-    result.airtime.idle_us += idle;
-    advance_all(idle, stations.size());
-
-    std::vector<std::size_t> winners;
-    for (std::size_t i = 0; i < stations.size(); ++i) {
-      stations[i]->backoff().consume(min_counter);
-      if (stations[i]->backoff().counter() == 0) winners.push_back(i);
-    }
-
-    if (winners.size() == 1) {
-      const std::size_t w = winners.front();
-      const double tx_start = now_us;
-      const std::uint64_t hol_slots = to_slots(tx_start - hol_since[w]);
-      stations[w]->record_hol_wait(hol_slots);
-      OBS_HIST("net.sta.hol_wait_slots", hol_slots);
-      sta_metrics.hol_wait(w, hol_slots);
-      if (last_tx_start[w] >= 0.0) {
-        const std::uint64_t gap_slots = to_slots(tx_start - last_tx_start[w]);
-        stations[w]->record_tx_gap(gap_slots);
-        OBS_HIST("net.sta.inter_tx_gap_slots", gap_slots);
-        sta_metrics.tx_gap(w, gap_slots);
-      }
-      last_tx_start[w] = tx_start;
-      // The session advances the winner's own link by the frame
-      // airtime; everyone else catches up below.
-      const Station::TxOutcome tx = stations[w]->transmit();
-      const double tail = kSifsUs + ack_airtime_us();
-      now_us += tx.data_airtime_us + tail;
-      result.airtime.data_us += tx.data_airtime_us;
-      result.airtime.ack_us += ack_airtime_us();
-      result.airtime.idle_us += kSifsUs;
-      ++result.tx_rounds;
-      OBS_COUNT("net.tx_rounds");
-      if (!tx.data_ok) OBS_COUNT("net.frames_lost");
-      sta_metrics.tx_data_bits(w, tx.data_bits);
-      if (timeline.on()) {
-        const double tx_end = tx_start + tx.data_airtime_us;
-        timeline.medium_begin("medium.busy", tx_start);
-        timeline.medium_end("medium.busy", tx_end + tail);
-        timeline.sta_instant(w, "mac.win", tx_start);
-        timeline.sta_begin(
-            w, "mac.tx", tx_start,
-            "{\"airtime_us\": " + fmt_us(tx.data_airtime_us) +
-                ", \"data_ok\": " + (tx.data_ok ? "true" : "false") + "}");
-        timeline.sta_end(w, "mac.tx", tx_end);
-        timeline.sta_instant(
-            w, "mac.ampdu", tx_end,
-            "{\"mpdus_ok\": " + std::to_string(tx.mpdus_delivered) +
-                ", \"mpdus\": " + std::to_string(tx.mpdus_sent) + "}");
-        timeline.sta_instant(
-            w, "cos.control", tx_end,
-            "{\"bits_sent\": " + std::to_string(tx.control_bits_sent) +
-                ", \"bits_correct\": " +
-                std::to_string(tx.control_bits_correct) + "}");
-      }
-      FLIGHT_EVENT("net.tx", w, winners.size(), now_us, tx.data_airtime_us,
-                   tx.data_ok);
-      stations[w]->advance(1e-6 * tail);
-      advance_all(tx.data_airtime_us + tail, w);
-      hol_since[w] = now_us;  // next frame queues behind this exchange
-    } else {
-      // Collision: the medium is busy for the longest collider's frame,
-      // then every collider times out waiting for its (block-)ACK.
-      double longest = 0.0;
-      for (const std::size_t i : winners) {
-        longest = std::max(longest, stations[i]->nominal_airtime_us());
-      }
-      const double busy = longest + kSifsUs + ack_airtime_us();
-      const double busy_start = now_us;
-      now_us += busy;
-      result.airtime.collision_us += busy;
-      ++result.collision_rounds;
-      OBS_COUNT("net.collision_rounds");
-      FLIGHT_EVENT("net.collision", -1, winners.size(), now_us, busy, 0);
-      if (timeline.on()) {
-        const std::string args =
-            "{\"colliders\": " + std::to_string(winners.size()) + "}";
-        timeline.medium_begin("medium.collision", busy_start, args);
-        timeline.medium_end("medium.collision", busy_start + busy);
-        for (const std::size_t i : winners) {
-          timeline.sta_begin(i, "mac.collision", busy_start, args);
-          timeline.sta_end(i, "mac.collision", busy_start + busy);
-        }
-      }
-      for (const std::size_t i : winners) {
-        stations[i]->on_collision();
-        sta_metrics.collision(i);
-      }
-      advance_all(busy, stations.size());
-    }
-  }
-
-  result.elapsed_us = now_us;
-  result.stations.reserve(stations.size());
-  for (const auto& s : stations) {
-    const StaStats& stats = s->stats();
-    OBS_HIST("net.sta.data_bits", stats.data_bits);
-    OBS_HIST("net.sta.control_bits_correct", stats.control_bits_correct);
-    OBS_HIST("net.sta.tx_rounds", stats.tx_rounds);
-    result.stations.push_back(stats);
-  }
-  obs::health::maybe_trace_counters();
-  return result;
+  NetSim sim(scenario, seed);
+  sim.run();
+  return sim.result();
 }
 
 }  // namespace silence::net

@@ -23,13 +23,12 @@ const runner::Json& require(const runner::Json& json, std::string_view key) {
 
 runner::Json Scenario::to_json() const {
   runner::Json root = runner::Json::object();
-  root.set("num_stations", static_cast<std::int64_t>(num_stations));
+  root.set("topology", topology.to_json());
+  root.set("traffic", traffic.to_json());
   root.set("mpdu_octets", static_cast<std::int64_t>(mpdu_octets));
   root.set("max_mpdus_per_frame",
            static_cast<std::int64_t>(max_mpdus_per_frame));
   root.set("duration_us", duration_us);
-  root.set("snr_db_near", snr_db_near);
-  root.set("snr_db_far", snr_db_far);
   root.set("control_bits_per_frame",
            static_cast<std::int64_t>(control_bits_per_frame));
   root.set("cos_profile", cos.to_json());
@@ -53,14 +52,30 @@ runner::Json Scenario::to_json() const {
 
 Scenario Scenario::from_json(const runner::Json& json) {
   Scenario sc;
-  sc.num_stations = static_cast<int>(require(json, "num_stations").as_int());
+  if (json.find("topology") != nullptr) {
+    sc.topology = Topology::from_json(require(json, "topology"));
+    sc.traffic = TrafficModel::from_json(require(json, "traffic"));
+  } else if (json.find("num_stations") != nullptr) {
+    // Compatibility shim: the pre-topology flat single-AP schema. Maps
+    // onto the equivalent one-BSS saturated-traffic scenario — default
+    // channel, full carrier sensing, default OBSS knobs (all inert on a
+    // single BSS) — so archived scenario files keep replaying.
+    Topology topo;
+    topo.bss.resize(1);
+    topo.bss[0].num_stations =
+        static_cast<int>(require(json, "num_stations").as_int());
+    topo.bss[0].snr_db_near = require(json, "snr_db_near").as_double();
+    topo.bss[0].snr_db_far = require(json, "snr_db_far").as_double();
+    sc.topology = topo;
+    sc.traffic = TrafficModel{};  // legacy runs are saturated closed-loop
+  } else {
+    throw std::runtime_error("net::Scenario: missing field 'topology'");
+  }
   sc.mpdu_octets =
       static_cast<std::size_t>(require(json, "mpdu_octets").as_int());
   sc.max_mpdus_per_frame =
       static_cast<int>(require(json, "max_mpdus_per_frame").as_int());
   sc.duration_us = require(json, "duration_us").as_double();
-  sc.snr_db_near = require(json, "snr_db_near").as_double();
-  sc.snr_db_far = require(json, "snr_db_far").as_double();
   sc.control_bits_per_frame = static_cast<std::size_t>(
       require(json, "control_bits_per_frame").as_int());
   sc.cos = CosProfile::from_json(require(json, "cos_profile"));
@@ -203,6 +218,8 @@ NetResult& NetResult::operator+=(const NetResult& o) {
   contention_rounds += o.contention_rounds;
   tx_rounds += o.tx_rounds;
   collision_rounds += o.collision_rounds;
+  events += o.events;
+  obss_overlap_us += o.obss_overlap_us;
   return *this;
 }
 
@@ -252,6 +269,8 @@ runner::Json NetResult::to_json() const {
   root.set("tx_rounds", static_cast<std::int64_t>(tx_rounds));
   root.set("collision_rounds",
            static_cast<std::int64_t>(collision_rounds));
+  root.set("events", static_cast<std::int64_t>(events));
+  root.set("obss_overlap_us", obss_overlap_us);
   runner::Json air = runner::Json::object();
   air.set("data_us", airtime.data_us);
   air.set("ack_us", airtime.ack_us);
@@ -291,6 +310,8 @@ NetResult NetResult::from_json(const runner::Json& json) {
   r.tx_rounds = static_cast<std::size_t>(require(json, "tx_rounds").as_int());
   r.collision_rounds =
       static_cast<std::size_t>(require(json, "collision_rounds").as_int());
+  r.events = static_cast<std::uint64_t>(require(json, "events").as_int());
+  r.obss_overlap_us = require(json, "obss_overlap_us").as_double();
   const runner::Json& air = require(json, "airtime");
   r.airtime.data_us = require(air, "data_us").as_double();
   r.airtime.ack_us = require(air, "ack_us").as_double();

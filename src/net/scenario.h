@@ -1,19 +1,21 @@
-// Network-scale CoS simulation: one AP terminating N concurrent CoS
-// sessions, one independently-seeded fading link per station, DCF
-// contention and A-MPDU aggregation from src/mac/ deciding who holds the
-// medium. Each contention winner sends one aggregated data frame through
-// its closed-loop CosSession, so the station's CoS control message rides
-// on the frame for free — the network-level claim of the paper ("free
-// control messages"), measured here as control goodput against the
-// airtime DCF already spends.
+// Network-scale CoS simulation: one or more APs, each terminating its
+// stations' concurrent CoS sessions over independently-seeded fading
+// links, with DCF contention and A-MPDU aggregation from src/mac/
+// deciding who holds each BSS's medium. Each contention winner sends one
+// aggregated data frame through its closed-loop CosSession, so the
+// station's CoS control message rides on the frame for free — the
+// network-level claim of the paper ("free control messages"), measured
+// here as control goodput against the airtime DCF already spends, now
+// under OBSS interference, hidden terminals and open-loop traffic.
 //
 // Determinism contract: run_scenario(scenario, seed) is a pure function.
 // Every random stream — per-station channel realization, noise, traffic
-// payloads, backoff draws — derives from `seed` through the SplitMix64
-// substream scheme (runner/seed.h), and the scheduler itself is a
-// single-threaded slotted loop. Sweeps parallelize across trials
-// (bench/net_scenarios.cpp), never inside one scenario, so results are
-// bit-identical at any runner thread count.
+// payloads, backoff draws, arrival processes — derives from `seed`
+// through the SplitMix64 substream scheme (runner/seed.h), and the
+// event-driven engine (net/engine.h) pops its calendar queue in a strict
+// (timestamp, tie-break key, FIFO) total order. Sweeps parallelize
+// across trials (bench/net_scenarios.cpp), never inside one scenario, so
+// results are bit-identical at any runner thread or fabric shard count.
 #pragma once
 
 #include <cstdint>
@@ -23,6 +25,7 @@
 #include "channel/fading.h"
 #include "core/cos_profile.h"
 #include "mac/contention.h"  // AirtimeBreakdown
+#include "net/topology.h"
 #include "runner/json.h"
 
 namespace silence::net {
@@ -30,8 +33,16 @@ namespace silence::net {
 // Everything needed to reconstruct a network run; round-trips through
 // the strict JSON parser like CosTrialSpec, so scenario files and future
 // flight artifacts replay bit-identically.
+//
+// The geometry (APs, channels, station SNR placement, carrier sensing)
+// lives in `topology`, the offered load in `traffic` (net/topology.h);
+// the remaining fields are the shared MAC/PHY/CoS knobs. Legacy flat
+// single-AP scenario JSONs (a top-level "num_stations" instead of
+// "topology") still parse via a compatibility shim in from_json() and
+// map onto the equivalent one-BSS saturated scenario.
 struct Scenario {
-  int num_stations = 4;
+  Topology topology;
+  TrafficModel traffic;
   // Per-MPDU payload octets (MAC header + FCS are added on top); the
   // winner aggregates up to `max_mpdus_per_frame` of these into one
   // PPDU, clamped to what the 4095-octet SIGNAL length field admits.
@@ -39,11 +50,6 @@ struct Scenario {
   int max_mpdus_per_frame = 4;
   // Simulated medium time per scenario run.
   double duration_us = 20e3;
-  // Measured-SNR spread across stations: station i gets the linear
-  // interpolation from `snr_db_near` (i = 0) to `snr_db_far` (i = N-1),
-  // so large scenarios exercise the whole rate-adaptation table.
-  double snr_db_near = 24.0;
-  double snr_db_far = 12.0;
   // CoS control bits each station offers per won frame (the session
   // truncates to the silence budget of that frame).
   std::size_t control_bits_per_frame = 48;
@@ -64,7 +70,10 @@ struct Scenario {
   // simulation itself.
   int metrics_station_cap = 64;
 
-  // Strict-JSON round trip: from_json(to_json(s)) == s.
+  int num_stations() const { return topology.total_stations(); }
+
+  // Strict-JSON round trip: from_json(to_json(s)) == s. from_json also
+  // accepts the legacy flat single-AP schema (see above).
   runner::Json to_json() const;
   static Scenario from_json(const runner::Json& json);
 
@@ -111,8 +120,9 @@ struct StaStats {
   double data_airtime_us = 0.0;  // medium time under this station's PPDUs
   // Queueing view of the same run, in whole 9 µs slots: how long each
   // frame sat at the head of the line before its winning TX started
-  // (collisions extend the wait, they don't reset it), and the spacing
-  // between consecutive winning TX starts.
+  // (collisions extend the wait, they don't reset it; under open-loop
+  // traffic the clock starts when the frame reaches an empty queue), and
+  // the spacing between consecutive winning TX starts.
   SlotHist hol_wait_slots;
   SlotHist inter_tx_gap_slots;
 
@@ -128,6 +138,13 @@ struct NetResult {
   std::size_t contention_rounds = 0;
   std::size_t tx_rounds = 0;         // rounds with exactly one winner
   std::size_t collision_rounds = 0;  // rounds with two or more
+  // Calendar-queue events the engine processed (a deterministic count:
+  // the engine-throughput denominator in bench/net_scenarios.cpp).
+  std::uint64_t events = 0;
+  // Raw cross-BSS PPDU overlap witnessed by receivers, in µs (each
+  // overlapping pair counts once per affected receiver). Zero on any
+  // single-BSS topology.
+  double obss_overlap_us = 0.0;
 
   // Merges another run of the SAME scenario shape (station counts must
   // match; an empty result adopts the other's). Trial merge order is
@@ -159,9 +176,10 @@ struct NetResult {
   static NetResult from_json(const runner::Json& json);
 };
 
-// Runs the slotted DCF + CoS scenario for `scenario.duration_us` of
-// medium time. Pure in (scenario, seed); see the determinism contract
-// above. Throws std::invalid_argument on a malformed scenario.
+// Runs the event-driven DCF + CoS scenario for `scenario.duration_us` of
+// medium time (a thin wrapper over net::NetSim; see net/engine.h for the
+// stateful stepping API). Pure in (scenario, seed); see the determinism
+// contract above. Throws std::invalid_argument on a malformed scenario.
 NetResult run_scenario(const Scenario& scenario, std::uint64_t seed);
 
 }  // namespace silence::net

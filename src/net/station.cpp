@@ -18,23 +18,15 @@ constexpr std::uint64_t kChannelStream = 0x100;
 constexpr std::uint64_t kNoiseStream = 0x200;
 constexpr std::uint64_t kTrafficStream = 0x300;
 
-double sta_snr_db(const Scenario& scenario, int index) {
-  if (scenario.num_stations <= 1) return scenario.snr_db_near;
-  const double t = static_cast<double>(index) /
-                   static_cast<double>(scenario.num_stations - 1);
-  return scenario.snr_db_near +
-         t * (scenario.snr_db_far - scenario.snr_db_near);
-}
-
 LinkConfig link_config_for(const Scenario& scenario, int index,
-                           std::uint64_t seed) {
+                           double snr_db, std::uint64_t seed) {
   LinkConfig config;
   config.profile = scenario.profile;
   config.channel_seed = runner::substream_seed(
       seed, kChannelStream + static_cast<std::uint64_t>(index));
   config.noise_seed = runner::substream_seed(
       seed, kNoiseStream + static_cast<std::uint64_t>(index));
-  config.snr_db = sta_snr_db(scenario, index);
+  config.snr_db = snr_db;
   config.snr_is_measured = true;
   return config;
 }
@@ -67,8 +59,8 @@ std::size_t planned_aggregate_octets(std::size_t mpdus,
 
 }  // namespace
 
-Station::Station(const Scenario& scenario, int index, std::uint64_t seed,
-                 PhyBatch* phy_batch)
+Station::Station(const Scenario& scenario, int index, double snr_db,
+                 std::uint64_t seed, PhyBatch* phy_batch)
     : mpdus_per_frame_(
           clamp_mpdus(scenario, scenario.mpdu_octets + kMacOverheadOctets)),
       mpdu_payload_octets_(scenario.mpdu_octets),
@@ -79,7 +71,7 @@ Station::Station(const Scenario& scenario, int index, std::uint64_t seed,
       address_(static_cast<std::uint8_t>(index + 1)),
       traffic_rng_(runner::substream_seed(
           seed, kTrafficStream + static_cast<std::uint64_t>(index))),
-      link_(link_config_for(scenario, index, seed)),
+      link_(link_config_for(scenario, index, snr_db, seed)),
       session_(link_, session_config_for(scenario, phy_batch)) {
   backoff_.restart(traffic_rng_);
 }
@@ -91,7 +83,9 @@ double Station::nominal_airtime_us() const {
   return psdu_airtime_us(aggregate_octets_, mcs);
 }
 
-Station::TxOutcome Station::transmit() {
+Station::TxOutcome Station::transmit(
+    const std::optional<PulseInterferer>& interferer) {
+  if (interferer) link_.set_interferer(interferer);
   std::vector<Bytes> mpdus;
   mpdus.reserve(mpdus_per_frame_);
   for (std::size_t m = 0; m < mpdus_per_frame_; ++m) {
@@ -108,6 +102,7 @@ Station::TxOutcome Station::transmit() {
   const Bits control = traffic_rng_.bits(control_bits_per_frame_);
 
   const PacketReport report = session_.send_packet(aggregate, control);
+  if (interferer) link_.set_interferer(std::nullopt);
 
   TxOutcome out;
   out.data_airtime_us = psdu_airtime_us(aggregate.size(), *report.mcs);

@@ -16,14 +16,16 @@ namespace silence::net {
 
 class Station {
  public:
-  // `index` is the station's position in the scenario (0-based); it
-  // selects the SNR interpolation point and the seed substreams.
-  // `phy_batch` optionally routes this station's PHY through the batched
-  // SoA engine (bit-identical results); the scheduler shares one
-  // workspace across all stations, which is safe because transmissions
-  // are strictly sequential in slot order.
-  Station(const Scenario& scenario, int index, std::uint64_t seed,
-          PhyBatch* phy_batch = nullptr);
+  // `index` is the station's global position across the scenario's BSSs
+  // (0-based); it selects the seed substreams. `snr_db` is the station's
+  // measured-SNR placement (Topology::station_snr_db). `phy_batch`
+  // optionally routes this station's PHY through the batched SoA engine
+  // (bit-identical results); the engine shares one workspace across all
+  // stations, which is safe because frame exchanges are processed
+  // strictly sequentially in event order even when their simulated
+  // intervals overlap across BSSs.
+  Station(const Scenario& scenario, int index, double snr_db,
+          std::uint64_t seed, PhyBatch* phy_batch = nullptr);
 
   // Outcome of one solo medium acquisition. The per-MPDU/control fields
   // let the scheduler narrate the exchange on the MAC timeline without
@@ -42,7 +44,12 @@ class Station {
   // chunk), sends it through the CosSession and updates the station's
   // tallies and backoff. The session advances this station's own link
   // by the frame airtime; the scheduler advances everything else.
-  TxOutcome transmit();
+  // `interferer`, when set, injects pulse interference (OBSS overlap or
+  // a hidden terminal's blind fire) into this one exchange; the link is
+  // restored to interference-free afterwards. When unset, the RNG
+  // streams are untouched relative to the interference-free path.
+  TxOutcome transmit(const std::optional<PulseInterferer>& interferer);
+  TxOutcome transmit() { return transmit(std::nullopt); }
 
   // This station collided this round: tally it and double the window.
   void on_collision();

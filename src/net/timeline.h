@@ -28,11 +28,19 @@ namespace silence::net {
 
 class Timeline {
  public:
-  explicit Timeline(std::size_t num_stations) {
+  // One medium track per BSS: the single-AP track keeps its historic
+  // "medium" name, multi-AP scenarios get "AP<k> medium" so overlapping
+  // PPDUs on different cells render as parallel busy spans.
+  explicit Timeline(std::size_t num_stations, std::size_t num_bss = 1) {
     auto& tracer = obs::Tracer::global();
     if (!tracer.claim_sim_session()) return;
     on_ = true;
-    medium_ = tracer.sim_track("medium");
+    medium_.reserve(num_bss);
+    for (std::size_t b = 0; b < num_bss; ++b) {
+      medium_.push_back(tracer.sim_track(
+          num_bss == 1 ? std::string("medium")
+                       : "AP" + std::to_string(b) + " medium"));
+    }
     sta_.reserve(num_stations);
     for (std::size_t i = 0; i < num_stations; ++i) {
       sta_.push_back(tracer.sim_track("STA " + std::to_string(i)));
@@ -57,18 +65,20 @@ class Timeline {
                                         std::move(args));
     }
   }
-  void medium_begin(const char* name, double ts_us, std::string args = "") {
+  void medium_begin(std::size_t bss, const char* name, double ts_us,
+                    std::string args = "") {
     if (on_) {
-      obs::Tracer::global().sim_begin(medium_, name, ts_us, std::move(args));
+      obs::Tracer::global().sim_begin(medium_[bss], name, ts_us,
+                                      std::move(args));
     }
   }
-  void medium_end(const char* name, double ts_us) {
-    if (on_) obs::Tracer::global().sim_end(medium_, name, ts_us);
+  void medium_end(std::size_t bss, const char* name, double ts_us) {
+    if (on_) obs::Tracer::global().sim_end(medium_[bss], name, ts_us);
   }
 
  private:
   bool on_ = false;
-  std::uint32_t medium_ = 0;
+  std::vector<std::uint32_t> medium_;
   std::vector<std::uint32_t> sta_;
 };
 
@@ -173,13 +183,13 @@ class StationMetrics {
 
 class Timeline {
  public:
-  explicit Timeline(std::size_t) {}
+  explicit Timeline(std::size_t, std::size_t = 1) {}
   bool on() const { return false; }
   void sta_begin(std::size_t, const char*, double, std::string = "") {}
   void sta_end(std::size_t, const char*, double) {}
   void sta_instant(std::size_t, const char*, double, std::string = "") {}
-  void medium_begin(const char*, double, std::string = "") {}
-  void medium_end(const char*, double) {}
+  void medium_begin(std::size_t, const char*, double, std::string = "") {}
+  void medium_end(std::size_t, const char*, double) {}
 };
 
 class StationMetrics {

@@ -1,0 +1,175 @@
+#include "net/topology.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace silence::net {
+
+namespace {
+
+const runner::Json& require(const runner::Json& json, std::string_view key) {
+  const runner::Json* value = json.find(key);
+  if (value == nullptr) {
+    throw std::runtime_error("net::Topology: missing field '" +
+                             std::string(key) + "'");
+  }
+  return *value;
+}
+
+}  // namespace
+
+int Topology::station_bss(int index) const {
+  int base = 0;
+  for (std::size_t b = 0; b < bss.size(); ++b) {
+    base += bss[b].num_stations;
+    if (index < base) return static_cast<int>(b);
+  }
+  throw std::out_of_range("Topology::station_bss: index out of range");
+}
+
+int Topology::first_station(int bss_index) const {
+  int base = 0;
+  for (int b = 0; b < bss_index; ++b) {
+    base += bss[static_cast<std::size_t>(b)].num_stations;
+  }
+  return base;
+}
+
+double Topology::station_snr_db(int index) const {
+  const int b = station_bss(index);
+  const Bss& cell = bss[static_cast<std::size_t>(b)];
+  const int local = index - first_station(b);
+  // Bit-identical to the legacy flat scenario's interpolation for a
+  // single BSS: same expression, same operand order.
+  if (cell.num_stations <= 1) return cell.snr_db_near;
+  const double t = static_cast<double>(local) /
+                   static_cast<double>(cell.num_stations - 1);
+  return cell.snr_db_near + t * (cell.snr_db_far - cell.snr_db_near);
+}
+
+void Topology::validate() const {
+  if (bss.empty()) {
+    throw std::invalid_argument("net::Topology: need >= 1 BSS");
+  }
+  for (const Bss& b : bss) {
+    if (b.num_stations < 1) {
+      throw std::invalid_argument("net::Topology: need >= 1 station per BSS");
+    }
+  }
+  const auto n = static_cast<std::size_t>(total_stations());
+  if (!carrier_sense.empty() && carrier_sense.size() != n * n) {
+    throw std::invalid_argument(
+        "net::Topology: carrier_sense must be empty or N*N");
+  }
+  if (obss_pulse_power < 0.0) {
+    throw std::invalid_argument("net::Topology: obss_pulse_power < 0");
+  }
+  if (adjacent_leak < 0.0 || adjacent_leak > 1.0) {
+    throw std::invalid_argument(
+        "net::Topology: adjacent_leak outside [0, 1]");
+  }
+}
+
+runner::Json Topology::to_json() const {
+  runner::Json root = runner::Json::object();
+  runner::Json cells = runner::Json::array();
+  for (const Bss& b : bss) {
+    runner::Json cell = runner::Json::object();
+    cell.set("channel", static_cast<std::int64_t>(b.channel));
+    cell.set("num_stations", static_cast<std::int64_t>(b.num_stations));
+    cell.set("snr_db_near", b.snr_db_near);
+    cell.set("snr_db_far", b.snr_db_far);
+    cells.push_back(std::move(cell));
+  }
+  root.set("bss", std::move(cells));
+  runner::Json sense = runner::Json::array();
+  for (const std::uint8_t v : carrier_sense) {
+    sense.push_back(static_cast<std::int64_t>(v));
+  }
+  root.set("carrier_sense", std::move(sense));
+  root.set("obss_pulse_power", obss_pulse_power);
+  root.set("adjacent_leak", adjacent_leak);
+  return root;
+}
+
+Topology Topology::from_json(const runner::Json& json) {
+  Topology t;
+  const runner::Json& cells = require(json, "bss");
+  if (!cells.is_array()) {
+    throw std::runtime_error("net::Topology: bss is not an array");
+  }
+  t.bss.clear();
+  for (const runner::Json& cell : cells.as_array()) {
+    Bss b;
+    b.channel = static_cast<int>(require(cell, "channel").as_int());
+    b.num_stations =
+        static_cast<int>(require(cell, "num_stations").as_int());
+    b.snr_db_near = require(cell, "snr_db_near").as_double();
+    b.snr_db_far = require(cell, "snr_db_far").as_double();
+    t.bss.push_back(b);
+  }
+  const runner::Json& sense = require(json, "carrier_sense");
+  if (!sense.is_array()) {
+    throw std::runtime_error("net::Topology: carrier_sense is not an array");
+  }
+  t.carrier_sense.clear();
+  for (const runner::Json& v : sense.as_array()) {
+    t.carrier_sense.push_back(static_cast<std::uint8_t>(v.as_int() != 0));
+  }
+  t.obss_pulse_power = require(json, "obss_pulse_power").as_double();
+  t.adjacent_leak = require(json, "adjacent_leak").as_double();
+  return t;
+}
+
+void TrafficModel::validate() const {
+  if (!saturated() && arrival_rate_fps <= 0.0) {
+    throw std::invalid_argument("net::TrafficModel: arrival_rate_fps <= 0");
+  }
+  if (kind == Kind::kOnOff && (mean_on_us <= 0.0 || mean_off_us <= 0.0)) {
+    throw std::invalid_argument(
+        "net::TrafficModel: on/off period means must be > 0");
+  }
+}
+
+namespace {
+
+const char* kind_name(TrafficModel::Kind kind) {
+  switch (kind) {
+    case TrafficModel::Kind::kSaturated:
+      return "saturated";
+    case TrafficModel::Kind::kPoisson:
+      return "poisson";
+    case TrafficModel::Kind::kOnOff:
+      return "on_off";
+  }
+  throw std::logic_error("TrafficModel: unknown kind");
+}
+
+TrafficModel::Kind kind_from_name(const std::string& name) {
+  if (name == "saturated") return TrafficModel::Kind::kSaturated;
+  if (name == "poisson") return TrafficModel::Kind::kPoisson;
+  if (name == "on_off") return TrafficModel::Kind::kOnOff;
+  throw std::runtime_error("net::TrafficModel: unknown kind '" + name + "'");
+}
+
+}  // namespace
+
+runner::Json TrafficModel::to_json() const {
+  runner::Json root = runner::Json::object();
+  root.set("kind", kind_name(kind));
+  root.set("arrival_rate_fps", arrival_rate_fps);
+  root.set("mean_on_us", mean_on_us);
+  root.set("mean_off_us", mean_off_us);
+  return root;
+}
+
+TrafficModel TrafficModel::from_json(const runner::Json& json) {
+  TrafficModel m;
+  m.kind = kind_from_name(require(json, "kind").as_string());
+  m.arrival_rate_fps = require(json, "arrival_rate_fps").as_double();
+  m.mean_on_us = require(json, "mean_on_us").as_double();
+  m.mean_off_us = require(json, "mean_off_us").as_double();
+  return m;
+}
+
+}  // namespace silence::net

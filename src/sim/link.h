@@ -37,6 +37,15 @@ class Link {
   // Advances the fading process by `seconds` (e.g. inter-packet gaps).
   void advance(double seconds) { channel_.advance(seconds); }
 
+  // Replaces the pulse interference applied to subsequent send() calls;
+  // nullopt removes it. The net engine uses this to inject transient
+  // OBSS/hidden-terminal overlap into one frame exchange. Note the
+  // interferer consumes this link's noise RNG while set, so installing
+  // one is itself part of the deterministic stream.
+  void set_interferer(const std::optional<PulseInterferer>& interferer) {
+    interferer_ = interferer;
+  }
+
   double noise_var() const { return noise_var_; }
   double freq_noise_var() const { return silence::freq_noise_var(noise_var_); }
   double actual_snr_db() const { return channel_.actual_snr_db(noise_var_); }

@@ -13,7 +13,7 @@ namespace {
 
 Scenario test_scenario(int stations) {
   Scenario sc;
-  sc.num_stations = stations;
+  sc.topology.bss[0].num_stations = stations;
   sc.duration_us = 8e3;  // short: keep unit runs quick
   return sc;
 }
@@ -22,8 +22,17 @@ TEST(Scenario, JsonRoundTripsEveryField) {
   Scenario sc = test_scenario(5);
   sc.mpdu_octets = 300;
   sc.max_mpdus_per_frame = 2;
-  sc.snr_db_near = 21.5;
-  sc.snr_db_far = 9.25;
+  sc.topology.bss[0].snr_db_near = 21.5;
+  sc.topology.bss[0].snr_db_far = 9.25;
+  sc.topology.bss.push_back({.channel = 40, .num_stations = 3});
+  sc.topology.carrier_sense.assign(8 * 8, 1);
+  sc.topology.carrier_sense[1] = 0;
+  sc.topology.obss_pulse_power = 1.5;
+  sc.topology.adjacent_leak = 0.5;
+  sc.traffic.kind = TrafficModel::Kind::kOnOff;
+  sc.traffic.arrival_rate_fps = 1500.0;
+  sc.traffic.mean_on_us = 2500.0;
+  sc.traffic.mean_off_us = 3500.0;
   sc.control_bits_per_frame = 32;
   sc.cos.bits_per_interval = 3;
   sc.cos.control_subcarriers = {4, 5, 6, 7};

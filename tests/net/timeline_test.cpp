@@ -28,7 +28,7 @@ constexpr int kStations = 4;
 
 Scenario test_scenario() {
   Scenario sc;
-  sc.num_stations = kStations;
+  sc.topology.bss[0].num_stations = kStations;
   sc.duration_us = 8e3;
   return sc;
 }
