@@ -193,6 +193,15 @@ void NetSim::step_until(double t_us) {
   while (!queue_->empty() && !done() && queue_->next_time() <= t_us) {
     step();
   }
+  // An open-loop run can drain the queue with every BSS dormant (no
+  // arrival left to wake anyone). Once the caller's clock passes the
+  // scenario horizon there is nothing left to simulate, so converge the
+  // same way run() does — otherwise done() would stay false forever and
+  // the documented `while (!sim.done()) sim.step_until(t)` driver
+  // pattern would never terminate.
+  if (queue_->empty() && !done() && t_us >= scenario_.duration_us) {
+    finish_dormant();
+  }
 }
 
 void NetSim::run() {
@@ -295,6 +304,8 @@ void NetSim::on_backoff_expiry(int b, double t) {
     bss.winner = w;
     bss.tx_start = t;
     bss.air_us = air;
+    bss.obss_frac = 0.0;
+    bss.obss_raw_us = 0.0;
     bss.blind.clear();
     // Hidden terminals: a contender that cannot hear the winner keeps
     // counting down instead of freezing, and blind-fires if its counter
@@ -311,10 +322,22 @@ void NetSim::on_backoff_expiry(int b, double t) {
       }
     }
     prune_intervals(t);
-    live_tx_.push_back({b, w, bss.channel, t, t + air});
-    // The PHY runs at TX end, once every overlapping PPDU has had the
-    // chance to register its interval — so both directions of an OBSS
-    // overlap see each other.
+    // Open the exchange: catch up on other cells' PPDUs already on the
+    // air, then publish this round's own energy — the winner's PPDU and
+    // any hidden blind fire (neighbor cells see the stray burst like
+    // any other PPDU; the same-BSS victim accounts it via bss.blind at
+    // TX end, and register_interval skips own-BSS victims, so nothing
+    // double-counts). Later-starting overlappers credit this exchange
+    // when they register; the PHY still runs at TX end, once the
+    // accumulated fraction is complete.
+    for (const TxInterval& iv : live_tx_) {
+      if (iv.bss != b) accumulate_overlap(bss, iv);
+    }
+    register_interval({b, w, bss.channel, t, t + air});
+    for (const BlindFire& bf : bss.blind) {
+      register_interval(
+          {b, bf.sta, bss.channel, bf.t_fire, bf.t_fire + bf.air_us});
+    }
     queue_->push(t + (air + tail), EventKind::kTxEnd, b, w);
     return;
   }
@@ -352,30 +375,43 @@ void NetSim::on_backoff_expiry(int b, double t) {
     sta_metrics_->collision(static_cast<std::size_t>(i));
   }
   advance_members(bss, busy, -1);
-  // The garbled burst still radiates into overlapping cells.
+  // The garbled burst still radiates into overlapping cells (no reader
+  // on this side: a collision round runs no PHY of its own).
   prune_intervals(t);
-  live_tx_.push_back({b, -1, bss.channel, t, t + longest});
+  register_interval({b, -1, bss.channel, t, t + longest});
   queue_->push(busy_end, EventKind::kRoundStart, b, -1);
 }
 
-double NetSim::obss_fraction(int b, double start, double air_us) {
-  double fraction = 0.0;
-  const int channel = bss_[static_cast<std::size_t>(b)].channel;
-  for (const TxInterval& iv : live_tx_) {
-    if (iv.bss == b) continue;  // one PPDU at a time within a BSS
-    const double weight =
-        scenario_.topology.channel_weight(channel, iv.channel);
-    if (weight <= 0.0) continue;
-    const double lo = std::max(start, iv.start_us);
-    const double hi = std::min(start + air_us, iv.end_us);
-    if (hi <= lo) continue;
-    fraction += weight * (hi - lo) / air_us;
-    result_.obss_overlap_us += hi - lo;
+void NetSim::accumulate_overlap(BssState& victim, const TxInterval& iv) {
+  const double weight =
+      scenario_.topology.channel_weight(victim.channel, iv.channel);
+  if (weight <= 0.0) return;
+  const double lo = std::max(victim.tx_start, iv.start_us);
+  const double hi = std::min(victim.tx_start + victim.air_us, iv.end_us);
+  if (hi <= lo) return;
+  victim.obss_frac += weight * (hi - lo) / victim.air_us;
+  victim.obss_raw_us += hi - lo;
+}
+
+void NetSim::register_interval(const TxInterval& iv) {
+  // Credit every other cell's in-flight exchange right now; the
+  // schedule of `iv` is already fixed, so geometry against windows
+  // extending into the future is exact. Victims never read the registry
+  // after the fact, which is what lets prune_intervals() drop an
+  // interval the moment it is entirely in the past.
+  for (std::size_t v = 0; v < bss_.size(); ++v) {
+    if (static_cast<int>(v) == iv.bss) continue;
+    BssState& victim = bss_[v];
+    if (victim.winner < 0) continue;
+    accumulate_overlap(victim, iv);
   }
-  return fraction;
+  live_tx_.push_back(iv);
 }
 
 void NetSim::prune_intervals(double t) {
+  // Safe because overlap is accounted when intervals register (see
+  // register_interval): an interval already ended at `t` can only be
+  // scanned by an exchange opening at >= t, with zero overlap.
   std::erase_if(live_tx_,
                 [t](const TxInterval& iv) { return iv.end_us <= t; });
 }
@@ -399,12 +435,14 @@ void NetSim::on_tx_end(int b, double t) {
   }
   last_tx_start_[ws] = tx_start;
 
-  // Interference on this exchange: OBSS overlap from other cells plus
-  // any same-BSS hidden terminal that blind-fired into the PPDU. The
-  // overlap fraction becomes the pulse interferer's symbol-hit
-  // probability; with no overlap the link stays untouched (and so do
-  // its RNG streams — the legacy-identity requirement).
-  double fraction = obss_fraction(b, tx_start, bss.air_us);
+  // Interference on this exchange: OBSS overlap from other cells
+  // (accumulated onto the exchange as each overlapping interval
+  // registered) plus any same-BSS hidden terminal that blind-fired into
+  // the PPDU. The overlap fraction becomes the pulse interferer's
+  // symbol-hit probability; with no overlap the link stays untouched
+  // (and so do its RNG streams — the legacy-identity requirement).
+  double fraction = bss.obss_frac;
+  result_.obss_overlap_us += bss.obss_raw_us;
   for (const BlindFire& bf : bss.blind) {
     const double overlap =
         std::min(tx_start + bss.air_us, bf.t_fire + bf.air_us) - bf.t_fire;
@@ -487,6 +525,8 @@ void NetSim::on_tx_end(int b, double t) {
   if (!saturated_) --queue_len_[ws];
   hol_since_[ws] = round_end;  // next frame queues behind this exchange
   bss.winner = -1;
+  bss.obss_frac = 0.0;
+  bss.obss_raw_us = 0.0;
   bss.blind.clear();
   queue_->push(round_end, EventKind::kRoundStart, b, -1);
 }

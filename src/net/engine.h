@@ -14,17 +14,24 @@
 // traffic; interference draws only when an overlap actually lands).
 //
 // What multi-BSS adds on top:
-//  - OBSS interference: every in-flight PPDU registers a (channel,
-//    interval) on a shared registry; when a winner's exchange completes,
-//    the overlap fraction from other cells' PPDUs (weighted 1 for
-//    co-channel, Topology::adjacent_leak for adjacent channels) becomes
-//    a PulseInterferer on that one exchange — the paper's Fig. 10(d)
+//  - OBSS interference: every PPDU put on the air (winner frames,
+//    collision bursts, hidden blind fires) registers a (channel,
+//    interval) on a shared registry, crediting each other cell's
+//    in-flight exchange with the overlap as it registers; an exchange
+//    opening later scans the still-live intervals instead. Both
+//    directions of an overlap are therefore counted no matter how the
+//    rounds interleave — a fast cell completing whole rounds inside a
+//    slow cell's PPDU still charges the slow victim. At TX end the
+//    accumulated fraction (weighted 1 for co-channel,
+//    Topology::adjacent_leak for adjacent channels) becomes a
+//    PulseInterferer on that one exchange — the paper's Fig. 10(d)
 //    threat model, now emergent from topology instead of injected.
 //  - Hidden terminals: a same-BSS contender that cannot hear the winner
 //    (Topology::carrier_sense) keeps counting down and blind-fires into
 //    the winner's PPDU; the victim sees the overlap as interference,
-//    the firer burns a collision, and the round extends to cover the
-//    stray PPDU.
+//    the firer burns a collision, the round extends to cover the stray
+//    PPDU, and the stray energy radiates into overlapping cells like
+//    any other PPDU.
 //  - Traffic: saturated stations contend always; poisson / on-off
 //    stations contend while their arrival queue is non-empty, and a BSS
 //    with nothing to send sleeps until an arrival wakes it. Queueing
@@ -63,7 +70,10 @@ class NetSim {
   // Processes events until simulated time passes `t_us` (every event
   // with timestamp <= t_us runs), leaving mid-run state observable via
   // the accessors below. Rate controllers (ROADMAP item 2) hook in
-  // here: step, read, adjust, repeat.
+  // here: step, read, adjust, repeat. When the queue drains with every
+  // BSS dormant (open-loop traffic that ran out of arrivals) and `t_us`
+  // has reached the scenario horizon, the run is finished off so the
+  // `while (!sim.done()) sim.step_until(t)` driver pattern terminates.
   void step_until(double t_us);
 
   // Runs the scenario to completion (duration reached on every BSS).
@@ -107,6 +117,15 @@ class NetSim {
     int winner = -1;
     double tx_start = 0.0;
     double air_us = 0.0;
+    // OBSS overlap credited to the in-flight exchange, accumulated as
+    // each overlapping interval registers (and from already-live
+    // intervals when the exchange opens) — never read back out of the
+    // registry, so pruning can be aggressive. `obss_frac` is the
+    // channel-weighted overlap divided by this exchange's airtime (the
+    // pulse-interferer hit probability); `obss_raw_us` the unweighted
+    // overlap feeding NetResult::obss_overlap_us.
+    double obss_frac = 0.0;
+    double obss_raw_us = 0.0;
     std::vector<BlindFire> blind;
     bool dormant = false;
     bool wake_pending = false;
@@ -136,9 +155,17 @@ class NetSim {
     return saturated_ || queue_len_[static_cast<std::size_t>(sta)] > 0;
   }
   void advance_members(const BssState& bss, double us, int except);
-  // Weighted overlap of other cells' PPDUs with [start, start + air);
-  // returns the interference fraction and accumulates obss_overlap_us.
-  double obss_fraction(int b, double start, double air_us);
+  // Credits `victim`'s in-flight exchange with its channel-weighted
+  // overlap against `iv` (no-op when the weight or overlap is zero).
+  void accumulate_overlap(BssState& victim, const TxInterval& iv);
+  // Publishes a PPDU: credits every other BSS's in-flight exchange with
+  // the overlap now, then adds the interval to the registry so
+  // exchanges opening later can scan it. Accounting at registration
+  // time (plus the open-exchange scan) means both directions of an
+  // overlap are always counted, however the two rounds interleave —
+  // including a fast cell completing whole rounds inside a slow cell's
+  // PPDU.
+  void register_interval(const TxInterval& iv);
   void prune_intervals(double t);
   void pregenerate_arrivals(std::uint64_t seed);
 

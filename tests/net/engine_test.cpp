@@ -205,6 +205,67 @@ TEST(NetEngine, DistantChannelsIsolateTheCells) {
   EXPECT_NE(coupled.to_json().dump_compact(), r.to_json().dump_compact());
 }
 
+// Regression for an OBSS undercount: intervals used to be read out of
+// the registry only at the victim's TxEnd, but pruned at every backoff
+// expiry, so a fast cell completing whole rounds (PPDU+SIFS+ACK+DIFS+
+// backoff) inside a slow cell's long PPDU had its intervals erased
+// before the slow victim looked — one direction of the overlap went
+// missing. Overlap is now credited to the in-flight exchange as each
+// interval registers, so both directions are always counted. 5 dB vs
+// 30 dB cells make the rate asymmetry routine (≈6 Mb/s PPDUs several
+// ms long vs ≈54 Mb/s rounds under 1 ms): at seed 7 the TxEnd-read
+// accounting measured 8774 µs of overlap, the registration-time
+// accounting 11594 µs — the threshold sits between.
+TEST(NetEngine, FastCellRoundsInsideSlowPpduAreFullyCounted) {
+  Scenario sc;
+  sc.topology.bss.clear();
+  sc.topology.bss.push_back({.channel = 36, .num_stations = 1,
+                             .snr_db_near = 5.0, .snr_db_far = 5.0});
+  sc.topology.bss.push_back({.channel = 36, .num_stations = 1,
+                             .snr_db_near = 30.0, .snr_db_far = 30.0});
+  sc.mpdu_octets = 1200;
+  sc.duration_us = 30e3;
+  const NetResult r = run_scenario(sc, 7);
+  EXPECT_GT(r.obss_overlap_us, 10e3);
+  // With one station per cell every interval is a winner PPDU with a
+  // reader on each side, so the tally cannot exceed twice the smaller
+  // cell's on-air time (it is bounded by 2 × min busy span).
+  EXPECT_LT(r.obss_overlap_us, 2.0 * r.elapsed_us);
+}
+
+// Hidden blind fires radiate into neighboring cells like any other
+// PPDU: the stray burst's interval registers alongside the winner's, so
+// a co-channel neighbor's concurrent exchange is charged with its
+// overlap too. The pinned tally discriminates the accounting at seed 7:
+// 3487 µs with blind fires registered, 5284 µs with them invisible to
+// neighbors (the schedules diverge once the extra interference lands),
+// and 4243 µs under the old TxEnd-read accounting. All contributions
+// are integer-µs sums, so the double compares exactly.
+TEST(NetEngine, BlindFiresRadiateIntoNeighborCells) {
+  Scenario sc;
+  sc.topology.bss.clear();
+  sc.topology.bss.push_back({.channel = 36, .num_stations = 2});
+  sc.topology.bss.push_back({.channel = 36, .num_stations = 1});
+  const int n = 3;
+  sc.topology.carrier_sense.assign(n * n, 1);
+  sc.topology.carrier_sense[0 * n + 1] = 0;
+  sc.topology.carrier_sense[1 * n + 0] = 0;
+  sc.duration_us = 20e3;
+  const NetResult r = run_scenario(sc, 7);
+  EXPECT_DOUBLE_EQ(r.obss_overlap_us, 3487.0);
+#if SILENCE_OBS_ON
+  // Prove the pinned run actually blind-fired (the mechanism under
+  // test), not just scheduled around the hidden pair.
+  obs::Registry::global().reset();
+  (void)run_scenario(sc, 7);
+  const obs::MetricsSnapshot snap = obs::Registry::global().snapshot();
+  const auto* fires = snap.counter("net.hidden_fires");
+  ASSERT_NE(fires, nullptr);
+  EXPECT_GT(fires->value, 0u);
+  obs::Registry::global().reset();
+#endif
+}
+
 TEST(NetEngine, AdjacentChannelLeakCouplesAtReducedWeight) {
   const NetResult r = run_scenario(two_ap_scenario(36, 37), 17);
   EXPECT_GT(r.obss_overlap_us, 0.0);
@@ -276,6 +337,27 @@ TEST(NetEngine, NearZeroArrivalRateSleepsTheWholeRun) {
   EXPECT_EQ(r.contention_rounds, 0u);
   EXPECT_DOUBLE_EQ(r.elapsed_us, sc.duration_us);
   EXPECT_DOUBLE_EQ(r.airtime.idle_us, sc.duration_us);
+}
+
+// Open-loop scenarios whose arrivals run dry drain the calendar queue
+// with every BSS dormant; step_until() must still converge once the
+// caller's clock reaches the scenario horizon, or the documented rate-
+// controller pattern `while (!sim.done()) sim.step_until(t)` would spin
+// forever (only run()/result() used to finish dormant cells off).
+TEST(NetEngine, StepUntilConvergesWhenOpenLoopTrafficRunsDry) {
+  Scenario sc = golden_scenario_4sta();
+  sc.traffic.kind = TrafficModel::Kind::kPoisson;
+  sc.traffic.arrival_rate_fps = 200.0;  // a handful of frames, then dry
+  NetSim sim(sc, 7);
+  double t = 0.0;
+  while (!sim.done()) {
+    t += 500.0;
+    sim.step_until(t);
+    ASSERT_LT(t, 1e6) << "step_until never converged a dormant run";
+  }
+  EXPECT_GE(t, sc.duration_us);
+  EXPECT_EQ(sim.result().to_json().dump_compact(),
+            run_scenario(sc, 7).to_json().dump_compact());
 }
 
 TEST(NetEngine, OnOffTrafficRunsAndHoldsInvariants) {

@@ -206,7 +206,13 @@ TEST(NetTimeline, OverCapStationsFoldIntoOverflowFamily) {
     ASSERT_NE(hol, nullptr) << base;
     EXPECT_EQ(hol->count, 1u);
   }
-  EXPECT_EQ(snap.histogram("net.sta.04.hol_wait_slots"), nullptr);
+  // Registry::reset() zeroes values but interned names persist for the
+  // process lifetime, so an earlier test in this binary may have
+  // interned station 4's family — the routing claim is that no SAMPLE
+  // lands there.
+  const auto* spill = snap.histogram("net.sta.04.hol_wait_slots");
+  EXPECT_TRUE(spill == nullptr || spill->count == 0)
+      << "station 4 must fold into overflow, not its own family";
   const auto* over = snap.histogram("net.sta.overflow.hol_wait_slots");
   ASSERT_NE(over, nullptr);
   EXPECT_EQ(over->count, 2u);  // stations 4 and 5
@@ -224,9 +230,13 @@ TEST(NetTimeline, SubCapRunsInternNoOverflowFamily) {
   const obs::MetricsSnapshot snap = obs::Registry::global().snapshot();
   // The overflow family is interned lazily, only when the cap is
   // actually exceeded — sub-cap runs keep their exact metric inventory
-  // (the CI smoke counts per-station families).
-  EXPECT_EQ(snap.histogram("net.sta.overflow.hol_wait_slots"), nullptr);
-  EXPECT_EQ(snap.counter("net.sta.overflow.collisions"), nullptr);
+  // (the CI smoke counts per-station families in a fresh process).
+  // Inside this shared test binary an earlier over-cap test may already
+  // have interned the names, so assert that no sample is routed there.
+  const auto* over = snap.histogram("net.sta.overflow.hol_wait_slots");
+  EXPECT_TRUE(over == nullptr || over->count == 0);
+  const auto* over_coll = snap.counter("net.sta.overflow.collisions");
+  EXPECT_TRUE(over_coll == nullptr || over_coll->value == 0);
   obs::Registry::global().reset();
 }
 
@@ -237,10 +247,19 @@ TEST(NetTimeline, ScenarioCapCarriesThroughRunScenario) {
   sc.metrics_station_cap = 2;
   (void)run_scenario(sc, 11);
   const obs::MetricsSnapshot snap = obs::Registry::global().snapshot();
-  EXPECT_NE(snap.histogram("net.sta.00.hol_wait_slots"), nullptr);
-  EXPECT_NE(snap.histogram("net.sta.01.hol_wait_slots"), nullptr);
-  EXPECT_EQ(snap.histogram("net.sta.02.hol_wait_slots"), nullptr);
-  EXPECT_NE(snap.histogram("net.sta.overflow.hol_wait_slots"), nullptr);
+  const auto* sta0 = snap.histogram("net.sta.00.hol_wait_slots");
+  ASSERT_NE(sta0, nullptr);
+  const auto* sta1 = snap.histogram("net.sta.01.hol_wait_slots");
+  ASSERT_NE(sta1, nullptr);
+  EXPECT_GT(sta0->count + sta1->count, 0u);
+  // Stations at and past the cap route into the overflow family; their
+  // own families may exist from earlier tests in this binary (interned
+  // names outlive Registry::reset()) but must receive no samples.
+  const auto* spill = snap.histogram("net.sta.02.hol_wait_slots");
+  EXPECT_TRUE(spill == nullptr || spill->count == 0);
+  const auto* over = snap.histogram("net.sta.overflow.hol_wait_slots");
+  ASSERT_NE(over, nullptr);
+  EXPECT_GT(over->count, 0u);
   obs::Registry::global().reset();
 }
 
